@@ -1,0 +1,86 @@
+// Shared helpers for the bench binaries that regenerate the paper's tables
+// and figures.
+
+#ifndef HAT_BENCH_BENCH_UTIL_H_
+#define HAT_BENCH_BENCH_UTIL_H_
+
+#include <memory>
+#include <string>
+
+#include "hat/client/txn_client.h"
+#include "hat/cluster/deployment.h"
+#include "hat/harness/driver.h"
+#include "hat/harness/table.h"
+
+namespace hat::bench {
+
+/// One YCSB measurement at a fixed configuration. Builds a fresh
+/// deterministic deployment, preloads the keyspace, runs warmup + measure.
+struct YcsbRun {
+  cluster::DeploymentOptions deployment;
+  client::ClientOptions client;
+  workload::YcsbOptions workload;
+  int num_clients = 100;
+  uint64_t seed = 42;
+  sim::Duration warmup = 1 * sim::kSecond;
+  sim::Duration measure = 4 * sim::kSecond;
+
+  harness::WorkloadResult Execute() const {
+    sim::Simulation sim(seed);
+    cluster::Deployment deployment_instance(sim, deployment);
+    harness::YcsbDriver driver(deployment_instance, workload, client,
+                               num_clients, seed ^ 0x9e37);
+    driver.Preload();
+    return driver.Run(warmup, measure);
+  }
+};
+
+/// Default workload: the paper's YCSB configuration, with a 20k keyspace
+/// (down from 100k purely to bound simulator memory; access is uniform so
+/// contention behaviour is unchanged).
+inline workload::YcsbOptions PaperYcsb() {
+  workload::YcsbOptions opts;
+  opts.num_keys = 20000;
+  opts.value_size = 1024;
+  opts.read_fraction = 0.5;
+  opts.ops_per_txn = 8;
+  return opts;
+}
+
+/// The four systems of Figure 3-6.
+struct SystemConfig {
+  std::string name;
+  client::ClientOptions options;
+};
+
+inline std::vector<SystemConfig> PaperSystems() {
+  using client::ClientOptions;
+  using client::IsolationLevel;
+  using client::SystemMode;
+  std::vector<SystemConfig> systems;
+  {
+    ClientOptions eventual;  // last-writer-wins RU (paper: "eventual")
+    eventual.isolation = IsolationLevel::kReadUncommitted;
+    systems.push_back({"Eventual", eventual});
+  }
+  {
+    ClientOptions rc;
+    rc.isolation = IsolationLevel::kReadCommitted;
+    systems.push_back({"RC", rc});
+  }
+  {
+    ClientOptions mav;
+    mav.isolation = IsolationLevel::kMonotonicAtomicView;
+    systems.push_back({"MAV", mav});
+  }
+  {
+    ClientOptions master;
+    master.mode = SystemMode::kMaster;
+    systems.push_back({"Master", master});
+  }
+  return systems;
+}
+
+}  // namespace hat::bench
+
+#endif  // HAT_BENCH_BENCH_UTIL_H_

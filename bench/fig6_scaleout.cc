@@ -1,0 +1,51 @@
+// Regenerates Figure 6: scale-out. Two clusters (VA + OR); the number of
+// servers per cluster sweeps 5..25 (total 10..50) with 15 YCSB clients per
+// server. The paper: eventual and RC scale linearly (~5x from 10 to 50
+// servers); MAV scales ~3.8x.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace hat::bench;
+  std::vector<int> servers_per_cluster = {5, 10, 15, 25};
+  // Figure 6 plots Eventual, RC, MAV (no master).
+  auto systems = PaperSystems();
+  systems.erase(systems.begin() + 3);
+
+  hat::harness::Banner(
+      "Figure 6: scale-out, total servers vs throughput (1000 txns/s), "
+      "15 clients/server");
+  hat::harness::FigureSeries fig;
+  fig.title = "Total throughput (1000 txns/s)";
+  fig.x_label = "servers";
+  for (int spc : servers_per_cluster) fig.x.push_back(spc * 2);
+
+  for (const auto& system : systems) {
+    std::vector<double> thr;
+    for (int spc : servers_per_cluster) {
+      YcsbRun run;
+      run.deployment = hat::cluster::DeploymentOptions::TwoRegions();
+      run.deployment.servers_per_cluster = spc;
+      run.client = system.options;
+      run.workload = PaperYcsb();
+      run.num_clients = 15 * spc * 2;
+      run.measure = 2 * hat::sim::kSecond;
+      auto result = run.Execute();
+      thr.push_back(result.TxnsPerSecond() / 1000.0);
+    }
+    fig.series.emplace_back(system.name, thr);
+  }
+  fig.Print(stdout, 2);
+
+  for (auto& [name, values] : fig.series) {
+    std::printf("%s scale-out 10 -> 50 servers: %.2fx\n", name.c_str(),
+                values.back() / values.front());
+  }
+  std::printf(
+      "\n(paper: eventual/RC ~5x, MAV ~3.8x — MAV suffers storage-layer\n"
+      " contention; with memory-backed storage it reaches 4.25x)\n");
+  return 0;
+}

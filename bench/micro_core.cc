@@ -1,0 +1,142 @@
+// Google-benchmark microbenchmarks for the core in-memory machinery:
+// multi-version store apply/read/fold, DSG construction + cycle search,
+// history analysis, network latency sampling, zipfian generation.
+
+#include <benchmark/benchmark.h>
+
+#include "hat/adya/phenomena.h"
+#include "hat/common/codec.h"
+#include "hat/common/crc32.h"
+#include "hat/common/rng.h"
+#include "hat/net/topology.h"
+#include "hat/version/versioned_store.h"
+
+namespace hat {
+namespace {
+
+void BM_VersionedStoreApply(benchmark::State& state) {
+  version::VersionedStore store;
+  Rng rng(1);
+  uint64_t logical = 1;
+  for (auto _ : state) {
+    WriteRecord w;
+    w.key = "key" + std::to_string(rng.NextBelow(1000));
+    w.value = "value";
+    w.ts = {logical++, 1};
+    benchmark::DoNotOptimize(store.Apply(w));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VersionedStoreApply);
+
+void BM_VersionedStoreRead(benchmark::State& state) {
+  version::VersionedStore store;
+  for (uint64_t i = 0; i < 1000; i++) {
+    for (uint64_t v = 0; v < static_cast<uint64_t>(state.range(0)); v++) {
+      WriteRecord w;
+      w.key = "key" + std::to_string(i);
+      w.value = "value" + std::to_string(v);
+      w.ts = {v + 1, 1};
+      store.Apply(w);
+    }
+  }
+  Rng rng(2);
+  for (auto _ : state) {
+    auto rv = store.Read("key" + std::to_string(rng.NextBelow(1000)));
+    benchmark::DoNotOptimize(rv);
+  }
+}
+BENCHMARK(BM_VersionedStoreRead)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_DeltaFold(benchmark::State& state) {
+  version::VersionedStore store;
+  WriteRecord base;
+  base.key = "ctr";
+  base.value = EncodeInt64Value(0);
+  base.ts = {1, 1};
+  store.Apply(base);
+  for (uint64_t i = 2; i < 2 + static_cast<uint64_t>(state.range(0)); i++) {
+    WriteRecord d;
+    d.key = "ctr";
+    d.kind = WriteKind::kDelta;
+    d.value = EncodeInt64Value(1);
+    d.ts = {i, 1};
+    store.Apply(d);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Read("ctr"));
+  }
+}
+BENCHMARK(BM_DeltaFold)->Arg(4)->Arg(32)->Arg(256);
+
+adya::History MakeHistory(int txns, int keys, uint64_t seed) {
+  adya::HistoryBuilder b;
+  Rng rng(seed);
+  for (int t = 1; t <= txns; t++) {
+    auto txn = b.Txn(static_cast<uint64_t>(t));
+    for (int op = 0; op < 4; op++) {
+      Key key = "k" + std::to_string(rng.NextBelow(keys));
+      if (rng.NextBool(0.5)) {
+        txn.Write(key);
+      } else {
+        txn.Read(key, rng.NextBelow(static_cast<uint64_t>(t)));
+      }
+    }
+  }
+  return b.Build();
+}
+
+void BM_DsgBuild(benchmark::State& state) {
+  auto history = MakeHistory(static_cast<int>(state.range(0)), 32, 3);
+  for (auto _ : state) {
+    adya::Dsg dsg(history);
+    benchmark::DoNotOptimize(dsg.edges().size());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_DsgBuild)->Arg(100)->Arg(1000);
+
+void BM_AnalyzeHistory(benchmark::State& state) {
+  auto history = MakeHistory(static_cast<int>(state.range(0)), 32, 4);
+  for (auto _ : state) {
+    auto report = adya::Analyze(history);
+    benchmark::DoNotOptimize(report.non_serializable);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_AnalyzeHistory)->Arg(100)->Arg(500);
+
+void BM_LatencySample(benchmark::State& state) {
+  net::Topology topo;
+  net::NodeId a = topo.AddNode({net::Region::kVirginia, 0, 0});
+  net::NodeId b = topo.AddNode({net::Region::kTokyo, 0, 0});
+  Rng rng(5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo.SampleOneWayUs(a, b, rng));
+  }
+}
+BENCHMARK(BM_LatencySample);
+
+void BM_Zipfian(benchmark::State& state) {
+  ZipfianGenerator zipf(100000, 0.99);
+  Rng rng(6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(zipf.Next(rng));
+  }
+}
+BENCHMARK(BM_Zipfian);
+
+void BM_Crc32c(benchmark::State& state) {
+  std::string data(static_cast<size_t>(state.range(0)), 'z');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Crc32c(data));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(data.size()));
+}
+BENCHMARK(BM_Crc32c)->Arg(64)->Arg(4096);
+
+}  // namespace
+}  // namespace hat
+
+BENCHMARK_MAIN();

@@ -1,0 +1,138 @@
+// Anomaly explorer: runs the same contended workload at each isolation
+// level, records an Adya history from the live execution, and prints which
+// phenomena occurred — a hands-on tour of Table 3's separations.
+
+#include <cstdio>
+#include <functional>
+#include <vector>
+
+#include "hat/adya/phenomena.h"
+#include "hat/adya/recorder.h"
+#include "hat/client/txn_client.h"
+#include "hat/cluster/deployment.h"
+#include "hat/harness/table.h"
+
+using namespace hat;
+
+namespace {
+
+/// A workload engineered to surface anomalies: concurrent read-modify-writes
+/// on two registers, paired multi-key writes, and rereads.
+adya::PhenomenaReport RunWorkload(client::ClientOptions base) {
+  sim::Simulation sim(99);
+  auto dopts = cluster::DeploymentOptions::TwoRegions();
+  dopts.server.durable = false;
+  cluster::Deployment deployment(sim, dopts);
+  adya::HistoryRecorder recorder;
+
+  std::vector<client::TxnClient*> clients;
+  for (int i = 0; i < 6; i++) {
+    client::ClientOptions opts = base;
+    opts.home_cluster = i % 2;
+    opts.op_timeout = 3 * sim::kSecond;
+    clients.push_back(&deployment.AddClient(opts));
+    clients.back()->set_observer(&recorder);
+  }
+
+  std::vector<int> remaining(clients.size(), 30);
+  std::function<void(size_t)> loop = [&](size_t c) {
+    if (remaining[c]-- <= 0) return;
+    client::TxnClient* client = clients[c];
+    client->Begin();
+    switch (remaining[c] % 3) {
+      case 0:  // read-modify-write on a hot register
+        client->Read("hot", [&, c, client](Status s, ReadVersion rv) {
+          if (!s.ok()) {
+            client->Abort();
+            loop(c);
+            return;
+          }
+          client->Write("hot", rv.value + "*");
+          client->Commit([&, c](Status) { loop(c); });
+        });
+        break;
+      case 1:  // atomic pair write
+        client->Write("left", std::to_string(remaining[c]));
+        client->Write("right", std::to_string(remaining[c]));
+        client->Commit([&, c](Status) { loop(c); });
+        break;
+      default:  // reread + cross-pair read
+        client->Read("left", [&, c, client](Status, ReadVersion) {
+          client->Read("right", [&, c, client](Status, ReadVersion) {
+            client->Read("left", [&, c, client](Status, ReadVersion) {
+              client->Commit([&, c](Status) { loop(c); });
+            });
+          });
+        });
+    }
+  };
+  for (size_t c = 0; c < clients.size(); c++) loop(c);
+  sim.RunUntil(sim.Now() + 300 * sim::kSecond);
+  return adya::Analyze(recorder.Finish());
+}
+
+}  // namespace
+
+int main() {
+  harness::Banner(
+      "Anomaly explorer: which phenomena occur at each configuration?");
+
+  struct Config {
+    const char* name;
+    std::function<void(client::ClientOptions&)> setup;
+  };
+  std::vector<Config> configs = {
+      {"Read Uncommitted",
+       [](client::ClientOptions& o) {
+         o.isolation = client::IsolationLevel::kReadUncommitted;
+       }},
+      {"Read Committed",
+       [](client::ClientOptions& o) {
+         o.isolation = client::IsolationLevel::kReadCommitted;
+       }},
+      {"Item Cut (ANSI RR)",
+       [](client::ClientOptions& o) {
+         o.isolation = client::IsolationLevel::kItemCut;
+       }},
+      {"MAV",
+       [](client::ClientOptions& o) {
+         o.isolation = client::IsolationLevel::kMonotonicAtomicView;
+       }},
+      {"Causal + MAV (sticky)",
+       [](client::ClientOptions& o) {
+         o.isolation = client::IsolationLevel::kMonotonicAtomicView;
+         o.EnableCausal();
+       }},
+      {"Master (linearizable keys)",
+       [](client::ClientOptions& o) {
+         o.mode = client::SystemMode::kMaster;
+       }},
+      {"Two-phase locking (1SR)",
+       [](client::ClientOptions& o) {
+         o.mode = client::SystemMode::kLocking;
+         o.isolation = client::IsolationLevel::kItemCut;
+       }},
+  };
+
+  harness::TablePrinter table({"Configuration", "Phenomena observed",
+                               "RC?", "MAV?", "Serializable?"});
+  for (const auto& config : configs) {
+    client::ClientOptions opts;
+    config.setup(opts);
+    auto report = RunWorkload(opts);
+    table.AddRow({config.name, report.Summary(),
+                  report.ReadCommitted() ? "yes" : "no",
+                  report.MonotonicAtomicView() ? "yes" : "no",
+                  report.Serializable() ? "yes" : "no"});
+    std::fflush(stdout);
+  }
+  table.Print();
+
+  std::printf(
+      "\nReading the table (paper Sections 5.1-5.2):\n"
+      " * every HAT level shows LostUpdate/WriteSkew — preventing them is\n"
+      "   provably incompatible with high availability;\n"
+      " * each level removes exactly its own anomalies (G1*, IMP, OTV);\n"
+      " * only the unavailable configurations are serializable.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Geo-latency tour: what a single transaction costs from each region under
+// HAT versus master execution — the "one to three orders of magnitude"
+// headline of the paper, one client at a time.
+
+#include <cstdio>
+
+#include "hat/client/sync_client.h"
+#include "hat/cluster/deployment.h"
+#include "hat/harness/table.h"
+
+using namespace hat;
+
+int main() {
+  sim::Simulation sim(77);
+  auto dopts = cluster::DeploymentOptions::FiveRegions();
+  cluster::Deployment deployment(sim, dopts);
+
+  harness::Banner(
+      "One 8-operation transaction from each region: HAT (local cluster) vs "
+      "master (per-key home)");
+  harness::TablePrinter table({"client region", "HAT RC (ms)",
+                               "master (ms)", "ratio"});
+
+  const char* region_names[] = {"Virginia", "California", "Oregon",
+                                "Ireland", "Tokyo"};
+  for (int cluster = 0; cluster < deployment.NumClusters(); cluster++) {
+    double hat_ms = 0, master_ms = 0;
+    for (int mode = 0; mode < 2; mode++) {
+      client::ClientOptions opts;
+      opts.home_cluster = cluster;
+      if (mode == 1) opts.mode = client::SystemMode::kMaster;
+      client::SyncClient client(sim, deployment.AddClient(opts));
+      // Average over a few transactions.
+      const int kTxns = 20;
+      sim::SimTime start = sim.Now();
+      for (int t = 0; t < kTxns; t++) {
+        client.Begin();
+        for (int op = 0; op < 8; op++) {
+          Key key = "tour" + std::to_string(t * 8 + op);
+          if (op % 2 == 0) {
+            client.Write(key, "v");
+          } else {
+            (void)client.Read(key);
+          }
+        }
+        (void)client.Commit();
+      }
+      double ms = static_cast<double>(sim.Now() - start) / 1000.0 / kTxns;
+      (mode == 0 ? hat_ms : master_ms) = ms;
+    }
+    table.AddRow({region_names[cluster],
+                  harness::TablePrinter::Num(hat_ms, 1),
+                  harness::TablePrinter::Num(master_ms, 1),
+                  harness::TablePrinter::Num(master_ms / hat_ms, 1) + "x"});
+  }
+  table.Print();
+  std::printf(
+      "\nHAT operations touch only the local cluster (sub-ms to few-ms);\n"
+      "master routes each key to its global home, paying WAN round trips —\n"
+      "the paper's 1-3 orders of magnitude.\n");
+  return 0;
+}

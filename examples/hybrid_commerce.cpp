@@ -1,0 +1,139 @@
+// Hybrid HAT / non-HAT application design — the paper's fourth takeaway:
+// "for correct behavior, applications may require a combination of HAT and
+// (ideally sparing use of) non-HAT isolation levels".
+//
+// An order service that needs TPC-C-style *sequential* invoice numbers (a
+// Lost-Update-prone counter) but wants HAT latency for everything else:
+//   * invoice numbers  -> tiny 2PL transaction on one counter (non-HAT)
+//   * order payload    -> MAV transaction (HAT, atomic multi-key)
+//   * account balances -> commutative increments (HAT, partition-safe)
+// Compare against running *everything* under 2PL.
+
+#include <cstdio>
+
+#include "hat/client/sync_client.h"
+#include "hat/cluster/deployment.h"
+#include "hat/common/codec.h"
+#include "hat/harness/table.h"
+
+using namespace hat;
+
+namespace {
+
+struct Outcome {
+  int orders = 0;
+  double total_ms = 0;
+  bool ids_sequential = true;
+};
+
+/// Places `n` orders; returns timing + ID-sequence integrity.
+Outcome PlaceOrders(sim::Simulation& sim, client::SyncClient& counter_client,
+                    client::SyncClient& data_client, int n,
+                    const char* prefix) {
+  Outcome out;
+  int64_t last_id = 0;
+  for (int i = 0; i < n; i++) {
+    sim::SimTime start = sim.Now();
+
+    // 1. Sequential invoice number: the only coordinated step. A one-key
+    //    2PL transaction holds its lock for a single WAN round trip.
+    int64_t invoice = 0;
+    Status s;
+    do {
+      counter_client.Begin();
+      auto v = counter_client.ReadInt("invoice:counter");
+      if (!v.ok()) {
+        counter_client.Abort();
+        continue;
+      }
+      invoice = *v + 1;
+      counter_client.Write("invoice:counter", EncodeInt64Value(invoice));
+      s = counter_client.Commit();
+    } while (!s.ok());
+    // The two designs share one counter; judge sequentiality within the
+    // phase (no gaps or duplicates after the first assignment).
+    if (i > 0 && invoice != last_id + 1) out.ids_sequential = false;
+    last_id = invoice;
+
+    // 2. Everything else: HAT. Atomically visible order + lines via MAV,
+    //    commutative balance update.
+    data_client.Begin();
+    std::string oid = std::string(prefix) + std::to_string(invoice);
+    data_client.Write("order:" + oid, "payload");
+    data_client.Write("order:" + oid + ":line:0", "item=7;qty=2");
+    data_client.Write("order:" + oid + ":line:1", "item=9;qty=1");
+    data_client.Increment("account:42:balance", -120);
+    if (!data_client.Commit().ok()) continue;
+
+    out.orders++;
+    out.total_ms += static_cast<double>(sim.Now() - start) / 1000.0;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  sim::Simulation sim(1234);
+  auto dopts = cluster::DeploymentOptions::TwoRegions();
+  cluster::Deployment deployment(sim, dopts);
+
+  // Seed the counter.
+  client::ClientOptions seed_opts;
+  seed_opts.mode = client::SystemMode::kLocking;
+  client::SyncClient seeder(sim, deployment.AddClient(seed_opts));
+  seeder.Begin();
+  seeder.Write("invoice:counter", EncodeInt64Value(0));
+  (void)seeder.Commit();
+  sim.RunUntil(sim.Now() + sim::kSecond);
+
+  harness::Banner(
+      "Hybrid design: 2PL for the invoice counter, HATs for the rest");
+
+  // Hybrid: a locking client just for the counter + a MAV client for data.
+  client::ClientOptions lock_opts;
+  lock_opts.mode = client::SystemMode::kLocking;
+  lock_opts.home_cluster = 0;
+  client::SyncClient counter_client(sim, deployment.AddClient(lock_opts));
+  client::ClientOptions mav_opts;
+  mav_opts.isolation = client::IsolationLevel::kMonotonicAtomicView;
+  mav_opts.home_cluster = 0;
+  client::SyncClient data_client(sim, deployment.AddClient(mav_opts));
+  Outcome hybrid =
+      PlaceOrders(sim, counter_client, data_client, 50, "H");
+
+  // All-2PL: the same workload entirely under locking.
+  client::SyncClient lock_data(sim, deployment.AddClient(lock_opts));
+  client::SyncClient lock_counter(sim, deployment.AddClient(lock_opts));
+  Outcome locked =
+      PlaceOrders(sim, lock_counter, lock_data, 50, "L");
+
+  harness::TablePrinter table(
+      {"design", "orders", "avg ms/order", "sequential IDs"});
+  table.AddRow({"hybrid (2PL counter + HAT data)",
+                std::to_string(hybrid.orders),
+                harness::TablePrinter::Num(hybrid.total_ms / hybrid.orders, 1),
+                hybrid.ids_sequential ? "yes" : "no"});
+  table.AddRow({"all-2PL",
+                std::to_string(locked.orders),
+                harness::TablePrinter::Num(locked.total_ms / locked.orders, 1),
+                locked.ids_sequential ? "yes" : "no"});
+  table.Print();
+
+  std::printf(
+      "\nThe hybrid pays one coordinated round trip per order (the counter)\n"
+      "instead of locking every key it touches — and during a partition the\n"
+      "HAT part keeps working:\n");
+  deployment.PartitionClusters(0, 1);
+  data_client.Begin();
+  data_client.Increment("account:42:balance", 500);
+  std::printf("  balance update during partition: %s\n",
+              data_client.Commit().ToString().c_str());
+  counter_client.Begin();
+  auto v = counter_client.ReadInt("invoice:counter");
+  std::printf("  invoice assignment during partition: %s (as the paper\n"
+              "  predicts — the non-HAT slice is exactly what you lose)\n",
+              v.ok() ? "Ok?!" : v.status().ToString().c_str());
+  if (!v.ok()) counter_client.Abort();
+  return 0;
+}

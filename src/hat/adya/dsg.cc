@@ -1,0 +1,279 @@
+#include "hat/adya/dsg.h"
+
+#include <algorithm>
+#include <set>
+
+namespace hat::adya {
+
+std::string_view EdgeTypeName(EdgeType t) {
+  switch (t) {
+    case EdgeType::kWriteDepends: return "ww";
+    case EdgeType::kReadDepends: return "wr";
+    case EdgeType::kAntiDepends: return "rw";
+    case EdgeType::kSession: return "si";
+  }
+  return "?";
+}
+
+namespace {
+/// Final write version per (txn, key): the largest version the transaction
+/// installed for the key (a transaction may install several under RU).
+std::map<Key, Timestamp> FinalWrites(const Transaction& t) {
+  std::map<Key, Timestamp> out;
+  for (const auto& op : t.ops) {
+    if (op.kind != Operation::Kind::kWrite) continue;
+    auto [it, inserted] = out.emplace(op.key, op.version);
+    if (!inserted && op.version > it->second) it->second = op.version;
+  }
+  return out;
+}
+}  // namespace
+
+Dsg::Dsg(History history) : history_(std::move(history)) {
+  for (const auto& t : history_.txns()) {
+    if (!t.committed) continue;
+    index_of_[t.id] = txns_.size();
+    txns_.push_back(&t);
+  }
+
+  // Version order per key over committed final writes.
+  for (size_t i = 0; i < txns_.size(); i++) {
+    for (const auto& [key, version] : FinalWrites(*txns_[i])) {
+      version_order_[key].push_back(version);
+      writer_[{key, version}] = i;
+    }
+  }
+  for (auto& [key, versions] : version_order_) {
+    std::sort(versions.begin(), versions.end());
+  }
+
+  std::set<std::tuple<size_t, size_t, EdgeType, Key>> seen;
+  auto add_edge = [this, &seen](size_t from, size_t to, EdgeType type,
+                                const Key& item) {
+    if (from == to) return;
+    if (seen.emplace(from, to, type, item).second) {
+      edges_.push_back(Edge{from, to, type, item});
+    }
+  };
+
+  // ww edges: consecutive committed versions of each item.
+  for (const auto& [key, versions] : version_order_) {
+    for (size_t v = 0; v + 1 < versions.size(); v++) {
+      add_edge(writer_.at({key, versions[v]}),
+               writer_.at({key, versions[v + 1]}), EdgeType::kWriteDepends,
+               key);
+    }
+  }
+
+  auto next_version_writer =
+      [this](const Key& key,
+             const Timestamp& read) -> std::optional<size_t> {
+    auto vo = version_order_.find(key);
+    if (vo == version_order_.end()) return std::nullopt;
+    auto next = std::upper_bound(vo->second.begin(), vo->second.end(), read);
+    if (next == vo->second.end()) return std::nullopt;
+    return writer_.at({key, *next});
+  };
+
+  // wr and rw edges from item reads and predicate reads.
+  for (size_t i = 0; i < txns_.size(); i++) {
+    auto handle_read = [&](const Key& key, const Timestamp& version) {
+      if (!(version == kInitialVersion)) {
+        auto w = writer_.find({key, version});
+        if (w != writer_.end()) {
+          add_edge(w->second, i, EdgeType::kReadDepends, key);
+        } else {
+          // The read observed an intermediate or aborted version; attribute
+          // the wr edge to the committed transaction with that id, if any.
+          auto t = index_of_.find(version);
+          if (t != index_of_.end()) {
+            add_edge(t->second, i, EdgeType::kReadDepends, key);
+          }
+        }
+      }
+      if (auto overwriter = next_version_writer(key, version)) {
+        add_edge(i, *overwriter, EdgeType::kAntiDepends, key);
+      }
+    };
+    for (const auto& op : txns_[i]->ops) {
+      if (op.kind == Operation::Kind::kRead) {
+        handle_read(op.key, op.version);
+      } else if (op.kind == Operation::Kind::kPredicateRead) {
+        for (const auto& [k, v] : op.vset) handle_read(k, v);
+      }
+    }
+  }
+
+  // Session edges: consecutive committed transactions of each session.
+  std::map<uint64_t, std::vector<std::pair<uint64_t, size_t>>> sessions;
+  for (size_t i = 0; i < txns_.size(); i++) {
+    if (txns_[i]->session != 0) {
+      sessions[txns_[i]->session].emplace_back(txns_[i]->session_seq, i);
+    }
+  }
+  for (auto& [sid, seq] : sessions) {
+    std::sort(seq.begin(), seq.end());
+    for (size_t k = 0; k + 1 < seq.size(); k++) {
+      add_edge(seq[k].second, seq[k + 1].second, EdgeType::kSession, "");
+    }
+  }
+}
+
+const std::vector<Timestamp>& Dsg::VersionOrder(const Key& key) const {
+  static const std::vector<Timestamp> kEmpty;
+  auto it = version_order_.find(key);
+  return it == version_order_.end() ? kEmpty : it->second;
+}
+
+std::optional<size_t> Dsg::WriterOf(const Key& key,
+                                    const Timestamp& version) const {
+  auto it = writer_.find({key, version});
+  if (it == writer_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::string Dsg::LabelOf(size_t idx) const {
+  return "T" + std::to_string(txns_[idx]->id.logical) + "." +
+         std::to_string(txns_[idx]->id.client_id);
+}
+
+bool Dsg::HasCycle(const std::function<bool(const Edge&)>& filter,
+                   const std::function<bool(const Edge&)>& require,
+                   std::string* witness) const {
+  // Tarjan SCC over the filtered subgraph; a qualifying cycle exists iff some
+  // SCC contains an edge (trivially true for any intra-SCC edge when the SCC
+  // has >= 2 nodes) and, if `require` is set, at least one required edge has
+  // both endpoints in the same SCC.
+  size_t n = txns_.size();
+  std::vector<std::vector<size_t>> adj(n);  // edge indices
+  for (size_t e = 0; e < edges_.size(); e++) {
+    if (filter(edges_[e])) adj[edges_[e].from].push_back(e);
+  }
+
+  std::vector<int> index(n, -1), low(n, 0), comp(n, -1);
+  std::vector<bool> on_stack(n, false);
+  std::vector<size_t> stack;
+  int next_index = 0, next_comp = 0;
+
+  // Iterative Tarjan.
+  struct Frame {
+    size_t v;
+    size_t edge_pos;
+  };
+  for (size_t root = 0; root < n; root++) {
+    if (index[root] != -1) continue;
+    std::vector<Frame> frames{{root, 0}};
+    index[root] = low[root] = next_index++;
+    stack.push_back(root);
+    on_stack[root] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      if (f.edge_pos < adj[f.v].size()) {
+        const Edge& e = edges_[adj[f.v][f.edge_pos++]];
+        size_t w = e.to;
+        if (index[w] == -1) {
+          index[w] = low[w] = next_index++;
+          stack.push_back(w);
+          on_stack[w] = true;
+          frames.push_back({w, 0});
+        } else if (on_stack[w]) {
+          low[f.v] = std::min(low[f.v], index[w]);
+        }
+      } else {
+        size_t v = f.v;
+        frames.pop_back();
+        if (!frames.empty()) {
+          low[frames.back().v] = std::min(low[frames.back().v], low[v]);
+        }
+        if (low[v] == index[v]) {
+          while (true) {
+            size_t w = stack.back();
+            stack.pop_back();
+            on_stack[w] = false;
+            comp[w] = next_comp;
+            if (w == v) break;
+          }
+          next_comp++;
+        }
+      }
+    }
+  }
+
+  // Count intra-SCC filtered edges per component.
+  std::vector<bool> has_cycle(next_comp, false);
+  std::vector<bool> has_required(next_comp, false);
+  std::vector<const Edge*> witness_edge(next_comp, nullptr);
+  for (const auto& e : edges_) {
+    if (!filter(e)) continue;
+    if (comp[e.from] != comp[e.to]) continue;
+    // An intra-SCC edge implies a cycle through it (SCC is strongly
+    // connected), including self-loop-free two-node cycles.
+    has_cycle[comp[e.from]] = true;
+    if (!require || require(e)) {
+      has_required[comp[e.from]] = true;
+      if (!witness_edge[comp[e.from]]) witness_edge[comp[e.from]] = &e;
+    }
+  }
+  for (int c = 0; c < next_comp; c++) {
+    if (has_cycle[c] && (!require || has_required[c])) {
+      if (witness && witness_edge[c]) {
+        const Edge& e = *witness_edge[c];
+        *witness = "cycle through " + LabelOf(e.from) + " -" +
+                   std::string(EdgeTypeName(e.type)) +
+                   (e.item.empty() ? "" : "(" + e.item + ")") + "-> " +
+                   LabelOf(e.to);
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+bool Dsg::HasWriteDependencyCycle(std::string* witness) const {
+  return HasCycle(
+      [](const Edge& e) { return e.type == EdgeType::kWriteDepends; },
+      nullptr, witness);
+}
+
+bool Dsg::HasDependencyCycle(std::string* witness) const {
+  return HasCycle(
+      [](const Edge& e) {
+        return e.type == EdgeType::kWriteDepends ||
+               e.type == EdgeType::kReadDepends;
+      },
+      nullptr, witness);
+}
+
+bool Dsg::HasAntiDependencyCycle(std::string* witness) const {
+  return HasCycle(
+      [](const Edge& e) { return e.type != EdgeType::kSession; },
+      [](const Edge& e) { return e.type == EdgeType::kAntiDepends; },
+      witness);
+}
+
+bool Dsg::HasSingleItemAntiCycle(std::string* witness) const {
+  // Lost Update (Def. 38): a cycle whose edges are all on one item, with at
+  // least one anti-dependency edge.
+  std::set<Key> items;
+  for (const auto& e : edges_) {
+    if (e.type == EdgeType::kAntiDepends) items.insert(e.item);
+  }
+  for (const auto& item : items) {
+    bool found = HasCycle(
+        [&item](const Edge& e) {
+          return e.type != EdgeType::kSession && e.item == item;
+        },
+        [](const Edge& e) { return e.type == EdgeType::kAntiDepends; },
+        witness);
+    if (found) return true;
+  }
+  return false;
+}
+
+bool Dsg::HasAnyCycle(std::string* witness) const {
+  return HasCycle(
+      [](const Edge& e) { return e.type != EdgeType::kSession; }, nullptr,
+      witness);
+}
+
+}  // namespace hat::adya

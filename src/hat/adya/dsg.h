@@ -1,0 +1,82 @@
+// Direct Serialization Graph (Adya; paper Appendix A.2).
+//
+// Nodes are committed transactions; labeled edges capture write-write
+// (ww), write-read (wr), item-anti (rw) and session dependencies. Phenomenon
+// detectors (phenomena.h) query cycles over edge-type subsets.
+
+#ifndef HAT_ADYA_DSG_H_
+#define HAT_ADYA_DSG_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hat/adya/history.h"
+
+namespace hat::adya {
+
+enum class EdgeType : uint8_t {
+  kWriteDepends = 0,  ///< ww: installs the next version of an item
+  kReadDepends = 1,   ///< wr: reads a version the source installed
+  kAntiDepends = 2,   ///< rw: source read a version; target installed next
+  kSession = 3,       ///< si: source precedes target in a session
+};
+
+std::string_view EdgeTypeName(EdgeType t);
+
+struct Edge {
+  size_t from = 0;  ///< index into Dsg::txns
+  size_t to = 0;
+  EdgeType type = EdgeType::kWriteDepends;
+  Key item;  ///< empty for session edges
+};
+
+class Dsg {
+ public:
+  /// Builds the DSG of the committed transactions in `history`.
+  /// Version order per item = timestamp order of committed final writes.
+  /// The graph owns a copy of the history, so temporaries are safe.
+  explicit Dsg(History history);
+
+  const std::vector<const Transaction*>& txns() const { return txns_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Committed final version order of an item (ascending timestamps).
+  const std::vector<Timestamp>& VersionOrder(const Key& key) const;
+
+  /// The transaction index that installed (key, version) as its final
+  /// write, if any.
+  std::optional<size_t> WriterOf(const Key& key,
+                                 const Timestamp& version) const;
+
+  /// True if the subgraph of edges accepted by `filter` contains a cycle;
+  /// if `require` is provided, the cycle must include at least one edge
+  /// accepted by it. Outputs one witness cycle description.
+  bool HasCycle(const std::function<bool(const Edge&)>& filter,
+                const std::function<bool(const Edge&)>& require,
+                std::string* witness) const;
+
+  /// Convenience wrappers over HasCycle.
+  bool HasWriteDependencyCycle(std::string* witness) const;      // G0
+  bool HasDependencyCycle(std::string* witness) const;           // G1c
+  bool HasAntiDependencyCycle(std::string* witness) const;       // G2-item
+  bool HasSingleItemAntiCycle(std::string* witness) const;       // Lost Update
+  bool HasAnyCycle(std::string* witness) const;  // non-serializable
+
+  /// Human-readable transaction label ("T<logical>").
+  std::string LabelOf(size_t idx) const;
+
+ private:
+  History history_;
+  std::vector<const Transaction*> txns_;
+  std::vector<Edge> edges_;
+  std::map<Key, std::vector<Timestamp>> version_order_;
+  std::map<std::pair<Key, Timestamp>, size_t> writer_;
+  std::map<Timestamp, size_t> index_of_;
+};
+
+}  // namespace hat::adya
+
+#endif  // HAT_ADYA_DSG_H_

@@ -1,0 +1,78 @@
+#include "hat/adya/history.h"
+
+namespace hat::adya {
+
+HistoryBuilder::TxnRef HistoryBuilder::Txn(uint64_t n) {
+  auto it = txns_.find(n);
+  if (it == txns_.end()) {
+    Transaction t;
+    t.id = IdFor(n);
+    t.client_id = static_cast<uint32_t>(n);
+    it = txns_.emplace(n, std::move(t)).first;
+  }
+  // Stable index: we address transactions by number through the map.
+  return TxnRef(this, n);
+}
+
+HistoryBuilder::TxnRef& HistoryBuilder::TxnRef::Write(const Key& key) {
+  Operation op;
+  op.kind = Operation::Kind::kWrite;
+  op.key = key;
+  op.version = IdFor(idx_);
+  b_->txns_[idx_].ops.push_back(std::move(op));
+  return *this;
+}
+
+HistoryBuilder::TxnRef& HistoryBuilder::TxnRef::Delta(const Key& key) {
+  Operation op;
+  op.kind = Operation::Kind::kWrite;
+  op.key = key;
+  op.version = IdFor(idx_);
+  op.write_kind = WriteKind::kDelta;
+  b_->txns_[idx_].ops.push_back(std::move(op));
+  return *this;
+}
+
+HistoryBuilder::TxnRef& HistoryBuilder::TxnRef::Read(const Key& key,
+                                                     uint64_t writer_txn) {
+  Operation op;
+  op.kind = Operation::Kind::kRead;
+  op.key = key;
+  op.version = writer_txn == 0 ? kInitialVersion : IdFor(writer_txn);
+  b_->txns_[idx_].ops.push_back(std::move(op));
+  return *this;
+}
+
+HistoryBuilder::TxnRef& HistoryBuilder::TxnRef::PredicateRead(
+    const Key& lo, const Key& hi,
+    std::vector<std::pair<Key, uint64_t>> observed) {
+  Operation op;
+  op.kind = Operation::Kind::kPredicateRead;
+  op.lo = lo;
+  op.hi = hi;
+  for (auto& [k, n] : observed) {
+    op.vset.emplace_back(k, n == 0 ? kInitialVersion : IdFor(n));
+  }
+  b_->txns_[idx_].ops.push_back(std::move(op));
+  return *this;
+}
+
+HistoryBuilder::TxnRef& HistoryBuilder::TxnRef::Aborted() {
+  b_->txns_[idx_].committed = false;
+  return *this;
+}
+
+HistoryBuilder::TxnRef& HistoryBuilder::TxnRef::InSession(uint64_t session,
+                                                          uint64_t seq) {
+  b_->txns_[idx_].session = session;
+  b_->txns_[idx_].session_seq = seq;
+  return *this;
+}
+
+History HistoryBuilder::Build() const {
+  History h;
+  for (const auto& [n, txn] : txns_) h.Add(txn);
+  return h;
+}
+
+}  // namespace hat::adya

@@ -1,0 +1,103 @@
+// Adya-style transaction histories (paper Appendix A.1).
+//
+// A history is a set of transactions, each a sequence of read / write /
+// predicate-read operations, plus the per-item version order. hatkv's version
+// order is the timestamp order, so it is implicit. Histories are produced
+// either by recording a live system execution (recorder.h) or by hand with
+// HistoryBuilder (used by tests to encode the paper's example anomalies).
+
+#ifndef HAT_ADYA_HISTORY_H_
+#define HAT_ADYA_HISTORY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hat/version/types.h"
+
+namespace hat::adya {
+
+struct Operation {
+  enum class Kind : uint8_t { kRead, kWrite, kPredicateRead };
+  Kind kind = Kind::kRead;
+
+  // kRead / kWrite
+  Key key;
+  /// For reads: the version observed (kInitialVersion for the initial /bot
+  /// state). For writes: the version installed.
+  Timestamp version;
+  WriteKind write_kind = WriteKind::kPut;
+
+  // kPredicateRead: range [lo, hi) and the observed version set.
+  Key lo, hi;
+  std::vector<std::pair<Key, Timestamp>> vset;
+};
+
+struct Transaction {
+  /// Unique transaction identifier (the transaction timestamp).
+  Timestamp id;
+  uint32_t client_id = 0;
+  /// 0 = no session; otherwise a globally unique session identifier.
+  uint64_t session = 0;
+  /// Commit order within the session (1, 2, ...).
+  uint64_t session_seq = 0;
+  bool committed = true;
+  std::vector<Operation> ops;
+};
+
+class History {
+ public:
+  void Add(Transaction txn) { txns_.push_back(std::move(txn)); }
+  const std::vector<Transaction>& txns() const { return txns_; }
+  size_t size() const { return txns_.size(); }
+
+ private:
+  std::vector<Transaction> txns_;
+};
+
+/// Fluent construction of small histories (tests, examples). Transactions
+/// are numbered; versions are referred to by writer transaction number
+/// (0 = the initial version).
+class HistoryBuilder {
+ public:
+  class TxnRef {
+   public:
+    TxnRef(HistoryBuilder* b, size_t idx) : b_(b), idx_(idx) {}
+    /// Appends a write; the installed version is this transaction's id.
+    TxnRef& Write(const Key& key);
+    /// Appends a write of an increment (commutative delta).
+    TxnRef& Delta(const Key& key);
+    /// Appends a read observing the version written by `writer_txn`
+    /// (0 = initial version).
+    TxnRef& Read(const Key& key, uint64_t writer_txn);
+    /// Appends a predicate read over [lo, hi) observing, for each listed
+    /// key, the version written by the paired transaction number.
+    TxnRef& PredicateRead(
+        const Key& lo, const Key& hi,
+        std::vector<std::pair<Key, uint64_t>> observed);
+    /// Marks the transaction aborted.
+    TxnRef& Aborted();
+    /// Places the transaction in a session with the given commit sequence.
+    TxnRef& InSession(uint64_t session, uint64_t seq);
+
+   private:
+    HistoryBuilder* b_;
+    size_t idx_;
+  };
+
+  /// Creates (or returns, if already created) transaction number `n` (> 0).
+  TxnRef Txn(uint64_t n);
+
+  History Build() const;
+
+ private:
+  static Timestamp IdFor(uint64_t n) {
+    return Timestamp{n, static_cast<uint32_t>(n)};
+  }
+  std::map<uint64_t, Transaction> txns_;
+};
+
+}  // namespace hat::adya
+
+#endif  // HAT_ADYA_HISTORY_H_

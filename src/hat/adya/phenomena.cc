@@ -1,0 +1,334 @@
+#include "hat/adya/phenomena.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace hat::adya {
+
+namespace {
+
+std::string TsName(const Timestamp& ts) {
+  return "T" + std::to_string(ts.logical) + "." +
+         std::to_string(ts.client_id);
+}
+
+/// Largest version each committed transaction installed per key.
+std::map<std::pair<Key, Timestamp>, bool> BuildFinalWriteSet(
+    const History& h, std::map<Timestamp, const Transaction*>* by_id) {
+  std::map<std::pair<Key, Timestamp>, bool> is_final;  // (key, version)
+  for (const auto& t : h.txns()) {
+    (*by_id)[t.id] = &t;
+    std::map<Key, Timestamp> last;
+    for (const auto& op : t.ops) {
+      if (op.kind != Operation::Kind::kWrite) continue;
+      is_final[{op.key, op.version}] = false;
+      auto [it, ins] = last.emplace(op.key, op.version);
+      if (!ins && op.version > it->second) it->second = op.version;
+    }
+    for (const auto& [k, v] : last) is_final[{k, v}] = true;
+  }
+  return is_final;
+}
+
+/// Which transaction id wrote a given version of a key (committed or not).
+struct VersionIndex {
+  // version timestamp -> writer transaction (versions inherit the writer's
+  // client id, so the txn id is recoverable for system histories; for
+  // hand-built histories version == txn id).
+  std::map<std::pair<Key, Timestamp>, const Transaction*> writer;
+  // committed final versions per key, sorted.
+  std::map<Key, std::vector<Timestamp>> committed_order;
+
+  const Transaction* WriterOf(const Key& k, const Timestamp& v) const {
+    auto it = writer.find({k, v});
+    return it == writer.end() ? nullptr : it->second;
+  }
+};
+
+VersionIndex BuildVersionIndex(const History& h) {
+  VersionIndex idx;
+  for (const auto& t : h.txns()) {
+    std::map<Key, Timestamp> final_per_key;
+    for (const auto& op : t.ops) {
+      if (op.kind != Operation::Kind::kWrite) continue;
+      idx.writer[{op.key, op.version}] = &t;
+      auto [it, ins] = final_per_key.emplace(op.key, op.version);
+      if (!ins && op.version > it->second) it->second = op.version;
+    }
+    if (t.committed) {
+      for (const auto& [k, v] : final_per_key) {
+        idx.committed_order[k].push_back(v);
+      }
+    }
+  }
+  for (auto& [k, versions] : idx.committed_order) {
+    std::sort(versions.begin(), versions.end());
+  }
+  return idx;
+}
+
+void AddWitness(PhenomenaReport* r, bool* flag, const std::string& text) {
+  if (!*flag && r->witnesses.size() < 32) r->witnesses.push_back(text);
+  *flag = true;
+}
+
+}  // namespace
+
+std::string PhenomenaReport::Summary() const {
+  std::string out;
+  auto add = [&out](const char* name, bool present) {
+    if (present) {
+      if (!out.empty()) out += ", ";
+      out += name;
+    }
+  };
+  add("G0", g0);
+  add("G1a", g1a);
+  add("G1b", g1b);
+  add("G1c", g1c);
+  add("IMP", imp);
+  add("PMP", pmp);
+  add("OTV", otv);
+  add("LostUpdate", lost_update);
+  add("WriteSkew", write_skew);
+  add("N-MR", n_mr);
+  add("N-MW", n_mw);
+  add("MRWD", mrwd);
+  add("MYR", myr);
+  return out.empty() ? "(none)" : out;
+}
+
+PhenomenaReport Analyze(const History& h) {
+  PhenomenaReport r;
+  std::map<Timestamp, const Transaction*> by_id;
+  auto is_final = BuildFinalWriteSet(h, &by_id);
+  VersionIndex vidx = BuildVersionIndex(h);
+
+  Dsg dsg(h);
+  std::string w;
+  if (dsg.HasWriteDependencyCycle(&w)) AddWitness(&r, &r.g0, "G0 " + w);
+  if (dsg.HasDependencyCycle(&w)) AddWitness(&r, &r.g1c, "G1c " + w);
+  if (dsg.HasSingleItemAntiCycle(&w)) {
+    AddWitness(&r, &r.lost_update, "LostUpdate " + w);
+  }
+  if (dsg.HasAntiDependencyCycle(&w)) {
+    AddWitness(&r, &r.write_skew, "WriteSkew(G2-item) " + w);
+  }
+  if (dsg.HasAnyCycle(&w)) r.non_serializable = true;
+
+  // --- direct (non-graph) detectors --------------------------------------
+  for (const auto& t : h.txns()) {
+    if (!t.committed) continue;
+
+    // Per-key tracking inside the transaction.
+    std::map<Key, Timestamp> first_read;        // for IMP
+    std::set<Key> self_wrote;                   // own overwrites reset cuts
+    // Writers whose effects this txn observed so far (for OTV).
+    std::map<Timestamp, const Transaction*> observed;
+
+    for (const auto& op : t.ops) {
+      if (op.kind == Operation::Kind::kWrite) {
+        self_wrote.insert(op.key);
+        continue;
+      }
+      auto handle_read = [&](const Key& key, const Timestamp& version) {
+        // G1a: read a version written by an aborted transaction.
+        const Transaction* writer = vidx.WriterOf(key, version);
+        if (writer && !writer->committed) {
+          AddWitness(&r, &r.g1a,
+                     "G1a " + TsName(t.id) + " read aborted " +
+                         TsName(writer->id) + "'s write to " + key);
+        }
+        // G1b: read a non-final write of a committed transaction.
+        if (writer && writer->committed && writer->id != t.id) {
+          auto fin = is_final.find({key, version});
+          if (fin != is_final.end() && !fin->second) {
+            AddWitness(&r, &r.g1b,
+                       "G1b " + TsName(t.id) + " read intermediate version " +
+                           TsName(version) + " of " + key);
+          }
+        }
+        // IMP: two reads of one item observing different versions, with no
+        // own write in between.
+        if (!self_wrote.count(key)) {
+          auto [it, inserted] = first_read.emplace(key, version);
+          if (!inserted && !(it->second == version)) {
+            AddWitness(&r, &r.imp,
+                       "IMP " + TsName(t.id) + " read two versions of " +
+                           key);
+          }
+        }
+        // OTV: having observed writer W, a later read of key y that W also
+        // (finally) wrote must not return an older version.
+        for (const auto& [wid, wtxn] : observed) {
+          if (wid == t.id) continue;
+          // W's final write to this key, if any.
+          std::optional<Timestamp> w_final;
+          for (const auto& wop : wtxn->ops) {
+            if (wop.kind == Operation::Kind::kWrite && wop.key == key) {
+              if (!w_final || wop.version > *w_final) w_final = wop.version;
+            }
+          }
+          if (w_final && version < *w_final && !self_wrote.count(key)) {
+            AddWitness(&r, &r.otv,
+                       "OTV " + TsName(t.id) + " observed " + TsName(wid) +
+                           " then read stale " + key);
+          }
+        }
+        if (writer && writer->committed && writer->id != t.id) {
+          observed.emplace(writer->id, writer);
+        }
+      };
+      if (op.kind == Operation::Kind::kRead) {
+        handle_read(op.key, op.version);
+      } else {
+        for (const auto& [k, v] : op.vset) handle_read(k, v);
+      }
+    }
+
+    // PMP: overlapping predicate reads disagreeing inside the overlap.
+    const std::vector<Operation>& ops = t.ops;
+    for (size_t i = 0; i < ops.size(); i++) {
+      if (ops[i].kind != Operation::Kind::kPredicateRead) continue;
+      for (size_t j = i + 1; j < ops.size(); j++) {
+        if (ops[j].kind != Operation::Kind::kPredicateRead) continue;
+        Key olo = std::max(ops[i].lo, ops[j].lo);
+        Key ohi = std::min(ops[i].hi, ops[j].hi);
+        if (olo >= ohi) continue;
+        auto slice = [&](const Operation& op) {
+          std::map<Key, Timestamp> s;
+          for (const auto& [k, v] : op.vset) {
+            if (k >= olo && k < ohi && !self_wrote.count(k)) s[k] = v;
+          }
+          return s;
+        };
+        if (slice(ops[i]) != slice(ops[j])) {
+          AddWitness(&r, &r.pmp,
+                     "PMP " + TsName(t.id) +
+                         " overlapping predicate reads disagree in [" + olo +
+                         "," + ohi + ")");
+        }
+      }
+    }
+  }
+
+  // --- session phenomena ---------------------------------------------------
+  // Group committed transactions by session, ordered by session_seq.
+  std::map<uint64_t, std::vector<const Transaction*>> sessions;
+  for (const auto& t : h.txns()) {
+    if (t.committed && t.session != 0) sessions[t.session].push_back(&t);
+  }
+  for (auto& [sid, txns] : sessions) {
+    std::sort(txns.begin(), txns.end(),
+              [](const Transaction* a, const Transaction* b) {
+                return a->session_seq < b->session_seq;
+              });
+    std::map<Key, Timestamp> max_read;    // N-MR floor
+    std::map<Key, Timestamp> own_write;   // MYR floor
+    std::map<Key, Timestamp> last_write;  // N-MW per-item session order
+    for (const Transaction* t : txns) {
+      for (const auto& op : t->ops) {
+        if (op.kind == Operation::Kind::kRead) {
+          auto mr = max_read.find(op.key);
+          if (mr != max_read.end() && op.version < mr->second) {
+            AddWitness(&r, &r.n_mr,
+                       "N-MR session " + std::to_string(sid) + " re-read " +
+                           op.key + " older than before");
+          }
+          auto own = own_write.find(op.key);
+          if (own != own_write.end() && op.version < own->second) {
+            AddWitness(&r, &r.myr,
+                       "MYR session " + std::to_string(sid) + " missed own "
+                       "write to " + op.key);
+          }
+          auto& floor = max_read[op.key];
+          if (op.version > floor) floor = op.version;
+        } else if (op.kind == Operation::Kind::kWrite) {
+          auto lw = last_write.find(op.key);
+          if (lw != last_write.end() && op.version < lw->second) {
+            AddWitness(&r, &r.n_mw,
+                       "N-MW session " + std::to_string(sid) +
+                           " wrote versions of " + op.key +
+                           " against session order");
+          } else {
+            last_write[op.key] = op.version;
+          }
+          auto& floor = own_write[op.key];
+          if (op.version > floor) floor = op.version;
+        }
+      }
+    }
+  }
+
+  // MRWD (Writes Follow Reads violation): session S observed T1 (read any of
+  // its writes) at or before committing T2; another transaction T3 observed
+  // T2's write but read a key T1 finally wrote at an older version.
+  struct SessionObservation {
+    const Transaction* t2;           // transaction committed by the session
+    std::set<Timestamp> seen_before; // writers observed up to and incl. t2
+  };
+  std::vector<SessionObservation> session_writes;
+  for (auto& [sid, txns] : sessions) {
+    std::set<Timestamp> seen;
+    for (const Transaction* t : txns) {
+      for (const auto& op : t->ops) {
+        if (op.kind == Operation::Kind::kRead &&
+            !(op.version == kInitialVersion)) {
+          const Transaction* writer = vidx.WriterOf(op.key, op.version);
+          if (writer && writer->committed) seen.insert(writer->id);
+        }
+      }
+      bool writes = std::any_of(t->ops.begin(), t->ops.end(),
+                                [](const Operation& op) {
+                                  return op.kind == Operation::Kind::kWrite;
+                                });
+      if (writes && !seen.empty()) {
+        session_writes.push_back(SessionObservation{t, seen});
+      }
+    }
+  }
+  for (const auto& obs : session_writes) {
+    for (const auto& t1_id : obs.seen_before) {
+      const Transaction* t1 = by_id.count(t1_id) ? by_id[t1_id] : nullptr;
+      if (!t1 || t1->id == obs.t2->id) continue;
+      // Keys T1 finally wrote.
+      std::map<Key, Timestamp> t1_final;
+      for (const auto& op : t1->ops) {
+        if (op.kind != Operation::Kind::kWrite) continue;
+        auto [it, ins] = t1_final.emplace(op.key, op.version);
+        if (!ins && op.version > it->second) it->second = op.version;
+      }
+      if (t1_final.empty()) continue;
+      // T3s that observed T2: once T2's effect is observed, *subsequent*
+      // reads must reflect T1 (the session-guarantee "thereafter" reading;
+      // earlier reads in T3's program order predate the observation and are
+      // unconstrained, matching Terry et al. and the paper's server-side
+      // reveal-after-dependencies mechanism).
+      for (const auto& t3 : h.txns()) {
+        if (!t3.committed || t3.id == obs.t2->id || t3.id == t1->id) continue;
+        bool saw_t2 = false;
+        for (const auto& op : t3.ops) {
+          if (op.kind != Operation::Kind::kRead) continue;
+          const Transaction* writer = vidx.WriterOf(op.key, op.version);
+          if (writer == obs.t2) {
+            saw_t2 = true;
+            continue;
+          }
+          if (!saw_t2) continue;
+          auto t1w = t1_final.find(op.key);
+          if (t1w != t1_final.end() && op.version < t1w->second) {
+            AddWitness(&r, &r.mrwd,
+                       "MRWD " + TsName(t3.id) + " observed " +
+                           TsName(obs.t2->id) + " but missed " +
+                           TsName(t1->id) + "'s write to " + op.key);
+          }
+        }
+      }
+    }
+  }
+
+  return r;
+}
+
+}  // namespace hat::adya

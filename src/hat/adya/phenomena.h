@@ -1,0 +1,70 @@
+// Phenomenon detectors for the anomalies of paper Appendix A.3
+// (Definitions 16-41) and the isolation/consistency level predicates built
+// from them. This is the machine-checkable core of the paper's taxonomy:
+// tests run live workloads under each configuration and assert that exactly
+// the phenomena the level must prohibit are absent.
+
+#ifndef HAT_ADYA_PHENOMENA_H_
+#define HAT_ADYA_PHENOMENA_H_
+
+#include <string>
+#include <vector>
+
+#include "hat/adya/dsg.h"
+#include "hat/adya/history.h"
+
+namespace hat::adya {
+
+struct PhenomenaReport {
+  // ACID isolation phenomena.
+  bool g0 = false;          ///< Write Cycles (Dirty Write)
+  bool g1a = false;         ///< Aborted Reads
+  bool g1b = false;         ///< Intermediate Reads
+  bool g1c = false;         ///< Circular Information Flow
+  bool imp = false;         ///< Item-Many-Preceders (no Item Cut)
+  bool pmp = false;         ///< Predicate-Many-Preceders (no Predicate Cut)
+  bool otv = false;         ///< Observed Transaction Vanishes (no MAV)
+  bool lost_update = false; ///< Def. 38
+  bool write_skew = false;  ///< G2-item, Def. 39
+  bool non_serializable = false;  ///< any DSG cycle
+
+  // Session phenomena.
+  bool n_mr = false;   ///< Non-monotonic Reads
+  bool n_mw = false;   ///< Non-monotonic Writes
+  bool mrwd = false;   ///< Missing Read-Write Dependency (no WFR)
+  bool myr = false;    ///< Missing Your Writes (no RYW)
+
+  /// Human-readable witnesses for each detected phenomenon.
+  std::vector<std::string> witnesses;
+
+  // --- isolation level predicates (Definitions 17, 21, 23, 25, 27, 40, 41)
+  bool ReadUncommitted() const { return !g0; }
+  bool ReadCommitted() const { return !g0 && !g1a && !g1b && !g1c; }
+  bool ItemCut() const { return !imp; }
+  bool PredicateCut() const { return !pmp; }
+  bool MonotonicAtomicView() const { return ReadCommitted() && !otv; }
+  bool SnapshotIsolation() const {
+    return ReadCommitted() && !pmp && !otv && !lost_update;
+  }
+  bool RepeatableRead() const { return ReadCommitted() && !write_skew; }
+  bool Serializable() const {
+    return !g1a && !g1b && !non_serializable;
+  }
+
+  // --- session guarantee predicates (Definitions 29, 31, 33, 35-37)
+  bool MonotonicReads() const { return !n_mr; }
+  bool MonotonicWrites() const { return !n_mw; }
+  bool WritesFollowReads() const { return !mrwd; }
+  bool ReadYourWrites() const { return !myr; }
+  bool Pram() const { return !n_mr && !n_mw && !myr; }
+  bool Causal() const { return Pram() && !mrwd; }
+
+  std::string Summary() const;
+};
+
+/// Runs every detector over the history.
+PhenomenaReport Analyze(const History& history);
+
+}  // namespace hat::adya
+
+#endif  // HAT_ADYA_PHENOMENA_H_

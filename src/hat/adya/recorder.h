@@ -1,0 +1,87 @@
+// HistoryRecorder: builds an Adya history from a live hatkv execution by
+// implementing the client::TxnObserver hook. Attach one recorder to every
+// client in a workload, run it, then Finish() and Analyze() the history.
+
+#ifndef HAT_ADYA_RECORDER_H_
+#define HAT_ADYA_RECORDER_H_
+
+#include <map>
+
+#include "hat/adya/history.h"
+#include "hat/client/observer.h"
+
+namespace hat::adya {
+
+class HistoryRecorder : public client::TxnObserver {
+ public:
+  void OnBegin(const Timestamp& txn, uint32_t client_id, uint32_t session_id,
+               uint64_t session_seq) override {
+    Transaction t;
+    t.id = txn;
+    t.client_id = client_id;
+    // Globally unique session id: one client never reuses a session number.
+    t.session = (static_cast<uint64_t>(client_id) << 20) | session_id;
+    t.session_seq = session_seq;
+    open_[txn] = std::move(t);
+  }
+
+  void OnRead(const Timestamp& txn, const Key& key,
+              const ReadVersion& version) override {
+    auto it = open_.find(txn);
+    if (it == open_.end()) return;
+    Operation op;
+    op.kind = Operation::Kind::kRead;
+    op.key = key;
+    op.version = version.found ? version.ts : kInitialVersion;
+    it->second.ops.push_back(std::move(op));
+  }
+
+  void OnScan(const Timestamp& txn, const Key& lo, const Key& hi,
+              const std::vector<client::ScanItem>& items) override {
+    auto it = open_.find(txn);
+    if (it == open_.end()) return;
+    Operation op;
+    op.kind = Operation::Kind::kPredicateRead;
+    op.lo = lo;
+    op.hi = hi;
+    for (const auto& item : items) op.vset.emplace_back(item.key, item.ts);
+    it->second.ops.push_back(std::move(op));
+  }
+
+  void OnFinish(const Timestamp& txn, client::TxnOutcome outcome,
+                const std::vector<WriteRecord>& installed) override {
+    auto it = open_.find(txn);
+    if (it == open_.end()) return;
+    Transaction t = std::move(it->second);
+    open_.erase(it);
+    // Failed (timed-out) transactions may have installed a subset of their
+    // writes; treating them as committed is the conservative choice for
+    // anomaly checking — their versions are legitimately visible.
+    t.committed = outcome != client::TxnOutcome::kAborted;
+    for (const auto& w : installed) {
+      Operation op;
+      op.kind = Operation::Kind::kWrite;
+      op.key = w.key;
+      op.version = w.ts;
+      op.write_kind = w.kind;
+      t.ops.push_back(std::move(op));
+    }
+    // Drop transactions that did nothing observable.
+    if (!t.ops.empty()) history_.Add(std::move(t));
+  }
+
+  /// Finalizes and returns the recorded history. Open transactions are
+  /// discarded.
+  History Finish() {
+    open_.clear();
+    return std::move(history_);
+  }
+
+ private:
+  std::map<Timestamp, Transaction> open_;
+  History history_;
+};
+
+}  // namespace hat::adya
+
+#endif  // HAT_ADYA_RECORDER_H_

@@ -1,0 +1,44 @@
+// TxnObserver: hook through which clients report the operations they perform
+// and the versions they observe. hat::adya::HistoryRecorder implements this
+// to build checkable Adya histories from live system executions.
+
+#ifndef HAT_CLIENT_OBSERVER_H_
+#define HAT_CLIENT_OBSERVER_H_
+
+#include <vector>
+
+#include "hat/net/message.h"
+#include "hat/version/types.h"
+
+namespace hat::client {
+
+/// Items returned by predicate (range) reads.
+using ScanItem = net::ScanResponse::Item;
+
+enum class TxnOutcome : uint8_t {
+  kCommitted = 0,
+  /// Aborted by the transaction's own logic (internal abort).
+  kAborted = 1,
+  /// The system could not complete the transaction (timeout / external
+  /// abort); `installed` lists writes that may nevertheless be visible.
+  kFailed = 2,
+};
+
+class TxnObserver {
+ public:
+  virtual ~TxnObserver() = default;
+
+  virtual void OnBegin(const Timestamp& txn, uint32_t client_id,
+                       uint32_t session_id, uint64_t session_seq) = 0;
+  virtual void OnRead(const Timestamp& txn, const Key& key,
+                      const ReadVersion& version) = 0;
+  virtual void OnScan(const Timestamp& txn, const Key& lo, const Key& hi,
+                      const std::vector<ScanItem>& items) = 0;
+  /// `installed` are the writes that were (or may have been) made visible.
+  virtual void OnFinish(const Timestamp& txn, TxnOutcome outcome,
+                        const std::vector<WriteRecord>& installed) = 0;
+};
+
+}  // namespace hat::client
+
+#endif  // HAT_CLIENT_OBSERVER_H_

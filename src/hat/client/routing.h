@@ -1,0 +1,35 @@
+// Routing: how clients find replicas. Implemented by cluster::Deployment.
+
+#ifndef HAT_CLIENT_ROUTING_H_
+#define HAT_CLIENT_ROUTING_H_
+
+#include <vector>
+
+#include "hat/net/topology.h"
+#include "hat/version/types.h"
+
+namespace hat::client {
+
+class Routing {
+ public:
+  virtual ~Routing() = default;
+
+  /// Number of clusters (full replica copies of the database).
+  virtual int NumClusters() const = 0;
+
+  /// The server replicating `key` inside a given cluster.
+  virtual net::NodeId ReplicaInCluster(const Key& key, int cluster) const = 0;
+
+  /// All replicas of `key` (one per cluster).
+  virtual std::vector<net::NodeId> ReplicasOf(const Key& key) const = 0;
+
+  /// The designated master replica of `key`.
+  virtual net::NodeId MasterOf(const Key& key) const = 0;
+
+  /// All servers of one cluster (predicate reads scatter-gather over them).
+  virtual std::vector<net::NodeId> ClusterServers(int cluster) const = 0;
+};
+
+}  // namespace hat::client
+
+#endif  // HAT_CLIENT_ROUTING_H_

@@ -1,0 +1,11 @@
+#include "hat/client/sync_client.h"
+
+#include "hat/common/codec.h"
+
+namespace hat::client {
+
+int64_t SyncClient::DecodeInt64OrZero(const Value& v) {
+  return DecodeInt64Value(v).value_or(0);
+}
+
+}  // namespace hat::client

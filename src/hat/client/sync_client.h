@@ -1,0 +1,99 @@
+// SyncClient: blocking facade over TxnClient for tests and examples.
+//
+// Each call drives the simulation until the underlying asynchronous
+// operation completes. Only valid in single-threaded control flows (the
+// simulation is paused inside the caller); concurrent workloads should use
+// TxnClient directly (see hat::harness).
+
+#ifndef HAT_CLIENT_SYNC_CLIENT_H_
+#define HAT_CLIENT_SYNC_CLIENT_H_
+
+#include <utility>
+#include <vector>
+
+#include "hat/client/txn_client.h"
+#include "hat/common/result.h"
+
+namespace hat::client {
+
+class SyncClient {
+ public:
+  SyncClient(sim::Simulation& sim, TxnClient& client)
+      : sim_(sim), client_(client) {}
+
+  void Begin() { client_.Begin(); }
+
+  Result<ReadVersion> Read(const Key& key) {
+    bool done = false;
+    Status status;
+    ReadVersion version;
+    client_.Read(key, [&](Status s, ReadVersion rv) {
+      status = std::move(s);
+      version = std::move(rv);
+      done = true;
+    });
+    Drive(done);
+    if (!status.ok()) return status;
+    return version;
+  }
+
+  /// Reads a key and decodes it as an int64 counter; 0 when absent.
+  Result<int64_t> ReadInt(const Key& key) {
+    auto rv = Read(key);
+    if (!rv.ok()) return rv.status();
+    if (!rv->found) return int64_t{0};
+    return DecodeInt64OrZero(rv->value);
+  }
+
+  Result<std::vector<ScanItem>> Scan(const Key& lo, const Key& hi) {
+    bool done = false;
+    Status status;
+    std::vector<ScanItem> items;
+    client_.Scan(lo, hi, [&](Status s, std::vector<ScanItem> result) {
+      status = std::move(s);
+      items = std::move(result);
+      done = true;
+    });
+    Drive(done);
+    if (!status.ok()) return status;
+    return items;
+  }
+
+  void Write(const Key& key, Value value) {
+    client_.Write(key, std::move(value));
+  }
+  void Increment(const Key& key, int64_t delta) {
+    client_.Increment(key, delta);
+  }
+
+  Status Commit() {
+    bool done = false;
+    Status status;
+    client_.Commit([&](Status s) {
+      status = std::move(s);
+      done = true;
+    });
+    Drive(done);
+    return status;
+  }
+
+  void Abort() { client_.Abort(); }
+  void NewSession() { client_.NewSession(); }
+
+  TxnClient& underlying() { return client_; }
+
+ private:
+  static int64_t DecodeInt64OrZero(const Value& v);
+
+  void Drive(bool& done) {
+    while (!done && sim_.Step()) {
+    }
+  }
+
+  sim::Simulation& sim_;
+  TxnClient& client_;
+};
+
+}  // namespace hat::client
+
+#endif  // HAT_CLIENT_SYNC_CLIENT_H_

@@ -1,0 +1,161 @@
+#include "hat/cluster/deployment.h"
+
+#include <cassert>
+
+#include "hat/common/rng.h"
+
+namespace hat::cluster {
+
+DeploymentOptions DeploymentOptions::SingleDatacenter() {
+  DeploymentOptions opts;
+  opts.clusters = {{net::Region::kVirginia, 0}, {net::Region::kVirginia, 1}};
+  return opts;
+}
+
+DeploymentOptions DeploymentOptions::TwoRegions() {
+  DeploymentOptions opts;
+  opts.clusters = {{net::Region::kVirginia, 0}, {net::Region::kOregon, 0}};
+  return opts;
+}
+
+DeploymentOptions DeploymentOptions::FiveRegions() {
+  DeploymentOptions opts;
+  opts.clusters = {{net::Region::kVirginia, 0},
+                   {net::Region::kCalifornia, 0},
+                   {net::Region::kOregon, 0},
+                   {net::Region::kIreland, 0},
+                   {net::Region::kTokyo, 0}};
+  return opts;
+}
+
+Deployment::Deployment(sim::Simulation& sim, DeploymentOptions options)
+    : sim_(sim), options_(std::move(options)) {
+  assert(!options_.clusters.empty());
+  assert(options_.servers_per_cluster > 0);
+
+  net::Topology topology(options_.latency);
+  for (const auto& spec : options_.clusters) {
+    for (int s = 0; s < options_.servers_per_cluster; s++) {
+      topology.AddNode(net::Location{spec.region, spec.az,
+                                     static_cast<uint16_t>(s)});
+    }
+  }
+  network_ = std::make_unique<net::Network>(sim_, std::move(topology));
+
+  for (size_t c = 0; c < options_.clusters.size(); c++) {
+    for (int s = 0; s < options_.servers_per_cluster; s++) {
+      net::NodeId id = ServerId(static_cast<int>(c), s);
+      server::ServerOptions server_options = options_.server;
+      if (!server_options.storage_dir.empty()) {
+        server_options.storage_dir += "/server-" + std::to_string(id);
+      }
+      servers_.push_back(std::make_unique<server::ReplicaServer>(
+          sim_, *network_, id, std::move(server_options), this));
+    }
+  }
+}
+
+Deployment::~Deployment() = default;
+
+int Deployment::ShardOf(const Key& key) const {
+  return static_cast<int>(Fnv1a64(key.data(), key.size()) %
+                          static_cast<uint64_t>(options_.servers_per_cluster));
+}
+
+net::NodeId Deployment::ServerId(int cluster, int shard) const {
+  return static_cast<net::NodeId>(cluster * options_.servers_per_cluster +
+                                  shard);
+}
+
+net::NodeId Deployment::ReplicaInCluster(const Key& key, int cluster) const {
+  return ServerId(cluster, ShardOf(key));
+}
+
+std::vector<net::NodeId> Deployment::ReplicasOf(const Key& key) const {
+  std::vector<net::NodeId> out;
+  int shard = ShardOf(key);
+  out.reserve(options_.clusters.size());
+  for (size_t c = 0; c < options_.clusters.size(); c++) {
+    out.push_back(ServerId(static_cast<int>(c), shard));
+  }
+  return out;
+}
+
+net::NodeId Deployment::MasterOf(const Key& key) const {
+  // "Randomly designated" master cluster, deterministic per key: hash with a
+  // salt independent of the shard hash.
+  uint64_t h = Fnv1a64(key.data(), key.size()) * 0x9e3779b97f4a7c15ULL;
+  int cluster =
+      static_cast<int>((h >> 32) % static_cast<uint64_t>(NumClusters()));
+  return ServerId(cluster, ShardOf(key));
+}
+
+std::vector<net::NodeId> Deployment::ClusterServers(int cluster) const {
+  std::vector<net::NodeId> out;
+  for (int s = 0; s < options_.servers_per_cluster; s++) {
+    out.push_back(ServerId(cluster, s));
+  }
+  return out;
+}
+
+client::TxnClient& Deployment::AddClient(client::ClientOptions options) {
+  assert(options.home_cluster >= 0 && options.home_cluster < NumClusters());
+  const ClusterSpec& spec = options_.clusters[options.home_cluster];
+  net::NodeId id = network_->topology().AddNode(net::Location{
+      spec.region, spec.az,
+      static_cast<uint16_t>(1000 + clients_.size())});
+  clients_.push_back(std::make_unique<client::TxnClient>(
+      sim_, *network_, id, options, this));
+  client_cluster_.push_back(options.home_cluster);
+  client_ids_.push_back(id);
+  return *clients_.back();
+}
+
+server::ServerStats Deployment::TotalServerStats() const {
+  server::ServerStats total;
+  for (const auto& s : servers_) {
+    const auto& st = s->stats();
+    total.gets += st.gets;
+    total.gets_not_yet += st.gets_not_yet;
+    total.gets_from_pending += st.gets_from_pending;
+    total.puts += st.puts;
+    total.scans += st.scans;
+    total.notifies += st.notifies;
+    total.ae_batches_in += st.ae_batches_in;
+    total.ae_records_in += st.ae_records_in;
+    total.ae_records_out += st.ae_records_out;
+    total.mav_promotions += st.mav_promotions;
+    total.stale_pending_dropped += st.stale_pending_dropped;
+    total.locks_granted += st.locks_granted;
+    total.locks_queued += st.locks_queued;
+    total.lock_deaths += st.lock_deaths;
+    total.busy_us += st.busy_us;
+  }
+  return total;
+}
+
+void Deployment::PartitionClusters(int a, int b) {
+  auto nodes_of = [this](int cluster) {
+    std::vector<net::NodeId> nodes = ClusterServers(cluster);
+    for (size_t i = 0; i < client_ids_.size(); i++) {
+      if (client_cluster_[i] == cluster) nodes.push_back(client_ids_[i]);
+    }
+    return nodes;
+  };
+  for (net::NodeId x : nodes_of(a)) {
+    for (net::NodeId y : nodes_of(b)) network_->CutLink(x, y);
+  }
+}
+
+void Deployment::IsolateCluster(int a) {
+  std::set<net::NodeId> group;
+  for (net::NodeId id : ClusterServers(a)) group.insert(id);
+  for (size_t i = 0; i < client_ids_.size(); i++) {
+    if (client_cluster_[i] == a) group.insert(client_ids_[i]);
+  }
+  network_->SetPartitions({group});
+}
+
+void Deployment::Heal() { network_->HealAll(); }
+
+}  // namespace hat::cluster

@@ -1,0 +1,101 @@
+// Deployment: builds a complete simulated hatkv installation.
+//
+// Mirrors the paper's experimental configuration (Section 6.3): the database
+// is deployed in clusters — disjoint sets of servers each holding a single,
+// fully replicated copy of the data, sharded across the cluster's servers —
+// typically one cluster per datacenter. A key's replicas are the servers
+// owning its hash shard, one per cluster; its master is a deterministically
+// "random" cluster's replica.
+
+#ifndef HAT_CLUSTER_DEPLOYMENT_H_
+#define HAT_CLUSTER_DEPLOYMENT_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hat/client/routing.h"
+#include "hat/client/txn_client.h"
+#include "hat/net/network.h"
+#include "hat/server/replica_server.h"
+#include "hat/sim/simulation.h"
+
+namespace hat::cluster {
+
+struct ClusterSpec {
+  net::Region region = net::Region::kVirginia;
+  uint8_t az = 0;
+};
+
+struct DeploymentOptions {
+  std::vector<ClusterSpec> clusters;
+  int servers_per_cluster = 5;
+  server::ServerOptions server;
+  net::LatencyOptions latency;
+
+  /// Paper configuration helpers ------------------------------------------
+
+  /// Figure 3A: two clusters within a single datacenter region (distinct
+  /// AZs of us-east).
+  static DeploymentOptions SingleDatacenter();
+  /// Figure 3B: clusters in Virginia and Oregon.
+  static DeploymentOptions TwoRegions();
+  /// Figure 3C: the five lowest-communication-cost EC2 regions.
+  static DeploymentOptions FiveRegions();
+};
+
+class Deployment : public server::Partitioner, public client::Routing {
+ public:
+  Deployment(sim::Simulation& sim, DeploymentOptions options);
+  ~Deployment();
+
+  // --- Partitioner / Routing ----------------------------------------------
+  std::vector<net::NodeId> ReplicasOf(const Key& key) const override;
+  net::NodeId MasterOf(const Key& key) const override;
+  int NumClusters() const override {
+    return static_cast<int>(options_.clusters.size());
+  }
+  net::NodeId ReplicaInCluster(const Key& key, int cluster) const override;
+
+  // --- accessors ------------------------------------------------------------
+  sim::Simulation& simulation() { return sim_; }
+  net::Network& network() { return *network_; }
+  int ServersPerCluster() const { return options_.servers_per_cluster; }
+  int ShardOf(const Key& key) const;
+  net::NodeId ServerId(int cluster, int shard) const;
+  server::ReplicaServer& server(net::NodeId id) { return *servers_.at(id); }
+  const server::ReplicaServer& server(net::NodeId id) const {
+    return *servers_.at(id);
+  }
+  size_t ServerCount() const { return servers_.size(); }
+
+  /// All node ids of one cluster's servers.
+  std::vector<net::NodeId> ClusterServers(int cluster) const override;
+
+  /// Creates a client colocated with `home_cluster` (same AZ). The client is
+  /// owned by the deployment.
+  client::TxnClient& AddClient(client::ClientOptions options);
+
+  /// Aggregate server stats across the deployment.
+  server::ServerStats TotalServerStats() const;
+
+  // --- partition helpers ----------------------------------------------------
+  /// Partitions cluster `a` away from cluster `b` (all links between them).
+  void PartitionClusters(int a, int b);
+  /// Splits the world into {cluster a (+its clients)} vs everyone else.
+  void IsolateCluster(int a);
+  void Heal();
+
+ private:
+  sim::Simulation& sim_;
+  DeploymentOptions options_;
+  std::unique_ptr<net::Network> network_;
+  std::vector<std::unique_ptr<server::ReplicaServer>> servers_;  // by NodeId
+  std::vector<std::unique_ptr<client::TxnClient>> clients_;
+  std::vector<int> client_cluster_;  // home cluster per client, for partitions
+  std::vector<net::NodeId> client_ids_;
+};
+
+}  // namespace hat::cluster
+
+#endif  // HAT_CLUSTER_DEPLOYMENT_H_

@@ -1,0 +1,72 @@
+#include "hat/common/codec.h"
+
+namespace hat {
+
+void PutVarint32(std::string* dst, uint32_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+void PutVarint64(std::string* dst, uint64_t v) {
+  while (v >= 0x80) {
+    dst->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  dst->push_back(static_cast<char>(v));
+}
+
+namespace {
+template <typename T, int kMaxBytes>
+std::optional<T> GetVarintImpl(std::string_view* input) {
+  T result = 0;
+  int shift = 0;
+  size_t i = 0;
+  for (; i < input->size() && i < kMaxBytes; i++) {
+    unsigned char byte = static_cast<unsigned char>((*input)[i]);
+    result |= static_cast<T>(byte & 0x7f) << shift;
+    if (!(byte & 0x80)) {
+      input->remove_prefix(i + 1);
+      return result;
+    }
+    shift += 7;
+  }
+  return std::nullopt;  // truncated or overlong
+}
+}  // namespace
+
+std::optional<uint32_t> GetVarint32(std::string_view* input) {
+  return GetVarintImpl<uint32_t, 5>(input);
+}
+
+std::optional<uint64_t> GetVarint64(std::string_view* input) {
+  return GetVarintImpl<uint64_t, 10>(input);
+}
+
+void PutLengthPrefixed(std::string* dst, std::string_view s) {
+  PutVarint32(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s.data(), s.size());
+}
+
+std::optional<std::string_view> GetLengthPrefixed(std::string_view* input) {
+  auto len = GetVarint32(input);
+  if (!len || *len > input->size()) return std::nullopt;
+  std::string_view out = input->substr(0, *len);
+  input->remove_prefix(*len);
+  return out;
+}
+
+std::string EncodeInt64Value(int64_t v) {
+  std::string s;
+  PutFixed64(&s, static_cast<uint64_t>(v));
+  return s;
+}
+
+std::optional<int64_t> DecodeInt64Value(std::string_view s) {
+  if (s.size() != 8) return std::nullopt;
+  return static_cast<int64_t>(DecodeFixed64(s.data()));
+}
+
+}  // namespace hat

@@ -1,0 +1,60 @@
+// Little-endian fixed-width and varint encoders used by the storage engine's
+// on-disk formats and by numeric (delta/counter) values in hat::version.
+
+#ifndef HAT_COMMON_CODEC_H_
+#define HAT_COMMON_CODEC_H_
+
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace hat {
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);  // assumes little-endian host (x86/ARM64 LE)
+  dst->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  dst->append(buf, 8);
+}
+
+inline uint32_t DecodeFixed32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint64_t DecodeFixed64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+/// Varint32/64 (LEB128), as in protobuf / LevelDB.
+void PutVarint32(std::string* dst, uint32_t v);
+void PutVarint64(std::string* dst, uint64_t v);
+
+/// Parses a varint from the front of *input, advancing it. Returns
+/// std::nullopt on truncated/overlong input.
+std::optional<uint32_t> GetVarint32(std::string_view* input);
+std::optional<uint64_t> GetVarint64(std::string_view* input);
+
+/// Length-prefixed string (varint32 length + bytes).
+void PutLengthPrefixed(std::string* dst, std::string_view s);
+std::optional<std::string_view> GetLengthPrefixed(std::string_view* input);
+
+/// Encodes an int64 counter value as an 8-byte string (used for Delta
+/// writes); DecodeInt64Value tolerates non-numeric payloads by returning
+/// nullopt.
+std::string EncodeInt64Value(int64_t v);
+std::optional<int64_t> DecodeInt64Value(std::string_view s);
+
+}  // namespace hat
+
+#endif  // HAT_COMMON_CODEC_H_

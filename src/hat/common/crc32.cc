@@ -1,0 +1,49 @@
+#include "hat/common/crc32.h"
+
+#include <array>
+
+namespace hat {
+namespace {
+
+constexpr uint32_t kPoly = 0x82f63b78u;  // reflected CRC-32C (Castagnoli)
+
+std::array<uint32_t, 256> MakeTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; i++) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; k++) {
+      crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+    }
+    table[i] = crc;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& Table() {
+  static const std::array<uint32_t, 256> table = MakeTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t len, uint32_t init) {
+  const auto& table = Table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~init;
+  for (size_t i = 0; i < len; i++) {
+    crc = table[(crc ^ p[i]) & 0xff] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t MaskCrc(uint32_t crc) {
+  // Rotate right 15 bits and add a constant (LevelDB's masking scheme).
+  return ((crc >> 15) | (crc << 17)) + 0xa282ead8u;
+}
+
+uint32_t UnmaskCrc(uint32_t masked) {
+  uint32_t rot = masked - 0xa282ead8u;
+  return (rot >> 17) | (rot << 15);
+}
+
+}  // namespace hat

@@ -1,0 +1,28 @@
+// CRC-32 (Castagnoli polynomial, as used by LevelDB/RocksDB log formats),
+// software table-driven implementation. Used to frame WAL records and table
+// blocks in hat::storage.
+
+#ifndef HAT_COMMON_CRC32_H_
+#define HAT_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hat {
+
+/// Computes CRC-32C over `data`, continuing from `init` (pass 0 to start).
+uint32_t Crc32c(const void* data, size_t len, uint32_t init = 0);
+
+inline uint32_t Crc32c(std::string_view s, uint32_t init = 0) {
+  return Crc32c(s.data(), s.size(), init);
+}
+
+/// Masked CRC as stored on disk. Storing raw CRCs of data that itself
+/// contains CRCs weakens error detection (LevelDB convention).
+uint32_t MaskCrc(uint32_t crc);
+uint32_t UnmaskCrc(uint32_t masked);
+
+}  // namespace hat
+
+#endif  // HAT_COMMON_CRC32_H_

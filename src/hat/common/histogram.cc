@@ -1,0 +1,124 @@
+#include "hat/common/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace hat {
+
+Histogram::Histogram() : buckets_(1, 0) {}
+
+int Histogram::BucketFor(double value) const {
+  if (value < 1.0) return 0;
+  // bucket index = log(value) * buckets-per-decade / ln(10), + 1 so that
+  // bucket 0 is reserved for [0, 1).
+  return 1 + static_cast<int>(std::log10(value) * kBucketsPerDecade);
+}
+
+double Histogram::BucketValue(int bucket) const {
+  if (bucket == 0) return 0.5;
+  // Geometric midpoint of the bucket's range.
+  double lo = std::pow(10.0, static_cast<double>(bucket - 1) /
+                                 kBucketsPerDecade);
+  double hi = std::pow(10.0, static_cast<double>(bucket) / kBucketsPerDecade);
+  return std::sqrt(lo * hi);
+}
+
+void Histogram::Record(double value) { RecordMany(value, 1); }
+
+void Histogram::RecordMany(double value, uint64_t n) {
+  if (n == 0) return;
+  if (value < 0) value = 0;
+  int b = BucketFor(value);
+  if (static_cast<size_t>(b) >= buckets_.size()) buckets_.resize(b + 1, 0);
+  buckets_[b] += n;
+  if (count_ == 0) {
+    min_ = max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  count_ += n;
+  sum_ += value * static_cast<double>(n);
+  sum_sq_ += value * value * static_cast<double>(n);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  if (other.buckets_.size() > buckets_.size()) {
+    buckets_.resize(other.buckets_.size(), 0);
+  }
+  for (size_t i = 0; i < other.buckets_.size(); i++) {
+    buckets_[i] += other.buckets_[i];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  sum_sq_ += other.sum_sq_;
+}
+
+void Histogram::Reset() {
+  buckets_.assign(1, 0);
+  count_ = 0;
+  sum_ = sum_sq_ = min_ = max_ = 0;
+}
+
+double Histogram::min() const { return count_ ? min_ : 0; }
+double Histogram::max() const { return count_ ? max_ : 0; }
+
+double Histogram::Mean() const {
+  return count_ ? sum_ / static_cast<double>(count_) : 0;
+}
+
+double Histogram::Stddev() const {
+  if (count_ == 0) return 0;
+  double mean = Mean();
+  double var = sum_sq_ / static_cast<double>(count_) - mean * mean;
+  return var > 0 ? std::sqrt(var) : 0;
+}
+
+double Histogram::Percentile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  uint64_t target = static_cast<uint64_t>(q * static_cast<double>(count_));
+  if (target >= count_) target = count_ - 1;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets_.size(); b++) {
+    seen += buckets_[b];
+    if (seen > target) {
+      double v = BucketValue(static_cast<int>(b));
+      return std::clamp(v, min(), max());
+    }
+  }
+  return max_;
+}
+
+std::vector<std::pair<double, double>> Histogram::Cdf() const {
+  std::vector<std::pair<double, double>> out;
+  if (count_ == 0) return out;
+  uint64_t seen = 0;
+  for (size_t b = 0; b < buckets_.size(); b++) {
+    if (buckets_[b] == 0) continue;
+    seen += buckets_[b];
+    out.emplace_back(BucketValue(static_cast<int>(b)),
+                     static_cast<double>(seen) / static_cast<double>(count_));
+  }
+  return out;
+}
+
+std::string Histogram::Summary() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "n=%llu mean=%.2f p50=%.2f p95=%.2f p99=%.2f max=%.2f",
+                static_cast<unsigned long long>(count_), Mean(),
+                Percentile(0.50), Percentile(0.95), Percentile(0.99), max());
+  return buf;
+}
+
+}  // namespace hat

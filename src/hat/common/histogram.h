@@ -1,0 +1,81 @@
+// Log-bucketed latency histogram (HdrHistogram-style) plus small utilities
+// for mean / percentiles / CDF extraction. Used by the experiment harness to
+// reproduce the paper's latency tables and CDFs (Table 1, Figure 1, Figure 3).
+
+#ifndef HAT_COMMON_HISTOGRAM_H_
+#define HAT_COMMON_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hat {
+
+/// Records non-negative values (microseconds by convention) into
+/// exponentially-spaced buckets: 1% relative resolution up to ~1e10.
+class Histogram {
+ public:
+  Histogram();
+
+  /// Records one observation (clamped to >= 0).
+  void Record(double value);
+  /// Records `count` identical observations.
+  void RecordMany(double value, uint64_t count);
+
+  /// Merges another histogram into this one.
+  void Merge(const Histogram& other);
+
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double min() const;
+  double max() const;
+  double Mean() const;
+  /// Standard deviation of bucketed observations.
+  double Stddev() const;
+
+  /// Value at quantile q in [0,1]; e.g. Percentile(0.95). Returns 0 when
+  /// empty. Uses the bucket's representative (geometric-mid) value.
+  double Percentile(double q) const;
+
+  /// (value, cumulative_fraction) pairs suitable for plotting a CDF; one
+  /// point per non-empty bucket.
+  std::vector<std::pair<double, double>> Cdf() const;
+
+  /// One-line summary: count/mean/p50/p95/p99/max.
+  std::string Summary() const;
+
+ private:
+  static constexpr int kBucketsPerDecade = 232;  // ~1% relative error
+  int BucketFor(double value) const;
+  double BucketValue(int bucket) const;
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0;
+  double sum_sq_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+/// Online throughput/latency counter pair used by experiments.
+struct OpStats {
+  uint64_t committed = 0;
+  uint64_t internal_aborts = 0;
+  uint64_t external_aborts = 0;   ///< system-initiated (lock/validation)
+  uint64_t unavailable = 0;       ///< timed out / unreachable required server
+  Histogram latency_us;
+
+  void Merge(const OpStats& other) {
+    committed += other.committed;
+    internal_aborts += other.internal_aborts;
+    external_aborts += other.external_aborts;
+    unavailable += other.unavailable;
+    latency_us.Merge(other.latency_us);
+  }
+};
+
+}  // namespace hat
+
+#endif  // HAT_COMMON_HISTOGRAM_H_

@@ -1,0 +1,74 @@
+// Result<T>: value-or-Status, in the style of arrow::Result / absl::StatusOr.
+
+#ifndef HAT_COMMON_RESULT_H_
+#define HAT_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "hat/common/status.h"
+
+namespace hat {
+
+/// Holds either a value of type T or an error Status. Accessing the value of
+/// an errored Result is a programming error (assert in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit conversion from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit conversion from an error status. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) status_ = Status::InternalError("empty result");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Value accessors; only valid when ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value if ok, otherwise `fallback`.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ holds a value.
+};
+
+/// Evaluates `rexpr` (a Result<T>); on error returns the Status, otherwise
+/// moves the value into `lhs`.
+#define HAT_ASSIGN_OR_RETURN(lhs, rexpr)            \
+  HAT_ASSIGN_OR_RETURN_IMPL_(                       \
+      HAT_RESULT_CONCAT_(_hat_result, __LINE__), lhs, rexpr)
+
+#define HAT_RESULT_CONCAT_INNER_(a, b) a##b
+#define HAT_RESULT_CONCAT_(a, b) HAT_RESULT_CONCAT_INNER_(a, b)
+#define HAT_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                               \
+  if (!tmp.ok()) return tmp.status();               \
+  lhs = std::move(tmp).value();
+
+}  // namespace hat
+
+#endif  // HAT_COMMON_RESULT_H_

@@ -1,0 +1,85 @@
+// Deterministic pseudo-random number generation and the sampling
+// distributions the experiments need (uniform, zipfian as used by YCSB,
+// lognormal latency jitter, exponential service times).
+//
+// Everything in hatkv that needs randomness takes an explicit Rng&; there is
+// no global RNG. Identical seeds yield identical experiment output.
+
+#ifndef HAT_COMMON_RNG_H_
+#define HAT_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace hat {
+
+/// xoshiro256** 1.0 by Blackman & Vigna (public domain algorithm),
+/// seeded via splitmix64. Fast, high-quality, and fully deterministic.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Seed(seed); }
+
+  /// Re-seeds the generator deterministically from a single 64-bit value.
+  void Seed(uint64_t seed);
+
+  /// Uniform on [0, 2^64).
+  uint64_t NextUint64();
+
+  /// Uniform on [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform on [lo, hi] inclusive.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform on [0, 1).
+  double NextDouble();
+
+  /// True with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Exponential with the given mean (mean > 0).
+  double NextExponential(double mean);
+
+  /// Standard normal via Box-Muller (no cached spare; deterministic).
+  double NextGaussian();
+
+  /// Lognormal: exp(N(mu, sigma^2)).
+  double NextLognormal(double mu, double sigma);
+
+  /// Derives an independent child generator (stable for a given label).
+  Rng Fork(uint64_t label);
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipfian generator over [0, n) with parameter theta, using the
+/// Gray et al. rejection-free method popularized by YCSB. theta in (0,1);
+/// YCSB default is 0.99. Values are *not* scrambled; callers that want
+/// scattered hot keys should hash the output.
+class ZipfianGenerator {
+ public:
+  ZipfianGenerator(uint64_t n, double theta);
+
+  /// Number of items.
+  uint64_t n() const { return n_; }
+
+  uint64_t Next(Rng& rng);
+
+ private:
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  double zeta2theta_;
+};
+
+/// FNV-1a 64-bit hash; used to scramble zipfian ranks and to shard keys.
+uint64_t Fnv1a64(const void* data, size_t len);
+inline uint64_t Fnv1a64(uint64_t v) { return Fnv1a64(&v, sizeof(v)); }
+
+}  // namespace hat
+
+#endif  // HAT_COMMON_RNG_H_

@@ -1,0 +1,145 @@
+// Status: lightweight error propagation for hatkv (no exceptions on hot paths).
+//
+// Follows the RocksDB/Arrow convention: functions that can fail return a
+// Status (or Result<T>, see result.h); Status is cheap to move and carries an
+// error code plus a human-readable message.
+
+#ifndef HAT_COMMON_STATUS_H_
+#define HAT_COMMON_STATUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace hat {
+
+/// Error categories used throughout hatkv.
+enum class StatusCode : uint8_t {
+  kOk = 0,
+  /// Requested key / object does not exist.
+  kNotFound = 1,
+  /// Malformed input (bad checksum, bad encoding, invalid argument).
+  kCorruption = 2,
+  kInvalidArgument = 3,
+  /// I/O failure from the local storage engine.
+  kIoError = 4,
+  /// Operation timed out (e.g. RPC across a network partition). In the
+  /// paper's vocabulary, retryable timeouts surface as *external aborts*.
+  kTimeout = 5,
+  /// The system is partitioned from a required server and the operation
+  /// cannot complete while remaining available.
+  kUnavailable = 6,
+  /// A transaction was aborted by the system (external abort): lock conflict,
+  /// wait-die victim, failed validation.
+  kAborted = 7,
+  /// A transaction aborted by its own logic / integrity constraint
+  /// (internal abort, paper Section 4.2).
+  kInternalAbort = 8,
+  /// Feature/state combination not supported.
+  kUnsupported = 9,
+  /// Invariant violation; indicates a bug in hatkv itself.
+  kInternalError = 10,
+};
+
+/// Human-readable name of a status code ("Ok", "NotFound", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+/// Result of an operation: either OK or an error code with a message.
+///
+/// Status is immutable once constructed. The OK status carries no allocation.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<Rep>(Rep{code, std::move(message)})) {}
+
+  static Status Ok() { return Status(); }
+  static Status NotFound(std::string msg = "not found") {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Timeout(std::string msg = "operation timed out") {
+    return Status(StatusCode::kTimeout, std::move(msg));
+  }
+  static Status Unavailable(std::string msg = "service unavailable") {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status Aborted(std::string msg = "transaction aborted") {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status InternalAbort(std::string msg = "internal abort") {
+    return Status(StatusCode::kInternalAbort, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status InternalError(std::string msg) {
+    return Status(StatusCode::kInternalError, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  /// Message for error statuses; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  bool IsNotFound() const { return code() == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code() == StatusCode::kCorruption; }
+  bool IsTimeout() const { return code() == StatusCode::kTimeout; }
+  bool IsUnavailable() const { return code() == StatusCode::kUnavailable; }
+  bool IsAborted() const { return code() == StatusCode::kAborted; }
+  bool IsInternalAbort() const {
+    return code() == StatusCode::kInternalAbort;
+  }
+
+  /// True for error classes a client may retry and eventually commit
+  /// (timeouts / external aborts), per the paper's transactional-availability
+  /// liveness definition.
+  bool IsRetryable() const {
+    return code() == StatusCode::kTimeout || code() == StatusCode::kAborted ||
+           code() == StatusCode::kUnavailable;
+  }
+
+  /// "Ok" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+  // shared_ptr keeps copies cheap; Status is copied into callbacks often.
+  std::shared_ptr<const Rep> rep_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Evaluates `expr`; if the resulting Status is an error, returns it.
+#define HAT_RETURN_IF_ERROR(expr)                   \
+  do {                                              \
+    ::hat::Status _hat_status = (expr);             \
+    if (!_hat_status.ok()) return _hat_status;      \
+  } while (0)
+
+}  // namespace hat
+
+#endif  // HAT_COMMON_STATUS_H_

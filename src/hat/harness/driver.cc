@@ -1,0 +1,315 @@
+#include "hat/harness/driver.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <set>
+
+#include "hat/client/sync_client.h"
+
+namespace hat::harness {
+
+// ---------------------------------------------------------------------------
+// YCSB
+// ---------------------------------------------------------------------------
+
+struct YcsbDriver::ClientLoop {
+  YcsbDriver* driver = nullptr;
+  client::TxnClient* client = nullptr;
+  Rng rng{0};
+  sim::Simulation* sim;
+  // Window bookkeeping.
+  sim::SimTime measure_start = 0;
+  sim::SimTime measure_end = 0;
+  bool stopped = false;
+  WorkloadResult* result;
+
+  workload::YcsbTxn txn;
+  size_t op_index = 0;
+  sim::SimTime txn_start = 0;
+  uint64_t tag = 0;
+
+  void StartTxn() {
+    if (stopped || sim->Now() >= measure_end) return;
+    txn = driver->generator_.NextTxn(rng);
+    op_index = 0;
+    txn_start = sim->Now();
+    client->Begin();
+    NextOp();
+  }
+
+  void NextOp() {
+    if (op_index >= txn.ops.size()) {
+      client->Commit([this](Status s) { OnDone(s); });
+      return;
+    }
+    const workload::YcsbOp& op = txn.ops[op_index++];
+    if (op.is_read) {
+      client->Read(op.key, [this](Status s, ReadVersion) {
+        if (!s.ok()) {
+          client->Abort();
+          OnDone(std::move(s));
+          return;
+        }
+        NextOp();
+      });
+    } else {
+      client->Write(op.key, driver->generator_.MakeValue(tag++));
+      NextOp();
+    }
+  }
+
+  void OnDone(Status s) {
+    sim::SimTime now = sim->Now();
+    if (now >= measure_start && now < measure_end) {
+      if (s.ok()) {
+        result->committed++;
+        result->ops_committed += txn.ops.size();
+        result->txn_latency_ms.Record(
+            static_cast<double>(now - txn_start) / 1000.0);
+      } else if (s.IsAborted()) {
+        result->aborted_external++;
+      } else {
+        result->unavailable++;
+      }
+    }
+    StartTxn();
+  }
+};
+
+YcsbDriver::YcsbDriver(cluster::Deployment& deployment,
+                       workload::YcsbOptions workload,
+                       client::ClientOptions client_options, int num_clients,
+                       uint64_t seed)
+    : deployment_(deployment), generator_(workload) {
+  Rng seeder(seed);
+  for (int i = 0; i < num_clients; i++) {
+    client::ClientOptions opts = client_options;
+    opts.home_cluster = i % deployment.NumClusters();
+    auto loop = std::make_unique<ClientLoop>();
+    loop->driver = this;
+    loop->client = &deployment.AddClient(opts);
+    loop->rng = seeder.Fork(i);
+    loop->sim = &deployment.simulation();
+    loops_.push_back(std::move(loop));
+  }
+}
+
+YcsbDriver::~YcsbDriver() = default;
+
+void YcsbDriver::Preload() {
+  // Install an initial version of every key directly at each replica —
+  // modelling a pre-existing dataset (the paper loads via YCSB's load
+  // phase). Direct installation avoids skewing the measured window.
+  for (uint64_t i = 0; i < generator_.options().num_keys; i++) {
+    WriteRecord w;
+    w.key = workload::YcsbGenerator::KeyFor(i);
+    w.value = generator_.MakeValue(i);
+    w.ts = Timestamp{1, 0xfffffffeu};
+    for (net::NodeId r : deployment_.ReplicasOf(w.key)) {
+      deployment_.server(r).InstallForTest(w);
+    }
+  }
+}
+
+WorkloadResult YcsbDriver::Run(sim::Duration warmup, sim::Duration measure) {
+  auto& sim = deployment_.simulation();
+  WorkloadResult result;
+  result.duration_s = static_cast<double>(measure) / 1e6;
+  sim::SimTime measure_start = sim.Now() + warmup;
+  sim::SimTime measure_end = measure_start + measure;
+
+  uint64_t metadata_before = 0;
+  for (auto& loop : loops_) {
+    metadata_before += loop->client->stats().metadata_bytes;
+  }
+
+  for (size_t i = 0; i < loops_.size(); i++) {
+    auto* loop = loops_[i].get();
+    loop->measure_start = measure_start;
+    loop->measure_end = measure_end;
+    loop->result = &result;
+    // Stagger starts by a few microseconds to avoid lockstep.
+    sim.After(1 + i % 997, [loop]() { loop->StartTxn(); });
+  }
+  sim.RunUntil(measure_end);
+  for (auto& loop : loops_) loop->stopped = true;
+
+  uint64_t metadata_after = 0;
+  for (auto& loop : loops_) {
+    metadata_after += loop->client->stats().metadata_bytes;
+  }
+  result.metadata_bytes = metadata_after - metadata_before;
+  return result;
+}
+
+// ---------------------------------------------------------------------------
+// TPC-C
+// ---------------------------------------------------------------------------
+
+struct TpccDriver::ClientLoop {
+  TpccDriver* driver = nullptr;
+  client::TxnClient* client = nullptr;
+  std::unique_ptr<workload::TpccExecutor> executor;
+  Rng rng{0};
+  sim::Simulation* sim;
+  sim::SimTime measure_start = 0;
+  sim::SimTime measure_end = 0;
+  bool stopped = false;
+  TpccResult* result;
+  sim::SimTime txn_start = 0;
+
+  // Shared invariant trackers (owned by the driver's Run).
+  std::set<std::string>* order_ids;
+  std::set<std::string>* delivered_ids;
+  std::vector<int64_t>* sequential_ids_seen;
+
+  void StartTxn() {
+    if (stopped || sim->Now() >= measure_end) return;
+    txn_start = sim->Now();
+    int pick = static_cast<int>(rng.NextBelow(100));
+    const TpccMix& mix = driver->mix_;
+    if (pick < mix.new_order) {
+      executor->NewOrder(
+          driver->generator_.MakeNewOrder(rng),
+          [this](workload::NewOrderResult r) {
+            if (r.status.ok() && InWindow()) {
+              result->orders_placed++;
+              if (!order_ids->insert(r.oid).second) {
+                result->duplicate_order_ids++;
+              }
+              if (driver->generator_.config().sequential_order_ids) {
+                sequential_ids_seen->push_back(std::atoll(r.oid.c_str()));
+              }
+            }
+            Account(r.status, 5 + 3);
+          });
+    } else if (pick < mix.new_order + mix.payment) {
+      executor->Payment(driver->generator_.MakePayment(rng),
+                        [this](Status s) { Account(std::move(s), 5); });
+    } else if (pick < mix.new_order + mix.payment + mix.order_status) {
+      auto params = driver->generator_.MakePayment(rng);  // reuse w/d/c draw
+      executor->OrderStatus(
+          params.w, params.d, params.c,
+          [this](workload::OrderStatusResult r) {
+            if (r.status.ok() && InWindow()) {
+              result->order_status_checks++;
+              if (r.order_found && r.visible_lines < r.expected_lines) {
+                result->fk_violations++;
+              }
+            }
+            Account(r.status, 4);
+          });
+    } else if (pick <
+               mix.new_order + mix.payment + mix.order_status + mix.delivery) {
+      executor->Delivery(
+          driver->generator_.MakeDelivery(rng),
+          [this](workload::DeliveryResult r) {
+            if (r.status.ok() && !r.oid.empty() && InWindow()) {
+              result->deliveries++;
+              if (!delivered_ids->insert(r.oid).second) {
+                result->duplicate_deliveries++;
+              }
+            }
+            Account(r.status, 4);
+          });
+    } else {
+      auto params = driver->generator_.MakeDelivery(rng);
+      executor->StockLevel(params.w, params.d,
+                           [this](Status s, int) { Account(std::move(s), 15); });
+    }
+  }
+
+  bool InWindow() const {
+    return sim->Now() >= measure_start && sim->Now() < measure_end;
+  }
+
+  void Account(Status s, size_t ops) {
+    if (InWindow()) {
+      if (s.ok()) {
+        result->workload.committed++;
+        result->workload.ops_committed += ops;
+        result->workload.txn_latency_ms.Record(
+            static_cast<double>(sim->Now() - txn_start) / 1000.0);
+      } else if (s.IsAborted()) {
+        result->workload.aborted_external++;
+      } else {
+        result->workload.unavailable++;
+      }
+    }
+    StartTxn();
+  }
+};
+
+TpccDriver::TpccDriver(cluster::Deployment& deployment,
+                       workload::TpccConfig config, TpccMix mix,
+                       client::ClientOptions client_options, int num_clients,
+                       uint64_t seed)
+    : deployment_(deployment),
+      generator_(config),
+      mix_(mix),
+      client_options_(client_options) {
+  Rng seeder(seed);
+  for (int i = 0; i < num_clients; i++) {
+    client::ClientOptions opts = client_options;
+    opts.home_cluster = i % deployment.NumClusters();
+    auto loop = std::make_unique<ClientLoop>();
+    loop->driver = this;
+    loop->client = &deployment.AddClient(opts);
+    loop->executor =
+        std::make_unique<workload::TpccExecutor>(*loop->client, config);
+    loop->rng = seeder.Fork(1000 + i);
+    loop->sim = &deployment.simulation();
+    loops_.push_back(std::move(loop));
+  }
+}
+
+TpccDriver::~TpccDriver() = default;
+
+Status TpccDriver::Populate() {
+  client::ClientOptions opts = client_options_;
+  opts.home_cluster = 0;
+  auto& txn_client = deployment_.AddClient(opts);
+  client::SyncClient loader(deployment_.simulation(), txn_client);
+  HAT_RETURN_IF_ERROR(workload::PopulateTpcc(loader, generator_.config()));
+  // Let anti-entropy distribute the initial data everywhere.
+  deployment_.simulation().RunUntil(deployment_.simulation().Now() +
+                                    2 * sim::kSecond);
+  return Status::Ok();
+}
+
+TpccResult TpccDriver::Run(sim::Duration warmup, sim::Duration measure) {
+  auto& sim = deployment_.simulation();
+  TpccResult result;
+  result.workload.duration_s = static_cast<double>(measure) / 1e6;
+  sim::SimTime measure_start = sim.Now() + warmup;
+  sim::SimTime measure_end = measure_start + measure;
+
+  std::set<std::string> order_ids;
+  std::set<std::string> delivered_ids;
+  std::vector<int64_t> sequential_ids;
+
+  for (size_t i = 0; i < loops_.size(); i++) {
+    auto* loop = loops_[i].get();
+    loop->measure_start = measure_start;
+    loop->measure_end = measure_end;
+    loop->result = &result;
+    loop->order_ids = &order_ids;
+    loop->delivered_ids = &delivered_ids;
+    loop->sequential_ids_seen = &sequential_ids;
+    sim.After(1 + i % 997, [loop]() { loop->StartTxn(); });
+  }
+  sim.RunUntil(measure_end);
+  for (auto& loop : loops_) loop->stopped = true;
+
+  if (!sequential_ids.empty()) {
+    std::sort(sequential_ids.begin(), sequential_ids.end());
+    for (size_t i = 1; i < sequential_ids.size(); i++) {
+      result.max_id_gap = std::max(
+          result.max_id_gap, sequential_ids[i] - sequential_ids[i - 1]);
+    }
+  }
+  return result;
+}
+
+}  // namespace hat::harness

@@ -1,0 +1,114 @@
+// Closed-loop workload drivers: N clients each repeatedly run a transaction
+// and immediately start the next (the YCSB client model used in Section 6.3).
+// Throughput and latency are measured over a warmup-excluded window of
+// virtual time, so every number in bench/ is deterministic.
+
+#ifndef HAT_HARNESS_DRIVER_H_
+#define HAT_HARNESS_DRIVER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hat/client/txn_client.h"
+#include "hat/cluster/deployment.h"
+#include "hat/common/histogram.h"
+#include "hat/workload/tpcc.h"
+#include "hat/workload/ycsb.h"
+
+namespace hat::harness {
+
+struct WorkloadResult {
+  double duration_s = 0;  ///< measurement window, virtual seconds
+  uint64_t committed = 0;
+  uint64_t unavailable = 0;       ///< transactions that timed out
+  uint64_t aborted_internal = 0;
+  uint64_t aborted_external = 0;  ///< wait-die victims etc.
+  uint64_t ops_committed = 0;
+  Histogram txn_latency_ms;
+  uint64_t metadata_bytes = 0;  ///< MAV sibling metadata shipped (Figure 4)
+
+  double TxnsPerSecond() const {
+    return duration_s > 0 ? static_cast<double>(committed) / duration_s : 0;
+  }
+  double OpsPerSecond() const {
+    return duration_s > 0 ? static_cast<double>(ops_committed) / duration_s
+                          : 0;
+  }
+  double MetadataBytesPerTxn() const {
+    return committed > 0
+               ? static_cast<double>(metadata_bytes) /
+                     static_cast<double>(committed)
+               : 0;
+  }
+};
+
+/// Drives the YCSB workload against a deployment.
+class YcsbDriver {
+ public:
+  /// Creates `num_clients` clients, spread round-robin across clusters.
+  YcsbDriver(cluster::Deployment& deployment, workload::YcsbOptions workload,
+             client::ClientOptions client_options, int num_clients,
+             uint64_t seed);
+  ~YcsbDriver();
+
+  /// Runs warmup then a measured window; returns aggregated results.
+  WorkloadResult Run(sim::Duration warmup, sim::Duration measure);
+
+  /// Pre-loads every key once (so reads find data). Optional but
+  /// recommended before Run.
+  void Preload();
+
+ private:
+  struct ClientLoop;
+  cluster::Deployment& deployment_;
+  workload::YcsbGenerator generator_;
+  std::vector<std::unique_ptr<ClientLoop>> loops_;
+};
+
+/// TPC-C transaction mix percentages (standard: 45/43/4/4/4).
+struct TpccMix {
+  int new_order = 45;
+  int payment = 43;
+  int order_status = 4;
+  int delivery = 4;
+  int stock_level = 4;
+};
+
+struct TpccResult {
+  WorkloadResult workload;
+  // Section 6.2 invariant observations:
+  uint64_t orders_placed = 0;
+  uint64_t duplicate_order_ids = 0;   ///< sequential-ID mode under HAT
+  uint64_t deliveries = 0;
+  uint64_t duplicate_deliveries = 0;  ///< same order delivered twice
+  uint64_t order_status_checks = 0;
+  uint64_t fk_violations = 0;  ///< order visible but some lines missing
+  int64_t max_id_gap = 0;      ///< sequential-ID mode: largest gap observed
+};
+
+class TpccDriver {
+ public:
+  TpccDriver(cluster::Deployment& deployment, workload::TpccConfig config,
+             TpccMix mix, client::ClientOptions client_options,
+             int num_clients, uint64_t seed);
+  ~TpccDriver();
+
+  /// Loads the initial TPC-C data (through a dedicated sync client).
+  Status Populate();
+
+  TpccResult Run(sim::Duration warmup, sim::Duration measure);
+
+ private:
+  struct ClientLoop;
+  cluster::Deployment& deployment_;
+  workload::TpccGenerator generator_;
+  TpccMix mix_;
+  std::vector<std::unique_ptr<ClientLoop>> loops_;
+  client::ClientOptions client_options_;
+};
+
+}  // namespace hat::harness
+
+#endif  // HAT_HARNESS_DRIVER_H_

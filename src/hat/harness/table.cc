@@ -1,0 +1,57 @@
+#include "hat/harness/table.h"
+
+#include <algorithm>
+
+namespace hat::harness {
+
+std::string TablePrinter::Num(double v, int digits) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+  return buf;
+}
+
+void TablePrinter::Print(FILE* out) const {
+  std::vector<size_t> widths(header_.size(), 0);
+  for (size_t c = 0; c < header_.size(); c++) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size() && c < widths.size(); c++) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto print_row = [&](const std::vector<std::string>& row) {
+    for (size_t c = 0; c < widths.size(); c++) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::fprintf(out, "%-*s  ", static_cast<int>(widths[c]), cell.c_str());
+    }
+    std::fprintf(out, "\n");
+  };
+  print_row(header_);
+  size_t total = 0;
+  for (size_t w : widths) total += w + 2;
+  std::fprintf(out, "%s\n", std::string(total, '-').c_str());
+  for (const auto& row : rows_) print_row(row);
+}
+
+void FigureSeries::Print(FILE* out, int digits) const {
+  std::fprintf(out, "\n%s\n", title.c_str());
+  std::vector<std::string> header{x_label};
+  for (const auto& [name, values] : series) header.push_back(name);
+  TablePrinter table(std::move(header));
+  for (size_t i = 0; i < x.size(); i++) {
+    std::vector<std::string> row{TablePrinter::Num(x[i], 0)};
+    for (const auto& [name, values] : series) {
+      row.push_back(i < values.size() ? TablePrinter::Num(values[i], digits)
+                                      : "-");
+    }
+    table.AddRow(std::move(row));
+  }
+  table.Print(out);
+}
+
+void Banner(const std::string& title, FILE* out) {
+  std::fprintf(out, "\n============================================================\n");
+  std::fprintf(out, "%s\n", title.c_str());
+  std::fprintf(out, "============================================================\n");
+}
+
+}  // namespace hat::harness

@@ -1,0 +1,46 @@
+// Fixed-width table / figure-series printers used by the bench binaries to
+// emit the paper's tables and figures as text.
+
+#ifndef HAT_HARNESS_TABLE_H_
+#define HAT_HARNESS_TABLE_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hat::harness {
+
+/// Prints aligned rows: column widths derived from the widest cell.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void AddRow(std::vector<std::string> row) { rows_.push_back(std::move(row)); }
+
+  void Print(FILE* out = stdout) const;
+
+  /// Formats a double with `digits` decimals.
+  static std::string Num(double v, int digits = 1);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// A figure as the paper plots it: one x column, several named series.
+struct FigureSeries {
+  std::string title;
+  std::string x_label;
+  std::vector<double> x;
+  std::vector<std::pair<std::string, std::vector<double>>> series;
+
+  void Print(FILE* out = stdout, int digits = 1) const;
+};
+
+/// Prints a section banner.
+void Banner(const std::string& title, FILE* out = stdout);
+
+}  // namespace hat::harness
+
+#endif  // HAT_HARNESS_TABLE_H_

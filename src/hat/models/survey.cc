@@ -1,0 +1,57 @@
+#include "hat/models/survey.h"
+
+namespace hat::models {
+
+std::string_view SurveyLevelName(SurveyLevel level) {
+  switch (level) {
+    case SurveyLevel::kReadCommitted: return "RC";
+    case SurveyLevel::kRepeatableRead: return "RR";
+    case SurveyLevel::kSnapshotIsolation: return "SI";
+    case SurveyLevel::kSerializability: return "S";
+    case SurveyLevel::kCursorStability: return "CS";
+    case SurveyLevel::kConsistentRead: return "CR";
+    case SurveyLevel::kDepends: return "Depends";
+  }
+  return "?";
+}
+
+const std::vector<SurveyEntry>& IsolationSurvey() {
+  using L = SurveyLevel;
+  static const std::vector<SurveyEntry> kSurvey = {
+      {"Actian Ingres 10.0/10S", L::kSerializability, L::kSerializability},
+      {"Aerospike", L::kReadCommitted, L::kReadCommitted},
+      {"Akiban Persistit", L::kSnapshotIsolation, L::kSnapshotIsolation},
+      {"Clustrix CLX 4100", L::kRepeatableRead, L::kRepeatableRead},
+      {"Greenplum 4.1", L::kReadCommitted, L::kSerializability},
+      {"IBM DB2 10 for z/OS", L::kCursorStability, L::kSerializability},
+      {"IBM Informix 11.50", L::kDepends, L::kSerializability},
+      {"MySQL 5.6", L::kRepeatableRead, L::kSerializability},
+      {"MemSQL 1b", L::kReadCommitted, L::kReadCommitted},
+      {"MS SQL Server 2012", L::kReadCommitted, L::kSerializability},
+      {"NuoDB", L::kConsistentRead, L::kConsistentRead},
+      {"Oracle 11g", L::kReadCommitted, L::kSnapshotIsolation},
+      {"Oracle Berkeley DB", L::kSerializability, L::kSerializability},
+      {"Oracle Berkeley DB JE", L::kRepeatableRead, L::kSerializability},
+      {"Postgres 9.2.2", L::kReadCommitted, L::kSerializability},
+      {"SAP HANA", L::kReadCommitted, L::kSnapshotIsolation},
+      {"ScaleDB 1.02", L::kReadCommitted, L::kReadCommitted},
+      {"VoltDB", L::kSerializability, L::kSerializability},
+  };
+  return kSurvey;
+}
+
+SurveyStats ComputeSurveyStats() {
+  SurveyStats stats;
+  for (const auto& e : IsolationSurvey()) {
+    stats.total++;
+    if (e.default_level == SurveyLevel::kSerializability) {
+      stats.serializable_by_default++;
+    }
+    if (e.maximum_level != SurveyLevel::kSerializability) {
+      stats.serializable_unavailable++;
+    }
+  }
+  return stats;
+}
+
+}  // namespace hat::models

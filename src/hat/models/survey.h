@@ -1,0 +1,45 @@
+// Table 2: default and maximum isolation levels of the 18 ACID / "NewSQL"
+// databases the paper surveyed (as of January 2013), encoded verbatim.
+
+#ifndef HAT_MODELS_SURVEY_H_
+#define HAT_MODELS_SURVEY_H_
+
+#include <string_view>
+#include <vector>
+
+namespace hat::models {
+
+/// Isolation levels appearing in the survey.
+enum class SurveyLevel : uint8_t {
+  kReadCommitted,     // RC
+  kRepeatableRead,    // RR
+  kSnapshotIsolation, // SI
+  kSerializability,   // S
+  kCursorStability,   // CS
+  kConsistentRead,    // CR
+  kDepends,           // "Depends"
+};
+
+std::string_view SurveyLevelName(SurveyLevel level);
+
+struct SurveyEntry {
+  std::string_view database;
+  SurveyLevel default_level;
+  SurveyLevel maximum_level;
+};
+
+/// The 18 rows of Table 2.
+const std::vector<SurveyEntry>& IsolationSurvey();
+
+/// Headline statistics the paper reports: how many of the surveyed systems
+/// default to serializability, and how many cannot provide it at all.
+struct SurveyStats {
+  int total = 0;
+  int serializable_by_default = 0;
+  int serializable_unavailable = 0;  ///< S not offered even as an option
+};
+SurveyStats ComputeSurveyStats();
+
+}  // namespace hat::models
+
+#endif  // HAT_MODELS_SURVEY_H_

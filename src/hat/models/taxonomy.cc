@@ -1,0 +1,211 @@
+#include "hat/models/taxonomy.h"
+
+#include <array>
+#include <queue>
+
+namespace hat::models {
+
+namespace {
+struct ModelInfo {
+  Model model;
+  std::string_view short_name;
+  std::string_view long_name;
+  Availability availability;
+  UnavailabilityCause cause;
+};
+
+constexpr std::array<ModelInfo, kNumModels> kModels = {{
+    {Model::kReadUncommitted, "RU", "Read Uncommitted",
+     Availability::kHighlyAvailable, {}},
+    {Model::kReadCommitted, "RC", "Read Committed",
+     Availability::kHighlyAvailable, {}},
+    {Model::kItemCutIsolation, "I-CI", "Item Cut Isolation",
+     Availability::kHighlyAvailable, {}},
+    {Model::kPredicateCutIsolation, "P-CI", "Predicate Cut Isolation",
+     Availability::kHighlyAvailable, {}},
+    {Model::kMonotonicAtomicView, "MAV", "Monotonic Atomic View",
+     Availability::kHighlyAvailable, {}},
+    {Model::kMonotonicReads, "MR", "Monotonic Reads",
+     Availability::kHighlyAvailable, {}},
+    {Model::kMonotonicWrites, "MW", "Monotonic Writes",
+     Availability::kHighlyAvailable, {}},
+    {Model::kWritesFollowReads, "WFR", "Writes Follow Reads",
+     Availability::kHighlyAvailable, {}},
+    {Model::kReadYourWrites, "RYW", "Read Your Writes",
+     Availability::kSticky, {}},
+    {Model::kPram, "PRAM", "PRAM", Availability::kSticky, {}},
+    {Model::kCausal, "Causal", "Causal consistency", Availability::kSticky,
+     {}},
+    {Model::kCursorStability, "CS", "Cursor Stability",
+     Availability::kUnavailable, {.prevents_lost_update = true}},
+    {Model::kSnapshotIsolation, "SI", "Snapshot Isolation",
+     Availability::kUnavailable, {.prevents_lost_update = true}},
+    {Model::kRepeatableRead, "RR", "Repeatable Read",
+     Availability::kUnavailable,
+     {.prevents_lost_update = true, .prevents_write_skew = true}},
+    {Model::kOneCopySerializability, "1SR", "One-Copy Serializability",
+     Availability::kUnavailable,
+     {.prevents_lost_update = true, .prevents_write_skew = true}},
+    {Model::kRecency, "Recency", "Recency bounds",
+     Availability::kUnavailable, {.requires_recency = true}},
+    {Model::kSafe, "Safe", "Safe register", Availability::kUnavailable,
+     {.requires_recency = true}},
+    {Model::kRegular, "Regular", "Regular register",
+     Availability::kUnavailable, {.requires_recency = true}},
+    {Model::kLinearizability, "Linearizable", "Linearizability",
+     Availability::kUnavailable, {.requires_recency = true}},
+    {Model::kStrongOneCopySerializability, "Strong-1SR",
+     "Strong One-Copy Serializability", Availability::kUnavailable,
+     {.prevents_lost_update = true,
+      .prevents_write_skew = true,
+      .requires_recency = true}},
+}};
+
+const ModelInfo& InfoOf(Model m) {
+  return kModels[static_cast<size_t>(m)];
+}
+}  // namespace
+
+std::string_view ModelShortName(Model m) { return InfoOf(m).short_name; }
+std::string_view ModelLongName(Model m) { return InfoOf(m).long_name; }
+Availability AvailabilityOf(Model m) { return InfoOf(m).availability; }
+UnavailabilityCause CauseOf(Model m) { return InfoOf(m).cause; }
+
+std::string_view AvailabilityName(Availability a) {
+  switch (a) {
+    case Availability::kHighlyAvailable: return "HA";
+    case Availability::kSticky: return "Sticky";
+    case Availability::kUnavailable: return "Unavailable";
+  }
+  return "?";
+}
+
+std::vector<Model> AllModels() {
+  std::vector<Model> out;
+  out.reserve(kNumModels);
+  for (const auto& info : kModels) out.push_back(info.model);
+  return out;
+}
+
+std::vector<std::pair<Model, Model>> StrengthEdges() {
+  using M = Model;
+  // Figure 2 Hasse diagram, weaker -> stronger.
+  return {
+      // isolation chain
+      {M::kReadUncommitted, M::kReadCommitted},
+      {M::kReadCommitted, M::kMonotonicAtomicView},
+      {M::kMonotonicAtomicView, M::kCausal},  // causal = Adya PL-2L >= MAV
+      {M::kReadCommitted, M::kCursorStability},
+      {M::kCursorStability, M::kRepeatableRead},
+      {M::kCursorStability, M::kSnapshotIsolation},
+      // cut isolation chain
+      {M::kItemCutIsolation, M::kPredicateCutIsolation},
+      {M::kItemCutIsolation, M::kRepeatableRead},
+      {M::kPredicateCutIsolation, M::kSnapshotIsolation},
+      // serializability
+      {M::kRepeatableRead, M::kOneCopySerializability},
+      {M::kSnapshotIsolation, M::kOneCopySerializability},
+      {M::kOneCopySerializability, M::kStrongOneCopySerializability},
+      // session guarantees
+      {M::kMonotonicReads, M::kPram},
+      {M::kMonotonicWrites, M::kPram},
+      {M::kReadYourWrites, M::kPram},
+      {M::kPram, M::kCausal},
+      {M::kWritesFollowReads, M::kCausal},
+      {M::kCausal, M::kStrongOneCopySerializability},
+      // recency / register chain
+      {M::kRecency, M::kSafe},
+      {M::kSafe, M::kRegular},
+      {M::kRegular, M::kLinearizability},
+      {M::kLinearizability, M::kStrongOneCopySerializability},
+  };
+}
+
+namespace {
+// Reachability matrix over the strength edges (stronger reachable FROM
+// weaker); computed once.
+const std::array<std::array<bool, kNumModels>, kNumModels>& Reachability() {
+  static const auto matrix = [] {
+    std::array<std::array<bool, kNumModels>, kNumModels> reach{};
+    std::array<std::vector<int>, kNumModels> adj;
+    for (auto [weaker, stronger] : StrengthEdges()) {
+      adj[static_cast<int>(weaker)].push_back(static_cast<int>(stronger));
+    }
+    for (int s = 0; s < kNumModels; s++) {
+      std::queue<int> q;
+      q.push(s);
+      reach[s][s] = true;
+      while (!q.empty()) {
+        int v = q.front();
+        q.pop();
+        for (int w : adj[v]) {
+          if (!reach[s][w]) {
+            reach[s][w] = true;
+            q.push(w);
+          }
+        }
+      }
+    }
+    return reach;
+  }();
+  return matrix;
+}
+}  // namespace
+
+bool Entails(Model stronger, Model weaker) {
+  // `stronger` entails `weaker` iff stronger is reachable from weaker.
+  return Reachability()[static_cast<int>(weaker)][static_cast<int>(stronger)];
+}
+
+bool Incomparable(Model a, Model b) {
+  return !Entails(a, b) && !Entails(b, a);
+}
+
+Availability CombinedAvailability(const std::vector<Model>& models) {
+  Availability worst = Availability::kHighlyAvailable;
+  for (Model m : models) {
+    Availability a = AvailabilityOf(m);
+    if (static_cast<int>(a) > static_cast<int>(worst)) worst = a;
+  }
+  return worst;
+}
+
+int HatCombinationCount() {
+  // Figure 2 depicts 144 HAT combinations: 3 isolation choices (RU, RC, MAV)
+  // x 3 cut choices (none, I-CI, P-CI) x 2^4 subsets of the session
+  // guarantees {MR, MW, WFR, RYW}.
+  constexpr int kIsolation = 3;
+  constexpr int kCut = 3;
+  constexpr int kSessionSubsets = 1 << 4;
+  return kIsolation * kCut * kSessionSubsets;
+}
+
+std::string ValidateTaxonomy() {
+  // Acyclicity: Entails both ways would mean a cycle.
+  for (Model a : AllModels()) {
+    for (Model b : AllModels()) {
+      if (a == b) continue;
+      if (Entails(a, b) && Entails(b, a)) {
+        return std::string("cycle between ") +
+               std::string(ModelShortName(a)) + " and " +
+               std::string(ModelShortName(b));
+      }
+    }
+  }
+  // Availability monotone along strength: a stronger model is never more
+  // available than one it entails.
+  for (Model strong : AllModels()) {
+    for (Model weak : AllModels()) {
+      if (strong == weak || !Entails(strong, weak)) continue;
+      if (static_cast<int>(AvailabilityOf(strong)) <
+          static_cast<int>(AvailabilityOf(weak))) {
+        return std::string(ModelShortName(strong)) + " entails " +
+               std::string(ModelShortName(weak)) +
+               " but claims better availability";
+      }
+    }
+  }
+  return "";
+}
+
+}  // namespace hat::models

@@ -1,0 +1,91 @@
+// The paper's taxonomy as a queryable data structure: the consistency /
+// isolation models of Table 3, their availability classes, the reasons
+// unavailable models are unavailable, and the partial order of Figure 2.
+
+#ifndef HAT_MODELS_TAXONOMY_H_
+#define HAT_MODELS_TAXONOMY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hat::models {
+
+/// Every model discussed in Table 3 / Figure 2.
+enum class Model : uint8_t {
+  kReadUncommitted = 0,     // RU
+  kReadCommitted,           // RC
+  kItemCutIsolation,        // I-CI
+  kPredicateCutIsolation,   // P-CI
+  kMonotonicAtomicView,     // MAV
+  kMonotonicReads,          // MR
+  kMonotonicWrites,         // MW
+  kWritesFollowReads,       // WFR
+  kReadYourWrites,          // RYW
+  kPram,                    // PRAM
+  kCausal,                  // Causal
+  kCursorStability,         // CS
+  kSnapshotIsolation,       // SI
+  kRepeatableRead,          // RR (Adya PL-2.99 / Gray / Berenson)
+  kOneCopySerializability,  // 1SR
+  kRecency,                 // recency bounds
+  kSafe,                    // safe register
+  kRegular,                 // regular register
+  kLinearizability,         // linearizable register
+  kStrongOneCopySerializability,  // Strong-1SR
+};
+inline constexpr int kNumModels = 20;
+
+/// Table 3's availability classes.
+enum class Availability : uint8_t {
+  kHighlyAvailable = 0,
+  kSticky = 1,
+  kUnavailable = 2,
+};
+
+/// Why an unavailable model is unavailable (Table 3's dagger/ddagger/oplus).
+struct UnavailabilityCause {
+  bool prevents_lost_update = false;  // †
+  bool prevents_write_skew = false;   // ‡
+  bool requires_recency = false;      // ⊕
+};
+
+std::string_view ModelShortName(Model m);   // "RC", "MAV", ...
+std::string_view ModelLongName(Model m);    // "Read Committed", ...
+Availability AvailabilityOf(Model m);       // Table 3
+UnavailabilityCause CauseOf(Model m);
+std::string_view AvailabilityName(Availability a);
+
+/// All models, in enum order.
+std::vector<Model> AllModels();
+
+/// Direct (Hasse) edges of Figure 2: weaker -> stronger.
+std::vector<std::pair<Model, Model>> StrengthEdges();
+
+/// True if `stronger` is at or above `weaker` in Figure 2's partial order
+/// (reflexive transitive closure of StrengthEdges()).
+bool Entails(Model stronger, Model weaker);
+
+/// True if neither entails the other (the models can be combined; the
+/// availability of the combination is the worst of the two).
+bool Incomparable(Model a, Model b);
+
+/// Availability of a combination of models (the least available member).
+Availability CombinedAvailability(const std::vector<Model>& models);
+
+/// The number of distinct HAT configurations depicted in Figure 2
+/// ("the diagram depicts 144 possible HAT combinations"): choices of
+/// isolation chain {RU, RC, MAV} x cut {none, I-CI, P-CI} x the four
+/// independent session guarantees (excluding the RYW/sticky axis collapses
+/// PRAM/causal into the session flags).
+int HatCombinationCount();
+
+/// Verifies the partial order is acyclic and availability is monotone
+/// (nothing highly available sits above a sticky/unavailable model).
+/// Returns an empty string when consistent, else a description.
+std::string ValidateTaxonomy();
+
+}  // namespace hat::models
+
+#endif  // HAT_MODELS_TAXONOMY_H_

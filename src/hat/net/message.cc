@@ -1,0 +1,57 @@
+#include "hat/net/message.h"
+
+namespace hat::net {
+
+namespace {
+size_t WriteBytes(const WriteRecord& w) {
+  return w.key.size() + w.value.size() + w.SibBytes() + 14;
+}
+}  // namespace
+
+size_t WireBytes(const Message& msg) {
+  constexpr size_t kHeader = 24;
+  return kHeader +
+         std::visit(
+             [](const auto& m) -> size_t {
+               using T = std::decay_t<decltype(m)>;
+               if constexpr (std::is_same_v<T, PutRequest>) {
+                 return WriteBytes(m.write);
+               } else if constexpr (std::is_same_v<T, GetRequest>) {
+                 return m.key.size() + 14;
+               } else if constexpr (std::is_same_v<T, GetResponse>) {
+                 size_t sibs = 0;
+                 for (const auto& s : m.sibs) sibs += s.size() + 2;
+                 return m.value.size() + sibs + 16;
+               } else if constexpr (std::is_same_v<T, ScanRequest>) {
+                 return m.lo.size() + m.hi.size() + 14;
+               } else if constexpr (std::is_same_v<T, ScanResponse>) {
+                 size_t n = 0;
+                 for (const auto& it : m.items) {
+                   n += it.key.size() + it.value.size() + 16;
+                   for (const auto& s : it.sibs) n += s.size() + 2;
+                 }
+                 return n;
+               } else if constexpr (std::is_same_v<T, NotifyRequest>) {
+                 return 16;
+               } else if constexpr (std::is_same_v<T, DigestRequest>) {
+                 size_t n = 4;
+                 for (const auto& [k, ts] : m.latest) n += k.size() + 18;
+                 return n;
+               } else if constexpr (std::is_same_v<T, AntiEntropyBatch>) {
+                 size_t n = 8;
+                 for (const auto& w : m.writes) n += WriteBytes(w);
+                 return n;
+               } else if constexpr (std::is_same_v<T, LockRequest>) {
+                 return m.key.size() + 16;
+               } else if constexpr (std::is_same_v<T, UnlockRequest>) {
+                 size_t n = 12;
+                 for (const auto& k : m.keys) n += k.size() + 2;
+                 return n;
+               } else {
+                 return 4;
+               }
+             },
+             msg);
+}
+
+}  // namespace hat::net

@@ -1,0 +1,159 @@
+// Wire message types exchanged between hatkv clients and servers.
+//
+// All RPCs used by the isolation algorithms of Section 5 / Appendix B and by
+// the non-HAT baselines of Section 6 (master, quorum, two-phase locking) are
+// defined here as a std::variant, which keeps dispatch exhaustive and typed.
+
+#ifndef HAT_NET_MESSAGE_H_
+#define HAT_NET_MESSAGE_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "hat/net/topology.h"
+#include "hat/version/types.h"
+
+namespace hat::net {
+
+/// Network-level ping (Table 1 / Figure 1 measurement traffic).
+struct PingRequest {};
+struct PingResponse {};
+
+/// How a server should install a write.
+enum class PutMode : uint8_t {
+  /// Install immediately into the visible (good) set; last-writer-wins.
+  /// Used by Read Uncommitted / eventual and by Read Committed (the client
+  /// buffers until commit, so committed writes install directly).
+  kEventual = 0,
+  /// Appendix B two-phase installation: hold in `pending`, notify sibling
+  /// replicas, reveal once pending-stable. Used by MAV.
+  kMav = 1,
+};
+
+struct PutRequest {
+  WriteRecord write;
+  PutMode mode = PutMode::kEventual;
+};
+struct PutResponse {
+  bool ok = false;
+};
+
+/// Result codes for GetResponse.
+enum class GetCode : uint8_t {
+  kOk = 0,
+  /// The server cannot yet satisfy the caller's `required` bound for this
+  /// key (the sibling write has not arrived); the client should retry,
+  /// possibly at another replica.
+  kNotYet = 1,
+  /// The contacted server is not the master for the key (master mode only).
+  kNotMaster = 2,
+};
+
+struct GetRequest {
+  Key key;
+  /// MAV lower bound: the client has observed a transaction that wrote this
+  /// key at `required`; the response must reflect it (Appendix B).
+  std::optional<Timestamp> required;
+  /// Upper bound on versions read (snapshot-style reads; unused by default).
+  std::optional<Timestamp> bound;
+};
+struct GetResponse {
+  GetCode code = GetCode::kOk;
+  bool found = false;
+  Value value;
+  Timestamp ts;
+  /// Sibling keys of the transaction that wrote the returned version
+  /// (propagates the MAV `required` vector).
+  std::vector<Key> sibs;
+  /// Causal dependencies of the returned version (session guarantees).
+  std::vector<Dependency> deps;
+};
+
+/// Predicate (range) read over keys in [lo, hi).
+struct ScanRequest {
+  Key lo;
+  Key hi;
+  std::optional<Timestamp> bound;
+};
+struct ScanResponse {
+  struct Item {
+    Key key;
+    Value value;
+    Timestamp ts;
+    std::vector<Key> sibs;
+  };
+  std::vector<Item> items;
+};
+
+/// MAV pending-stable acknowledgment (Appendix B NOTIFY).
+struct NotifyRequest {
+  Timestamp ts;
+  NodeId sender = 0;
+};
+
+/// Anti-entropy push of committed versions between replicas. Reliable via
+/// sender-side outbox retransmission until acked.
+struct AntiEntropyBatch {
+  uint64_t batch_id = 0;
+  std::vector<WriteRecord> writes;
+  PutMode mode = PutMode::kEventual;
+};
+struct AntiEntropyAck {
+  uint64_t batch_id = 0;
+};
+
+/// Digest-based repair: the sender advertises its latest version per key;
+/// the receiver responds (via AntiEntropyBatch) with versions the sender is
+/// missing. Used to resynchronize after crashes/partitions independent of
+/// the push outboxes.
+struct DigestRequest {
+  std::vector<std::pair<Key, Timestamp>> latest;
+  /// True on the initiating round: the receiver may answer with its own
+  /// digest (reply=false) when it notices the initiator has data it lacks,
+  /// so repair works in both directions without recursing further.
+  bool reply_allowed = true;
+};
+
+/// Two-phase-locking lock service (locks live at each key's master replica).
+struct LockRequest {
+  Key key;
+  bool exclusive = false;
+  /// Requesting transaction; doubles as wait-die priority (smaller = older).
+  Timestamp txn;
+};
+struct LockResponse {
+  bool granted = false;
+  /// Wait-die: the requester is younger than the holder and must abort.
+  bool must_abort = false;
+};
+struct UnlockRequest {
+  std::vector<Key> keys;
+  Timestamp txn;
+};
+
+using Message =
+    std::variant<PingRequest, PingResponse, PutRequest, PutResponse,
+                 GetRequest, GetResponse, ScanRequest, ScanResponse,
+                 NotifyRequest, AntiEntropyBatch, AntiEntropyAck,
+                 DigestRequest, LockRequest, LockResponse, UnlockRequest>;
+
+/// A message in flight.
+struct Envelope {
+  NodeId from = 0;
+  NodeId to = 0;
+  /// Nonzero for request/response pairs; 0 for one-way messages.
+  uint64_t rpc_id = 0;
+  bool is_response = false;
+  Message msg;
+};
+
+/// Approximate serialized size, used for service-cost accounting and the
+/// metadata-overhead measurements of Figure 4.
+size_t WireBytes(const Message& msg);
+
+}  // namespace hat::net
+
+#endif  // HAT_NET_MESSAGE_H_

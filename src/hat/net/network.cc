@@ -1,0 +1,72 @@
+#include "hat/net/network.h"
+
+#include <cassert>
+
+namespace hat::net {
+
+void Network::Register(NodeId id, MessageSink* sink) {
+  if (sinks_.size() <= id) sinks_.resize(id + 1, nullptr);
+  sinks_[id] = sink;
+}
+
+bool Network::Reachable(NodeId a, NodeId b) const {
+  if (a == b) return true;
+  if (!cut_links_.empty() &&
+      cut_links_.count({std::min(a, b), std::max(a, b)})) {
+    return false;
+  }
+  if (group_of_.empty()) return true;
+  uint32_t ga = a < group_of_.size() ? group_of_[a] : kDefaultGroup;
+  uint32_t gb = b < group_of_.size() ? group_of_[b] : kDefaultGroup;
+  return ga == gb;
+}
+
+void Network::Send(Envelope env) {
+  stats_.sent++;
+  stats_.bytes += WireBytes(env.msg);
+  if (!Reachable(env.from, env.to)) {
+    stats_.dropped_partition++;
+    return;
+  }
+  sim::Duration delay = topology_.SampleOneWayUs(env.from, env.to, rng_);
+  sim_.After(delay, [this, env = std::move(env)]() mutable {
+    MessageSink* sink =
+        env.to < sinks_.size() ? sinks_[env.to] : nullptr;
+    if (sink == nullptr) return;  // node was never registered / shut down
+    stats_.delivered++;
+    sink->OnMessage(std::move(env));
+  });
+}
+
+void Network::SetPartitions(std::vector<std::set<NodeId>> groups) {
+  group_of_.assign(topology_.NodeCount(), kDefaultGroup);
+  uint32_t gid = 0;
+  for (const auto& group : groups) {
+    for (NodeId id : group) {
+      assert(id < group_of_.size());
+      group_of_[id] = gid;
+    }
+    gid++;
+  }
+}
+
+void Network::CutLink(NodeId a, NodeId b) {
+  cut_links_.insert({std::min(a, b), std::max(a, b)});
+}
+
+void Network::RestoreLink(NodeId a, NodeId b) {
+  cut_links_.erase({std::min(a, b), std::max(a, b)});
+}
+
+void Network::Isolate(NodeId id) {
+  for (NodeId other = 0; other < topology_.NodeCount(); other++) {
+    if (other != id) CutLink(id, other);
+  }
+}
+
+void Network::HealAll() {
+  group_of_.clear();
+  cut_links_.clear();
+}
+
+}  // namespace hat::net

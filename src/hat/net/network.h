@@ -1,0 +1,93 @@
+// Simulated message-passing network with injectable partitions.
+//
+// Delivery semantics match the paper's availability model (Section 4):
+// messages between nodes in different partition groups are silently dropped
+// (an indefinitely long partition is indistinguishable from message loss),
+// and healing restores connectivity but does not resurrect dropped messages —
+// higher layers (anti-entropy outboxes, client retries) provide recovery.
+
+#ifndef HAT_NET_NETWORK_H_
+#define HAT_NET_NETWORK_H_
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "hat/net/message.h"
+#include "hat/net/topology.h"
+#include "hat/sim/simulation.h"
+
+namespace hat::net {
+
+/// Anything that can receive messages.
+class MessageSink {
+ public:
+  virtual ~MessageSink() = default;
+  virtual void OnMessage(Envelope env) = 0;
+};
+
+/// Network delivery statistics.
+struct NetworkStats {
+  uint64_t sent = 0;
+  uint64_t delivered = 0;
+  uint64_t dropped_partition = 0;
+  uint64_t bytes = 0;
+};
+
+class Network {
+ public:
+  Network(sim::Simulation& sim, Topology topology)
+      : sim_(sim), topology_(std::move(topology)), rng_(sim.rng().Fork(0x6e657477)) {}
+
+  Topology& topology() { return topology_; }
+  const Topology& topology() const { return topology_; }
+
+  /// Binds a sink to a node id created via topology().AddNode().
+  void Register(NodeId id, MessageSink* sink);
+
+  /// Sends a message; delivery is scheduled after a sampled one-way latency
+  /// unless the pair is partitioned (then the message is dropped).
+  void Send(Envelope env);
+
+  /// --- Partition control -------------------------------------------------
+
+  /// Splits the network into disjoint groups; nodes in different groups
+  /// cannot communicate. Nodes absent from every group form an implicit
+  /// final group. Replaces any previous partitioning.
+  void SetPartitions(std::vector<std::set<NodeId>> groups);
+
+  /// Severs the single (bidirectional) link between a and b, on top of any
+  /// group partitioning.
+  void CutLink(NodeId a, NodeId b);
+  void RestoreLink(NodeId a, NodeId b);
+
+  /// Isolates one node from everyone.
+  void Isolate(NodeId id);
+
+  /// Removes all partitions and cut links.
+  void HealAll();
+
+  /// True if a message from `a` can currently reach `b`.
+  bool Reachable(NodeId a, NodeId b) const;
+
+  const NetworkStats& stats() const { return stats_; }
+
+ private:
+  sim::Simulation& sim_;
+  Topology topology_;
+  Rng rng_;
+  std::vector<MessageSink*> sinks_;
+  NetworkStats stats_;
+
+  // group id per node; empty vector = fully connected. Nodes not assigned a
+  // group share group id kDefaultGroup.
+  static constexpr uint32_t kDefaultGroup = 0xffffffff;
+  std::vector<uint32_t> group_of_;
+  std::set<std::pair<NodeId, NodeId>> cut_links_;  // normalized (min,max)
+};
+
+}  // namespace hat::net
+
+#endif  // HAT_NET_NETWORK_H_

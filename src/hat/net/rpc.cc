@@ -1,0 +1,44 @@
+#include "hat/net/rpc.h"
+
+namespace hat::net {
+
+void RpcNode::Call(NodeId to, Message request, sim::Duration timeout,
+                   RpcCallback cb) {
+  uint64_t rpc_id = next_rpc_id_++;
+  sim::EventId timeout_event = sim_.After(timeout, [this, rpc_id]() {
+    auto it = pending_.find(rpc_id);
+    if (it == pending_.end()) return;
+    RpcCallback cb = std::move(it->second.cb);
+    pending_.erase(it);
+    cb(Status::Timeout("rpc timed out"), nullptr);
+  });
+  pending_.emplace(rpc_id, PendingRpc{std::move(cb), timeout_event});
+  net_.Send(Envelope{id_, to, rpc_id, /*is_response=*/false,
+                     std::move(request)});
+}
+
+void RpcNode::SendOneWay(NodeId to, Message msg) {
+  net_.Send(Envelope{id_, to, /*rpc_id=*/0, /*is_response=*/false,
+                     std::move(msg)});
+}
+
+void RpcNode::Reply(const Envelope& request, Message response) {
+  if (request.rpc_id == 0) return;  // caller did not expect a response
+  net_.Send(Envelope{id_, request.from, request.rpc_id, /*is_response=*/true,
+                     std::move(response)});
+}
+
+void RpcNode::OnMessage(Envelope env) {
+  if (env.is_response) {
+    auto it = pending_.find(env.rpc_id);
+    if (it == pending_.end()) return;  // response raced with timeout
+    RpcCallback cb = std::move(it->second.cb);
+    sim_.Cancel(it->second.timeout_event);
+    pending_.erase(it);
+    cb(Status::Ok(), &env.msg);
+    return;
+  }
+  HandleMessage(env);
+}
+
+}  // namespace hat::net

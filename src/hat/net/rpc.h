@@ -1,0 +1,62 @@
+// RpcNode: base class for network actors (servers, clients, probes) that
+// provides request/response RPC with timeouts on top of Network's one-way
+// delivery. A timed-out RPC surfaces as Status::Timeout — in HAT vocabulary,
+// the trigger for an external abort or a retry at another replica.
+
+#ifndef HAT_NET_RPC_H_
+#define HAT_NET_RPC_H_
+
+#include <functional>
+#include <unordered_map>
+#include <utility>
+
+#include "hat/common/status.h"
+#include "hat/net/network.h"
+#include "hat/sim/simulation.h"
+
+namespace hat::net {
+
+class RpcNode : public MessageSink {
+ public:
+  /// Completion callback: OK with a response message, or an error status
+  /// (Timeout) with nullptr.
+  using RpcCallback = std::function<void(Status, const Message*)>;
+
+  RpcNode(sim::Simulation& sim, Network& net, NodeId id)
+      : sim_(sim), net_(net), id_(id) {
+    net_.Register(id_, this);
+  }
+
+  NodeId id() const { return id_; }
+
+  /// Issues a request; `cb` fires exactly once (response or timeout).
+  void Call(NodeId to, Message request, sim::Duration timeout, RpcCallback cb);
+
+  /// Fire-and-forget one-way message.
+  void SendOneWay(NodeId to, Message msg);
+
+  /// Replies to a request envelope.
+  void Reply(const Envelope& request, Message response);
+
+  void OnMessage(Envelope env) final;
+
+ protected:
+  /// Invoked for incoming requests and one-way messages (not responses).
+  virtual void HandleMessage(const Envelope& env) = 0;
+
+  sim::Simulation& sim_;
+  Network& net_;
+
+ private:
+  NodeId id_;
+  uint64_t next_rpc_id_ = 1;
+  struct PendingRpc {
+    RpcCallback cb;
+    sim::EventId timeout_event;
+  };
+  std::unordered_map<uint64_t, PendingRpc> pending_;
+};
+
+}  // namespace hat::net
+
+#endif  // HAT_NET_RPC_H_

@@ -1,0 +1,101 @@
+// Network topology and latency model.
+//
+// Encodes the paper's measured EC2 round-trip times (Table 1) as the base
+// latency matrix: seven geographic regions, availability zones within a
+// region, and hosts within an availability zone. One-way delays are sampled
+// as (base RTT / 2) x lognormal jitter, reproducing the long-tailed
+// distributions of Figure 1.
+
+#ifndef HAT_NET_TOPOLOGY_H_
+#define HAT_NET_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hat/common/rng.h"
+#include "hat/sim/simulation.h"
+
+namespace hat::net {
+
+/// EC2 regions measured by the paper (Table 1c).
+enum class Region : uint8_t {
+  kCalifornia = 0,  // us-west-1 (CA)
+  kOregon = 1,      // us-west-2 (OR)
+  kVirginia = 2,    // us-east-1 (VA)
+  kTokyo = 3,       // ap-northeast-1 (TO)
+  kIreland = 4,     // eu-west-1 (IR)
+  kSydney = 5,      // ap-southeast-2 (SY)
+  kSaoPaulo = 6,    // sa-east-1 (SP)
+  kSingapore = 7,   // ap-southeast-1 (SI)
+};
+inline constexpr int kNumRegions = 8;
+
+/// Short region code as printed in Table 1 ("CA", "OR", ...).
+std::string_view RegionName(Region r);
+
+/// Mean RTT between two regions in milliseconds, exactly the values of
+/// Table 1c. Same-region pairs return 0 (use AZ/host latencies instead).
+double CrossRegionRttMs(Region a, Region b);
+
+/// Physical placement of a node.
+struct Location {
+  Region region = Region::kVirginia;
+  uint8_t az = 0;    ///< availability zone index within the region
+  uint16_t host = 0; ///< host index within the AZ
+
+  bool SameAz(const Location& o) const {
+    return region == o.region && az == o.az;
+  }
+  bool SameRegion(const Location& o) const { return region == o.region; }
+};
+
+/// Identifies a node (server or client) on the network.
+using NodeId = uint32_t;
+
+/// Latency model options. Defaults are calibrated so that sampled means match
+/// Table 1 and tails resemble Figure 1 (95th percentile of SP-SI ~ 1.8x mean).
+struct LatencyOptions {
+  /// Lognormal sigma for WAN links (cross-region).
+  double sigma_wan = 0.35;
+  /// Lognormal sigma for intra-datacenter links (same AZ / cross AZ).
+  double sigma_local = 0.35;
+  /// Floor on one-way delay, microseconds.
+  sim::Duration min_one_way_us = 20;
+  /// Loopback (self-send) delay, microseconds.
+  sim::Duration loopback_us = 5;
+};
+
+/// Maps node ids to locations and samples link latencies.
+class Topology {
+ public:
+  explicit Topology(LatencyOptions options = {}) : options_(options) {}
+
+  /// Registers a node; returns its id (dense, starting at 0).
+  NodeId AddNode(const Location& loc);
+
+  size_t NodeCount() const { return locations_.size(); }
+  const Location& LocationOf(NodeId id) const { return locations_[id]; }
+
+  /// Mean (base) RTT in microseconds between two nodes, before jitter:
+  /// Table 1c for cross-region, Table 1b-style values cross-AZ, Table 1a
+  /// within an AZ.
+  double BaseRttUs(NodeId a, NodeId b) const;
+
+  /// Samples a one-way delay in microseconds (lognormal jitter around
+  /// BaseRtt/2; mean preserved).
+  sim::Duration SampleOneWayUs(NodeId a, NodeId b, Rng& rng) const;
+
+  const LatencyOptions& options() const { return options_; }
+
+ private:
+  double BaseRttUs(const Location& a, const Location& b) const;
+
+  LatencyOptions options_;
+  std::vector<Location> locations_;
+};
+
+}  // namespace hat::net
+
+#endif  // HAT_NET_TOPOLOGY_H_

@@ -1,0 +1,31 @@
+// Partitioning interface: who replicates a key, and which replica is its
+// master. The paper's prototype is "partially replicated (hash-based
+// partitioned)": each *cluster* holds a full copy of the database, sharded
+// across its servers; a key's replicas are the servers holding its shard in
+// every cluster (Section 6.3, "Configuration").
+
+#ifndef HAT_SERVER_PARTITIONER_H_
+#define HAT_SERVER_PARTITIONER_H_
+
+#include <vector>
+
+#include "hat/net/topology.h"
+#include "hat/version/types.h"
+
+namespace hat::server {
+
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// All servers replicating `key` (one per cluster).
+  virtual std::vector<net::NodeId> ReplicasOf(const Key& key) const = 0;
+
+  /// The (randomly designated, deterministic) master replica for `key` —
+  /// the serialization point used by master and locking modes.
+  virtual net::NodeId MasterOf(const Key& key) const = 0;
+};
+
+}  // namespace hat::server
+
+#endif  // HAT_SERVER_PARTITIONER_H_

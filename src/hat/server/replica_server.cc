@@ -1,0 +1,715 @@
+#include "hat/server/replica_server.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+#include "hat/version/wire.h"
+
+namespace hat::server {
+
+using net::Envelope;
+using net::Message;
+
+namespace {
+constexpr std::string_view kGoodPrefix = "g/";
+constexpr std::string_view kPendingPrefix = "p/";
+constexpr size_t kAppliedBatchMemory = 4096;
+}  // namespace
+
+ReplicaServer::ReplicaServer(sim::Simulation& sim, net::Network& net,
+                             net::NodeId id, ServerOptions options,
+                             const Partitioner* partitioner)
+    : net::RpcNode(sim, net, id),
+      options_(std::move(options)),
+      partitioner_(partitioner) {
+  if (!options_.storage_dir.empty()) {
+    auto store = storage::LocalStore::Open(options_.storage_dir);
+    if (store.ok()) disk_ = std::move(store).value();
+  }
+  // Stagger recurring timers per server so deterministic runs do not
+  // synchronize every server's background work on the same tick.
+  sim::Duration offset = (id * 97) % options_.ae_flush_interval + 1;
+  sim_.After(offset, [this]() { FlushOutboxes(); });
+  sim::Duration roffset = (id * 131) % options_.renotify_interval + 1;
+  sim_.After(roffset, [this]() { RenotifyTick(); });
+  if (options_.digest_sync_interval > 0) {
+    sim::Duration doffset = (id * 173) % options_.digest_sync_interval + 1;
+    sim_.After(doffset, [this]() { DigestSyncTick(); });
+  }
+  rng_ = sim_.rng().Fork(0x5e53 + id);
+}
+
+size_t ReplicaServer::PendingCount() const {
+  size_t n = 0;
+  for (const auto& [ts, txn] : pending_txns_) n += txn.writes.size();
+  return n;
+}
+
+// --------------------------------------------------------------------------
+// Service-time queueing
+// --------------------------------------------------------------------------
+
+double ReplicaServer::CostOf(const Message& msg) const {
+  const ServiceCosts& c = options_.costs;
+  double bytes_kb = static_cast<double>(net::WireBytes(msg)) / 1024.0;
+  double cost = c.per_kb_us * bytes_kb;
+  if (std::holds_alternative<net::PingRequest>(msg)) {
+    return c.ping_us;  // pings measure the network, not the server
+  } else if (std::holds_alternative<net::GetRequest>(msg)) {
+    cost += c.get_us;
+  } else if (std::holds_alternative<net::ScanRequest>(msg)) {
+    cost += c.scan_base_us;
+  } else if (const auto* put = std::get_if<net::PutRequest>(&msg)) {
+    cost += c.put_us;
+    if (options_.durable) cost += c.wal_sync_us;
+    if (put->mode == net::PutMode::kMav) {
+      cost += c.mav_extra_put_us;
+      cost += c.mav_metadata_per_kb_us *
+              static_cast<double>(put->write.SibBytes()) / 1024.0;
+      if (c.pending_contention_scale > 0) {
+        cost *= 1.0 + static_cast<double>(PendingCount()) /
+                          c.pending_contention_scale;
+      }
+    }
+  } else if (std::holds_alternative<net::NotifyRequest>(msg)) {
+    cost += c.notify_us;
+  } else if (const auto* ae = std::get_if<net::AntiEntropyBatch>(&msg)) {
+    cost += c.ae_batch_us +
+            c.ae_record_us * static_cast<double>(ae->writes.size());
+    if (options_.durable) cost += c.wal_sync_us;  // group commit per batch
+    if (ae->mode == net::PutMode::kMav) {
+      cost += c.mav_extra_put_us * static_cast<double>(ae->writes.size()) / 2;
+      size_t sib_bytes = 0;
+      for (const auto& w : ae->writes) sib_bytes += w.SibBytes();
+      cost += c.mav_metadata_per_kb_us * static_cast<double>(sib_bytes) /
+              1024.0;
+    }
+  } else if (const auto* digest = std::get_if<net::DigestRequest>(&msg)) {
+    cost += c.ae_batch_us +
+            0.2 * static_cast<double>(digest->latest.size());
+  } else if (std::holds_alternative<net::LockRequest>(msg) ||
+             std::holds_alternative<net::UnlockRequest>(msg)) {
+    cost += c.lock_us;
+  } else {
+    cost += 1;  // acks etc.
+  }
+  return cost;
+}
+
+void ReplicaServer::HandleMessage(const Envelope& env) {
+  double cost = CostOf(env.msg);
+  stats_.busy_us += cost;
+  sim::SimTime start = std::max(sim_.Now(), busy_until_);
+  busy_until_ = start + static_cast<sim::Duration>(std::llround(cost));
+  sim_.At(busy_until_, [this, env]() { Process(env); });
+}
+
+void ReplicaServer::Process(const Envelope& env) {
+  if (std::holds_alternative<net::PingRequest>(env.msg)) {
+    Reply(env, net::PingResponse{});
+  } else if (std::holds_alternative<net::GetRequest>(env.msg)) {
+    HandleGet(env);
+  } else if (std::holds_alternative<net::ScanRequest>(env.msg)) {
+    HandleScan(env);
+  } else if (std::holds_alternative<net::PutRequest>(env.msg)) {
+    HandlePut(env);
+  } else if (const auto* notify = std::get_if<net::NotifyRequest>(&env.msg)) {
+    HandleNotify(*notify);
+  } else if (std::holds_alternative<net::AntiEntropyBatch>(env.msg)) {
+    HandleAntiEntropy(env);
+  } else if (const auto* ack = std::get_if<net::AntiEntropyAck>(&env.msg)) {
+    inflight_.erase(ack->batch_id);
+  } else if (std::holds_alternative<net::DigestRequest>(env.msg)) {
+    HandleDigest(env);
+  } else if (std::holds_alternative<net::LockRequest>(env.msg)) {
+    HandleLock(env);
+  } else if (std::holds_alternative<net::UnlockRequest>(env.msg)) {
+    HandleUnlock(env);
+  }
+}
+
+// --------------------------------------------------------------------------
+// Reads
+// --------------------------------------------------------------------------
+
+void ReplicaServer::HandleGet(const Envelope& env) {
+  const auto& req = std::get<net::GetRequest>(env.msg);
+  stats_.gets++;
+  net::GetResponse resp;
+
+  auto fill = [&resp](const ReadVersion& rv) {
+    resp.found = rv.found;
+    resp.value = rv.value;
+    resp.ts = rv.ts;
+    resp.sibs = rv.sibs;
+    resp.deps = rv.deps;
+  };
+
+  if (!req.required) {
+    fill(good_.Read(req.key, req.bound));
+    Reply(env, std::move(resp));
+    return;
+  }
+
+  // Appendix B GET(k, ts_required): prefer a good version at or above the
+  // bound; otherwise serve the exact pending version; otherwise ask the
+  // client to retry (kNotYet).
+  auto latest_good = good_.LatestTimestamp(req.key);
+  if (latest_good && *latest_good >= *req.required) {
+    fill(good_.Read(req.key, req.bound));
+    Reply(env, std::move(resp));
+    return;
+  }
+  auto by_key = pending_by_key_.find(req.key);
+  if (by_key != pending_by_key_.end()) {
+    auto exact = by_key->second.find(*req.required);
+    if (exact != by_key->second.end()) {
+      const WriteRecord& w = exact->second;
+      resp.found = true;
+      resp.value = w.value;
+      resp.ts = w.ts;
+      resp.sibs = w.sibs;
+      resp.deps = w.deps;
+      stats_.gets_from_pending++;
+      Reply(env, std::move(resp));
+      return;
+    }
+  }
+  stats_.gets_not_yet++;
+  resp.code = net::GetCode::kNotYet;
+  Reply(env, std::move(resp));
+}
+
+void ReplicaServer::HandleScan(const Envelope& env) {
+  const auto& req = std::get<net::ScanRequest>(env.msg);
+  stats_.scans++;
+  net::ScanResponse resp;
+  for (auto& [key, rv] : good_.Scan(req.lo, req.hi, req.bound)) {
+    net::ScanResponse::Item item;
+    item.key = key;
+    item.value = std::move(rv.value);
+    item.ts = rv.ts;
+    item.sibs = std::move(rv.sibs);
+    resp.items.push_back(std::move(item));
+  }
+  // Post-hoc service charge for result size (volume known only now).
+  double extra = options_.costs.scan_item_us *
+                 static_cast<double>(resp.items.size());
+  stats_.busy_us += extra;
+  busy_until_ = std::max(busy_until_, sim_.Now()) +
+                static_cast<sim::Duration>(std::llround(extra));
+  Reply(env, std::move(resp));
+}
+
+// --------------------------------------------------------------------------
+// Writes
+// --------------------------------------------------------------------------
+
+void ReplicaServer::HandlePut(const Envelope& env) {
+  const auto& req = std::get<net::PutRequest>(env.msg);
+  stats_.puts++;
+  if (req.mode == net::PutMode::kEventual) {
+    InstallEventual(req.write, /*gossip=*/true);
+  } else {
+    InstallMav(req.write, /*gossip=*/true);
+  }
+  Reply(env, net::PutResponse{true});
+}
+
+void ReplicaServer::PersistWrite(const WriteRecord& w, bool pending) {
+  if (!disk_) return;
+  std::string sk(pending ? kPendingPrefix : kGoodPrefix);
+  sk += version::StorageKeyFor(w.key, w.ts);
+  (void)disk_->Put(sk, version::EncodeWriteRecord(w));
+}
+
+void ReplicaServer::EraseePersistedPending(const WriteRecord& w) {
+  if (!disk_) return;
+  std::string sk(kPendingPrefix);
+  sk += version::StorageKeyFor(w.key, w.ts);
+  (void)disk_->Delete(sk);
+}
+
+void ReplicaServer::InstallEventual(const WriteRecord& w, bool gossip) {
+  bool inserted = good_.Apply(w);
+  if (!inserted) return;  // duplicate delivery (anti-entropy redundancy)
+  PersistWrite(w, /*pending=*/false);
+  MaybeGcVersions(w.key);
+  if (gossip) EnqueueGossip(w, net::PutMode::kEventual, /*except=*/id());
+}
+
+void ReplicaServer::MaybeGcVersions(const Key& key) {
+  size_t limit = options_.max_versions_per_key;
+  if (limit == 0) return;
+  if (good_.VersionCountFor(key) <= limit) return;
+  // Convergence-safe GC: only versions older than the newest Put can be
+  // dropped — a late write below a Put is shadowed by it on every replica,
+  // so local pruning cannot make replicas diverge. Delta chains with no
+  // newer Put are retained (a coordinated stability frontier would be
+  // needed to fold them; Section 5.1.2's "asynchronously garbage
+  // collected").
+  //
+  // Cost control: the common case (a Put within the newest `limit`
+  // versions) is O(limit); deep scans of long delta chains are amortized.
+  size_t count = good_.VersionCountFor(key);
+  auto newest_put = good_.NewestPutWithin(key, limit);
+  if (!newest_put) {
+    if (count % 256 != 0) return;  // amortize deep walks on delta chains
+    newest_put = good_.NewestPutTimestamp(key);
+    if (!newest_put) return;
+  }
+  auto horizon = good_.NthNewestTimestamp(key, limit - 1);
+  if (!horizon) return;
+  good_.DropVersionsBefore(key, std::min(*horizon, *newest_put));
+}
+
+void ReplicaServer::InstallMav(const WriteRecord& w, bool gossip) {
+  // Duplicate suppression: already promoted or already pending.
+  if (good_.Contains(w.key, w.ts)) return;
+  auto& per_key = pending_by_key_[w.key];
+  if (per_key.count(w.ts)) return;
+
+  // Pending invalidation (Appendix B optimization): a good version newer
+  // than this write supersedes it for every read path, so the write itself
+  // can be dropped — but we still ack so siblings can promote elsewhere.
+  auto latest_good = good_.LatestTimestamp(w.key);
+  bool stale = options_.gc_stale_pending && latest_good &&
+               *latest_good > w.ts;
+  if (stale) {
+    stats_.stale_pending_dropped++;
+  } else {
+    per_key.emplace(w.ts, w);
+  }
+  if (per_key.empty()) pending_by_key_.erase(w.key);
+
+  auto& txn = pending_txns_[w.ts];
+  if (txn.sibs.empty()) {
+    txn.sibs = w.sibs.empty() ? std::vector<Key>{w.key} : w.sibs;
+    auto early = early_acks_.find(w.ts);
+    if (early != early_acks_.end()) {
+      txn.acks = std::move(early->second);
+      early_acks_.erase(early);
+    }
+  }
+  txn.writes.push_back(w);
+  if (!stale) PersistWrite(w, /*pending=*/true);
+  if (gossip) EnqueueGossip(w, net::PutMode::kMav, /*except=*/id());
+  MaybeAck(w.ts);
+  MaybePromote(w.ts);
+}
+
+// --------------------------------------------------------------------------
+// MAV pending-stable machinery (Appendix B)
+// --------------------------------------------------------------------------
+
+std::set<net::NodeId> ReplicaServer::AckSetFor(
+    const std::vector<Key>& sibs) const {
+  std::set<net::NodeId> out;
+  for (const auto& k : sibs) {
+    for (net::NodeId r : partitioner_->ReplicasOf(k)) out.insert(r);
+  }
+  return out;
+}
+
+std::vector<Key> ReplicaServer::LocalKeysOf(
+    const std::vector<Key>& sibs) const {
+  std::vector<Key> out;
+  for (const auto& k : sibs) {
+    auto replicas = partitioner_->ReplicasOf(k);
+    if (std::find(replicas.begin(), replicas.end(), id()) != replicas.end()) {
+      out.push_back(k);
+    }
+  }
+  return out;
+}
+
+void ReplicaServer::MaybeAck(const Timestamp& ts) {
+  auto it = pending_txns_.find(ts);
+  if (it == pending_txns_.end() || it->second.acked_by_self) return;
+  PendingTxn& txn = it->second;
+  // Ack once every sibling key this server replicates has arrived.
+  std::vector<Key> local = LocalKeysOf(txn.sibs);
+  for (const auto& k : local) {
+    bool have = false;
+    for (const auto& w : txn.writes) {
+      if (w.key == k) {
+        have = true;
+        break;
+      }
+    }
+    if (!have) return;
+  }
+  txn.acked_by_self = true;
+  for (net::NodeId peer : AckSetFor(txn.sibs)) {
+    if (peer == id()) {
+      txn.acks.insert(id());
+    } else {
+      SendOneWay(peer, net::NotifyRequest{ts, id()});
+    }
+  }
+}
+
+void ReplicaServer::HandleNotify(const net::NotifyRequest& req) {
+  stats_.notifies++;
+  auto it = pending_txns_.find(req.ts);
+  if (it == pending_txns_.end()) {
+    if (promoted_.count(req.ts)) {
+      // We already promoted this transaction and dropped its ack state; the
+      // sender is catching up after a partition — answer so it can promote.
+      if (req.sender != id()) {
+        SendOneWay(req.sender, net::NotifyRequest{req.ts, id()});
+      }
+      return;
+    }
+    // The ack raced ahead of the write itself; remember it.
+    if (early_acks_.size() > 100000) early_acks_.clear();  // backstop
+    early_acks_[req.ts].insert(req.sender);
+    return;
+  }
+  it->second.acks.insert(req.sender);
+  MaybePromote(req.ts);
+}
+
+void ReplicaServer::MaybePromote(const Timestamp& ts) {
+  auto it = pending_txns_.find(ts);
+  if (it == pending_txns_.end()) return;
+  PendingTxn& txn = it->second;
+  std::set<net::NodeId> expected = AckSetFor(txn.sibs);
+  for (net::NodeId n : expected) {
+    if (!txn.acks.count(n)) return;
+  }
+  // Pending-stable everywhere: reveal.
+  for (const auto& w : txn.writes) {
+    if (good_.Apply(w)) PersistWrite(w, /*pending=*/false);
+    MaybeGcVersions(w.key);
+    EraseePersistedPending(w);
+    auto by_key = pending_by_key_.find(w.key);
+    if (by_key != pending_by_key_.end()) {
+      by_key->second.erase(w.ts);
+      if (by_key->second.empty()) pending_by_key_.erase(by_key);
+    }
+  }
+  stats_.mav_promotions++;
+  pending_txns_.erase(it);
+  promoted_.insert(ts);
+  promoted_fifo_.push_back(ts);
+  if (promoted_fifo_.size() > 100000) {
+    promoted_.erase(promoted_fifo_.front());
+    promoted_fifo_.pop_front();
+  }
+}
+
+void ReplicaServer::RenotifyTick() {
+  // Liveness under partitions: keep re-broadcasting our ack for transactions
+  // still pending so a healed network eventually promotes them.
+  for (auto& [ts, txn] : pending_txns_) {
+    if (!txn.acked_by_self) continue;
+    for (net::NodeId peer : AckSetFor(txn.sibs)) {
+      if (peer != id() && !txn.acks.count(peer)) {
+        SendOneWay(peer, net::NotifyRequest{ts, id()});
+      }
+    }
+  }
+  sim_.After(options_.renotify_interval, [this]() { RenotifyTick(); });
+}
+
+// --------------------------------------------------------------------------
+// Anti-entropy
+// --------------------------------------------------------------------------
+
+void ReplicaServer::EnqueueGossip(const WriteRecord& w, net::PutMode mode,
+                                  net::NodeId except) {
+  for (net::NodeId peer : partitioner_->ReplicasOf(w.key)) {
+    if (peer == id() || peer == except) continue;
+    outbox_[peer].push_back(OutboxItem{w, mode});
+  }
+}
+
+void ReplicaServer::FlushOutboxes() {
+  for (auto& [peer, queue] : outbox_) {
+    while (!queue.empty()) {
+      net::AntiEntropyBatch batch;
+      batch.batch_id = (static_cast<uint64_t>(id()) << 40) | next_batch_id_++;
+      batch.mode = queue.front().mode;
+      while (!queue.empty() && queue.front().mode == batch.mode &&
+             batch.writes.size() < options_.ae_batch_max) {
+        batch.writes.push_back(std::move(queue.front().write));
+        queue.pop_front();
+      }
+      stats_.ae_records_out += batch.writes.size();
+      inflight_.emplace(
+          batch.batch_id,
+          InFlightBatch{peer, batch, sim_.Now(),
+                        options_.ae_retry_interval});
+      SendOneWay(peer, std::move(batch));
+    }
+  }
+  // Retransmit stragglers (lost to partitions) with exponential backoff.
+  constexpr sim::Duration kMaxBackoff = 8 * sim::kSecond;
+  for (auto& [batch_id, flight] : inflight_) {
+    if (sim_.Now() - flight.sent_at >= flight.backoff) {
+      flight.sent_at = sim_.Now();
+      flight.backoff = std::min(flight.backoff * 2, kMaxBackoff);
+      SendOneWay(flight.peer, flight.batch);
+    }
+  }
+  sim_.After(options_.ae_flush_interval, [this]() { FlushOutboxes(); });
+}
+
+void ReplicaServer::HandleAntiEntropy(const Envelope& env) {
+  const auto& batch = std::get<net::AntiEntropyBatch>(env.msg);
+  stats_.ae_batches_in++;
+  SendOneWay(env.from, net::AntiEntropyAck{batch.batch_id});
+  if (applied_batches_.count(batch.batch_id)) return;  // retransmit dupe
+  applied_batches_.insert(batch.batch_id);
+  applied_batches_fifo_.push_back(batch.batch_id);
+  if (applied_batches_fifo_.size() > kAppliedBatchMemory) {
+    applied_batches_.erase(applied_batches_fifo_.front());
+    applied_batches_fifo_.pop_front();
+  }
+  for (const auto& w : batch.writes) {
+    stats_.ae_records_in++;
+    if (batch.mode == net::PutMode::kEventual) {
+      InstallEventual(w, /*gossip=*/true);
+    } else {
+      InstallMav(w, /*gossip=*/true);
+    }
+  }
+}
+
+std::vector<net::NodeId> ReplicaServer::PeerReplicas() const {
+  // Replicas share shards key-wise; with cluster-per-copy sharding, the peers
+  // for every key this server holds are the same set. Derive them from any
+  // key we store — or, absent data, from a probe of the partitioner using a
+  // synthetic key is not possible, so fall back to scanning the digest.
+  std::set<net::NodeId> peers;
+  good_.ForEachVersion([this, &peers](const WriteRecord& w) {
+    if (!peers.empty()) return;  // one key suffices: peer set is shard-wide
+    for (net::NodeId r : partitioner_->ReplicasOf(w.key)) {
+      if (r != id()) peers.insert(r);
+    }
+  });
+  return std::vector<net::NodeId>(peers.begin(), peers.end());
+}
+
+void ReplicaServer::DigestSyncTick() {
+  auto peers = PeerReplicas();
+  if (!peers.empty()) {
+    net::NodeId peer = peers[rng_.NextBelow(peers.size())];
+    net::DigestRequest digest;
+    digest.latest = good_.Digest();
+    SendOneWay(peer, std::move(digest));
+  }
+  sim_.After(options_.digest_sync_interval, [this]() { DigestSyncTick(); });
+}
+
+void ReplicaServer::HandleDigest(const net::Envelope& env) {
+  const auto& req = std::get<net::DigestRequest>(env.msg);
+  // Send back every version the requester is missing, in bounded batches
+  // (unacknowledged one-shot batches: the requester's next digest will
+  // re-trigger anything lost).
+  std::map<Key, Timestamp> theirs;
+  for (const auto& [k, ts] : req.latest) theirs.emplace(k, ts);
+  net::AntiEntropyBatch batch;
+  batch.batch_id = (static_cast<uint64_t>(id()) << 40) | next_batch_id_++;
+  auto flush = [this, &env, &batch]() {
+    if (batch.writes.empty()) return;
+    stats_.ae_records_out += batch.writes.size();
+    SendOneWay(env.from, std::move(batch));
+    batch = net::AntiEntropyBatch();
+    batch.batch_id = (static_cast<uint64_t>(id()) << 40) | next_batch_id_++;
+  };
+  good_.ForEachVersion([&](const WriteRecord& w) {
+    auto it = theirs.find(w.key);
+    if (it != theirs.end() && w.ts <= it->second) return;  // they have newer
+    batch.writes.push_back(w);
+    if (batch.writes.size() >= options_.ae_batch_max) flush();
+  });
+  flush();
+
+  // Reverse direction: if the initiator advertises data we lack, answer
+  // with our own digest (one round only) so it pushes the difference back.
+  if (req.reply_allowed) {
+    bool missing = false;
+    for (const auto& [k, ts] : req.latest) {
+      auto ours = good_.LatestTimestamp(k);
+      if (!ours || *ours < ts) {
+        missing = true;
+        break;
+      }
+    }
+    if (missing) {
+      net::DigestRequest mine;
+      mine.latest = good_.Digest();
+      mine.reply_allowed = false;
+      SendOneWay(env.from, std::move(mine));
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Lock service (strict 2PL with wait-die)
+// --------------------------------------------------------------------------
+
+void ReplicaServer::HandleLock(const Envelope& env) {
+  const auto& req = std::get<net::LockRequest>(env.msg);
+  LockState& state = locks_[req.key];
+
+  auto grant = [&]() {
+    if (req.exclusive) {
+      state.s_holders.erase(req.txn);  // S->X upgrade
+      state.x_holder = req.txn;
+    } else {
+      state.s_holders.insert(req.txn);
+    }
+    stats_.locks_granted++;
+    Reply(env, net::LockResponse{/*granted=*/true, /*must_abort=*/false});
+  };
+
+  // Re-entrant / already-held cases.
+  if (state.x_holder == req.txn) {
+    grant();
+    return;
+  }
+  if (!req.exclusive && state.s_holders.count(req.txn)) {
+    grant();
+    return;
+  }
+
+  // Conflicting transactions: current incompatible holders, plus queued
+  // exclusive waiters (new shared requests must not overtake a waiting
+  // writer — otherwise a contended upgrade starves forever behind an
+  // ever-replenished reader population).
+  std::set<Timestamp> conflicts;
+  if (req.exclusive) {
+    if (state.x_holder) conflicts.insert(*state.x_holder);
+    for (const auto& s : state.s_holders) {
+      if (s != req.txn) conflicts.insert(s);
+    }
+    // Sole-shared-holder upgrade is permitted.
+    if (!state.x_holder && state.s_holders.size() == 1 &&
+        state.s_holders.count(req.txn)) {
+      conflicts.clear();
+    }
+  } else {
+    if (state.x_holder) conflicts.insert(*state.x_holder);
+  }
+  for (const auto& w : state.waiters) {
+    if (w.exclusive && w.txn != req.txn) conflicts.insert(w.txn);
+  }
+  if (conflicts.empty()) {
+    grant();
+    return;
+  }
+
+  // Wait-die: the requester may wait only if it is older (smaller
+  // timestamp) than every conflicting transaction; otherwise it dies.
+  bool older_than_all = req.txn < *conflicts.begin();
+  if (older_than_all) {
+    stats_.locks_queued++;
+    state.waiters.push_back(Waiter{req.txn, req.exclusive, env});
+  } else {
+    stats_.lock_deaths++;
+    Reply(env, net::LockResponse{/*granted=*/false, /*must_abort=*/true});
+  }
+}
+
+void ReplicaServer::HandleUnlock(const Envelope& env) {
+  const auto& req = std::get<net::UnlockRequest>(env.msg);
+  for (const auto& key : req.keys) {
+    auto it = locks_.find(key);
+    if (it == locks_.end()) continue;
+    LockState& state = it->second;
+    if (state.x_holder == req.txn) state.x_holder.reset();
+    state.s_holders.erase(req.txn);
+    // Also purge this txn from the wait queue (abort cleanup).
+    for (auto w = state.waiters.begin(); w != state.waiters.end();) {
+      w = (w->txn == req.txn) ? state.waiters.erase(w) : std::next(w);
+    }
+    GrantWaiters(key);
+    if (!state.x_holder && state.s_holders.empty() && state.waiters.empty()) {
+      locks_.erase(it);
+    }
+  }
+}
+
+void ReplicaServer::GrantWaiters(const Key& key) {
+  auto it = locks_.find(key);
+  if (it == locks_.end()) return;
+  LockState& state = it->second;
+  while (!state.waiters.empty()) {
+    Waiter& w = state.waiters.front();
+    // Re-entrant compatibility: a waiter whose transaction already holds the
+    // lock (e.g. a duplicate request after an RPC timeout raced with the
+    // original grant) must be granted, not wedged behind itself.
+    bool compatible;
+    if (w.exclusive) {
+      compatible = (!state.x_holder || *state.x_holder == w.txn) &&
+                   (state.s_holders.empty() ||
+                    (state.s_holders.size() == 1 &&
+                     state.s_holders.count(w.txn)));
+    } else {
+      compatible = !state.x_holder || *state.x_holder == w.txn;
+    }
+    if (!compatible) break;
+    if (w.exclusive) {
+      state.s_holders.erase(w.txn);
+      state.x_holder = w.txn;
+    } else {
+      state.s_holders.insert(w.txn);
+    }
+    stats_.locks_granted++;
+    Reply(w.request, net::LockResponse{/*granted=*/true, false});
+    state.waiters.pop_front();
+    if (w.exclusive) break;  // X admits nobody else
+  }
+}
+
+// --------------------------------------------------------------------------
+// Durability / recovery
+// --------------------------------------------------------------------------
+
+void ReplicaServer::Crash() {
+  good_ = version::VersionedStore();
+  pending_by_key_.clear();
+  pending_txns_.clear();
+  early_acks_.clear();
+  promoted_.clear();
+  promoted_fifo_.clear();
+  outbox_.clear();
+  inflight_.clear();
+  applied_batches_.clear();
+  applied_batches_fifo_.clear();
+  locks_.clear();
+  busy_until_ = sim_.Now();
+}
+
+Status ReplicaServer::RecoverFromStorage() {
+  if (!disk_) return Status::Unsupported("server has no storage directory");
+  // Good (revealed) versions.
+  HAT_RETURN_IF_ERROR(disk_->Scan(
+      std::string(kGoodPrefix), std::string("g0"),
+      [this](std::string_view sk, std::string_view value) {
+        auto parsed = version::ParseStorageKey(sk.substr(kGoodPrefix.size()));
+        if (!parsed) return;
+        auto w = version::DecodeWriteRecord(parsed->first, value);
+        if (w) good_.Apply(*w);
+      }));
+  // Pending (not yet stable) versions re-enter the MAV pipeline; acks will
+  // be re-broadcast by MaybeAck/RenotifyTick.
+  std::vector<WriteRecord> pending;
+  HAT_RETURN_IF_ERROR(disk_->Scan(
+      std::string(kPendingPrefix), std::string("p0"),
+      [&pending](std::string_view sk, std::string_view value) {
+        auto parsed =
+            version::ParseStorageKey(sk.substr(kPendingPrefix.size()));
+        if (!parsed) return;
+        auto w = version::DecodeWriteRecord(parsed->first, value);
+        if (w) pending.push_back(std::move(*w));
+      }));
+  for (const auto& w : pending) InstallMav(w, /*gossip=*/true);
+  return Status::Ok();
+}
+
+}  // namespace hat::server

@@ -1,0 +1,222 @@
+// ReplicaServer: one hatkv database server.
+//
+// A single server class implements every role the paper's evaluation needs:
+//  * eventual / Read Committed installation (last-writer-wins registers),
+//  * the Appendix B MAV algorithm (pending / good sets, pending-stable
+//    notification, required-bound reads),
+//  * all-to-all anti-entropy with reliable (retransmitted) outboxes,
+//  * per-key master serving (single serialization point for the "master"
+//    baseline; recency comes from routing),
+//  * a strict two-phase-locking lock service with wait-die deadlock
+//    avoidance (the "locking" baseline of Section 6.3),
+//  * optional real durability via hat::storage::LocalStore (replicas can be
+//    crashed and recovered in tests).
+//
+// Servers are single service centers: each incoming message is queued and
+// charged a service demand (ServiceCosts), which produces the saturation and
+// overhead behaviour of Figures 3-6.
+
+#ifndef HAT_SERVER_REPLICA_SERVER_H_
+#define HAT_SERVER_REPLICA_SERVER_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "hat/net/rpc.h"
+#include "hat/server/partitioner.h"
+#include "hat/server/service_costs.h"
+#include "hat/storage/local_store.h"
+#include "hat/version/versioned_store.h"
+
+namespace hat::server {
+
+struct ServerOptions {
+  ServiceCosts costs;
+  /// Charge WAL-sync service time on installs (the paper's servers write
+  /// synchronously to LevelDB before responding).
+  bool durable = true;
+  /// Non-empty: persist installed writes to a LocalStore under this
+  /// directory, enabling crash/recovery tests. Empty: modeled durability
+  /// only (service-time charge, no real IO) — used by benchmarks.
+  std::string storage_dir;
+  /// Anti-entropy outbox flush cadence.
+  sim::Duration ae_flush_interval = 5 * sim::kMillisecond;
+  /// Retransmit unacknowledged anti-entropy batches after this long.
+  sim::Duration ae_retry_interval = 250 * sim::kMillisecond;
+  /// Re-broadcast MAV pending-stable acks for still-pending transactions
+  /// (recovers promotions whose notifies were lost to a partition).
+  sim::Duration renotify_interval = 500 * sim::kMillisecond;
+  /// Digest-based repair: every interval, exchange per-key latest-version
+  /// digests with one random peer replica and back-fill whatever it is
+  /// missing. Catches writes whose push outbox was lost to a crash.
+  /// 0 disables (benchmarks use push-only anti-entropy).
+  sim::Duration digest_sync_interval = 0;
+  /// Drop pending MAV writes older than the good version for their key
+  /// (the "pending invalidation" optimization of Appendix B).
+  bool gc_stale_pending = true;
+  /// Max writes per anti-entropy batch.
+  size_t ae_batch_max = 64;
+  /// Garbage-collect old versions beyond this many per key (0 = unlimited).
+  /// Old versions fold into a single base Put, preserving visible values
+  /// (Section 5.1.2: "older versions can be asynchronously garbage
+  /// collected").
+  size_t max_versions_per_key = 8;
+};
+
+struct ServerStats {
+  uint64_t gets = 0;
+  uint64_t gets_not_yet = 0;  ///< required-bound reads answered kNotYet
+  uint64_t gets_from_pending = 0;
+  uint64_t puts = 0;
+  uint64_t scans = 0;
+  uint64_t notifies = 0;
+  uint64_t ae_batches_in = 0;
+  uint64_t ae_records_in = 0;
+  uint64_t ae_records_out = 0;
+  uint64_t mav_promotions = 0;
+  uint64_t stale_pending_dropped = 0;
+  uint64_t locks_granted = 0;
+  uint64_t locks_queued = 0;
+  uint64_t lock_deaths = 0;  ///< wait-die aborts issued
+  double busy_us = 0;        ///< total service time consumed
+};
+
+class ReplicaServer : public net::RpcNode {
+ public:
+  ReplicaServer(sim::Simulation& sim, net::Network& net, net::NodeId id,
+                ServerOptions options, const Partitioner* partitioner);
+
+  /// Loads previously persisted state (storage_dir mode). Call before the
+  /// simulation starts or after a simulated crash.
+  Status RecoverFromStorage();
+
+  /// Simulates a crash: wipes all volatile state (good/pending/acks/locks/
+  /// outboxes). Durable state on disk survives for RecoverFromStorage().
+  void Crash();
+
+  const ServerStats& stats() const { return stats_; }
+  const version::VersionedStore& good() const { return good_; }
+  size_t PendingCount() const;
+
+  /// Bootstrap/test hook: installs a version directly into the good set with
+  /// no gossip, persistence, or service cost (dataset preloading).
+  void InstallForTest(const WriteRecord& w) { good_.Apply(w); }
+
+  /// Fraction of time this server was busy over the sim so far (utilization).
+  double UtilizationOver(sim::SimTime elapsed) const {
+    return elapsed == 0 ? 0 : stats_.busy_us / static_cast<double>(elapsed);
+  }
+
+ protected:
+  void HandleMessage(const net::Envelope& env) override;
+
+ private:
+  void Process(const net::Envelope& env);
+  double CostOf(const net::Message& msg) const;
+
+  // --- write installation ---------------------------------------------
+  void InstallEventual(const WriteRecord& w, bool gossip);
+  void InstallMav(const WriteRecord& w, bool gossip);
+  void MaybeGcVersions(const Key& key);
+  void PersistWrite(const WriteRecord& w, bool pending);
+  void EraseePersistedPending(const WriteRecord& w);
+
+  // --- MAV machinery ----------------------------------------------------
+  /// Servers that must acknowledge transaction `ts` before promotion:
+  /// every replica of every sibling key.
+  std::set<net::NodeId> AckSetFor(const std::vector<Key>& sibs) const;
+  /// Sibling keys of `sibs` that this server replicates.
+  std::vector<Key> LocalKeysOf(const std::vector<Key>& sibs) const;
+  void MaybeAck(const Timestamp& ts);
+  void MaybePromote(const Timestamp& ts);
+  void HandleNotify(const net::NotifyRequest& req);
+  void RenotifyTick();
+
+  // --- anti-entropy -------------------------------------------------------
+  void EnqueueGossip(const WriteRecord& w, net::PutMode mode,
+                     net::NodeId except);
+  void FlushOutboxes();
+  void HandleAntiEntropy(const net::Envelope& env);
+  void DigestSyncTick();
+  void HandleDigest(const net::Envelope& env);
+  /// All peer replicas this server shares any shard with (same shard index
+  /// in the other clusters).
+  std::vector<net::NodeId> PeerReplicas() const;
+
+  // --- request handlers --------------------------------------------------
+  void HandleGet(const net::Envelope& env);
+  void HandleScan(const net::Envelope& env);
+  void HandlePut(const net::Envelope& env);
+  void HandleLock(const net::Envelope& env);
+  void HandleUnlock(const net::Envelope& env);
+  void GrantWaiters(const Key& key);
+
+  ServerOptions options_;
+  const Partitioner* partitioner_;
+  ServerStats stats_;
+  sim::SimTime busy_until_ = 0;
+  Rng rng_{0};  // peer selection for digest sync
+
+  version::VersionedStore good_;
+  // MAV pending, indexed two ways: by key (for required-bound reads) and by
+  // transaction timestamp (for promotion).
+  std::map<Key, std::map<Timestamp, WriteRecord>> pending_by_key_;
+  struct PendingTxn {
+    std::vector<WriteRecord> writes;       // this server's sibling writes
+    std::vector<Key> sibs;                 // full txn key set
+    std::set<net::NodeId> acks;            // distinct ack senders seen
+    bool acked_by_self = false;            // we broadcast our ack already
+  };
+  std::map<Timestamp, PendingTxn> pending_txns_;
+  // Acks that arrived before the first write of their transaction.
+  std::map<Timestamp, std::set<net::NodeId>> early_acks_;
+  // Transactions this server already promoted (bounded FIFO). A late ack
+  // for a promoted transaction is answered with our own ack so replicas
+  // that received the writes after a partition heal can still promote.
+  std::set<Timestamp> promoted_;
+  std::deque<Timestamp> promoted_fifo_;
+
+  // Anti-entropy outboxes.
+  struct OutboxItem {
+    WriteRecord write;
+    net::PutMode mode;
+  };
+  std::map<net::NodeId, std::deque<OutboxItem>> outbox_;
+  struct InFlightBatch {
+    net::NodeId peer;
+    net::AntiEntropyBatch batch;
+    sim::SimTime sent_at;
+    /// Exponential backoff: doubles per retransmission (capped), so slow
+    /// acks under load do not trigger duplicate-processing storms.
+    sim::Duration backoff;
+  };
+  std::map<uint64_t, InFlightBatch> inflight_;
+  uint64_t next_batch_id_ = 1;
+  // Batches already applied (dedupe against retransmits), bounded FIFO.
+  std::deque<uint64_t> applied_batches_fifo_;
+  std::set<uint64_t> applied_batches_;
+
+  // Lock table (strict 2PL, wait-die on priority = txn timestamp age).
+  struct Waiter {
+    Timestamp txn;
+    bool exclusive;
+    net::Envelope request;  // replied to on grant
+  };
+  struct LockState {
+    std::optional<Timestamp> x_holder;
+    std::set<Timestamp> s_holders;
+    std::deque<Waiter> waiters;
+  };
+  std::map<Key, LockState> locks_;
+
+  std::unique_ptr<storage::LocalStore> disk_;
+};
+
+}  // namespace hat::server
+
+#endif  // HAT_SERVER_REPLICA_SERVER_H_

@@ -1,0 +1,45 @@
+// Service-time model for replica servers.
+//
+// Each server is a single service center: requests queue and consume CPU/IO
+// time. These per-operation demands generate the throughput phenomena the
+// paper measures — saturation under client load (Figure 3), MAV's ~75% of
+// eventual throughput in-datacenter, its decay with transaction length
+// (Figure 4) and write fraction (Figure 5), and linear scale-out (Figure 6).
+
+#ifndef HAT_SERVER_SERVICE_COSTS_H_
+#define HAT_SERVER_SERVICE_COSTS_H_
+
+namespace hat::server {
+
+/// All values in microseconds of server busy time. Calibrated so a 2x5
+/// m1.xlarge-class deployment saturates near the paper's ~14-16k txns/s for
+/// eventual (Figure 3A) with MAV at ~75% of that.
+struct ServiceCosts {
+  double get_us = 60;            ///< point read from the good set
+  double put_us = 80;            ///< install one version
+  double wal_sync_us = 60;       ///< synchronous durability (LevelDB/WAL)
+  double mav_extra_put_us = 30;  ///< MAV's second backend put (pending->good)
+  double per_kb_us = 3;          ///< marshalling / IO per KB of payload
+  /// Extra cost per KB of MAV sibling metadata: the sibling list is written
+  /// to the WAL, both backend puts, and every anti-entropy copy, so its
+  /// effective IO amplification far exceeds a plain payload byte's
+  /// ("[metadata] proportional to transaction length consume[s] IOPS and
+  /// network bandwidth", Section 6.3). Drives Figure 4's MAV decay.
+  double mav_metadata_per_kb_us = 60;
+  double notify_us = 2;          ///< MAV pending-stable ack (batched)
+  double ae_record_us = 20;      ///< applying one anti-entropy record
+  double ae_batch_us = 15;       ///< per-batch overhead (amortized by batching)
+  double lock_us = 10;           ///< lock table operation
+  double scan_base_us = 60;      ///< range read fixed cost
+  double scan_item_us = 5;       ///< per item returned by a range read
+  double ping_us = 1;
+
+  /// Models the LevelDB write-amplification / IOPS contention the paper
+  /// observed for MAV at scale: put cost inflates with the size of the
+  /// pending set (0 disables).
+  double pending_contention_scale = 50000;
+};
+
+}  // namespace hat::server
+
+#endif  // HAT_SERVER_SERVICE_COSTS_H_

@@ -1,0 +1,70 @@
+#include "hat/sim/simulation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace hat::sim {
+
+EventId Simulation::At(SimTime t, Callback cb) {
+  assert(t >= now_ && "cannot schedule into the past");
+  if (t < now_) t = now_;
+  EventId id = next_id_++;
+  queue_.push(Event{t, next_seq_++, id, std::move(cb)});
+  live_events_++;
+  return id;
+}
+
+bool Simulation::Cancel(EventId id) {
+  if (id == 0 || id >= next_id_) return false;
+  if (!cancelled_.insert(id).second) return false;  // already cancelled
+  if (live_events_ > 0) live_events_--;
+  return true;
+}
+
+bool Simulation::IsCancelled(EventId id) {
+  auto it = cancelled_.find(id);
+  if (it == cancelled_.end()) return false;
+  cancelled_.erase(it);
+  return true;
+}
+
+bool Simulation::Step() {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    Event ev{top.time, top.seq, top.id, std::move(const_cast<Event&>(top).cb)};
+    queue_.pop();
+    if (IsCancelled(ev.id)) continue;
+    live_events_--;
+    now_ = ev.time;
+    ev.cb();
+    events_processed_++;
+    return true;
+  }
+  return false;
+}
+
+uint64_t Simulation::Run(SimTime limit) {
+  uint64_t processed = 0;
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.time > limit) break;
+    Event ev{top.time, top.seq, top.id, std::move(const_cast<Event&>(top).cb)};
+    queue_.pop();
+    if (IsCancelled(ev.id)) continue;
+    live_events_--;
+    now_ = ev.time;
+    ev.cb();
+    processed++;
+    events_processed_++;
+  }
+  if (queue_.empty() || queue_.top().time > limit) {
+    // Advance the clock to the limit when asked to run to a horizon, so a
+    // subsequent After() is relative to the horizon, matching wall-clock use.
+    if (limit != std::numeric_limits<SimTime>::max()) {
+      now_ = std::max(now_, limit);
+    }
+  }
+  return processed;
+}
+
+}  // namespace hat::sim

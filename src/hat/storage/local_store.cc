@@ -1,0 +1,233 @@
+#include "hat/storage/local_store.h"
+
+#include <algorithm>
+#include <filesystem>
+
+#include "hat/common/codec.h"
+
+namespace hat::storage {
+
+namespace fs = std::filesystem;
+
+namespace {
+constexpr std::string_view kWalName = "wal.log";
+constexpr std::string_view kRunPrefix = "run-";
+constexpr std::string_view kRunSuffix = ".tbl";
+
+// WAL payload: [tag][varint klen][key][value...]; tombstones have no value.
+std::string EncodeWalRecord(std::string_view key,
+                            std::optional<std::string_view> value) {
+  std::string rec;
+  rec.push_back(value ? 1 : 0);
+  PutLengthPrefixed(&rec, key);
+  if (value) rec.append(value->data(), value->size());
+  return rec;
+}
+
+// Table values carry a tag byte so tombstones survive flushes.
+std::string EncodeTableValue(const std::optional<std::string>& value) {
+  std::string v;
+  v.push_back(value ? 1 : 0);
+  if (value) v.append(*value);
+  return v;
+}
+}  // namespace
+
+std::string LocalStore::RunPath(uint64_t number) const {
+  return dir_ + "/" + std::string(kRunPrefix) + std::to_string(number) +
+         std::string(kRunSuffix);
+}
+
+Result<std::unique_ptr<LocalStore>> LocalStore::Open(
+    const std::string& dir, LocalStoreOptions options) {
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) return Status::IoError("cannot create dir: " + dir);
+
+  auto store =
+      std::unique_ptr<LocalStore>(new LocalStore(dir, options));
+
+  // Load existing runs in number order.
+  std::vector<uint64_t> numbers;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    std::string name = entry.path().filename().string();
+    if (name.rfind(kRunPrefix, 0) == 0 &&
+        name.size() > kRunPrefix.size() + kRunSuffix.size()) {
+      std::string num = name.substr(
+          kRunPrefix.size(),
+          name.size() - kRunPrefix.size() - kRunSuffix.size());
+      numbers.push_back(std::stoull(num));
+    }
+  }
+  std::sort(numbers.begin(), numbers.end());
+  for (uint64_t n : numbers) {
+    HAT_ASSIGN_OR_RETURN(TableReader reader,
+                         TableReader::Open(store->RunPath(n)));
+    store->runs_.push_back(std::move(reader));
+    store->next_run_number_ = std::max(store->next_run_number_, n + 1);
+  }
+
+  // Replay WAL into the memtable.
+  std::string wal_path = dir + "/" + std::string(kWalName);
+  HAT_ASSIGN_OR_RETURN(
+      uint64_t replayed,
+      WalReplay(wal_path, [&store](std::string_view payload) {
+        if (payload.empty()) return;
+        char tag = payload[0];
+        std::string_view rest = payload.substr(1);
+        auto key = GetLengthPrefixed(&rest);
+        if (!key) return;
+        if (tag == 1) {
+          store->memtable_[std::string(*key)] = std::string(rest);
+          store->memtable_bytes_ += key->size() + rest.size();
+        } else {
+          store->memtable_[std::string(*key)] = std::nullopt;
+          store->memtable_bytes_ += key->size();
+        }
+      }));
+  store->stats_.wal_records_replayed = replayed;
+
+  HAT_ASSIGN_OR_RETURN(WalWriter wal, WalWriter::Open(wal_path));
+  store->wal_ = std::move(wal);
+  return store;
+}
+
+Status LocalStore::Write(std::string_view key,
+                         std::optional<std::string_view> value) {
+  HAT_RETURN_IF_ERROR(wal_->Append(EncodeWalRecord(key, value)));
+  if (options_.sync_writes) HAT_RETURN_IF_ERROR(wal_->Sync());
+  if (value) {
+    memtable_[std::string(key)] = std::string(*value);
+    memtable_bytes_ += key.size() + value->size();
+  } else {
+    memtable_[std::string(key)] = std::nullopt;
+    memtable_bytes_ += key.size();
+  }
+  return MaybeFlush();
+}
+
+Status LocalStore::Put(std::string_view key, std::string_view value) {
+  stats_.puts++;
+  return Write(key, value);
+}
+
+Status LocalStore::Delete(std::string_view key) {
+  stats_.deletes++;
+  return Write(key, std::nullopt);
+}
+
+Result<std::string> LocalStore::Get(std::string_view key) const {
+  stats_.gets++;
+  auto it = memtable_.find(key);
+  if (it != memtable_.end()) {
+    if (!it->second) return Status::NotFound();
+    return *it->second;
+  }
+  for (auto run = runs_.rbegin(); run != runs_.rend(); ++run) {
+    auto result = run->Get(key);
+    if (result.ok()) {
+      const std::string& tagged = result.value();
+      if (tagged.empty() || tagged[0] == kTombstoneTag) {
+        return Status::NotFound();
+      }
+      return tagged.substr(1);
+    }
+    if (!result.status().IsNotFound()) return result.status();
+  }
+  return Status::NotFound();
+}
+
+Status LocalStore::Scan(
+    std::string_view lo, std::string_view hi,
+    const std::function<void(std::string_view, std::string_view)>& fn) const {
+  // Merge memtable + runs; newest source wins per key.
+  std::map<std::string, std::optional<std::string>> merged;
+  for (const auto& run : runs_) {  // oldest first; later inserts overwrite
+    HAT_RETURN_IF_ERROR(
+        run.Scan(lo, hi, [&merged](std::string_view k, std::string_view v) {
+          if (v.empty() || v[0] == kTombstoneTag) {
+            merged[std::string(k)] = std::nullopt;
+          } else {
+            merged[std::string(k)] = std::string(v.substr(1));
+          }
+        }));
+  }
+  for (auto it = memtable_.lower_bound(lo); it != memtable_.end(); ++it) {
+    if (!hi.empty() && it->first >= hi) break;
+    merged[it->first] = it->second;
+  }
+  for (const auto& [k, v] : merged) {
+    if (v) fn(k, *v);
+  }
+  return Status::Ok();
+}
+
+Status LocalStore::MaybeFlush() {
+  if (memtable_bytes_ < options_.memtable_flush_bytes) return Status::Ok();
+  return Flush();
+}
+
+Status LocalStore::Flush() {
+  if (memtable_.empty()) return Status::Ok();
+  stats_.flushes++;
+  uint64_t number = next_run_number_++;
+  HAT_ASSIGN_OR_RETURN(TableBuilder builder,
+                       TableBuilder::Create(RunPath(number)));
+  for (const auto& [k, v] : memtable_) {
+    HAT_RETURN_IF_ERROR(builder.Add(k, EncodeTableValue(v)));
+  }
+  HAT_RETURN_IF_ERROR(builder.Finish());
+  HAT_ASSIGN_OR_RETURN(TableReader reader, TableReader::Open(RunPath(number)));
+  runs_.push_back(std::move(reader));
+  memtable_.clear();
+  memtable_bytes_ = 0;
+  // The WAL's contents are now durable in the run; start a fresh log.
+  std::string wal_path = dir_ + "/" + std::string(kWalName);
+  wal_.reset();
+  std::error_code ec;
+  fs::remove(wal_path, ec);
+  HAT_ASSIGN_OR_RETURN(WalWriter wal, WalWriter::Open(wal_path));
+  wal_ = std::move(wal);
+  return Status::Ok();
+}
+
+Status LocalStore::Compact() {
+  HAT_RETURN_IF_ERROR(Flush());
+  if (runs_.size() <= 1) return Status::Ok();
+  stats_.compactions++;
+  // Merge all runs: newest wins; drop tombstones entirely (single level).
+  std::map<std::string, std::string> live;
+  std::map<std::string, bool> dead;
+  for (const auto& run : runs_) {
+    HAT_RETURN_IF_ERROR(run.ScanAll([&](std::string_view k,
+                                        std::string_view v) {
+      if (v.empty() || v[0] == kTombstoneTag) {
+        live.erase(std::string(k));
+        dead[std::string(k)] = true;
+      } else {
+        live[std::string(k)] = std::string(v.substr(1));
+        dead.erase(std::string(k));
+      }
+    }));
+  }
+  uint64_t number = next_run_number_++;
+  HAT_ASSIGN_OR_RETURN(TableBuilder builder,
+                       TableBuilder::Create(RunPath(number)));
+  for (const auto& [k, v] : live) {
+    HAT_RETURN_IF_ERROR(
+        builder.Add(k, EncodeTableValue(std::optional<std::string>(v))));
+  }
+  HAT_RETURN_IF_ERROR(builder.Finish());
+
+  std::vector<std::string> old_paths;
+  old_paths.reserve(runs_.size());
+  for (const auto& run : runs_) old_paths.push_back(run.path());
+  runs_.clear();
+  HAT_ASSIGN_OR_RETURN(TableReader reader, TableReader::Open(RunPath(number)));
+  runs_.push_back(std::move(reader));
+  std::error_code ec;
+  for (const auto& p : old_paths) fs::remove(p, ec);
+  return Status::Ok();
+}
+
+}  // namespace hat::storage

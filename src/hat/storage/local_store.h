@@ -1,0 +1,95 @@
+// LocalStore: the embedded local key-value store each replica server uses for
+// durability (the role LevelDB plays in the paper's prototype, Section 6.3).
+//
+// Architecture: WAL + in-memory memtable + immutable sorted runs.
+//   Put/Delete  -> WAL append (+ optional sync) -> memtable
+//   memtable full -> flushed to a new sorted run (table file)
+//   Get         -> memtable, then runs newest-to-oldest
+//   Compact()   -> merges all runs into one
+//   Open()      -> loads runs listed on disk, replays WAL into memtable
+// Deletes are tombstones so that a delete in a newer run shadows older runs.
+
+#ifndef HAT_STORAGE_LOCAL_STORE_H_
+#define HAT_STORAGE_LOCAL_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hat/common/result.h"
+#include "hat/storage/table.h"
+#include "hat/storage/wal.h"
+
+namespace hat::storage {
+
+struct LocalStoreOptions {
+  /// Sync the WAL on every write (the paper's servers are durable: they
+  /// synchronously write before responding).
+  bool sync_writes = true;
+  /// Flush the memtable to a sorted run after this many bytes.
+  size_t memtable_flush_bytes = 4 << 20;
+};
+
+struct LocalStoreStats {
+  uint64_t puts = 0;
+  uint64_t deletes = 0;
+  uint64_t gets = 0;
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t wal_records_replayed = 0;
+};
+
+class LocalStore {
+ public:
+  /// Opens (or creates) a store rooted at directory `dir`, replaying the WAL.
+  static Result<std::unique_ptr<LocalStore>> Open(const std::string& dir,
+                                                  LocalStoreOptions options = {});
+
+  Status Put(std::string_view key, std::string_view value);
+  Status Delete(std::string_view key);
+  Result<std::string> Get(std::string_view key) const;  // kNotFound if absent
+
+  /// In-order scan over live (non-tombstoned) entries with key in [lo, hi);
+  /// empty hi = +inf.
+  Status Scan(std::string_view lo, std::string_view hi,
+              const std::function<void(std::string_view key,
+                                       std::string_view value)>& fn) const;
+
+  /// Forces the memtable to a sorted run.
+  Status Flush();
+
+  /// Merges all runs (and drops tombstones shadowing nothing).
+  Status Compact();
+
+  size_t run_count() const { return runs_.size(); }
+  const LocalStoreStats& stats() const { return stats_; }
+
+ private:
+  LocalStore(std::string dir, LocalStoreOptions options)
+      : dir_(std::move(dir)), options_(options) {}
+
+  Status Write(std::string_view key, std::optional<std::string_view> value);
+  Status MaybeFlush();
+  std::string RunPath(uint64_t number) const;
+
+  std::string dir_;
+  LocalStoreOptions options_;
+  std::optional<WalWriter> wal_;
+  // memtable: nullopt value = tombstone.
+  std::map<std::string, std::optional<std::string>, std::less<>> memtable_;
+  size_t memtable_bytes_ = 0;
+  std::vector<TableReader> runs_;  // oldest first
+  uint64_t next_run_number_ = 1;
+  mutable LocalStoreStats stats_;  // gets counted from const reads
+
+  static constexpr char kTombstoneTag = 0;
+  static constexpr char kValueTag = 1;
+};
+
+}  // namespace hat::storage
+
+#endif  // HAT_STORAGE_LOCAL_STORE_H_

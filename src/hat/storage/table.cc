@@ -1,0 +1,142 @@
+#include "hat/storage/table.h"
+
+#include <algorithm>
+#include <fstream>
+
+#include "hat/common/codec.h"
+#include "hat/common/crc32.h"
+
+namespace hat::storage {
+
+Result<TableBuilder> TableBuilder::Create(const std::string& path) {
+  TableBuilder b(path);
+  // Eagerly verify the location is writable.
+  std::ofstream probe(path, std::ios::binary | std::ios::trunc);
+  if (!probe.good()) return Status::IoError("cannot create table: " + path);
+  return b;
+}
+
+Status TableBuilder::Add(std::string_view key, std::string_view value) {
+  if (finished_) return Status::InternalError("Add after Finish");
+  if (entries_ > 0 && key <= last_key_) {
+    return Status::InvalidArgument("table keys must be strictly increasing");
+  }
+  if (entries_ % kIndexInterval == 0) {
+    PutLengthPrefixed(&index_, key);
+    PutFixed64(&index_, buffer_.size());
+  }
+  PutLengthPrefixed(&buffer_, key);
+  PutLengthPrefixed(&buffer_, value);
+  last_key_.assign(key);
+  entries_++;
+  return Status::Ok();
+}
+
+Status TableBuilder::Finish() {
+  if (finished_) return Status::InternalError("double Finish");
+  finished_ = true;
+  std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+  if (!out.good()) return Status::IoError("cannot write table: " + path_);
+  uint64_t index_offset = buffer_.size();
+  out.write(buffer_.data(), static_cast<std::streamsize>(buffer_.size()));
+  out.write(index_.data(), static_cast<std::streamsize>(index_.size()));
+  std::string footer;
+  PutFixed64(&footer, index_offset);
+  PutFixed64(&footer, entries_);
+  PutFixed32(&footer, MaskCrc(Crc32c(index_)));
+  PutFixed64(&footer, kTableMagic);
+  out.write(footer.data(), static_cast<std::streamsize>(footer.size()));
+  out.flush();
+  if (!out.good()) return Status::IoError("table finish failed: " + path_);
+  return Status::Ok();
+}
+
+Result<TableReader> TableReader::Open(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in.good()) return Status::IoError("cannot open table: " + path);
+  auto file_size = static_cast<uint64_t>(in.tellg());
+  constexpr uint64_t kFooterSize = 8 + 8 + 4 + 8;
+  if (file_size < kFooterSize) {
+    return Status::Corruption("table too small: " + path);
+  }
+  std::string footer(kFooterSize, '\0');
+  in.seekg(static_cast<std::streamoff>(file_size - kFooterSize));
+  in.read(footer.data(), static_cast<std::streamsize>(kFooterSize));
+  uint64_t index_offset = DecodeFixed64(footer.data());
+  uint64_t entry_count = DecodeFixed64(footer.data() + 8);
+  uint32_t index_crc = UnmaskCrc(DecodeFixed32(footer.data() + 16));
+  uint64_t magic = DecodeFixed64(footer.data() + 20);
+  if (magic != kTableMagic) {
+    return Status::Corruption("bad table magic: " + path);
+  }
+  if (index_offset > file_size - kFooterSize) {
+    return Status::Corruption("bad index offset: " + path);
+  }
+
+  TableReader r(path);
+  r.entry_count_ = entry_count;
+  r.data_.resize(index_offset);
+  in.seekg(0);
+  in.read(r.data_.data(), static_cast<std::streamsize>(index_offset));
+  std::string index(file_size - kFooterSize - index_offset, '\0');
+  in.read(index.data(), static_cast<std::streamsize>(index.size()));
+  if (!in.good()) return Status::IoError("short table read: " + path);
+  if (Crc32c(index) != index_crc) {
+    return Status::Corruption("index checksum mismatch: " + path);
+  }
+
+  std::string_view cursor(index);
+  while (!cursor.empty()) {
+    auto key = GetLengthPrefixed(&cursor);
+    if (!key || cursor.size() < 8) {
+      return Status::Corruption("truncated index entry: " + path);
+    }
+    uint64_t offset = DecodeFixed64(cursor.data());
+    cursor.remove_prefix(8);
+    r.index_.emplace_back(std::string(*key), offset);
+  }
+  return r;
+}
+
+Result<std::string> TableReader::Get(std::string_view key) const {
+  if (index_.empty()) return Status::NotFound();
+  // Last index entry with key <= target.
+  auto it = std::upper_bound(
+      index_.begin(), index_.end(), key,
+      [](std::string_view k, const auto& e) { return k < e.first; });
+  if (it == index_.begin()) return Status::NotFound();
+  --it;
+  std::string_view cursor(data_);
+  cursor.remove_prefix(it->second);
+  for (int i = 0; i < kIndexInterval && !cursor.empty(); i++) {
+    auto k = GetLengthPrefixed(&cursor);
+    auto v = k ? GetLengthPrefixed(&cursor) : std::nullopt;
+    if (!k || !v) return Status::Corruption("truncated entry: " + path_);
+    if (*k == key) return std::string(*v);
+    if (*k > key) break;
+  }
+  return Status::NotFound();
+}
+
+Status TableReader::Scan(
+    std::string_view lo, std::string_view hi,
+    const std::function<void(std::string_view, std::string_view)>& fn) const {
+  std::string_view cursor(data_);
+  if (!lo.empty() && !index_.empty()) {
+    auto it = std::upper_bound(
+        index_.begin(), index_.end(), lo,
+        [](std::string_view k, const auto& e) { return k < e.first; });
+    if (it != index_.begin()) --it;
+    cursor.remove_prefix(it->second);
+  }
+  while (!cursor.empty()) {
+    auto k = GetLengthPrefixed(&cursor);
+    auto v = k ? GetLengthPrefixed(&cursor) : std::nullopt;
+    if (!k || !v) return Status::Corruption("truncated entry: " + path_);
+    if (!hi.empty() && *k >= hi) break;
+    if (*k >= lo) fn(*k, *v);
+  }
+  return Status::Ok();
+}
+
+}  // namespace hat::storage

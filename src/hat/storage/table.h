@@ -1,0 +1,89 @@
+// Immutable sorted-run table files (a simplified SSTable).
+//
+// Layout:
+//   data:   repeated [varint klen][key][varint vlen][value]   (sorted by key)
+//   index:  repeated [varint klen][key][fixed64 offset]        (every Nth key)
+//   footer: [fixed64 index_offset][fixed64 entry_count]
+//           [fixed32 masked crc of index][fixed64 magic]
+// Readers keep the sparse index in memory; a point lookup binary-searches the
+// index then scans at most `kIndexInterval` entries.
+
+#ifndef HAT_STORAGE_TABLE_H_
+#define HAT_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hat/common/result.h"
+
+namespace hat::storage {
+
+inline constexpr uint64_t kTableMagic = 0x6861746b76544231ULL;  // "hatkvTB1"
+inline constexpr int kIndexInterval = 16;
+
+/// Streams sorted entries into a table file. Keys must be added in strictly
+/// increasing order.
+class TableBuilder {
+ public:
+  static Result<TableBuilder> Create(const std::string& path);
+
+  TableBuilder(TableBuilder&&) = default;
+  TableBuilder& operator=(TableBuilder&&) = default;
+
+  Status Add(std::string_view key, std::string_view value);
+
+  /// Writes index + footer and closes the file.
+  Status Finish();
+
+  uint64_t entries() const { return entries_; }
+
+ private:
+  explicit TableBuilder(std::string path) : path_(std::move(path)) {}
+  std::string path_;
+  std::string buffer_;  // whole data section buffered, then written once
+  std::string index_;
+  std::string last_key_;
+  uint64_t entries_ = 0;
+  bool finished_ = false;
+};
+
+/// Reads a table file. The sparse index is loaded eagerly; data is read
+/// on demand.
+class TableReader {
+ public:
+  static Result<TableReader> Open(const std::string& path);
+
+  TableReader(TableReader&&) = default;
+  TableReader& operator=(TableReader&&) = default;
+
+  /// Point lookup.
+  Result<std::string> Get(std::string_view key) const;  // kNotFound if absent
+
+  /// In-order iteration over entries with key in [lo, hi); empty hi = +inf.
+  Status Scan(std::string_view lo, std::string_view hi,
+              const std::function<void(std::string_view key,
+                                       std::string_view value)>& fn) const;
+
+  /// Iterates all entries in order.
+  Status ScanAll(const std::function<void(std::string_view key,
+                                          std::string_view value)>& fn) const {
+    return Scan("", "", fn);
+  }
+
+  uint64_t entries() const { return entry_count_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit TableReader(std::string path) : path_(std::move(path)) {}
+  std::string path_;
+  std::string data_;  // data section held in memory (tables are modest)
+  std::vector<std::pair<std::string, uint64_t>> index_;
+  uint64_t entry_count_ = 0;
+};
+
+}  // namespace hat::storage
+
+#endif  // HAT_STORAGE_TABLE_H_

@@ -1,0 +1,65 @@
+#include "hat/storage/wal.h"
+
+#include <filesystem>
+#include <vector>
+
+#include "hat/common/codec.h"
+#include "hat/common/crc32.h"
+
+namespace hat::storage {
+
+Result<WalWriter> WalWriter::Open(const std::string& path) {
+  WalWriter w(path);
+  w.out_ = std::make_unique<std::ofstream>(
+      path, std::ios::binary | std::ios::app);
+  if (!w.out_->good()) {
+    return Status::IoError("cannot open WAL: " + path);
+  }
+  return w;
+}
+
+Status WalWriter::Append(std::string_view payload) {
+  std::string header;
+  PutFixed32(&header, MaskCrc(Crc32c(payload)));
+  PutFixed32(&header, static_cast<uint32_t>(payload.size()));
+  out_->write(header.data(), static_cast<std::streamsize>(header.size()));
+  out_->write(payload.data(), static_cast<std::streamsize>(payload.size()));
+  if (!out_->good()) return Status::IoError("WAL append failed: " + path_);
+  bytes_written_ += header.size() + payload.size();
+  return Status::Ok();
+}
+
+Status WalWriter::Sync() {
+  out_->flush();
+  if (!out_->good()) return Status::IoError("WAL sync failed: " + path_);
+  return Status::Ok();
+}
+
+Result<uint64_t> WalReplay(
+    const std::string& path,
+    const std::function<void(std::string_view payload)>& apply) {
+  std::error_code ec;
+  if (!std::filesystem::exists(path, ec)) return uint64_t{0};
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return Status::IoError("cannot open WAL for replay: " + path);
+
+  uint64_t records = 0;
+  std::vector<char> payload;
+  char header[8];
+  while (true) {
+    in.read(header, 8);
+    if (in.gcount() < 8) break;  // clean EOF or torn header
+    uint32_t expected_crc = UnmaskCrc(DecodeFixed32(header));
+    uint32_t len = DecodeFixed32(header + 4);
+    if (len > (1u << 30)) break;  // implausible length => corrupt tail
+    payload.resize(len);
+    in.read(payload.data(), len);
+    if (static_cast<uint32_t>(in.gcount()) < len) break;  // torn record
+    if (Crc32c(payload.data(), len) != expected_crc) break;  // corrupt
+    apply(std::string_view(payload.data(), len));
+    records++;
+  }
+  return records;
+}
+
+}  // namespace hat::storage

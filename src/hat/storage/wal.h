@@ -1,0 +1,56 @@
+// Write-ahead log with CRC-framed records.
+//
+// Record format (LevelDB-inspired, simplified to unfragmented records):
+//   [4 bytes masked CRC32C of payload][4 bytes little-endian length][payload]
+// Replay stops cleanly at the first torn/corrupt record, which models crash
+// recovery: a partially-written tail is discarded, all fully-synced records
+// survive.
+
+#ifndef HAT_STORAGE_WAL_H_
+#define HAT_STORAGE_WAL_H_
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <string>
+#include <string_view>
+
+#include "hat/common/result.h"
+
+namespace hat::storage {
+
+class WalWriter {
+ public:
+  /// Opens (creating or appending to) the log at `path`.
+  static Result<WalWriter> Open(const std::string& path);
+
+  WalWriter(WalWriter&&) = default;
+  WalWriter& operator=(WalWriter&&) = default;
+
+  /// Appends one record. Returns bytes written on success.
+  Status Append(std::string_view payload);
+
+  /// Flushes buffered data to the OS (our durability point; the simulator
+  /// charges fsync cost separately).
+  Status Sync();
+
+  uint64_t bytes_written() const { return bytes_written_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  explicit WalWriter(std::string path) : path_(std::move(path)) {}
+  std::string path_;
+  std::unique_ptr<std::ofstream> out_;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Replays every intact record in order. Returns the number of records
+/// recovered; stops (without error) at the first corrupt/torn record.
+/// A missing file recovers zero records.
+Result<uint64_t> WalReplay(
+    const std::string& path,
+    const std::function<void(std::string_view payload)>& apply);
+
+}  // namespace hat::storage
+
+#endif  // HAT_STORAGE_WAL_H_

@@ -1,0 +1,16 @@
+#include "hat/version/types.h"
+
+#include "hat/common/codec.h"
+
+namespace hat {
+
+std::string Timestamp::ToString() const {
+  std::string s;
+  s.reserve(16);
+  PutFixed64(&s, logical);
+  PutFixed32(&s, client_id);
+  PutFixed32(&s, seq);
+  return s;
+}
+
+}  // namespace hat

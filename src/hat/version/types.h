@@ -1,0 +1,103 @@
+// Core transactional data types shared across hatkv: unique transaction
+// timestamps, write records (with the MAV sibling metadata of Appendix B),
+// and operation descriptors.
+
+#ifndef HAT_VERSION_TYPES_H_
+#define HAT_VERSION_TYPES_H_
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace hat {
+
+/// Keys and values are raw bytes.
+using Key = std::string;
+using Value = std::string;
+
+/// Globally unique transaction timestamp, as in Section 5.1.1 of the paper:
+/// "combining a client's ID with a sequence number". All writes of one
+/// transaction carry the same (logical, client_id) pair, so the per-item
+/// version order is consistent across items — this is what rules out G0
+/// (Dirty Write). `seq` distinguishes successive Read Uncommitted writes to
+/// the *same* key within one transaction (intermediate versions, G1b): it
+/// only ever compares between writes of the same transaction.
+struct Timestamp {
+  uint64_t logical = 0;   ///< client-local sequence / clock component
+  uint32_t client_id = 0; ///< unique client identifier (tie-break)
+  uint32_t seq = 0;       ///< intra-transaction write ordinal
+
+  auto operator<=>(const Timestamp&) const = default;
+
+  bool IsZero() const { return logical == 0 && client_id == 0 && seq == 0; }
+
+  /// Encodes into 16 bytes.
+  std::string ToString() const;
+};
+
+/// The zero timestamp, ordered before any transaction's timestamp. Reads of
+/// the initial (null) database state carry this version.
+inline constexpr Timestamp kInitialVersion{};
+
+/// How a write mutates the register it targets.
+enum class WriteKind : uint8_t {
+  /// Replaces the value (last-writer-wins register semantics; the paper's
+  /// default assumption, footnote 4).
+  kPut = 0,
+  /// Commutative numeric increment. The effective value of a key is the
+  /// latest Put (by timestamp) plus the sum of all later Deltas. This models
+  /// the paper's "commutative updates" used by TPC-C Payment / New-Order
+  /// stock maintenance (Section 6.2).
+  kDelta = 1,
+};
+
+/// A (key, version-floor) causal dependency carried by writes when a session
+/// requests Writes Follow Reads / causal consistency: readers of the write
+/// adopt these floors, forcing their later reads to reflect what the writing
+/// session had observed (the "only reveal writes when dependencies are
+/// visible" mechanism of Section 5.1.3, enforced client-side).
+struct Dependency {
+  Key key;
+  Timestamp ts;
+  auto operator<=>(const Dependency&) const = default;
+};
+
+/// A committed write as replicated between servers.
+struct WriteRecord {
+  Key key;
+  Value value;              ///< for kDelta: 8-byte little-endian int64
+  WriteKind kind = WriteKind::kPut;
+  Timestamp ts;             ///< transaction timestamp (same for all siblings)
+  /// Keys written by the same transaction — the MAV metadata of Appendix B
+  /// ("tx_keys"). Includes this record's own key. Empty when the writing
+  /// client does not request atomic visibility.
+  std::vector<Key> sibs;
+  /// Session causal dependencies (empty unless WFR/causal requested).
+  std::vector<Dependency> deps;
+
+  /// Metadata overhead in bytes attributable to transactional siblings
+  /// (Figure 4's "bytes overhead" series).
+  size_t SibBytes() const {
+    size_t n = 0;
+    for (const auto& s : sibs) n += s.size() + 2;
+    for (const auto& d : deps) n += d.key.size() + 14;
+    return n;
+  }
+};
+
+/// A version as returned by a read: which transaction wrote it plus the
+/// *folded* value (Puts overlaid with Deltas) visible at that version.
+struct ReadVersion {
+  Timestamp ts;             ///< timestamp of the newest version folded in
+  Value value;
+  bool found = false;       ///< false => initial (null) database state
+  /// Sibling keys / causal dependencies of the newest folded version.
+  std::vector<Key> sibs;
+  std::vector<Dependency> deps;
+};
+
+}  // namespace hat
+
+#endif  // HAT_VERSION_TYPES_H_

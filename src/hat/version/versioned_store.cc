@@ -1,0 +1,245 @@
+#include "hat/version/versioned_store.h"
+
+#include "hat/common/codec.h"
+
+namespace hat::version {
+
+bool VersionedStore::Apply(const WriteRecord& w) {
+  auto& versions = data_[w.key];
+  auto [it, inserted] = versions.emplace(w.ts, w);
+  (void)it;
+  if (inserted) {
+    approx_bytes_ += w.key.size() + w.value.size() + w.SibBytes() + 16;
+  }
+  return inserted;
+}
+
+ReadVersion VersionedStore::FoldUpTo(const VersionMap& versions,
+                                     VersionMap::const_iterator end) {
+  // Find the newest Put in [begin, end); deltas after it are summed.
+  ReadVersion out;
+  if (versions.begin() == end) return out;  // initial state
+  auto it = end;
+  // Walk backwards to the newest Put (or the beginning).
+  auto base = versions.begin();
+  bool have_base_put = false;
+  while (it != versions.begin()) {
+    --it;
+    if (it->second.kind == WriteKind::kPut) {
+      base = it;
+      have_base_put = true;
+      break;
+    }
+  }
+  out.found = true;
+  int64_t acc = 0;
+  Value base_value;
+  auto fold_from = versions.begin();
+  if (have_base_put) {
+    base_value = base->second.value;
+    out.ts = base->first;
+    out.sibs = base->second.sibs;
+    out.deps = base->second.deps;
+    fold_from = std::next(base);
+  }
+  bool numeric = true;
+  int64_t base_num = 0;
+  if (have_base_put) {
+    auto decoded = DecodeInt64Value(base_value);
+    if (decoded) {
+      base_num = *decoded;
+    } else {
+      numeric = false;
+    }
+  }
+  bool any_delta = false;
+  for (auto d = fold_from; d != end; ++d) {
+    // Everything after the newest Put is a Delta by construction.
+    auto decoded = DecodeInt64Value(d->second.value);
+    acc += decoded.value_or(0);
+    out.ts = d->first;
+    out.sibs = d->second.sibs;
+    out.deps = d->second.deps;
+    any_delta = true;
+  }
+  if (any_delta) {
+    // Numeric fold; a non-numeric Put base is treated as 0 for the sum
+    // (deltas on string registers are a caller bug but must not corrupt).
+    out.value = EncodeInt64Value((numeric ? base_num : 0) + acc);
+  } else {
+    out.value = base_value;
+  }
+  return out;
+}
+
+ReadVersion VersionedStore::Read(const Key& key,
+                                 std::optional<Timestamp> bound) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) return ReadVersion{};
+  const VersionMap& versions = it->second;
+  auto end = bound ? versions.upper_bound(*bound) : versions.end();
+  return FoldUpTo(versions, end);
+}
+
+std::optional<ReadVersion> VersionedStore::ReadAtLeast(
+    const Key& key, const Timestamp& at_least) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  const VersionMap& versions = it->second;
+  // Need at least one version with ts >= at_least.
+  auto ge = versions.lower_bound(at_least);
+  if (ge == versions.end()) return std::nullopt;
+  // Fold everything (the newest state) — a pending read serves the newest
+  // version that covers the requirement.
+  return FoldUpTo(versions, versions.end());
+}
+
+bool VersionedStore::Contains(const Key& key, const Timestamp& ts) const {
+  auto it = data_.find(key);
+  return it != data_.end() && it->second.count(ts) > 0;
+}
+
+std::optional<Timestamp> VersionedStore::LatestTimestamp(
+    const Key& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end() || it->second.empty()) return std::nullopt;
+  return it->second.rbegin()->first;
+}
+
+std::optional<Timestamp> VersionedStore::NthNewestTimestamp(const Key& key,
+                                                            size_t n) const {
+  auto it = data_.find(key);
+  if (it == data_.end() || it->second.size() <= n) return std::nullopt;
+  auto v = it->second.rbegin();
+  std::advance(v, n);
+  return v->first;
+}
+
+std::vector<WriteRecord> VersionedStore::Versions(const Key& key) const {
+  std::vector<WriteRecord> out;
+  auto it = data_.find(key);
+  if (it == data_.end()) return out;
+  out.reserve(it->second.size());
+  for (const auto& [ts, w] : it->second) out.push_back(w);
+  return out;
+}
+
+std::vector<std::pair<Key, ReadVersion>> VersionedStore::Scan(
+    const Key& lo, const Key& hi, std::optional<Timestamp> bound) const {
+  std::vector<std::pair<Key, ReadVersion>> out;
+  for (auto it = data_.lower_bound(lo); it != data_.end() && it->first < hi;
+       ++it) {
+    auto end = bound ? it->second.upper_bound(*bound) : it->second.end();
+    ReadVersion rv = FoldUpTo(it->second, end);
+    if (rv.found) out.emplace_back(it->first, std::move(rv));
+  }
+  return out;
+}
+
+std::vector<WriteRecord> VersionedStore::VersionsAfter(
+    const Key& key, const Timestamp& after) const {
+  std::vector<WriteRecord> out;
+  auto it = data_.find(key);
+  if (it == data_.end()) return out;
+  for (auto v = it->second.upper_bound(after); v != it->second.end(); ++v) {
+    out.push_back(v->second);
+  }
+  return out;
+}
+
+std::vector<std::pair<Key, Timestamp>> VersionedStore::Digest() const {
+  std::vector<std::pair<Key, Timestamp>> out;
+  out.reserve(data_.size());
+  for (const auto& [key, versions] : data_) {
+    if (!versions.empty()) out.emplace_back(key, versions.rbegin()->first);
+  }
+  return out;
+}
+
+void VersionedStore::ForEachVersion(
+    const std::function<void(const WriteRecord&)>& fn) const {
+  for (const auto& [key, versions] : data_) {
+    for (const auto& [ts, w] : versions) fn(w);
+  }
+}
+
+size_t VersionedStore::GarbageCollect(const Key& key,
+                                      const Timestamp& before) {
+  auto it = data_.find(key);
+  if (it == data_.end()) return 0;
+  VersionMap& versions = it->second;
+  auto horizon = versions.lower_bound(before);
+  if (horizon == versions.begin()) return 0;
+  // Fold [begin, horizon) into a single Put that preserves the visible value
+  // at `before`, then drop the prefix.
+  ReadVersion folded = FoldUpTo(versions, horizon);
+  size_t dropped = 0;
+  auto last_kept = std::prev(horizon);
+  Timestamp fold_ts = last_kept->first;
+  for (auto v = versions.begin(); v != horizon;) {
+    approx_bytes_ -=
+        std::min(approx_bytes_,
+                 v->second.key.size() + v->second.value.size() +
+                     v->second.SibBytes() + 16);
+    v = versions.erase(v);
+    dropped++;
+  }
+  if (folded.found) {
+    WriteRecord base;
+    base.key = key;
+    base.value = folded.value;
+    base.kind = WriteKind::kPut;
+    base.ts = fold_ts;
+    Apply(base);
+    dropped--;  // one version re-inserted
+  }
+  return dropped;
+}
+
+std::optional<Timestamp> VersionedStore::NewestPutTimestamp(
+    const Key& key) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  for (auto v = it->second.rbegin(); v != it->second.rend(); ++v) {
+    if (v->second.kind == WriteKind::kPut) return v->first;
+  }
+  return std::nullopt;
+}
+
+std::optional<Timestamp> VersionedStore::NewestPutWithin(
+    const Key& key, size_t max_walk) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) return std::nullopt;
+  size_t walked = 0;
+  for (auto v = it->second.rbegin();
+       v != it->second.rend() && walked < max_walk; ++v, ++walked) {
+    if (v->second.kind == WriteKind::kPut) return v->first;
+  }
+  return std::nullopt;
+}
+
+size_t VersionedStore::DropVersionsBefore(const Key& key,
+                                          const Timestamp& before) {
+  auto it = data_.find(key);
+  if (it == data_.end()) return 0;
+  VersionMap& versions = it->second;
+  size_t dropped = 0;
+  for (auto v = versions.begin();
+       v != versions.end() && v->first < before;) {
+    approx_bytes_ -=
+        std::min(approx_bytes_,
+                 v->second.key.size() + v->second.value.size() +
+                     v->second.SibBytes() + 16);
+    v = versions.erase(v);
+    dropped++;
+  }
+  return dropped;
+}
+
+size_t VersionedStore::VersionCount() const {
+  size_t n = 0;
+  for (const auto& [key, versions] : data_) n += versions.size();
+  return n;
+}
+
+}  // namespace hat::version

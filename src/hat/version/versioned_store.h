@@ -1,0 +1,122 @@
+// Multi-version key-value state with last-writer-wins registers and
+// commutative deltas.
+//
+// A replica's state for each key is a *set of versions* ordered by the
+// globally-unique transaction timestamp. Because the fold over a version set
+// is deterministic and insertion is a set-union, two replicas that receive
+// the same writes in any order converge to the same value — this is the
+// paper's convergence/eventual-consistency guarantee (Section 5.1.4) and its
+// total order on writes per item (Read Uncommitted, Section 5.1.1).
+
+#ifndef HAT_VERSION_VERSIONED_STORE_H_
+#define HAT_VERSION_VERSIONED_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hat/version/types.h"
+
+namespace hat::version {
+
+/// Per-key multi-version storage.
+class VersionedStore {
+ public:
+  /// Inserts a version. Duplicate (key, ts) insertions are idempotent —
+  /// required because anti-entropy may deliver a write many times. Returns
+  /// true if the version was new.
+  bool Apply(const WriteRecord& w);
+
+  /// Reads the folded value at the newest version with ts <= bound (or the
+  /// newest version overall if bound is nullopt). `found=false` with the
+  /// initial version if no such version exists.
+  ReadVersion Read(const Key& key,
+                   std::optional<Timestamp> bound = std::nullopt) const;
+
+  /// Reads the folded value at the *exact* base set ending at the newest
+  /// version >= `at_least` (used by MAV pending reads). Returns nullopt if
+  /// the store holds no version of `key` with ts >= at_least.
+  std::optional<ReadVersion> ReadAtLeast(const Key& key,
+                                         const Timestamp& at_least) const;
+
+  /// Highest version timestamp stored for `key` (nullopt if none).
+  std::optional<Timestamp> LatestTimestamp(const Key& key) const;
+
+  /// True if the exact version (key, ts) is stored.
+  bool Contains(const Key& key, const Timestamp& ts) const;
+
+  /// All versions currently stored for `key`, ascending timestamp order.
+  std::vector<WriteRecord> Versions(const Key& key) const;
+
+  /// Timestamp of the n-th newest version of `key` (n=0 -> newest);
+  /// nullopt when fewer than n+1 versions exist. O(n) walk, no copies.
+  std::optional<Timestamp> NthNewestTimestamp(const Key& key, size_t n) const;
+
+  /// Range scan over keys in [lo, hi): folded value of each present key,
+  /// using the same bound semantics as Read(). Used for predicate reads.
+  std::vector<std::pair<Key, ReadVersion>> Scan(
+      const Key& lo, const Key& hi,
+      std::optional<Timestamp> bound = std::nullopt) const;
+
+  /// Versions of `key` with timestamp strictly greater than `after`; used by
+  /// anti-entropy to ship missing versions.
+  std::vector<WriteRecord> VersionsAfter(const Key& key,
+                                         const Timestamp& after) const;
+
+  /// All (key, latest timestamp) pairs — the digest exchanged by
+  /// anti-entropy.
+  std::vector<std::pair<Key, Timestamp>> Digest() const;
+
+  /// Iterates every stored version (for anti-entropy full sync and tests).
+  void ForEachVersion(
+      const std::function<void(const WriteRecord&)>& fn) const;
+
+  /// Drops all versions of `key` with ts < `before` except the newest Put at
+  /// or below `before` (the fold below `before` collapses into one Put).
+  /// Returns number of versions dropped. NOTE: folding deltas into a
+  /// synthetic Put is only safe when no version below `before` can still
+  /// arrive (e.g. single store, or a coordinated stability frontier);
+  /// replicated servers should use DropVersionsBefore(NewestPutTimestamp)
+  /// instead, which is unconditionally convergence-safe.
+  size_t GarbageCollect(const Key& key, const Timestamp& before);
+
+  /// Timestamp of the newest kPut version of `key` (nullopt if none).
+  std::optional<Timestamp> NewestPutTimestamp(const Key& key) const;
+
+  /// Like NewestPutTimestamp but inspects at most the newest `max_walk`
+  /// versions (O(max_walk)); nullopt if no Put among them.
+  std::optional<Timestamp> NewestPutWithin(const Key& key,
+                                           size_t max_walk) const;
+
+  /// Erases versions strictly older than `before` without folding. Safe for
+  /// replicated stores when `before` is the newest Put's timestamp: any late
+  /// write below a Put is shadowed by it on every replica, so dropping the
+  /// prefix cannot change any replica's folded value.
+  size_t DropVersionsBefore(const Key& key, const Timestamp& before);
+
+  size_t KeyCount() const { return data_.size(); }
+  size_t VersionCount() const;
+  size_t VersionCountFor(const Key& key) const {
+    auto it = data_.find(key);
+    return it == data_.end() ? 0 : it->second.size();
+  }
+
+  /// Total bytes of values + sibling metadata held (approximate memory use).
+  size_t ApproximateBytes() const { return approx_bytes_; }
+
+ private:
+  // Per key: versions ordered by timestamp.
+  using VersionMap = std::map<Timestamp, WriteRecord>;
+  std::map<Key, VersionMap> data_;
+  size_t approx_bytes_ = 0;
+
+  static ReadVersion FoldUpTo(const VersionMap& versions,
+                              VersionMap::const_iterator end_exclusive);
+};
+
+}  // namespace hat::version
+
+#endif  // HAT_VERSION_VERSIONED_STORE_H_

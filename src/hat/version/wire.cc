@@ -1,0 +1,82 @@
+#include "hat/version/wire.h"
+
+#include "hat/common/codec.h"
+
+namespace hat::version {
+
+std::string EncodeWriteRecord(const WriteRecord& w) {
+  std::string out;
+  out.push_back(static_cast<char>(w.kind));
+  PutFixed64(&out, w.ts.logical);
+  PutFixed32(&out, w.ts.client_id);
+  PutFixed32(&out, w.ts.seq);
+  PutVarint32(&out, static_cast<uint32_t>(w.sibs.size()));
+  for (const auto& s : w.sibs) PutLengthPrefixed(&out, s);
+  PutVarint32(&out, static_cast<uint32_t>(w.deps.size()));
+  for (const auto& d : w.deps) {
+    PutLengthPrefixed(&out, d.key);
+    PutFixed64(&out, d.ts.logical);
+    PutFixed32(&out, d.ts.client_id);
+    PutFixed32(&out, d.ts.seq);
+  }
+  out.append(w.value);
+  return out;
+}
+
+std::optional<WriteRecord> DecodeWriteRecord(const Key& key,
+                                             std::string_view in) {
+  if (in.size() < 17) return std::nullopt;
+  WriteRecord w;
+  w.key = key;
+  w.kind = static_cast<WriteKind>(in[0]);
+  w.ts.logical = DecodeFixed64(in.data() + 1);
+  w.ts.client_id = DecodeFixed32(in.data() + 9);
+  w.ts.seq = DecodeFixed32(in.data() + 13);
+  in.remove_prefix(17);
+  auto nsibs = GetVarint32(&in);
+  if (!nsibs) return std::nullopt;
+  for (uint32_t i = 0; i < *nsibs; i++) {
+    auto s = GetLengthPrefixed(&in);
+    if (!s) return std::nullopt;
+    w.sibs.emplace_back(*s);
+  }
+  auto ndeps = GetVarint32(&in);
+  if (!ndeps) return std::nullopt;
+  for (uint32_t i = 0; i < *ndeps; i++) {
+    auto k = GetLengthPrefixed(&in);
+    if (!k || in.size() < 16) return std::nullopt;
+    Dependency d;
+    d.key = std::string(*k);
+    d.ts.logical = DecodeFixed64(in.data());
+    d.ts.client_id = DecodeFixed32(in.data() + 8);
+    d.ts.seq = DecodeFixed32(in.data() + 12);
+    in.remove_prefix(16);
+    w.deps.push_back(std::move(d));
+  }
+  w.value.assign(in.data(), in.size());
+  return w;
+}
+
+std::string StorageKeyFor(const Key& key, const Timestamp& ts) {
+  std::string sk;
+  PutLengthPrefixed(&sk, key);
+  // Big-endian-ish ordering is unnecessary; LocalStore scans tolerate any
+  // per-key suffix order, recovery re-sorts via VersionedStore::Apply.
+  PutFixed64(&sk, ts.logical);
+  PutFixed32(&sk, ts.client_id);
+  PutFixed32(&sk, ts.seq);
+  return sk;
+}
+
+std::optional<std::pair<Key, Timestamp>> ParseStorageKey(
+    std::string_view sk) {
+  auto key = GetLengthPrefixed(&sk);
+  if (!key || sk.size() != 16) return std::nullopt;
+  Timestamp ts;
+  ts.logical = DecodeFixed64(sk.data());
+  ts.client_id = DecodeFixed32(sk.data() + 8);
+  ts.seq = DecodeFixed32(sk.data() + 12);
+  return std::make_pair(Key(*key), ts);
+}
+
+}  // namespace hat::version

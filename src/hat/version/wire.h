@@ -1,0 +1,33 @@
+// Serialization of WriteRecord for durable storage (replica recovery) and
+// size accounting. Format:
+//   [u8 kind][fixed64 ts.logical][fixed32 ts.client]
+//   [varint #sibs][len-prefixed sib]* [varint #deps][len-prefixed key,
+//    fixed64 logical, fixed32 client]* [value bytes...]
+
+#ifndef HAT_VERSION_WIRE_H_
+#define HAT_VERSION_WIRE_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "hat/version/types.h"
+
+namespace hat::version {
+
+/// Serializes everything except the key (which callers store separately).
+std::string EncodeWriteRecord(const WriteRecord& w);
+
+/// Inverse of EncodeWriteRecord; `key` is supplied by the caller.
+std::optional<WriteRecord> DecodeWriteRecord(const Key& key,
+                                             std::string_view encoded);
+
+/// Encodes (key, ts) into a storage key that sorts by key then timestamp.
+std::string StorageKeyFor(const Key& key, const Timestamp& ts);
+
+/// Splits a storage key back into (key, ts); nullopt if malformed.
+std::optional<std::pair<Key, Timestamp>> ParseStorageKey(std::string_view sk);
+
+}  // namespace hat::version
+
+#endif  // HAT_VERSION_WIRE_H_

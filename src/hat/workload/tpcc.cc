@@ -1,0 +1,450 @@
+#include "hat/workload/tpcc.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+#include "hat/common/codec.h"
+
+namespace hat::workload {
+
+namespace {
+std::string Fmt(const char* fmt, ...) {
+  char buf[96];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  return buf;
+}
+}  // namespace
+
+Key TpccKeys::WarehouseYtd(int w) { return Fmt("w:%03d:ytd", w); }
+Key TpccKeys::DistrictYtd(int w, int d) { return Fmt("d:%03d:%02d:ytd", w, d); }
+Key TpccKeys::DistrictNextOid(int w, int d) {
+  return Fmt("d:%03d:%02d:next_oid", w, d);
+}
+Key TpccKeys::CustomerBalance(int w, int d, int c) {
+  return Fmt("c:%03d:%02d:%04d:bal", w, d, c);
+}
+Key TpccKeys::CustomerPayCount(int w, int d, int c) {
+  return Fmt("c:%03d:%02d:%04d:pay", w, d, c);
+}
+Key TpccKeys::CustomerLastOrder(int w, int d, int c) {
+  return Fmt("c:%03d:%02d:%04d:last", w, d, c);
+}
+Key TpccKeys::Stock(int w, int i) { return Fmt("s:%03d:%05d:qty", w, i); }
+Key TpccKeys::ItemPrice(int i) { return Fmt("i:%05d:price", i); }
+Key TpccKeys::Order(int w, int d, const std::string& oid) {
+  return Fmt("o:%03d:%02d:", w, d) + oid;
+}
+Key TpccKeys::NewOrderMarker(int w, int d, const std::string& oid) {
+  return Fmt("no:%03d:%02d:", w, d) + oid;
+}
+Key TpccKeys::NewOrderPrefix(int w, int d) {
+  return Fmt("no:%03d:%02d:", w, d);
+}
+Key TpccKeys::OrderLine(int w, int d, const std::string& oid, int line) {
+  return Fmt("ol:%03d:%02d:", w, d) + oid + Fmt(":%02d", line);
+}
+Key TpccKeys::OrderLinePrefix(int w, int d, const std::string& oid) {
+  return Fmt("ol:%03d:%02d:", w, d) + oid + ":";
+}
+Key TpccKeys::History(int w, int d, int c, uint64_t ts) {
+  return Fmt("h:%03d:%02d:%04d:", w, d, c) +
+         std::to_string(static_cast<unsigned long long>(ts));
+}
+
+std::string EncodeOrderRecord(int customer, int line_count, int64_t total) {
+  return Fmt("c=%d;n=%d;t=%lld", customer, line_count,
+             static_cast<long long>(total));
+}
+
+bool DecodeOrderRecord(const Value& v, int* customer, int* line_count,
+                       int64_t* total) {
+  long long t = 0;
+  int parsed = std::sscanf(v.c_str(), "c=%d;n=%d;t=%lld", customer,
+                           line_count, &t);
+  *total = t;
+  return parsed == 3;
+}
+
+// ---------------------------------------------------------------------------
+// Generator
+// ---------------------------------------------------------------------------
+
+NewOrderParams TpccGenerator::MakeNewOrder(Rng& rng) const {
+  NewOrderParams p;
+  p.w = static_cast<int>(rng.NextBelow(config_.warehouses));
+  p.d = static_cast<int>(rng.NextBelow(config_.districts_per_warehouse));
+  p.c = static_cast<int>(rng.NextBelow(config_.customers_per_district));
+  int lines = 1 + static_cast<int>(rng.NextBelow(config_.max_order_lines));
+  for (int i = 0; i < lines; i++) {
+    p.lines.emplace_back(static_cast<int>(rng.NextBelow(config_.items)),
+                         1 + static_cast<int>(rng.NextBelow(10)));
+  }
+  return p;
+}
+
+PaymentParams TpccGenerator::MakePayment(Rng& rng) const {
+  PaymentParams p;
+  p.w = static_cast<int>(rng.NextBelow(config_.warehouses));
+  p.d = static_cast<int>(rng.NextBelow(config_.districts_per_warehouse));
+  p.c = static_cast<int>(rng.NextBelow(config_.customers_per_district));
+  p.amount = 1 + static_cast<int64_t>(rng.NextBelow(5000));
+  return p;
+}
+
+DeliveryParams TpccGenerator::MakeDelivery(Rng& rng) const {
+  DeliveryParams p;
+  p.w = static_cast<int>(rng.NextBelow(config_.warehouses));
+  p.d = static_cast<int>(rng.NextBelow(config_.districts_per_warehouse));
+  return p;
+}
+
+// ---------------------------------------------------------------------------
+// Population
+// ---------------------------------------------------------------------------
+
+Status PopulateTpcc(client::SyncClient& client, const TpccConfig& config) {
+  // Item catalog.
+  client.Begin();
+  for (int i = 0; i < config.items; i++) {
+    client.Write(TpccKeys::ItemPrice(i),
+                 EncodeInt64Value(100 + (i * 37) % 900));
+  }
+  HAT_RETURN_IF_ERROR(client.Commit());
+
+  // Warehouses, districts, customers, stock — per warehouse to bound
+  // transaction size.
+  for (int w = 0; w < config.warehouses; w++) {
+    client.Begin();
+    client.Write(TpccKeys::WarehouseYtd(w), EncodeInt64Value(0));
+    for (int d = 0; d < config.districts_per_warehouse; d++) {
+      client.Write(TpccKeys::DistrictYtd(w, d), EncodeInt64Value(0));
+      client.Write(TpccKeys::DistrictNextOid(w, d), EncodeInt64Value(0));
+      for (int c = 0; c < config.customers_per_district; c++) {
+        client.Write(TpccKeys::CustomerBalance(w, d, c), EncodeInt64Value(0));
+        client.Write(TpccKeys::CustomerPayCount(w, d, c),
+                     EncodeInt64Value(0));
+      }
+    }
+    for (int i = 0; i < config.items; i++) {
+      client.Write(TpccKeys::Stock(w, i),
+                   EncodeInt64Value(config.initial_stock));
+    }
+    HAT_RETURN_IF_ERROR(client.Commit());
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+void TpccExecutor::NewOrder(NewOrderParams params,
+                            std::function<void(NewOrderResult)> done) {
+  struct State {
+    TpccExecutor* self;
+    NewOrderParams params;
+    std::function<void(NewOrderResult)> done;
+    std::string oid;
+    int64_t total = 0;
+    size_t next_line = 0;
+
+    void Fail(Status s) { done(NewOrderResult{std::move(s), ""}); }
+
+    void Start() {
+      self->client_.Begin();
+      if (self->config_.sequential_order_ids) {
+        // TPC-C-compliant sequential IDs: read-modify-write the district
+        // counter. Requires Lost Update prevention for correctness.
+        Key counter = TpccKeys::DistrictNextOid(params.w, params.d);
+        self->client_.Read(counter, [this, counter](Status s,
+                                                    ReadVersion rv) {
+          if (!s.ok()) {
+            Fail(std::move(s));
+            return;
+          }
+          int64_t next = DecodeInt64Value(rv.value).value_or(0) + 1;
+          char buf[32];
+          std::snprintf(buf, sizeof(buf), "%010lld",
+                        static_cast<long long>(next));
+          oid = buf;
+          self->client_.Write(counter, EncodeInt64Value(next));
+          ProcessLine();
+        });
+      } else {
+        // HAT-compatible unique (but not sequential) ID: derived from the
+        // globally unique transaction timestamp (client id + sequence).
+        const Timestamp& ts = self->client_.txn_ts();
+        oid = std::to_string(ts.logical) + "-" + std::to_string(ts.client_id);
+        ProcessLine();
+      }
+    }
+
+    void ProcessLine() {
+      if (next_line >= params.lines.size()) {
+        Finish();
+        return;
+      }
+      auto [item, qty] = params.lines[next_line];
+      Key stock_key = TpccKeys::Stock(params.w, item);
+      self->client_.Read(stock_key, [this, stock_key, item,
+                                     qty = qty](Status s, ReadVersion rv) {
+        if (!s.ok()) {
+          Fail(std::move(s));
+          return;
+        }
+        int64_t stock = DecodeInt64Value(rv.value).value_or(0);
+        // TPC-C restock rule: replenish by 91 when the order would leave
+        // less than 10 units.
+        int64_t delta = (stock - qty < self->config_.restock_threshold)
+                            ? self->config_.restock_amount - qty
+                            : -qty;
+        self->client_.Increment(stock_key, delta);
+        self->client_.Read(
+            TpccKeys::ItemPrice(item),
+            [this, qty](Status s2, ReadVersion price_rv) {
+              if (!s2.ok()) {
+                Fail(std::move(s2));
+                return;
+              }
+              int64_t price = DecodeInt64Value(price_rv.value).value_or(100);
+              total += price * qty;
+              Key line_key = TpccKeys::OrderLine(
+                  params.w, params.d, oid, static_cast<int>(next_line));
+              self->client_.Write(line_key,
+                                  EncodeInt64Value(price * qty));
+              next_line++;
+              ProcessLine();
+            });
+      });
+    }
+
+    void Finish() {
+      self->client_.Write(
+          TpccKeys::Order(params.w, params.d, oid),
+          EncodeOrderRecord(params.c,
+                            static_cast<int>(params.lines.size()), total));
+      self->client_.Write(TpccKeys::NewOrderMarker(params.w, params.d, oid),
+                          "pending");
+      self->client_.Write(
+          TpccKeys::CustomerLastOrder(params.w, params.d, params.c), oid);
+      self->client_.Commit([this](Status s) {
+        done(NewOrderResult{std::move(s), oid});
+        delete this;
+      });
+    }
+  };
+  auto* state = new State{this, std::move(params), std::move(done), "", 0, 0};
+  state->Start();
+}
+
+void TpccExecutor::Payment(PaymentParams params,
+                           std::function<void(Status)> done) {
+  client_.Begin();
+  // Entirely increment/append-only: commutative, HAT-safe (Section 6.2).
+  client_.Increment(TpccKeys::WarehouseYtd(params.w), params.amount);
+  client_.Increment(TpccKeys::DistrictYtd(params.w, params.d), params.amount);
+  client_.Increment(TpccKeys::CustomerBalance(params.w, params.d, params.c),
+                    -params.amount);
+  client_.Increment(TpccKeys::CustomerPayCount(params.w, params.d, params.c),
+                    1);
+  client_.Write(TpccKeys::History(params.w, params.d, params.c,
+                                  client_.txn_ts().logical),
+                EncodeInt64Value(params.amount));
+  client_.Commit(std::move(done));
+}
+
+void TpccExecutor::OrderStatus(int w, int d, int c,
+                               std::function<void(OrderStatusResult)> done) {
+  struct State {
+    TpccExecutor* self;
+    int w, d, c;
+    std::function<void(OrderStatusResult)> done;
+    OrderStatusResult result;
+
+    void Finish(Status s) {
+      result.status = std::move(s);
+      self->client_.Commit([this](Status commit_status) {
+        if (result.status.ok()) result.status = std::move(commit_status);
+        done(std::move(result));
+        delete this;
+      });
+    }
+
+    void Start() {
+      self->client_.Begin();
+      self->client_.Read(
+          TpccKeys::CustomerLastOrder(w, d, c),
+          [this](Status s, ReadVersion rv) {
+            if (!s.ok() || !rv.found || rv.value.empty()) {
+              Finish(std::move(s));
+              return;
+            }
+            std::string oid = rv.value;
+            self->client_.Read(
+                TpccKeys::Order(w, d, oid),
+                [this, oid](Status s2, ReadVersion order_rv) {
+                  if (!s2.ok()) {
+                    Finish(std::move(s2));
+                    return;
+                  }
+                  if (order_rv.found) {
+                    result.order_found = true;
+                    int cust = 0;
+                    int64_t total = 0;
+                    DecodeOrderRecord(order_rv.value, &cust,
+                                      &result.expected_lines, &total);
+                  }
+                  // Point-read each order line (O_OL_CNT is in the order
+                  // record, as in TPC-C). Point reads honor the MAV
+                  // `required` vector, so under MAV a visible order implies
+                  // visible lines — the foreign-key property of §5.1.2.
+                  ReadLine(oid, 0);
+                });
+          });
+    }
+
+    void ReadLine(const std::string& oid, int line) {
+      if (line >= result.expected_lines) {
+        self->client_.Read(TpccKeys::CustomerBalance(w, d, c),
+                           [this](Status s4, ReadVersion bal) {
+                             result.balance =
+                                 DecodeInt64Value(bal.value).value_or(0);
+                             Finish(std::move(s4));
+                           });
+        return;
+      }
+      self->client_.Read(
+          TpccKeys::OrderLine(w, d, oid, line),
+          [this, oid, line](Status s3, ReadVersion line_rv) {
+            if (!s3.ok()) {
+              Finish(std::move(s3));
+              return;
+            }
+            if (line_rv.found) result.visible_lines++;
+            ReadLine(oid, line + 1);
+          });
+    }
+  };
+  auto* state = new State{this, w, d, c, std::move(done), {}};
+  state->Start();
+}
+
+void TpccExecutor::Delivery(DeliveryParams params,
+                            std::function<void(DeliveryResult)> done) {
+  struct State {
+    TpccExecutor* self;
+    DeliveryParams params;
+    std::function<void(DeliveryResult)> done;
+    std::string oid;
+
+    void Finish(Status s, bool commit) {
+      if (!commit) {
+        self->client_.Abort();
+        done(DeliveryResult{std::move(s), ""});
+        delete this;
+        return;
+      }
+      self->client_.Commit([this, s](Status commit_status) {
+        done(DeliveryResult{commit_status.ok() ? s : commit_status, oid});
+        delete this;
+      });
+    }
+
+    void Start() {
+      self->client_.Begin();
+      // Oldest pending order in the district.
+      Key prefix = TpccKeys::NewOrderPrefix(params.w, params.d);
+      self->client_.Scan(
+          prefix, prefix + "\xff",
+          [this, prefix](Status s, std::vector<client::ScanItem> items) {
+            if (!s.ok()) {
+              Finish(std::move(s), /*commit=*/false);
+              return;
+            }
+            const client::ScanItem* pick = nullptr;
+            for (const auto& item : items) {
+              if (item.value == "pending") {
+                pick = &item;
+                break;
+              }
+            }
+            if (pick == nullptr) {
+              // Nothing to deliver: internal abort (no system fault).
+              Finish(Status::Ok(), /*commit=*/false);
+              return;
+            }
+            oid = pick->key.substr(prefix.size());
+            // Non-monotonic step: remove from the pending list. Under HAT
+            // isolation two concurrent deliveries can both observe "pending"
+            // (Lost Update) and double-bill; see Section 6.2.
+            self->client_.Write(pick->key, "delivered");
+            self->client_.Read(
+                TpccKeys::Order(params.w, params.d, oid),
+                [this](Status s2, ReadVersion order_rv) {
+                  if (!s2.ok()) {
+                    Finish(std::move(s2), /*commit=*/false);
+                    return;
+                  }
+                  int customer = 0, lines = 0;
+                  int64_t total = 0;
+                  if (order_rv.found) {
+                    DecodeOrderRecord(order_rv.value, &customer, &lines,
+                                      &total);
+                  }
+                  // Credit the customer with the order total ("updates the
+                  // customer's balance").
+                  self->client_.Increment(
+                      TpccKeys::CustomerBalance(params.w, params.d, customer),
+                      total);
+                  Finish(Status::Ok(), /*commit=*/true);
+                });
+          });
+    }
+  };
+  auto* state = new State{this, std::move(params), std::move(done), ""};
+  state->Start();
+}
+
+void TpccExecutor::StockLevel(int w, int d,
+                              std::function<void(Status, int)> done) {
+  struct State {
+    TpccExecutor* self;
+    int w;
+    int item = 0;
+    int low = 0;
+    std::function<void(Status, int)> done;
+
+    void Next() {
+      if (item >= self->config_.items) {
+        self->client_.Commit([this](Status s) {
+          done(std::move(s), low);
+          delete this;
+        });
+        return;
+      }
+      self->client_.Read(TpccKeys::Stock(w, item),
+                         [this](Status s, ReadVersion rv) {
+                           if (!s.ok()) {
+                             self->client_.Abort();
+                             done(std::move(s), low);
+                             delete this;
+                             return;
+                           }
+                           if (DecodeInt64Value(rv.value).value_or(0) < 10) {
+                             low++;
+                           }
+                           item += 7;  // sample every 7th item
+                           Next();
+                         });
+    }
+  };
+  (void)d;
+  client_.Begin();
+  auto* state = new State{this, w, 0, 0, std::move(done)};
+  state->Next();
+}
+
+}  // namespace hat::workload

@@ -1,0 +1,142 @@
+// TPC-C subset used by the paper's application analysis (Section 6.2): the
+// five transaction types, a generator, and an asynchronous executor that
+// runs them through the hatkv client at any isolation/mode configuration.
+//
+// The analysis this enables (bench/tpcc_analysis, tests/tpcc_test):
+//  * Order-Status / Stock-Level: read-only, HAT-safe.
+//  * Payment: increment/append-only (commutative deltas), HAT-safe; MAV
+//    maintains the warehouse/district/customer foreign-key constraints.
+//  * New-Order: unique order IDs are HAT-achievable (timestamp-derived),
+//    *sequential* IDs require preventing Lost Update (unavailable);
+//    stock maintenance uses the restock-by-91 rule.
+//  * Delivery: non-monotonic (delete from pending list + billing); requires
+//    Lost Update prevention to be idempotent — HAT execution double-delivers
+//    under concurrency, locking does not.
+
+#ifndef HAT_WORKLOAD_TPCC_H_
+#define HAT_WORKLOAD_TPCC_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hat/client/sync_client.h"
+#include "hat/client/txn_client.h"
+#include "hat/common/rng.h"
+
+namespace hat::workload {
+
+struct TpccConfig {
+  int warehouses = 2;
+  int districts_per_warehouse = 10;
+  int customers_per_district = 30;
+  int items = 100;
+  int max_order_lines = 5;
+  int initial_stock = 91;
+  /// Restock threshold / amount (TPC-C: add 91 when stock would drop
+  /// below 10).
+  int restock_threshold = 10;
+  int restock_amount = 91;
+  /// Assign order IDs sequentially via read-modify-write on the district
+  /// counter (TPC-C-compliant, requires Lost Update prevention) instead of
+  /// unique timestamp-derived IDs (the HAT-compatible compromise).
+  bool sequential_order_ids = false;
+};
+
+/// Key-space layout.
+struct TpccKeys {
+  static Key WarehouseYtd(int w);
+  static Key DistrictYtd(int w, int d);
+  static Key DistrictNextOid(int w, int d);
+  static Key CustomerBalance(int w, int d, int c);
+  static Key CustomerPayCount(int w, int d, int c);
+  static Key CustomerLastOrder(int w, int d, int c);
+  static Key Stock(int w, int i);
+  static Key ItemPrice(int i);
+  static Key Order(int w, int d, const std::string& oid);
+  static Key NewOrderMarker(int w, int d, const std::string& oid);
+  /// Prefix for scanning a district's pending orders.
+  static Key NewOrderPrefix(int w, int d);
+  static Key OrderLine(int w, int d, const std::string& oid, int line);
+  static Key OrderLinePrefix(int w, int d, const std::string& oid);
+  static Key History(int w, int d, int c, uint64_t ts);
+};
+
+struct NewOrderParams {
+  int w = 0, d = 0, c = 0;
+  std::vector<std::pair<int, int>> lines;  // (item, quantity)
+};
+struct PaymentParams {
+  int w = 0, d = 0, c = 0;
+  int64_t amount = 0;
+};
+struct DeliveryParams {
+  int w = 0, d = 0;
+};
+
+/// Result of a New-Order: the assigned order id.
+struct NewOrderResult {
+  Status status;
+  std::string oid;
+};
+/// Result of a Delivery: which order (if any) was delivered.
+struct DeliveryResult {
+  Status status;
+  std::string oid;  // empty if no pending order
+};
+/// Result of an Order-Status: data needed for the FK/atomicity check.
+struct OrderStatusResult {
+  Status status;
+  bool order_found = false;
+  int expected_lines = 0;
+  int visible_lines = 0;
+  int64_t balance = 0;
+};
+
+class TpccGenerator {
+ public:
+  TpccGenerator(TpccConfig config) : config_(config) {}
+  NewOrderParams MakeNewOrder(Rng& rng) const;
+  PaymentParams MakePayment(Rng& rng) const;
+  DeliveryParams MakeDelivery(Rng& rng) const;
+  const TpccConfig& config() const { return config_; }
+
+ private:
+  TpccConfig config_;
+};
+
+/// Runs TPC-C transactions through an asynchronous hatkv client. One
+/// executor per client; at most one transaction outstanding at a time.
+class TpccExecutor {
+ public:
+  TpccExecutor(client::TxnClient& client, TpccConfig config)
+      : client_(client), config_(config) {}
+
+  void NewOrder(NewOrderParams params,
+                std::function<void(NewOrderResult)> done);
+  void Payment(PaymentParams params, std::function<void(Status)> done);
+  void OrderStatus(int w, int d, int c,
+                   std::function<void(OrderStatusResult)> done);
+  void Delivery(DeliveryParams params,
+                std::function<void(DeliveryResult)> done);
+  void StockLevel(int w, int d, std::function<void(Status, int)> done);
+
+  client::TxnClient& client() { return client_; }
+
+ private:
+  client::TxnClient& client_;
+  TpccConfig config_;
+};
+
+/// Loads the initial database through a (synchronous) client. Idempotent.
+Status PopulateTpcc(client::SyncClient& client, const TpccConfig& config);
+
+/// Encoded order record helpers (customer + line count + total amount).
+std::string EncodeOrderRecord(int customer, int line_count, int64_t total);
+bool DecodeOrderRecord(const Value& v, int* customer, int* line_count,
+                       int64_t* total);
+
+}  // namespace hat::workload
+
+#endif  // HAT_WORKLOAD_TPCC_H_

@@ -1,0 +1,50 @@
+#include "hat/workload/ycsb.h"
+
+#include <cstdio>
+
+namespace hat::workload {
+
+YcsbGenerator::YcsbGenerator(YcsbOptions options) : options_(options) {
+  if (options_.distribution == KeyDistribution::kZipfian) {
+    zipf_.emplace(options_.num_keys, options_.zipfian_theta);
+  }
+}
+
+Key YcsbGenerator::KeyFor(uint64_t index) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "user%010llu",
+                static_cast<unsigned long long>(index));
+  return buf;
+}
+
+uint64_t YcsbGenerator::NextKeyIndex(Rng& rng) {
+  if (zipf_) {
+    // Scramble zipfian ranks so hot keys scatter across shards.
+    return Fnv1a64(zipf_->Next(rng)) % options_.num_keys;
+  }
+  return rng.NextBelow(options_.num_keys);
+}
+
+YcsbTxn YcsbGenerator::NextTxn(Rng& rng) {
+  YcsbTxn txn;
+  txn.ops.reserve(options_.ops_per_txn);
+  for (int i = 0; i < options_.ops_per_txn; i++) {
+    YcsbOp op;
+    op.is_read = rng.NextDouble() < options_.read_fraction;
+    op.key = KeyFor(NextKeyIndex(rng));
+    txn.ops.push_back(std::move(op));
+  }
+  return txn;
+}
+
+Value YcsbGenerator::MakeValue(uint64_t tag) const {
+  Value v(options_.value_size, 'x');
+  char buf[24];
+  int n = std::snprintf(buf, sizeof(buf), "%llu",
+                        static_cast<unsigned long long>(tag));
+  v.replace(0, std::min<size_t>(n, v.size()), buf,
+            std::min<size_t>(n, v.size()));
+  return v;
+}
+
+}  // namespace hat::workload

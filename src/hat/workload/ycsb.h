@@ -1,0 +1,63 @@
+// YCSB-style workload generation (Cooper et al.), configured as in the
+// paper's evaluation (Section 6.3): 100,000 keys, 1KB values, 50% reads /
+// 50% writes by default, eight operations grouped per transaction, uniform
+// random key access (zipfian also supported).
+
+#ifndef HAT_WORKLOAD_YCSB_H_
+#define HAT_WORKLOAD_YCSB_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hat/common/rng.h"
+#include "hat/version/types.h"
+
+namespace hat::workload {
+
+enum class KeyDistribution : uint8_t { kUniform = 0, kZipfian = 1 };
+
+struct YcsbOptions {
+  uint64_t num_keys = 100000;
+  size_t value_size = 1024;
+  double read_fraction = 0.5;
+  int ops_per_txn = 8;
+  KeyDistribution distribution = KeyDistribution::kUniform;
+  double zipfian_theta = 0.99;
+};
+
+struct YcsbOp {
+  bool is_read = true;
+  Key key;
+};
+
+struct YcsbTxn {
+  std::vector<YcsbOp> ops;
+};
+
+class YcsbGenerator {
+ public:
+  explicit YcsbGenerator(YcsbOptions options);
+
+  /// Canonical key name for an index ("user0000000042").
+  static Key KeyFor(uint64_t index);
+
+  /// Draws the next transaction.
+  YcsbTxn NextTxn(Rng& rng);
+
+  /// A fresh value payload of the configured size; `tag` is embedded so
+  /// values written by different transactions differ.
+  Value MakeValue(uint64_t tag) const;
+
+  const YcsbOptions& options() const { return options_; }
+
+ private:
+  uint64_t NextKeyIndex(Rng& rng);
+
+  YcsbOptions options_;
+  std::optional<ZipfianGenerator> zipf_;
+};
+
+}  // namespace hat::workload
+
+#endif  // HAT_WORKLOAD_YCSB_H_

@@ -1,0 +1,476 @@
+// Tests for the Adya formalism (paper Appendix A): every example history the
+// paper gives (Figures 7-18 and the inline examples of Section 5) is encoded
+// and checked against the corresponding phenomenon detector, plus negative
+// cases where the phenomenon must NOT fire.
+
+#include <gtest/gtest.h>
+
+#include "hat/adya/dsg.h"
+#include "hat/adya/history.h"
+#include "hat/adya/phenomena.h"
+
+namespace hat::adya {
+namespace {
+
+// ---------------------------------------------------------------------------
+// G0 (Dirty Write) — Section 5.1.1's example
+// ---------------------------------------------------------------------------
+
+TEST(PhenomenaTest, G0WriteCycleDetected) {
+  // T1: wx(1) wy(1); T2: wx(2) wy(2) with inconsistent install order:
+  // x: T1 then T2, but y: T2 then T1. Encode via version numbers: T1's
+  // write to y must be NEWER than T2's. We model with explicit ops —
+  // version = txn id, so we need T1's y-version > T2's: use txn numbers
+  // 1 and 2 but order on y is by timestamp; to get the cycle we let
+  // T1 write y with txn id 3 (same transaction modelled with its final id).
+  // Cleaner: three txns produce the same ww cycle shape:
+  //   x: T1 -> T2, y: T2 -> T1 is impossible with version==txnid, so use
+  //   a pair of keys where each overwrites the other's.
+  HistoryBuilder b;
+  b.Txn(1).Write("x");
+  b.Txn(2).Write("x").Write("y");
+  b.Txn(3).Read("y", 2);  // force y's presence
+  // ww x: T1->T2. For the cycle we need ww y: T2->T1, impossible in a
+  // timestamp-ordered system — which is exactly the paper's point: G0
+  // cannot occur under unique-timestamp LWW. Verify absence:
+  auto r = Analyze(b.Build());
+  EXPECT_FALSE(r.g0);
+  EXPECT_TRUE(r.ReadUncommitted());
+}
+
+TEST(DsgTest, ManualG0CycleViaInterleavedVersions) {
+  // Construct G0 directly: T10 and T20 each write x and y; T10's x-version
+  // precedes T20's, but T10's y-version FOLLOWS T20's. We encode the
+  // transactions so their installed versions interleave: T10 installs
+  // x@10,y@25 (final writes), T20 installs x@20,y@15. Using two writes per
+  // txn with distinct versions — version order on x: 10<20 (T10->T20),
+  // on y: 15<25 (T20->T10): a ww cycle.
+  History h;
+  Transaction t10;
+  t10.id = {10, 1};
+  t10.ops.push_back({Operation::Kind::kWrite, "x", {10, 1}, WriteKind::kPut,
+                     "", "", {}});
+  t10.ops.push_back({Operation::Kind::kWrite, "y", {25, 1}, WriteKind::kPut,
+                     "", "", {}});
+  Transaction t20;
+  t20.id = {20, 2};
+  t20.ops.push_back({Operation::Kind::kWrite, "x", {20, 2}, WriteKind::kPut,
+                     "", "", {}});
+  t20.ops.push_back({Operation::Kind::kWrite, "y", {15, 2}, WriteKind::kPut,
+                     "", "", {}});
+  h.Add(t10);
+  h.Add(t20);
+  auto r = Analyze(h);
+  EXPECT_TRUE(r.g0);
+  EXPECT_FALSE(r.ReadUncommitted());
+}
+
+// ---------------------------------------------------------------------------
+// G1a / G1b / G1c — Read Committed (Section 5.1.1 example)
+// ---------------------------------------------------------------------------
+
+TEST(PhenomenaTest, G1aAbortedRead) {
+  HistoryBuilder b;
+  b.Txn(2).Write("x").Aborted();
+  b.Txn(3).Read("x", 2);
+  auto r = Analyze(b.Build());
+  EXPECT_TRUE(r.g1a);
+  EXPECT_FALSE(r.ReadCommitted());
+  EXPECT_TRUE(r.ReadUncommitted());  // G0-free
+}
+
+TEST(PhenomenaTest, G1bIntermediateRead) {
+  // T1: wx(1) wx(2) — T3 must never see x=1 (the intermediate write).
+  History h;
+  Transaction t1;
+  t1.id = {1, 1};
+  t1.ops.push_back({Operation::Kind::kWrite, "x", {1, 1}, WriteKind::kPut,
+                    "", "", {}});
+  t1.ops.push_back({Operation::Kind::kWrite, "x", {2, 1}, WriteKind::kPut,
+                    "", "", {}});
+  Transaction t3;
+  t3.id = {9, 3};
+  t3.ops.push_back({Operation::Kind::kRead, "x", {1, 1}, WriteKind::kPut,
+                    "", "", {}});
+  h.Add(t1);
+  h.Add(t3);
+  auto r = Analyze(h);
+  EXPECT_TRUE(r.g1b);
+  EXPECT_FALSE(r.ReadCommitted());
+}
+
+TEST(PhenomenaTest, ReadOfFinalWriteIsNotG1b) {
+  HistoryBuilder b;
+  b.Txn(1).Write("x");
+  b.Txn(2).Read("x", 1);
+  auto r = Analyze(b.Build());
+  EXPECT_FALSE(r.g1b);
+  EXPECT_TRUE(r.ReadCommitted());
+}
+
+TEST(PhenomenaTest, G1cCircularInformationFlow) {
+  // T1 reads T2's write to y; T2 reads T1's write to x.
+  HistoryBuilder b;
+  b.Txn(1).Write("x").Read("y", 2);
+  b.Txn(2).Write("y").Read("x", 1);
+  auto r = Analyze(b.Build());
+  EXPECT_TRUE(r.g1c);
+  EXPECT_FALSE(r.ReadCommitted());
+}
+
+// ---------------------------------------------------------------------------
+// IMP — Figure 7/8
+// ---------------------------------------------------------------------------
+
+TEST(PhenomenaTest, ImpFigure7) {
+  HistoryBuilder b;
+  b.Txn(1).Write("x");
+  b.Txn(2).Write("x");
+  b.Txn(3).Read("x", 1).Read("x", 2);
+  auto r = Analyze(b.Build());
+  EXPECT_TRUE(r.imp);
+  EXPECT_FALSE(r.ItemCut());
+}
+
+TEST(PhenomenaTest, RereadSameVersionIsNotImp) {
+  HistoryBuilder b;
+  b.Txn(1).Write("x");
+  b.Txn(3).Read("x", 1).Read("x", 1);
+  EXPECT_FALSE(Analyze(b.Build()).imp);
+}
+
+TEST(PhenomenaTest, InitialThenVersionIsImp) {
+  // The cut changed underneath the transaction (fuzzy read).
+  HistoryBuilder b;
+  b.Txn(1).Write("x");
+  b.Txn(3).Read("x", 0).Read("x", 1);
+  EXPECT_TRUE(Analyze(b.Build()).imp);
+}
+
+TEST(PhenomenaTest, OwnOverwriteBetweenReadsIsNotImp) {
+  // I-CI allows a changed value when the txn overwrote it itself.
+  History h;
+  Transaction t;
+  t.id = {5, 5};
+  t.ops.push_back({Operation::Kind::kRead, "x", kInitialVersion,
+                   WriteKind::kPut, "", "", {}});
+  t.ops.push_back({Operation::Kind::kWrite, "x", {5, 5}, WriteKind::kPut,
+                   "", "", {}});
+  t.ops.push_back({Operation::Kind::kRead, "x", {5, 5}, WriteKind::kPut,
+                   "", "", {}});
+  h.Add(t);
+  EXPECT_FALSE(Analyze(h).imp);
+}
+
+// ---------------------------------------------------------------------------
+// PMP — predicate variant
+// ---------------------------------------------------------------------------
+
+TEST(PhenomenaTest, PmpPhantomDetected) {
+  HistoryBuilder b;
+  b.Txn(1).Write("k2");
+  // First scan sees {k1}; second scan of the same range also sees k2
+  // (a phantom appeared mid-transaction).
+  b.Txn(2).Write("k1");
+  b.Txn(3)
+      .PredicateRead("k0", "k9", {{"k1", 2}})
+      .PredicateRead("k0", "k9", {{"k1", 2}, {"k2", 1}});
+  auto r = Analyze(b.Build());
+  EXPECT_TRUE(r.pmp);
+  EXPECT_FALSE(r.PredicateCut());
+}
+
+TEST(PhenomenaTest, IdenticalScansAreNotPmp) {
+  HistoryBuilder b;
+  b.Txn(1).Write("k1");
+  b.Txn(3)
+      .PredicateRead("k0", "k9", {{"k1", 1}})
+      .PredicateRead("k0", "k9", {{"k1", 1}});
+  EXPECT_FALSE(Analyze(b.Build()).pmp);
+}
+
+TEST(PhenomenaTest, DisjointRangesAreNotPmp) {
+  HistoryBuilder b;
+  b.Txn(1).Write("a1").Write("b1");
+  b.Txn(3)
+      .PredicateRead("a0", "a9", {{"a1", 1}})
+      .PredicateRead("b0", "b9", {{"b1", 1}});
+  EXPECT_FALSE(Analyze(b.Build()).pmp);
+}
+
+TEST(PhenomenaTest, PmpVersionChangeInOverlap) {
+  HistoryBuilder b;
+  b.Txn(1).Write("k1");
+  b.Txn(2).Write("k1");
+  b.Txn(3)
+      .PredicateRead("k0", "k9", {{"k1", 1}})
+      .PredicateRead("k0", "k5", {{"k1", 2}});
+  EXPECT_TRUE(Analyze(b.Build()).pmp);
+}
+
+// ---------------------------------------------------------------------------
+// OTV — Figure 9/10 and the MAV example of Section 5.1.2
+// ---------------------------------------------------------------------------
+
+TEST(PhenomenaTest, OtvFigure9) {
+  HistoryBuilder b;
+  b.Txn(1).Write("x").Write("y");
+  b.Txn(2).Write("x").Write("y");
+  b.Txn(3).Read("x", 2).Read("y", 1);  // observed T2 vanish on y
+  auto r = Analyze(b.Build());
+  EXPECT_TRUE(r.otv);
+  EXPECT_FALSE(r.MonotonicAtomicView());
+}
+
+TEST(PhenomenaTest, MavSectionExample) {
+  // T1: wx(1) wy(1) wz(1); T2: rx ry(1) rx rz — once T2 reads y from T1,
+  // later reads must reflect T1.
+  HistoryBuilder b;
+  b.Txn(1).Write("x").Write("y").Write("z");
+  b.Txn(2).Read("x", 0).Read("y", 1).Read("x", 0).Read("z", 0);
+  auto r = Analyze(b.Build());
+  EXPECT_TRUE(r.otv);  // the second rx(0) and rz(0) vanish T1
+}
+
+TEST(PhenomenaTest, MavCompliantReadIsNotOtv) {
+  HistoryBuilder b;
+  b.Txn(1).Write("x").Write("y").Write("z");
+  b.Txn(2).Read("y", 1).Read("x", 1).Read("z", 1);
+  auto r = Analyze(b.Build());
+  EXPECT_FALSE(r.otv);
+  // (The first read pair triggers imp=false too: distinct keys.)
+  EXPECT_TRUE(r.MonotonicAtomicView());
+}
+
+TEST(PhenomenaTest, ReadingNewerVersionAfterObservationIsFine) {
+  HistoryBuilder b;
+  b.Txn(1).Write("x").Write("y");
+  b.Txn(2).Write("y");  // newer y
+  b.Txn(3).Read("x", 1).Read("y", 2);
+  EXPECT_FALSE(Analyze(b.Build()).otv);
+}
+
+// ---------------------------------------------------------------------------
+// Session guarantees — Figures 11-18
+// ---------------------------------------------------------------------------
+
+TEST(PhenomenaTest, NonMonotonicReadsFigure11) {
+  HistoryBuilder b;
+  b.Txn(1).Write("x");
+  b.Txn(2).Write("x");
+  b.Txn(3).Read("x", 2).InSession(7, 1);
+  b.Txn(4).Read("x", 1).InSession(7, 2);  // went back in time
+  auto r = Analyze(b.Build());
+  EXPECT_TRUE(r.n_mr);
+  EXPECT_FALSE(r.MonotonicReads());
+}
+
+TEST(PhenomenaTest, MonotonicReadsHoldsForward) {
+  HistoryBuilder b;
+  b.Txn(1).Write("x");
+  b.Txn(2).Write("x");
+  b.Txn(3).Read("x", 1).InSession(7, 1);
+  b.Txn(4).Read("x", 2).InSession(7, 2);
+  EXPECT_FALSE(Analyze(b.Build()).n_mr);
+}
+
+TEST(PhenomenaTest, DifferentSessionsNotConstrained) {
+  HistoryBuilder b;
+  b.Txn(1).Write("x");
+  b.Txn(2).Write("x");
+  b.Txn(3).Read("x", 2).InSession(7, 1);
+  b.Txn(4).Read("x", 1).InSession(8, 1);  // another session may lag
+  EXPECT_FALSE(Analyze(b.Build()).n_mr);
+}
+
+TEST(PhenomenaTest, NonMonotonicWritesFigure13) {
+  // Session writes x then y; version orders must respect that per item.
+  // Direct violation: session's later txn installs an OLDER version of x.
+  History h;
+  Transaction t1;
+  t1.id = {5, 1};
+  t1.session = 3;
+  t1.session_seq = 1;
+  t1.ops.push_back({Operation::Kind::kWrite, "x", {5, 1}, WriteKind::kPut,
+                    "", "", {}});
+  Transaction t2;
+  t2.id = {2, 1};  // committed later in the session but older timestamp
+  t2.session = 3;
+  t2.session_seq = 2;
+  t2.ops.push_back({Operation::Kind::kWrite, "x", {2, 1}, WriteKind::kPut,
+                    "", "", {}});
+  h.Add(t1);
+  h.Add(t2);
+  auto r = Analyze(h);
+  EXPECT_TRUE(r.n_mw);
+  EXPECT_FALSE(r.MonotonicWrites());
+}
+
+TEST(PhenomenaTest, MissingYourWritesFigure17) {
+  HistoryBuilder b;
+  b.Txn(1).Write("x").InSession(4, 1);
+  b.Txn(2).Read("x", 0).InSession(4, 2);  // missed own write
+  auto r = Analyze(b.Build());
+  EXPECT_TRUE(r.myr);
+  EXPECT_FALSE(r.ReadYourWrites());
+  EXPECT_FALSE(r.Pram());
+}
+
+TEST(PhenomenaTest, ReadingOverwritingValueSatisfiesRyw) {
+  HistoryBuilder b;
+  b.Txn(1).Write("x").InSession(4, 1);
+  b.Txn(2).Write("x");  // someone else overwrites
+  b.Txn(3).Read("x", 2).InSession(4, 2);  // sees the overwrite: fine
+  EXPECT_FALSE(Analyze(b.Build()).myr);
+}
+
+TEST(PhenomenaTest, MrwdFigure15) {
+  // T1: wx(1); T2: rx(1) wy(1); T3: ry(1) rx(0).
+  HistoryBuilder b;
+  b.Txn(1).Write("x");
+  b.Txn(2).Read("x", 1).Write("y").InSession(9, 1);
+  b.Txn(3).Read("y", 2).Read("x", 0);
+  auto r = Analyze(b.Build());
+  EXPECT_TRUE(r.mrwd);
+  EXPECT_FALSE(r.WritesFollowReads());
+  EXPECT_FALSE(r.Causal());
+}
+
+TEST(PhenomenaTest, WfrSatisfiedWhenDependencyVisible) {
+  HistoryBuilder b;
+  b.Txn(1).Write("x");
+  b.Txn(2).Read("x", 1).Write("y").InSession(9, 1);
+  b.Txn(3).Read("y", 2).Read("x", 1);
+  EXPECT_FALSE(Analyze(b.Build()).mrwd);
+}
+
+// ---------------------------------------------------------------------------
+// Lost Update & Write Skew — Section 5.2.1
+// ---------------------------------------------------------------------------
+
+TEST(PhenomenaTest, LostUpdateSection521) {
+  // T1: rx(100) wx(120); T2: rx(100) wx(130) — both read the same version.
+  HistoryBuilder b;
+  b.Txn(1).Write("x");                 // x@1 = 100
+  b.Txn(2).Read("x", 1).Write("x");    // x@2 = 120
+  b.Txn(3).Read("x", 1).Write("x");    // x@3 = 130, lost T2's update
+  auto r = Analyze(b.Build());
+  EXPECT_TRUE(r.lost_update);
+  EXPECT_TRUE(r.write_skew);  // lost update is a special case of G2-item
+  EXPECT_FALSE(r.SnapshotIsolation());
+  EXPECT_FALSE(r.RepeatableRead());
+  EXPECT_FALSE(r.Serializable());
+}
+
+TEST(PhenomenaTest, SequentialRmwIsNotLostUpdate) {
+  HistoryBuilder b;
+  b.Txn(1).Write("x");
+  b.Txn(2).Read("x", 1).Write("x");
+  b.Txn(3).Read("x", 2).Write("x");  // saw T2's write: serial
+  auto r = Analyze(b.Build());
+  EXPECT_FALSE(r.lost_update);
+  EXPECT_FALSE(r.write_skew);
+  EXPECT_TRUE(r.Serializable());
+}
+
+TEST(PhenomenaTest, WriteSkewSection521) {
+  // T1: ry(0) wx(1); T2: rx(0) wy(1).
+  HistoryBuilder b;
+  b.Txn(1).Read("y", 0).Write("x");
+  b.Txn(2).Read("x", 0).Write("y");
+  auto r = Analyze(b.Build());
+  EXPECT_TRUE(r.write_skew);
+  EXPECT_FALSE(r.lost_update);  // two items: not single-item
+  EXPECT_FALSE(r.RepeatableRead());
+  EXPECT_FALSE(r.Serializable());
+  // Write skew is invisible to RC/MAV — exactly the paper's point.
+  EXPECT_TRUE(r.ReadCommitted());
+  EXPECT_TRUE(r.MonotonicAtomicView());
+}
+
+TEST(PhenomenaTest, SerializableHistoryPassesEverything) {
+  HistoryBuilder b;
+  b.Txn(1).Write("x").Write("y");
+  b.Txn(2).Read("x", 1).Read("y", 1).Write("x");
+  b.Txn(3).Read("x", 2).Read("y", 1);
+  auto r = Analyze(b.Build());
+  EXPECT_EQ(r.Summary(), "(none)");
+  EXPECT_TRUE(r.Serializable());
+  EXPECT_TRUE(r.SnapshotIsolation());
+  EXPECT_TRUE(r.Causal());
+}
+
+// ---------------------------------------------------------------------------
+// DSG structure
+// ---------------------------------------------------------------------------
+
+TEST(DsgTest, EdgesOfFigure10) {
+  HistoryBuilder b;
+  b.Txn(1).Write("x").Write("y");
+  b.Txn(2).Write("x").Write("y");
+  b.Txn(3).Read("x", 2).Read("y", 1);
+  Dsg dsg(b.Build());
+  // Expect ww(x) and ww(y) T1->T2, wr(x) T2->T3, rw(y) T3->T2.
+  int ww = 0, wr = 0, rw = 0;
+  for (const auto& e : dsg.edges()) {
+    if (e.type == EdgeType::kWriteDepends) ww++;
+    if (e.type == EdgeType::kReadDepends) wr++;
+    if (e.type == EdgeType::kAntiDepends) rw++;
+  }
+  EXPECT_EQ(ww, 2);
+  EXPECT_EQ(wr, 2);  // wr(x) T2->T3 and wr(y) T1->T3
+  EXPECT_EQ(rw, 1);
+  std::string witness;
+  EXPECT_TRUE(dsg.HasAntiDependencyCycle(&witness));
+  EXPECT_FALSE(dsg.HasDependencyCycle(&witness));
+}
+
+TEST(DsgTest, AbortedTransactionsExcluded) {
+  HistoryBuilder b;
+  b.Txn(1).Write("x").Aborted();
+  b.Txn(2).Write("x");
+  Dsg dsg(b.Build());
+  EXPECT_EQ(dsg.txns().size(), 1u);
+  EXPECT_TRUE(dsg.edges().empty());
+}
+
+TEST(DsgTest, VersionOrderIsTimestampOrder) {
+  HistoryBuilder b;
+  b.Txn(3).Write("x");
+  b.Txn(1).Write("x");
+  b.Txn(2).Write("x");
+  Dsg dsg(b.Build());
+  auto order = dsg.VersionOrder("x");
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_LT(order[0], order[1]);
+  EXPECT_LT(order[1], order[2]);
+}
+
+TEST(DsgTest, ReadFromInitialProducesAntiDependencyOnly) {
+  HistoryBuilder b;
+  b.Txn(1).Read("x", 0);
+  b.Txn(2).Write("x");
+  Dsg dsg(b.Build());
+  ASSERT_EQ(dsg.edges().size(), 1u);
+  EXPECT_EQ(dsg.edges()[0].type, EdgeType::kAntiDepends);
+}
+
+TEST(DsgTest, SessionEdgesFollowSequence) {
+  HistoryBuilder b;
+  b.Txn(1).Write("x").InSession(1, 2);
+  b.Txn(2).Write("y").InSession(1, 1);
+  Dsg dsg(b.Build());
+  bool found = false;
+  for (const auto& e : dsg.edges()) {
+    if (e.type == EdgeType::kSession) {
+      found = true;
+      // seq 1 (txn 2) -> seq 2 (txn 1)
+      EXPECT_EQ(dsg.txns()[e.from]->id.logical, 2u);
+      EXPECT_EQ(dsg.txns()[e.to]->id.logical, 1u);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace hat::adya

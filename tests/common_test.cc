@@ -1,0 +1,349 @@
+// Unit tests for hat/common: Status/Result, RNG & distributions, CRC32,
+// histograms, codecs.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "hat/common/codec.h"
+#include "hat/common/crc32.h"
+#include "hat/common/histogram.h"
+#include "hat/common/result.h"
+#include "hat/common/rng.h"
+#include "hat/common/status.h"
+
+namespace hat {
+namespace {
+
+// --------------------------- Status / Result ------------------------------
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "Ok");
+  EXPECT_TRUE(s.message().empty());
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::NotFound("key missing");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsNotFound());
+  EXPECT_EQ(s.message(), "key missing");
+  EXPECT_EQ(s.ToString(), "NotFound: key missing");
+}
+
+TEST(StatusTest, RetryabilityClassification) {
+  EXPECT_TRUE(Status::Timeout().IsRetryable());
+  EXPECT_TRUE(Status::Unavailable().IsRetryable());
+  EXPECT_TRUE(Status::Aborted().IsRetryable());
+  EXPECT_FALSE(Status::InternalAbort().IsRetryable());
+  EXPECT_FALSE(Status::Corruption("x").IsRetryable());
+  EXPECT_FALSE(Status().IsRetryable());
+}
+
+TEST(StatusTest, CopiesShareRepresentation) {
+  Status a = Status::IoError("disk gone");
+  Status b = a;
+  EXPECT_EQ(b.message(), "disk gone");
+  EXPECT_EQ(b.code(), StatusCode::kIoError);
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= 10; c++) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(5));
+  ASSERT_TRUE(r.ok());
+  auto p = std::move(r).value();
+  EXPECT_EQ(*p, 5);
+}
+
+Result<int> Doubler(Result<int> in) {
+  HAT_ASSIGN_OR_RETURN(int v, in);
+  return v * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*Doubler(21), 42);
+  EXPECT_TRUE(Doubler(Status::Timeout()).status().IsTimeout());
+}
+
+// --------------------------------- RNG ------------------------------------
+
+TEST(RngTest, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; i++) EXPECT_EQ(a.NextUint64(), b.NextUint64());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; i++) {
+    if (a.NextUint64() == b.NextUint64()) same++;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; i++) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextBelowCoversAllResidues) {
+  Rng rng(10);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; i++) seen.insert(rng.NextBelow(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(RngTest, NextInRangeInclusive) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; i++) {
+    int64_t v = rng.NextInRange(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Rng rng(12);
+  for (int i = 0; i < 10000; i++) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, ExponentialMean) {
+  Rng rng(13);
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; i++) sum += rng.NextExponential(5.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(14);
+  double sum = 0, sum_sq = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; i++) {
+    double g = rng.NextGaussian();
+    sum += g;
+    sum_sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / n, 1.0, 0.03);
+}
+
+TEST(RngTest, LognormalMeanMatchesFormula) {
+  Rng rng(15);
+  double sigma = 0.25;
+  double mu = -sigma * sigma / 2;  // unit-mean configuration
+  double sum = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; i++) sum += rng.NextLognormal(mu, sigma);
+  EXPECT_NEAR(sum / n, 1.0, 0.02);
+}
+
+TEST(RngTest, ForkIndependence) {
+  Rng parent(77);
+  Rng a = parent.Fork(1);
+  Rng b = parent.Fork(2);
+  int same = 0;
+  for (int i = 0; i < 64; i++) {
+    if (a.NextUint64() == b.NextUint64()) same++;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(ZipfianTest, SkewsTowardLowRanks) {
+  Rng rng(16);
+  ZipfianGenerator zipf(1000, 0.99);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; i++) counts[zipf.Next(rng)]++;
+  // Rank 0 should dominate rank 500 heavily.
+  EXPECT_GT(counts[0], 100 * std::max(counts[500], 1));
+  for (const auto& [rank, n] : counts) EXPECT_LT(rank, 1000u);
+}
+
+TEST(ZipfianTest, UniformWhenThetaNearZero) {
+  Rng rng(17);
+  ZipfianGenerator zipf(100, 0.01);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 100000; i++) counts[zipf.Next(rng)]++;
+  EXPECT_LT(counts[0], 4 * counts[50]);
+}
+
+// -------------------------------- CRC32 -----------------------------------
+
+TEST(Crc32Test, KnownVector) {
+  // CRC-32C("123456789") = 0xE3069283 (iSCSI test vector).
+  EXPECT_EQ(Crc32c("123456789"), 0xE3069283u);
+}
+
+TEST(Crc32Test, EmptyIsZero) { EXPECT_EQ(Crc32c(""), 0u); }
+
+TEST(Crc32Test, DetectsBitFlip) {
+  std::string data(100, 'a');
+  uint32_t before = Crc32c(data);
+  data[50] ^= 1;
+  EXPECT_NE(before, Crc32c(data));
+}
+
+TEST(Crc32Test, MaskRoundTrips) {
+  for (uint32_t v : {0u, 1u, 0xdeadbeefu, 0xffffffffu}) {
+    EXPECT_EQ(UnmaskCrc(MaskCrc(v)), v);
+    EXPECT_NE(MaskCrc(v), v);
+  }
+}
+
+// ------------------------------ Histogram ---------------------------------
+
+TEST(HistogramTest, EmptyIsZeroed) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Mean(), 0);
+  EXPECT_EQ(h.Percentile(0.5), 0);
+}
+
+TEST(HistogramTest, MeanAndExtremes) {
+  Histogram h;
+  for (double v : {1.0, 2.0, 3.0, 4.0}) h.Record(v);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.Mean(), 2.5);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 4.0);
+}
+
+TEST(HistogramTest, PercentileWithinResolution) {
+  Histogram h;
+  for (int i = 1; i <= 10000; i++) h.Record(i);
+  // 1% relative resolution.
+  EXPECT_NEAR(h.Percentile(0.5), 5000, 5000 * 0.02);
+  EXPECT_NEAR(h.Percentile(0.99), 9900, 9900 * 0.02);
+  EXPECT_NEAR(h.Percentile(1.0), 10000, 10000 * 0.02);
+}
+
+TEST(HistogramTest, MergeEqualsCombinedRecording) {
+  Histogram a, b, combined;
+  Rng rng(18);
+  for (int i = 0; i < 1000; i++) {
+    double v = rng.NextExponential(100);
+    (i % 2 ? a : b).Record(v);
+    combined.Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), combined.count());
+  EXPECT_NEAR(a.Mean(), combined.Mean(), 1e-9);
+  EXPECT_NEAR(a.Percentile(0.9), combined.Percentile(0.9), 1e-9);
+}
+
+TEST(HistogramTest, CdfMonotone) {
+  Histogram h;
+  Rng rng(19);
+  for (int i = 0; i < 10000; i++) h.Record(rng.NextLognormal(3, 1));
+  auto cdf = h.Cdf();
+  ASSERT_FALSE(cdf.empty());
+  for (size_t i = 1; i < cdf.size(); i++) {
+    EXPECT_GT(cdf[i].first, cdf[i - 1].first);
+    EXPECT_GE(cdf[i].second, cdf[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().second, 1.0);
+}
+
+TEST(HistogramTest, StddevOfConstantIsZero) {
+  Histogram h;
+  for (int i = 0; i < 10; i++) h.Record(42);
+  EXPECT_NEAR(h.Stddev(), 0, 1e-6);
+}
+
+// -------------------------------- Codec -----------------------------------
+
+TEST(CodecTest, FixedRoundTrip) {
+  std::string s;
+  PutFixed32(&s, 0xdeadbeef);
+  PutFixed64(&s, 0x0123456789abcdefULL);
+  EXPECT_EQ(DecodeFixed32(s.data()), 0xdeadbeefu);
+  EXPECT_EQ(DecodeFixed64(s.data() + 4), 0x0123456789abcdefULL);
+}
+
+TEST(CodecTest, VarintRoundTrip) {
+  for (uint64_t v : {0ULL, 1ULL, 127ULL, 128ULL, 300ULL, 1ULL << 32,
+                     ~0ULL}) {
+    std::string s;
+    PutVarint64(&s, v);
+    std::string_view in(s);
+    auto decoded = GetVarint64(&in);
+    ASSERT_TRUE(decoded.has_value());
+    EXPECT_EQ(*decoded, v);
+    EXPECT_TRUE(in.empty());
+  }
+}
+
+TEST(CodecTest, VarintTruncatedFails) {
+  std::string s;
+  PutVarint64(&s, 1ULL << 40);
+  s.pop_back();
+  std::string_view in(s);
+  EXPECT_FALSE(GetVarint64(&in).has_value());
+}
+
+TEST(CodecTest, LengthPrefixedRoundTrip) {
+  std::string s;
+  PutLengthPrefixed(&s, "hello");
+  PutLengthPrefixed(&s, "");
+  PutLengthPrefixed(&s, std::string(300, 'z'));
+  std::string_view in(s);
+  EXPECT_EQ(*GetLengthPrefixed(&in), "hello");
+  EXPECT_EQ(*GetLengthPrefixed(&in), "");
+  EXPECT_EQ(GetLengthPrefixed(&in)->size(), 300u);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodecTest, LengthPrefixedOverrunFails) {
+  std::string s;
+  PutVarint32(&s, 100);  // claims 100 bytes, provides none
+  std::string_view in(s);
+  EXPECT_FALSE(GetLengthPrefixed(&in).has_value());
+}
+
+TEST(CodecTest, Int64ValueRoundTrip) {
+  for (int64_t v : {int64_t{0}, int64_t{-1}, int64_t{42},
+                    std::numeric_limits<int64_t>::min(),
+                    std::numeric_limits<int64_t>::max()}) {
+    EXPECT_EQ(DecodeInt64Value(EncodeInt64Value(v)), v);
+  }
+}
+
+TEST(CodecTest, Int64ValueRejectsWrongSize) {
+  EXPECT_FALSE(DecodeInt64Value("short").has_value());
+  EXPECT_FALSE(DecodeInt64Value("123456789").has_value());
+}
+
+}  // namespace
+}  // namespace hat

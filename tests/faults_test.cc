@@ -1,0 +1,233 @@
+// Fault-injection tests: flapping partitions, asymmetric link failures,
+// server crashes mid-workload, and randomized link chaos — verifying the
+// paper's availability and convergence claims hold under messier failure
+// patterns than a single clean partition.
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "hat/adya/phenomena.h"
+#include "hat/adya/recorder.h"
+#include "hat/client/txn_client.h"
+#include "hat/cluster/deployment.h"
+#include "hat/common/rng.h"
+
+namespace hat {
+namespace {
+
+using client::ClientOptions;
+using client::IsolationLevel;
+using client::TxnClient;
+using cluster::Deployment;
+using cluster::DeploymentOptions;
+
+/// Closed-loop register workload over `clients`, recording a history.
+class FaultWorkload {
+ public:
+  FaultWorkload(Deployment& deployment, ClientOptions base, int num_clients,
+                uint64_t seed)
+      : deployment_(deployment), rng_(seed) {
+    for (int i = 0; i < num_clients; i++) {
+      ClientOptions opts = base;
+      opts.home_cluster = i % deployment.NumClusters();
+      opts.op_timeout = 3 * sim::kSecond;
+      opts.rpc_timeout = 400 * sim::kMillisecond;
+      clients_.push_back(&deployment.AddClient(opts));
+      clients_.back()->set_observer(&recorder_);
+      rngs_.push_back(rng_.Fork(i));
+      remaining_.push_back(40);
+    }
+  }
+
+  void Start() {
+    for (size_t c = 0; c < clients_.size(); c++) Loop(c);
+  }
+
+  adya::History Finish() { return recorder_.Finish(); }
+
+  uint64_t committed() const {
+    uint64_t n = 0;
+    for (const auto* c : clients_) n += c->stats().txns_committed;
+    return n;
+  }
+  uint64_t unavailable() const {
+    uint64_t n = 0;
+    for (const auto* c : clients_) n += c->stats().txns_unavailable;
+    return n;
+  }
+
+ private:
+  void Loop(size_t c) {
+    if (remaining_[c]-- <= 0) return;
+    TxnClient* client = clients_[c];
+    client->Begin();
+    Key key = "reg" + std::to_string(rngs_[c].NextBelow(6));
+    if (rngs_[c].NextBool(0.5)) {
+      client->Read(key, [this, c, client, key](Status s, ReadVersion) {
+        if (!s.ok()) {
+          client->Abort();
+          Loop(c);
+          return;
+        }
+        client->Write(key, "v" + std::to_string(rngs_[c].NextUint64() % 997));
+        client->Commit([this, c](Status) { Loop(c); });
+      });
+    } else {
+      client->Write(key, "v" + std::to_string(rngs_[c].NextUint64() % 997));
+      client->Commit([this, c](Status) { Loop(c); });
+    }
+  }
+
+  Deployment& deployment_;
+  Rng rng_;
+  std::vector<TxnClient*> clients_;
+  std::vector<Rng> rngs_;
+  std::vector<int> remaining_;
+  adya::HistoryRecorder recorder_;
+};
+
+void ExpectConverged(Deployment& deployment, int num_keys) {
+  for (int k = 0; k < num_keys; k++) {
+    Key key = "reg" + std::to_string(k);
+    auto replicas = deployment.ReplicasOf(key);
+    auto first = deployment.server(replicas[0]).good().Read(key);
+    for (size_t r = 1; r < replicas.size(); r++) {
+      auto other = deployment.server(replicas[r]).good().Read(key);
+      EXPECT_EQ(first.value, other.value) << key << " replica " << r;
+      EXPECT_EQ(first.ts, other.ts) << key << " replica " << r;
+    }
+  }
+}
+
+TEST(FaultsTest, FlappingPartitionsNeverBlockStickyClients) {
+  sim::Simulation sim(501);
+  auto dopts = DeploymentOptions::TwoRegions();
+  dopts.server.durable = false;
+  Deployment deployment(sim, dopts);
+
+  ClientOptions opts;  // sticky RC
+  FaultWorkload workload(deployment, opts, 4, 501);
+  workload.Start();
+
+  // Four partition/heal cycles while the workload runs.
+  for (int cycle = 0; cycle < 4; cycle++) {
+    sim.After((1 + 2 * cycle) * sim::kSecond,
+              [&deployment]() { deployment.PartitionClusters(0, 1); });
+    sim.After((2 + 2 * cycle) * sim::kSecond,
+              [&deployment]() { deployment.Heal(); });
+  }
+  sim.RunUntil(sim.Now() + 120 * sim::kSecond);
+  sim.RunUntil(sim.Now() + 5 * sim::kSecond);  // quiesce
+
+  EXPECT_EQ(workload.committed(), 4u * 40u)
+      << "sticky HAT clients must commit every transaction through flaps";
+  EXPECT_EQ(workload.unavailable(), 0u);
+  ExpectConverged(deployment, 6);
+  auto report = adya::Analyze(workload.Finish());
+  EXPECT_TRUE(report.ReadCommitted()) << report.Summary();
+}
+
+TEST(FaultsTest, AsymmetricLinkCutsStillConverge) {
+  // Cut only *some* cross-cluster links: gossip must route around via
+  // retransmission once the cuts heal; clients never notice.
+  sim::Simulation sim(502);
+  auto dopts = DeploymentOptions::TwoRegions();
+  dopts.server.durable = false;
+  Deployment deployment(sim, dopts);
+
+  // Sever half the cross-cluster links only.
+  auto c0 = deployment.ClusterServers(0);
+  auto c1 = deployment.ClusterServers(1);
+  for (size_t i = 0; i < c0.size(); i++) {
+    for (size_t j = 0; j < c1.size(); j++) {
+      if ((i + j) % 2 == 0) deployment.network().CutLink(c0[i], c1[j]);
+    }
+  }
+
+  ClientOptions opts;
+  FaultWorkload workload(deployment, opts, 4, 502);
+  workload.Start();
+  sim.RunUntil(sim.Now() + 60 * sim::kSecond);
+  EXPECT_EQ(workload.committed(), 4u * 40u);
+
+  deployment.Heal();
+  sim.RunUntil(sim.Now() + 5 * sim::kSecond);
+  ExpectConverged(deployment, 6);
+}
+
+TEST(FaultsTest, CrashedServerRepopulatesViaDigestSync) {
+  sim::Simulation sim(503);
+  auto dopts = DeploymentOptions::TwoRegions();
+  dopts.server.durable = false;
+  dopts.server.digest_sync_interval = 500 * sim::kMillisecond;
+  Deployment deployment(sim, dopts);
+
+  ClientOptions opts;
+  FaultWorkload workload(deployment, opts, 4, 503);
+  workload.Start();
+  sim.RunUntil(sim.Now() + 3 * sim::kSecond);
+
+  // Crash one server of cluster 0 mid-workload (all volatile state lost).
+  net::NodeId victim = deployment.ClusterServers(0)[1];
+  deployment.server(victim).Crash();
+
+  sim.RunUntil(sim.Now() + 120 * sim::kSecond);
+  sim.RunUntil(sim.Now() + 10 * sim::kSecond);  // digest rounds
+
+  EXPECT_EQ(workload.committed(), 4u * 40u)
+      << "a crashed replica must not block HAT clients (others answer)";
+  ExpectConverged(deployment, 6);
+}
+
+class LinkChaosTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LinkChaosTest, RandomCutsEventuallyConverge) {
+  sim::Simulation sim(600 + static_cast<uint64_t>(GetParam()));
+  auto dopts = DeploymentOptions::TwoRegions();
+  dopts.server.durable = false;
+  Deployment deployment(sim, dopts);
+
+  ClientOptions opts;
+  opts.isolation = IsolationLevel::kMonotonicAtomicView;
+  FaultWorkload workload(deployment, opts, 4, 600 + GetParam());
+  workload.Start();
+
+  // Chaos: every 500ms, randomly cut or restore one cross-cluster link.
+  auto chaos_rng = std::make_shared<Rng>(900 + GetParam());
+  auto chaos = std::make_shared<std::function<void()>>();
+  auto* sim_ptr = &sim;
+  auto* dep_ptr = &deployment;
+  int chaos_ticks = 20;
+  *chaos = [sim_ptr, dep_ptr, chaos_rng, chaos, &chaos_ticks]() {
+    if (chaos_ticks-- <= 0) {
+      dep_ptr->Heal();
+      return;
+    }
+    auto c0 = dep_ptr->ClusterServers(0);
+    auto c1 = dep_ptr->ClusterServers(1);
+    net::NodeId a = c0[chaos_rng->NextBelow(c0.size())];
+    net::NodeId b = c1[chaos_rng->NextBelow(c1.size())];
+    if (chaos_rng->NextBool(0.6)) {
+      dep_ptr->network().CutLink(a, b);
+    } else {
+      dep_ptr->network().RestoreLink(a, b);
+    }
+    sim_ptr->After(500 * sim::kMillisecond, [chaos]() { (*chaos)(); });
+  };
+  sim.After(sim::kSecond, [chaos]() { (*chaos)(); });
+
+  sim.RunUntil(sim.Now() + 200 * sim::kSecond);
+  sim.RunUntil(sim.Now() + 10 * sim::kSecond);
+
+  EXPECT_EQ(workload.committed(), 4u * 40u);
+  ExpectConverged(deployment, 6);
+  auto report = adya::Analyze(workload.Finish());
+  EXPECT_TRUE(report.MonotonicAtomicView()) << report.Summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LinkChaosTest, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace hat

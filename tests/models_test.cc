@@ -1,0 +1,181 @@
+// Tests for the taxonomy (Table 3 / Figure 2) and the survey (Table 2).
+
+#include <gtest/gtest.h>
+
+#include "hat/models/survey.h"
+#include "hat/models/taxonomy.h"
+
+namespace hat::models {
+namespace {
+
+TEST(TaxonomyTest, Table3AvailabilityClasses) {
+  // HA row.
+  for (Model m : {Model::kReadUncommitted, Model::kReadCommitted,
+                  Model::kMonotonicAtomicView, Model::kItemCutIsolation,
+                  Model::kPredicateCutIsolation, Model::kWritesFollowReads,
+                  Model::kMonotonicReads, Model::kMonotonicWrites}) {
+    EXPECT_EQ(AvailabilityOf(m), Availability::kHighlyAvailable)
+        << ModelShortName(m);
+  }
+  // Sticky row.
+  for (Model m : {Model::kReadYourWrites, Model::kPram, Model::kCausal}) {
+    EXPECT_EQ(AvailabilityOf(m), Availability::kSticky) << ModelShortName(m);
+  }
+  // Unavailable row.
+  for (Model m :
+       {Model::kCursorStability, Model::kSnapshotIsolation,
+        Model::kRepeatableRead, Model::kOneCopySerializability,
+        Model::kRecency, Model::kSafe, Model::kRegular,
+        Model::kLinearizability, Model::kStrongOneCopySerializability}) {
+    EXPECT_EQ(AvailabilityOf(m), Availability::kUnavailable)
+        << ModelShortName(m);
+  }
+}
+
+TEST(TaxonomyTest, UnavailabilityCausesMatchTable3Markers) {
+  // CS†, SI†: lost update only.
+  for (Model m : {Model::kCursorStability, Model::kSnapshotIsolation}) {
+    auto cause = CauseOf(m);
+    EXPECT_TRUE(cause.prevents_lost_update);
+    EXPECT_FALSE(cause.requires_recency);
+  }
+  // RR†‡, 1SR†‡.
+  for (Model m : {Model::kRepeatableRead, Model::kOneCopySerializability}) {
+    auto cause = CauseOf(m);
+    EXPECT_TRUE(cause.prevents_lost_update);
+    EXPECT_TRUE(cause.prevents_write_skew);
+    EXPECT_FALSE(cause.requires_recency);
+  }
+  // Recency/Safe/Regular/Linearizable: ⊕ only.
+  for (Model m : {Model::kRecency, Model::kSafe, Model::kRegular,
+                  Model::kLinearizability}) {
+    auto cause = CauseOf(m);
+    EXPECT_FALSE(cause.prevents_lost_update);
+    EXPECT_TRUE(cause.requires_recency);
+  }
+  // Strong-1SR†‡⊕.
+  auto strong = CauseOf(Model::kStrongOneCopySerializability);
+  EXPECT_TRUE(strong.prevents_lost_update);
+  EXPECT_TRUE(strong.prevents_write_skew);
+  EXPECT_TRUE(strong.requires_recency);
+}
+
+TEST(TaxonomyTest, StrongOneSrEntailsEverything) {
+  for (Model m : AllModels()) {
+    EXPECT_TRUE(Entails(Model::kStrongOneCopySerializability, m))
+        << "Strong-1SR must entail " << ModelShortName(m);
+  }
+}
+
+TEST(TaxonomyTest, EntailmentIsReflexiveAndAntisymmetric) {
+  EXPECT_EQ(ValidateTaxonomy(), "");
+  for (Model m : AllModels()) EXPECT_TRUE(Entails(m, m));
+}
+
+TEST(TaxonomyTest, Figure2SpotChecks) {
+  EXPECT_TRUE(Entails(Model::kReadCommitted, Model::kReadUncommitted));
+  EXPECT_TRUE(Entails(Model::kMonotonicAtomicView, Model::kReadCommitted));
+  EXPECT_TRUE(Entails(Model::kCausal, Model::kMonotonicAtomicView));
+  EXPECT_TRUE(Entails(Model::kCausal, Model::kReadYourWrites));
+  EXPECT_TRUE(Entails(Model::kPram, Model::kMonotonicReads));
+  EXPECT_TRUE(Entails(Model::kSnapshotIsolation,
+                      Model::kPredicateCutIsolation));
+  EXPECT_TRUE(Entails(Model::kRepeatableRead, Model::kItemCutIsolation));
+  EXPECT_TRUE(
+      Entails(Model::kOneCopySerializability, Model::kReadCommitted));
+  EXPECT_TRUE(Entails(Model::kLinearizability, Model::kSafe));
+
+  // Famous incomparabilities.
+  EXPECT_TRUE(Incomparable(Model::kSnapshotIsolation,
+                           Model::kRepeatableRead));
+  EXPECT_TRUE(Incomparable(Model::kCausal, Model::kSnapshotIsolation));
+  EXPECT_TRUE(Incomparable(Model::kMonotonicAtomicView,
+                           Model::kItemCutIsolation));
+  EXPECT_TRUE(Incomparable(Model::kLinearizability,
+                           Model::kOneCopySerializability));
+}
+
+TEST(TaxonomyTest, OneSrDoesNotEntailSessionGuarantees) {
+  // Plain 1SR may reorder a session's transactions (no real-time order).
+  EXPECT_FALSE(Entails(Model::kOneCopySerializability,
+                       Model::kReadYourWrites));
+  EXPECT_FALSE(Entails(Model::kOneCopySerializability, Model::kCausal));
+}
+
+TEST(TaxonomyTest, CombinedAvailabilityIsWorst) {
+  EXPECT_EQ(CombinedAvailability(
+                {Model::kReadCommitted, Model::kMonotonicAtomicView}),
+            Availability::kHighlyAvailable);
+  EXPECT_EQ(CombinedAvailability({Model::kReadCommitted,
+                                  Model::kReadYourWrites}),
+            Availability::kSticky);
+  EXPECT_EQ(CombinedAvailability({Model::kCausal,
+                                  Model::kSnapshotIsolation}),
+            Availability::kUnavailable);
+  EXPECT_EQ(CombinedAvailability({}), Availability::kHighlyAvailable);
+}
+
+TEST(TaxonomyTest, HatCombinationCountIs144) {
+  // "the diagram depicts 144 possible HAT combinations" (Section 5.3).
+  EXPECT_EQ(HatCombinationCount(), 144);
+}
+
+TEST(TaxonomyTest, NamesAreUnique) {
+  std::set<std::string_view> names;
+  for (Model m : AllModels()) {
+    EXPECT_TRUE(names.insert(ModelShortName(m)).second)
+        << ModelShortName(m);
+  }
+  EXPECT_EQ(names.size(), static_cast<size_t>(kNumModels));
+}
+
+// --------------------------------- Table 2 --------------------------------
+
+TEST(SurveyTest, EighteenDatabases) {
+  EXPECT_EQ(IsolationSurvey().size(), 18u);
+}
+
+TEST(SurveyTest, HeadlineNumbersMatchPaper) {
+  // "only three out of 18 databases provided serializability by default,
+  //  and eight did not provide serializability as an option at all."
+  auto stats = ComputeSurveyStats();
+  EXPECT_EQ(stats.total, 18);
+  EXPECT_EQ(stats.serializable_by_default, 3);
+  EXPECT_EQ(stats.serializable_unavailable, 8);
+}
+
+TEST(SurveyTest, SpotCheckRows) {
+  const auto& rows = IsolationSurvey();
+  auto find = [&rows](std::string_view name) -> const SurveyEntry* {
+    for (const auto& r : rows) {
+      if (r.database == name) return &r;
+    }
+    return nullptr;
+  };
+  const auto* oracle = find("Oracle 11g");
+  ASSERT_NE(oracle, nullptr);
+  EXPECT_EQ(oracle->default_level, SurveyLevel::kReadCommitted);
+  EXPECT_EQ(oracle->maximum_level, SurveyLevel::kSnapshotIsolation);
+
+  const auto* mysql = find("MySQL 5.6");
+  ASSERT_NE(mysql, nullptr);
+  EXPECT_EQ(mysql->default_level, SurveyLevel::kRepeatableRead);
+  EXPECT_EQ(mysql->maximum_level, SurveyLevel::kSerializability);
+
+  const auto* postgres = find("Postgres 9.2.2");
+  ASSERT_NE(postgres, nullptr);
+  EXPECT_EQ(postgres->default_level, SurveyLevel::kReadCommitted);
+}
+
+TEST(SurveyTest, MaximumAtLeastDefaultWhereComparable) {
+  // Sanity: no database's maximum level is RC while defaulting to S.
+  for (const auto& e : IsolationSurvey()) {
+    if (e.default_level == SurveyLevel::kSerializability) {
+      EXPECT_EQ(e.maximum_level, SurveyLevel::kSerializability)
+          << e.database;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hat::models

@@ -1,0 +1,398 @@
+// Property-based verification of the paper's central claims (Table 3):
+// for each isolation / session / mode configuration, run randomized
+// concurrent workloads (with and without partitions) through the real
+// client/server stack, record the Adya history, and assert that exactly the
+// phenomena the configuration must prohibit are absent.
+//
+// These tests are the executable form of Section 5: "HAT-compliant levels
+// prevent their defining anomalies while remaining available".
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "hat/adya/phenomena.h"
+#include "hat/adya/recorder.h"
+#include "hat/client/txn_client.h"
+#include "hat/cluster/deployment.h"
+#include "hat/common/rng.h"
+
+namespace hat {
+namespace {
+
+using client::ClientOptions;
+using client::IsolationLevel;
+using client::SystemMode;
+using client::TxnClient;
+using cluster::Deployment;
+using cluster::DeploymentOptions;
+
+/// Drives `clients` through random register transactions concurrently
+/// (asynchronously interleaved on the simulator), optionally injecting a
+/// cluster partition for the middle third of the run.
+class RandomWorkload {
+ public:
+  struct Options {
+    int num_clients = 4;
+    int txns_per_client = 40;
+    int num_keys = 8;
+    int ops_per_txn = 4;
+    double read_fraction = 0.5;
+    bool inject_partition = false;
+    uint64_t seed = 1;
+  };
+
+  RandomWorkload(Deployment& deployment, Options options,
+                 ClientOptions client_options)
+      : deployment_(deployment), options_(options), rng_(options.seed) {
+    for (int i = 0; i < options.num_clients; i++) {
+      ClientOptions copts = client_options;
+      copts.home_cluster = i % deployment.NumClusters();
+      // Keep timeouts short so partition runs terminate quickly.
+      copts.op_timeout = 3 * sim::kSecond;
+      copts.rpc_timeout = 500 * sim::kMillisecond;
+      clients_.push_back(&deployment.AddClient(copts));
+      clients_.back()->set_observer(&recorder_);
+      rngs_.push_back(rng_.Fork(100 + i));
+    }
+  }
+
+  adya::History Run() {
+    auto& sim = deployment_.simulation();
+    for (size_t i = 0; i < clients_.size(); i++) {
+      remaining_.push_back(options_.txns_per_client);
+      StartTxn(i);
+    }
+    if (options_.inject_partition && deployment_.NumClusters() >= 2) {
+      sim.After(2 * sim::kSecond, [this]() {
+        deployment_.PartitionClusters(0, 1);
+      });
+      sim.After(10 * sim::kSecond, [this]() { deployment_.Heal(); });
+    }
+    // Generous horizon; loops stop when every client finishes its quota.
+    sim.RunUntil(sim.Now() + 600 * sim::kSecond);
+    // Drain anti-entropy so later assertions about convergence hold.
+    sim.RunUntil(sim.Now() + 5 * sim::kSecond);
+    return recorder_.Finish();
+  }
+
+ private:
+  Key KeyAt(int i) const { return "reg" + std::to_string(i); }
+
+  void StartTxn(size_t c) {
+    if (remaining_[c] == 0) return;
+    remaining_[c]--;
+    clients_[c]->Begin();
+    RunOp(c, 0);
+  }
+
+  void RunOp(size_t c, int op) {
+    TxnClient* client = clients_[c];
+    if (op >= options_.ops_per_txn) {
+      client->Commit([this, c](Status) { StartTxn(c); });
+      return;
+    }
+    Key key = KeyAt(static_cast<int>(rngs_[c].NextBelow(options_.num_keys)));
+    if (rngs_[c].NextDouble() < options_.read_fraction) {
+      client->Read(key, [this, c, op](Status s, ReadVersion) {
+        if (!s.ok()) {
+          clients_[c]->Abort();
+          StartTxn(c);
+          return;
+        }
+        RunOp(c, op + 1);
+      });
+    } else {
+      // Unique value per write: the version timestamp identifies it.
+      client->Write(key, "v" + std::to_string(rngs_[c].NextUint64() % 1000));
+      RunOp(c, op + 1);
+    }
+  }
+
+  Deployment& deployment_;
+  Options options_;
+  Rng rng_;
+  std::vector<TxnClient*> clients_;
+  std::vector<Rng> rngs_;
+  std::vector<int> remaining_;
+  adya::HistoryRecorder recorder_;
+};
+
+struct PropertyCase {
+  const char* name;
+  IsolationLevel isolation;
+  SystemMode mode;
+  bool pram = false;   // MR+RYW+sticky
+  bool wfr = false;
+  bool predicate_cut = false;
+};
+
+class IsolationPropertyTest
+    : public ::testing::TestWithParam<std::tuple<PropertyCase, bool, int>> {};
+
+std::string CaseName(
+    const ::testing::TestParamInfo<std::tuple<PropertyCase, bool, int>>&
+        info) {
+  const auto& [c, partition, seed] = info.param;
+  std::string name = c.name;
+  name += partition ? "_partitioned" : "_healthy";
+  name += "_seed" + std::to_string(seed);
+  return name;
+}
+
+TEST_P(IsolationPropertyTest, ProhibitedPhenomenaAbsent) {
+  const auto& [config, partition, seed] = GetParam();
+  // Non-HAT modes cannot make progress during a partition; skip that combo
+  // (their unavailability is asserted in integration_test).
+  if (partition && config.mode != SystemMode::kHat) GTEST_SKIP();
+
+  sim::Simulation sim(static_cast<uint64_t>(seed) * 7919 + 13);
+  auto dopts = DeploymentOptions::TwoRegions();
+  dopts.server.durable = false;
+  Deployment deployment(sim, dopts);
+
+  ClientOptions copts;
+  copts.isolation = config.isolation;
+  copts.mode = config.mode;
+  copts.predicate_cut = config.predicate_cut;
+  if (config.pram) copts.EnablePram();
+  if (config.wfr) copts.writes_follow_reads = true;
+
+  RandomWorkload::Options wopts;
+  wopts.seed = static_cast<uint64_t>(seed);
+  wopts.inject_partition = partition;
+  RandomWorkload workload(deployment, wopts, copts);
+  adya::History history = workload.Run();
+  ASSERT_GT(history.size(), 20u) << "workload made no progress";
+  auto report = adya::Analyze(history);
+
+  // Everything this repo builds keeps per-item writes totally ordered, so
+  // G0 can never occur (Section 5.1.1).
+  EXPECT_TRUE(report.ReadUncommitted()) << report.Summary();
+
+  if (config.isolation >= IsolationLevel::kReadCommitted) {
+    EXPECT_TRUE(report.ReadCommitted()) << report.Summary();
+  }
+  if (config.isolation >= IsolationLevel::kItemCut) {
+    EXPECT_TRUE(report.ItemCut()) << report.Summary();
+  }
+  if (config.isolation >= IsolationLevel::kMonotonicAtomicView) {
+    EXPECT_TRUE(report.MonotonicAtomicView()) << report.Summary();
+  }
+  if (config.pram) {
+    EXPECT_TRUE(report.Pram()) << report.Summary();
+  }
+  if (config.pram && config.wfr) {
+    EXPECT_TRUE(report.Causal()) << report.Summary();
+  }
+  if (config.mode == SystemMode::kLocking) {
+    EXPECT_TRUE(report.Serializable()) << report.Summary();
+    EXPECT_TRUE(report.SnapshotIsolation()) << report.Summary();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Taxonomy, IsolationPropertyTest,
+    ::testing::Combine(
+        ::testing::Values(
+            PropertyCase{"RU", IsolationLevel::kReadUncommitted,
+                         SystemMode::kHat},
+            PropertyCase{"RC", IsolationLevel::kReadCommitted,
+                         SystemMode::kHat},
+            PropertyCase{"ICI", IsolationLevel::kItemCut, SystemMode::kHat},
+            PropertyCase{"MAV", IsolationLevel::kMonotonicAtomicView,
+                         SystemMode::kHat},
+            PropertyCase{"PRAM", IsolationLevel::kReadCommitted,
+                         SystemMode::kHat, /*pram=*/true},
+            PropertyCase{"Causal", IsolationLevel::kMonotonicAtomicView,
+                         SystemMode::kHat, /*pram=*/true, /*wfr=*/true},
+            PropertyCase{"Master", IsolationLevel::kReadCommitted,
+                         SystemMode::kMaster},
+            PropertyCase{"Locking", IsolationLevel::kItemCut,
+                         SystemMode::kLocking}),
+        ::testing::Bool(),        // inject partition
+        ::testing::Values(1, 2, 3)),
+    CaseName);
+
+// ---------------------------------------------------------------------------
+// Negative properties: weak levels DO exhibit the anomalies stronger levels
+// prevent (the taxonomy's separations are real, not vacuous).
+// ---------------------------------------------------------------------------
+
+TEST(IsolationSeparationTest, HatLevelsCannotPreventLostUpdate) {
+  // Run an RMW-heavy workload at MAV (the strongest HAT level): Lost Update
+  // must occur — Section 5.2.1's impossibility made empirical. Note the
+  // *system* never loses convergence; the anomaly is semantic.
+  sim::Simulation sim(1234);
+  auto dopts = DeploymentOptions::TwoRegions();
+  dopts.server.durable = false;
+  Deployment deployment(sim, dopts);
+  adya::HistoryRecorder recorder;
+
+  ClientOptions copts;
+  copts.isolation = IsolationLevel::kMonotonicAtomicView;
+  std::vector<TxnClient*> clients;
+  for (int i = 0; i < 4; i++) {
+    ClientOptions opts = copts;
+    opts.home_cluster = i % 2;
+    clients.push_back(&deployment.AddClient(opts));
+    clients.back()->set_observer(&recorder);
+  }
+
+  // Concurrent read-modify-write on one register.
+  int remaining = 25;
+  std::function<void(int)> loop = [&](int c) {
+    if (remaining-- <= 0) return;
+    TxnClient* client = clients[c];
+    client->Begin();
+    client->Read("counter", [&, c, client](Status s, ReadVersion rv) {
+      if (!s.ok()) {
+        client->Abort();
+        loop(c);
+        return;
+      }
+      client->Write("counter", rv.value + "+1");
+      client->Commit([&, c](Status) { loop(c); });
+    });
+  };
+  for (int c = 0; c < 4; c++) loop(c);
+  sim.RunUntil(sim.Now() + 120 * sim::kSecond);
+
+  auto report = adya::Analyze(recorder.Finish());
+  EXPECT_TRUE(report.lost_update)
+      << "concurrent RMWs on one key must exhibit Lost Update under HATs";
+  EXPECT_TRUE(report.MonotonicAtomicView()) << report.Summary();
+}
+
+TEST(IsolationSeparationTest, ReadCommittedDoesNotGiveItemCut) {
+  // Under RC (no cut), rereading a hot key while writers churn must
+  // eventually observe two versions in one transaction (IMP).
+  sim::Simulation sim(777);
+  auto dopts = DeploymentOptions::SingleDatacenter();
+  dopts.server.durable = false;
+  Deployment deployment(sim, dopts);
+  adya::HistoryRecorder recorder;
+
+  ClientOptions reader_opts;
+  reader_opts.isolation = IsolationLevel::kReadCommitted;
+  TxnClient& reader = deployment.AddClient(reader_opts);
+  reader.set_observer(&recorder);
+  ClientOptions writer_opts;
+  writer_opts.home_cluster = 1;
+  TxnClient& writer = deployment.AddClient(writer_opts);
+
+  int writes = 200;
+  std::function<void()> write_loop = [&]() {
+    if (writes-- <= 0) return;
+    writer.Begin();
+    writer.Write("hot", "w" + std::to_string(writes));
+    writer.Commit([&](Status) { write_loop(); });
+  };
+  int reads = 60;
+  std::function<void()> read_loop = [&]() {
+    if (reads-- <= 0) return;
+    reader.Begin();
+    reader.Read("hot", [&](Status, ReadVersion) {
+      // Linger so the writer can slip a new version in between rereads.
+      sim.After(50 * sim::kMillisecond, [&]() {
+        reader.Read("hot", [&](Status, ReadVersion) {
+          reader.Commit([&](Status) { read_loop(); });
+        });
+      });
+    });
+  };
+  write_loop();
+  read_loop();
+  sim.RunUntil(sim.Now() + 300 * sim::kSecond);
+
+  auto report = adya::Analyze(recorder.Finish());
+  EXPECT_TRUE(report.imp) << "RC rereads should be fuzzy";
+}
+
+TEST(IsolationSeparationTest, ReadCommittedDoesNotGiveMav) {
+  // Multi-key atomic writes read under plain RC from another cluster must
+  // eventually be observed half-applied (OTV / read skew).
+  sim::Simulation sim(4242);
+  auto dopts = DeploymentOptions::TwoRegions();
+  dopts.server.durable = false;
+  Deployment deployment(sim, dopts);
+  adya::HistoryRecorder recorder;
+
+  ClientOptions writer_opts;  // RC writer: no sibling metadata
+  writer_opts.home_cluster = 0;
+  TxnClient& writer = deployment.AddClient(writer_opts);
+  writer.set_observer(&recorder);
+  ClientOptions reader_opts;
+  reader_opts.home_cluster = 1;
+  TxnClient& reader = deployment.AddClient(reader_opts);
+  reader.set_observer(&recorder);
+
+  int rounds = 150;
+  std::function<void()> write_loop = [&]() {
+    if (rounds-- <= 0) return;
+    writer.Begin();
+    std::string v = std::to_string(rounds);
+    writer.Write("pair_a", v);
+    writer.Write("pair_b", v);
+    writer.Commit([&](Status) { write_loop(); });
+  };
+  int reads = 150;
+  std::function<void()> read_loop = [&]() {
+    if (reads-- <= 0) return;
+    reader.Begin();
+    reader.Read("pair_a", [&](Status, ReadVersion) {
+      reader.Read("pair_b", [&](Status, ReadVersion) {
+        reader.Commit([&](Status) { read_loop(); });
+      });
+    });
+  };
+  write_loop();
+  read_loop();
+  sim.RunUntil(sim.Now() + 300 * sim::kSecond);
+
+  auto report = adya::Analyze(recorder.Finish());
+  EXPECT_TRUE(report.otv)
+      << "RC readers must observe atomicity violations that MAV would hide";
+}
+
+// ---------------------------------------------------------------------------
+// Convergence: replicas agree after quiescence, regardless of partitions.
+// ---------------------------------------------------------------------------
+
+class ConvergenceTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConvergenceTest, ReplicasConvergeAfterHeal) {
+  sim::Simulation sim(static_cast<uint64_t>(GetParam()) * 31 + 5);
+  auto dopts = DeploymentOptions::TwoRegions();
+  dopts.server.durable = false;
+  Deployment deployment(sim, dopts);
+
+  ClientOptions copts;
+  RandomWorkload::Options wopts;
+  wopts.seed = static_cast<uint64_t>(GetParam());
+  wopts.inject_partition = true;
+  wopts.num_keys = 6;
+  RandomWorkload workload(deployment, wopts, copts);
+  workload.Run();
+  sim.RunUntil(sim.Now() + 10 * sim::kSecond);
+
+  // Every pair of replicas of every register agrees on the folded value.
+  for (int k = 0; k < wopts.num_keys; k++) {
+    Key key = "reg" + std::to_string(k);
+    auto replicas = deployment.ReplicasOf(key);
+    auto first = deployment.server(replicas[0]).good().Read(key);
+    for (size_t r = 1; r < replicas.size(); r++) {
+      auto other = deployment.server(replicas[r]).good().Read(key);
+      EXPECT_EQ(first.found, other.found) << key;
+      EXPECT_EQ(first.value, other.value) << key;
+      EXPECT_EQ(first.ts, other.ts) << key;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConvergenceTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace hat

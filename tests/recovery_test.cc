@@ -1,0 +1,173 @@
+// Durability and crash-recovery tests: replica servers persisting to a real
+// LocalStore survive crashes; recovered MAV pending state resumes the
+// Appendix B protocol.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "hat/client/sync_client.h"
+#include "hat/cluster/deployment.h"
+
+namespace hat::server {
+namespace {
+
+namespace fs = std::filesystem;
+using client::ClientOptions;
+using client::IsolationLevel;
+using client::SyncClient;
+using cluster::Deployment;
+using cluster::DeploymentOptions;
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("hatkv_recovery_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    fs::remove_all(dir_);
+    sim_ = std::make_unique<sim::Simulation>(81);
+    auto opts = DeploymentOptions::SingleDatacenter();
+    opts.servers_per_cluster = 2;
+    opts.server.durable = true;
+    opts.server.storage_dir = dir_.string();
+    deployment_ = std::make_unique<Deployment>(*sim_, opts);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  SyncClient Client(ClientOptions opts = {}) {
+    return SyncClient(*sim_, deployment_->AddClient(opts));
+  }
+  void Settle(sim::Duration d = 2 * sim::kSecond) {
+    sim_->RunUntil(sim_->Now() + d);
+  }
+
+  static int counter_;
+  fs::path dir_;
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<Deployment> deployment_;
+};
+
+int RecoveryTest::counter_ = 0;
+
+TEST_F(RecoveryTest, CommittedWritesSurviveCrashAndRecovery) {
+  auto c = Client();
+  c.Begin();
+  c.Write("durable-key", "durable-value");
+  ASSERT_TRUE(c.Commit().ok());
+  Settle();
+
+  net::NodeId r = deployment_->ReplicaInCluster("durable-key", 0);
+  auto& server = deployment_->server(r);
+  ASSERT_TRUE(server.good().Contains("durable-key",
+                                     server.good().Read("durable-key").ts));
+  server.Crash();
+  EXPECT_FALSE(server.good().Read("durable-key").found);
+  ASSERT_TRUE(server.RecoverFromStorage().ok());
+  auto rv = server.good().Read("durable-key");
+  EXPECT_TRUE(rv.found);
+  EXPECT_EQ(rv.value, "durable-value");
+}
+
+TEST_F(RecoveryTest, RecoveredReplicaServesReads) {
+  auto c = Client();
+  c.Begin();
+  for (int i = 0; i < 20; i++) {
+    c.Write("key" + std::to_string(i), "value" + std::to_string(i));
+  }
+  ASSERT_TRUE(c.Commit().ok());
+  Settle();
+
+  // Crash and recover every server.
+  for (size_t s = 0; s < deployment_->ServerCount(); s++) {
+    deployment_->server(static_cast<net::NodeId>(s)).Crash();
+    ASSERT_TRUE(deployment_->server(static_cast<net::NodeId>(s))
+                    .RecoverFromStorage()
+                    .ok());
+  }
+  c.Begin();
+  for (int i = 0; i < 20; i++) {
+    auto rv = c.Read("key" + std::to_string(i));
+    ASSERT_TRUE(rv.ok());
+    EXPECT_TRUE(rv->found) << i;
+    EXPECT_EQ(rv->value, "value" + std::to_string(i));
+  }
+  ASSERT_TRUE(c.Commit().ok());
+}
+
+TEST_F(RecoveryTest, MavPendingStateRecovers) {
+  // Install a MAV transaction whose promotion cannot complete (its sibling
+  // replica is isolated), crash the replica, recover: the write must still
+  // be pending (not visible), and promotion must complete after healing.
+  ClientOptions mav;
+  mav.isolation = IsolationLevel::kMonotonicAtomicView;
+  mav.op_timeout = 3 * sim::kSecond;
+  mav.rpc_timeout = 500 * sim::kMillisecond;
+
+  // Two keys on different shards of cluster 0 (probe until hashes differ).
+  Key ka = "alpha", kb;
+  for (char suffix = 'a'; suffix <= 'z'; suffix++) {
+    Key candidate = std::string("bravo-") + suffix;
+    if (deployment_->ShardOf(candidate) != deployment_->ShardOf(ka)) {
+      kb = candidate;
+      break;
+    }
+  }
+  ASSERT_FALSE(kb.empty());
+  net::NodeId ra = deployment_->ReplicaInCluster(ka, 0);
+  net::NodeId rb = deployment_->ReplicaInCluster(kb, 0);
+
+  // Isolate kb's replica in cluster 1 so the ack set can never complete.
+  net::NodeId rb1 = deployment_->ReplicaInCluster(kb, 1);
+  deployment_->network().Isolate(rb1);
+
+  auto c = Client(mav);
+  c.Begin();
+  c.Write(ka, "1");
+  c.Write(kb, "1");
+  ASSERT_TRUE(c.Commit().ok()) << "MAV commit is coordination-free";
+  Settle();
+
+  auto& server_a = deployment_->server(ra);
+  EXPECT_FALSE(server_a.good().Read(ka).found) << "must not promote yet";
+  EXPECT_GT(server_a.PendingCount(), 0u);
+
+  // Crash + recover the replica holding the pending write.
+  server_a.Crash();
+  EXPECT_EQ(server_a.PendingCount(), 0u);
+  ASSERT_TRUE(server_a.RecoverFromStorage().ok());
+  EXPECT_GT(server_a.PendingCount(), 0u) << "pending state is durable";
+  EXPECT_FALSE(server_a.good().Read(ka).found);
+
+  // Heal: the recovered replica re-notifies and promotion completes.
+  deployment_->network().HealAll();
+  Settle(5 * sim::kSecond);
+  EXPECT_TRUE(server_a.good().Read(ka).found);
+  EXPECT_TRUE(deployment_->server(rb).good().Read(kb).found);
+}
+
+TEST_F(RecoveryTest, RecoveryIsIdempotent) {
+  auto c = Client();
+  c.Begin();
+  c.Write("k", "v");
+  ASSERT_TRUE(c.Commit().ok());
+  Settle();
+  net::NodeId r = deployment_->ReplicaInCluster("k", 0);
+  auto& server = deployment_->server(r);
+  server.Crash();
+  ASSERT_TRUE(server.RecoverFromStorage().ok());
+  ASSERT_TRUE(server.RecoverFromStorage().ok());  // double recovery: no-op
+  EXPECT_EQ(server.good().VersionCountFor("k"), 1u);
+}
+
+TEST_F(RecoveryTest, UnsupportedWithoutStorageDir) {
+  sim::Simulation sim(5);
+  auto opts = DeploymentOptions::SingleDatacenter();
+  opts.server.durable = false;  // no storage_dir
+  Deployment deployment(sim, opts);
+  Status s = deployment.server(0).RecoverFromStorage();
+  EXPECT_EQ(s.code(), StatusCode::kUnsupported);
+}
+
+}  // namespace
+}  // namespace hat::server

@@ -1,0 +1,322 @@
+// Session guarantee tests (Section 5.1.3): monotonic reads/writes, writes
+// follow reads, read-your-writes, PRAM, causal — including the paper's
+// impossibility argument that RYW requires stickiness (the T1/T2 partition
+// scenario) and positive tests that the sticky implementations hold.
+
+#include <gtest/gtest.h>
+
+#include "hat/adya/phenomena.h"
+#include "hat/adya/recorder.h"
+#include "hat/client/sync_client.h"
+#include "hat/cluster/deployment.h"
+
+namespace hat::client {
+namespace {
+
+using cluster::Deployment;
+using cluster::DeploymentOptions;
+
+class SessionTest : public ::testing::Test {
+ protected:
+  void SetUp() override { Build(); }
+
+  void Build(uint64_t seed = 21) {
+    sim_ = std::make_unique<sim::Simulation>(seed);
+    auto opts = DeploymentOptions::TwoRegions();
+    opts.server.durable = false;
+    deployment_ = std::make_unique<Deployment>(*sim_, opts);
+  }
+  SyncClient Client(ClientOptions opts) {
+    return SyncClient(*sim_, deployment_->AddClient(opts));
+  }
+  void Settle(sim::Duration d = 2 * sim::kSecond) {
+    sim_->RunUntil(sim_->Now() + d);
+  }
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<Deployment> deployment_;
+};
+
+// ---------------------------------------------------------------------------
+// Read Your Writes: the Section 5.1.3 impossibility scenario
+// ---------------------------------------------------------------------------
+
+// Severs all server-to-server links between clusters (clients unaffected).
+void PartitionServerLinks(cluster::Deployment& deployment) {
+  for (net::NodeId s0 : deployment.ClusterServers(0)) {
+    for (net::NodeId s1 : deployment.ClusterServers(1)) {
+      deployment.network().CutLink(s0, s1);
+    }
+  }
+}
+
+TEST_F(SessionTest, RywViolatedWithoutStickinessUnderPartition) {
+  // The paper's Section 5.1.3 scenario: T1: wx(1) executes against a
+  // server partitioned from the rest; the network topology then changes and
+  // the client can only reach a different replica for T2: rx(a).
+  ClientOptions opts;
+  opts.sticky = false;
+  opts.home_cluster = 0;
+  opts.read_your_writes = false;
+  auto c = Client(opts);
+
+  PartitionServerLinks(*deployment_);
+  c.Begin();
+  c.Write("x", "1");
+  ASSERT_TRUE(c.Commit().ok()) << "transactional availability during partition";
+
+  // Topology change: the client loses cluster 0 and can only reach the
+  // (stale) cluster 1.
+  for (net::NodeId s0 : deployment_->ClusterServers(0)) {
+    deployment_->network().CutLink(c.underlying().id(), s0);
+  }
+  c.underlying().mutable_options().home_cluster = 1;
+  c.Begin();
+  auto rv = c.Read("x");
+  ASSERT_TRUE(rv.ok());
+  EXPECT_FALSE(rv->found) << "non-sticky read missed the session's write";
+  ASSERT_TRUE(c.Commit().ok());
+}
+
+TEST_F(SessionTest, RywHeldWithStickiness) {
+  ClientOptions opts;
+  opts.sticky = true;
+  opts.home_cluster = 0;
+  opts.read_your_writes = true;
+  auto c = Client(opts);
+
+  deployment_->PartitionClusters(0, 1);
+  c.Begin();
+  c.Write("x", "1");
+  ASSERT_TRUE(c.Commit().ok());
+  c.Begin();
+  auto rv = c.Read("x");
+  ASSERT_TRUE(rv.ok());
+  EXPECT_TRUE(rv->found);
+  EXPECT_EQ(rv->value, "1");
+  ASSERT_TRUE(c.Commit().ok());
+}
+
+TEST_F(SessionTest, RywFloorForcesFreshReadAfterReroute) {
+  // With the RYW flag on, a re-routed (non-sticky) client does not return
+  // stale data: it retries until the floor is met or times out — under an
+  // indefinite partition that is unavailability, the paper's point.
+  ClientOptions opts;
+  opts.sticky = false;
+  opts.home_cluster = 0;
+  opts.read_your_writes = true;
+  opts.op_timeout = 1 * sim::kSecond;
+  opts.rpc_timeout = 200 * sim::kMillisecond;
+  auto c = Client(opts);
+
+  PartitionServerLinks(*deployment_);
+  c.Begin();
+  c.Write("x", "1");
+  ASSERT_TRUE(c.Commit().ok());
+  for (net::NodeId s0 : deployment_->ClusterServers(0)) {
+    deployment_->network().CutLink(c.underlying().id(), s0);
+  }
+  c.underlying().mutable_options().home_cluster = 1;
+  c.Begin();
+  auto rv = c.Read("x");
+  // Either the client found a replica with its write (impossible here) or
+  // it refused to violate RYW.
+  EXPECT_FALSE(rv.ok());
+  c.Abort();
+}
+
+// ---------------------------------------------------------------------------
+// Monotonic Reads
+// ---------------------------------------------------------------------------
+
+TEST_F(SessionTest, MonotonicReadsPreventTimeTravel) {
+  // Session reads fresh data from cluster 0, then is re-routed to a stale
+  // cluster 1. Without MR the second read regresses; with MR it does not.
+  for (bool mr : {false, true}) {
+    Build(mr ? 31 : 32);
+    ClientOptions writer_opts;
+    writer_opts.home_cluster = 0;
+    auto writer = Client(writer_opts);
+    writer.Begin();
+    writer.Write("x", "v1");
+    ASSERT_TRUE(writer.Commit().ok());
+    Settle();
+
+    // Partition the clusters, then write v2 visible only in cluster 0.
+    deployment_->PartitionClusters(0, 1);
+    writer.Begin();
+    writer.Write("x", "v2");
+    ASSERT_TRUE(writer.Commit().ok());
+
+    ClientOptions opts;
+    opts.sticky = false;
+    opts.home_cluster = 0;
+    opts.monotonic_reads = mr;
+    opts.op_timeout = 1 * sim::kSecond;
+    opts.rpc_timeout = 200 * sim::kMillisecond;
+    auto c = Client(opts);
+    // The reader is NOT partitioned from either cluster (fresh client node
+    // added after the partition call) — it can reach both.
+    c.Begin();
+    auto first = c.Read("x");
+    ASSERT_TRUE(first.ok());
+    ASSERT_TRUE(c.Commit().ok());
+    if (first->value != "v2") continue;  // read went to the stale side
+
+    c.underlying().mutable_options().home_cluster = 1;  // stale side next
+    c.Begin();
+    auto second = c.Read("x");
+    if (mr) {
+      // MR: the stale replica answers kNotYet; the non-sticky client
+      // retries cluster 0 and still sees v2.
+      ASSERT_TRUE(second.ok());
+      EXPECT_EQ(second->value, "v2") << "monotonic reads violated";
+    } else {
+      ASSERT_TRUE(second.ok());
+      EXPECT_EQ(second->value, "v1") << "expected regression without MR";
+    }
+    if (c.underlying().InTxn()) ASSERT_TRUE(c.Commit().ok());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Monotonic Writes
+// ---------------------------------------------------------------------------
+
+TEST_F(SessionTest, MonotonicWritesHoldByConstruction) {
+  // Per-client timestamps are monotonic, and per-item version order is the
+  // timestamp order, so a session's writes are never reordered.
+  ClientOptions opts;
+  opts.home_cluster = 0;
+  auto c = Client(opts);
+  adya::HistoryRecorder recorder;
+  c.underlying().set_observer(&recorder);
+  for (int i = 0; i < 5; i++) {
+    c.Begin();
+    c.Write("x", "v" + std::to_string(i));
+    ASSERT_TRUE(c.Commit().ok());
+  }
+  Settle();
+  c.Begin();
+  EXPECT_EQ(c.Read("x")->value, "v4");
+  ASSERT_TRUE(c.Commit().ok());
+  auto report = adya::Analyze(recorder.Finish());
+  EXPECT_TRUE(report.MonotonicWrites());
+}
+
+// ---------------------------------------------------------------------------
+// Writes Follow Reads / causal
+// ---------------------------------------------------------------------------
+
+TEST_F(SessionTest, WritesFollowReadsViaDependencies) {
+  // Session A writes x. Session B reads x then writes y (with WFR).
+  // Session C (causal) reads y; its subsequent read of x must see A's write.
+  ClientOptions a_opts;
+  a_opts.home_cluster = 0;
+  auto a = Client(a_opts);
+  a.Begin();
+  a.Write("x", "from-a");
+  ASSERT_TRUE(a.Commit().ok());
+  Settle();
+
+  ClientOptions b_opts;
+  b_opts.home_cluster = 0;
+  b_opts.writes_follow_reads = true;
+  auto b = Client(b_opts);
+  b.Begin();
+  ASSERT_TRUE(b.Read("x")->found);
+  b.Write("y", "from-b");
+  ASSERT_TRUE(b.Commit().ok());
+  Settle();
+
+  ClientOptions c_opts;
+  c_opts.home_cluster = 1;
+  c_opts.writes_follow_reads = true;
+  auto c = Client(c_opts);
+  c.Begin();
+  auto y = c.Read("y");
+  ASSERT_TRUE(y.ok());
+  if (y->found) {
+    auto x = c.Read("x");
+    ASSERT_TRUE(x.ok());
+    EXPECT_TRUE(x->found) << "WFR: y is visible, so its dependency x must be";
+    EXPECT_EQ(x->value, "from-a");
+  }
+  ASSERT_TRUE(c.Commit().ok());
+}
+
+TEST_F(SessionTest, CausalSessionNeverSeesEffectBeforeCause) {
+  // Full causal config on all clients; run a causal chain across clusters
+  // with anti-entropy delays and verify via the Adya checker.
+  adya::HistoryRecorder recorder;
+  ClientOptions causal;
+  causal.EnableCausal();
+  causal.home_cluster = 0;
+  auto a = Client(causal);
+  a.underlying().set_observer(&recorder);
+  ClientOptions causal1 = causal;
+  causal1.home_cluster = 1;
+  auto b = Client(causal1);
+  b.underlying().set_observer(&recorder);
+
+  for (int round = 0; round < 5; round++) {
+    a.Begin();
+    a.Write("chain" + std::to_string(round), "a" + std::to_string(round));
+    ASSERT_TRUE(a.Commit().ok());
+    Settle(500 * sim::kMillisecond);
+    b.Begin();
+    auto rv = b.Read("chain" + std::to_string(round));
+    ASSERT_TRUE(rv.ok());
+    b.Write("echo" + std::to_string(round),
+            rv->found ? "saw" : "missed");
+    ASSERT_TRUE(b.Commit().ok());
+    Settle(500 * sim::kMillisecond);
+  }
+  auto report = adya::Analyze(recorder.Finish());
+  EXPECT_TRUE(report.Causal()) << report.Summary();
+}
+
+TEST_F(SessionTest, NewSessionResetsFloors) {
+  ClientOptions opts;
+  opts.EnablePram();
+  opts.home_cluster = 0;
+  auto c = Client(opts);
+  c.Begin();
+  c.Write("x", "v1");
+  ASSERT_TRUE(c.Commit().ok());
+  EXPECT_EQ(c.underlying().session_id(), 1u);
+  c.NewSession();
+  EXPECT_EQ(c.underlying().session_id(), 2u);
+  // A fresh session has no RYW obligation; reads may be stale but must
+  // still complete.
+  c.Begin();
+  auto rv = c.Read("x");
+  ASSERT_TRUE(rv.ok());
+  ASSERT_TRUE(c.Commit().ok());
+}
+
+// ---------------------------------------------------------------------------
+// PRAM composition
+// ---------------------------------------------------------------------------
+
+TEST_F(SessionTest, PramSessionHistoryIsClean) {
+  adya::HistoryRecorder recorder;
+  ClientOptions pram;
+  pram.EnablePram();
+  pram.home_cluster = 0;
+  auto c = Client(pram);
+  c.underlying().set_observer(&recorder);
+  for (int i = 0; i < 10; i++) {
+    c.Begin();
+    if (i % 2 == 0) {
+      c.Write("k" + std::to_string(i % 3), "v" + std::to_string(i));
+    } else {
+      ASSERT_TRUE(c.Read("k" + std::to_string(i % 3)).ok());
+    }
+    ASSERT_TRUE(c.Commit().ok());
+  }
+  auto report = adya::Analyze(recorder.Finish());
+  EXPECT_TRUE(report.Pram()) << report.Summary();
+}
+
+}  // namespace
+}  // namespace hat::client

@@ -1,0 +1,137 @@
+// Unit tests for the discrete-event simulation core.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hat/sim/simulation.h"
+
+namespace hat::sim {
+namespace {
+
+TEST(SimulationTest, ProcessesEventsInTimeOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.At(30, [&] { order.push_back(3); });
+  sim.At(10, [&] { order.push_back(1); });
+  sim.At(20, [&] { order.push_back(2); });
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30u);
+}
+
+TEST(SimulationTest, EqualTimestampsFifo) {
+  Simulation sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; i++) {
+    sim.At(5, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  for (int i = 0; i < 10; i++) EXPECT_EQ(order[i], i);
+}
+
+TEST(SimulationTest, AfterIsRelative) {
+  Simulation sim;
+  SimTime fired_at = 0;
+  sim.At(100, [&] {
+    // Scheduled from within an event: relative to current time.
+  });
+  sim.RunUntil(100);
+  sim.After(50, [&] { fired_at = sim.Now(); });
+  sim.Run();
+  EXPECT_EQ(fired_at, 150u);
+}
+
+TEST(SimulationTest, EventsCanScheduleEvents) {
+  Simulation sim;
+  int depth = 0;
+  std::function<void()> recurse = [&]() {
+    if (++depth < 5) sim.After(10, recurse);
+  };
+  sim.After(10, recurse);
+  sim.Run();
+  EXPECT_EQ(depth, 5);
+  EXPECT_EQ(sim.Now(), 50u);
+}
+
+TEST(SimulationTest, CancelPreventsExecution) {
+  Simulation sim;
+  bool fired = false;
+  EventId id = sim.At(10, [&] { fired = true; });
+  EXPECT_TRUE(sim.Cancel(id));
+  sim.Run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(SimulationTest, CancelTwiceIsNoop) {
+  Simulation sim;
+  EventId id = sim.At(10, [] {});
+  EXPECT_TRUE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(id));
+  EXPECT_FALSE(sim.Cancel(99999));
+}
+
+TEST(SimulationTest, RunUntilStopsAtLimit) {
+  Simulation sim;
+  int fired = 0;
+  sim.At(10, [&] { fired++; });
+  sim.At(20, [&] { fired++; });
+  sim.At(30, [&] { fired++; });
+  EXPECT_EQ(sim.RunUntil(20), 2u);
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(sim.Now(), 20u);
+  sim.Run();
+  EXPECT_EQ(fired, 3);
+}
+
+TEST(SimulationTest, RunUntilAdvancesClockToHorizon) {
+  Simulation sim;
+  sim.RunUntil(1000);
+  EXPECT_EQ(sim.Now(), 1000u);
+}
+
+TEST(SimulationTest, StepProcessesExactlyOne) {
+  Simulation sim;
+  int fired = 0;
+  sim.At(10, [&] { fired++; });
+  sim.At(20, [&] { fired++; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 2);
+  EXPECT_FALSE(sim.Step());
+}
+
+TEST(SimulationTest, IdleReflectsLiveEvents) {
+  Simulation sim;
+  EXPECT_TRUE(sim.Idle());
+  EventId id = sim.At(10, [] {});
+  EXPECT_FALSE(sim.Idle());
+  sim.Cancel(id);
+  EXPECT_TRUE(sim.Idle());
+}
+
+TEST(SimulationTest, DeterministicAcrossRuns) {
+  auto run = [](uint64_t seed) {
+    Simulation sim(seed);
+    std::vector<uint64_t> values;
+    for (int i = 0; i < 10; i++) {
+      sim.After(sim.rng().NextBelow(100) + 1,
+                [&values, &sim] { values.push_back(sim.Now()); });
+    }
+    sim.Run();
+    return values;
+  };
+  EXPECT_EQ(run(42), run(42));
+  EXPECT_NE(run(42), run(43));
+}
+
+TEST(SimulationTest, EventCountTracked) {
+  Simulation sim;
+  for (int i = 0; i < 7; i++) sim.At(i, [] {});
+  sim.Run();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+}  // namespace
+}  // namespace hat::sim

@@ -1,0 +1,412 @@
+// Unit tests for the storage engine substrate: WAL framing/replay, sorted
+// tables, the LocalStore (memtable + runs + recovery), including a
+// model-based property test against std::map.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <map>
+
+#include "hat/common/rng.h"
+#include "hat/storage/local_store.h"
+#include "hat/storage/table.h"
+#include "hat/storage/wal.h"
+
+namespace hat::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& name) {
+    path_ = fs::temp_directory_path() /
+            ("hatkv_test_" + name + "_" + std::to_string(::getpid()));
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  std::string path() const { return path_.string(); }
+  std::string File(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  fs::path path_;
+};
+
+// --------------------------------- WAL ------------------------------------
+
+TEST(WalTest, AppendAndReplay) {
+  TempDir dir("wal1");
+  std::string path = dir.File("wal.log");
+  {
+    auto w = WalWriter::Open(path);
+    ASSERT_TRUE(w.ok());
+    ASSERT_TRUE(w->Append("first").ok());
+    ASSERT_TRUE(w->Append("second").ok());
+    ASSERT_TRUE(w->Sync().ok());
+  }
+  std::vector<std::string> records;
+  auto n = WalReplay(path, [&](std::string_view p) {
+    records.emplace_back(p);
+  });
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 2u);
+  EXPECT_EQ(records, (std::vector<std::string>{"first", "second"}));
+}
+
+TEST(WalTest, MissingFileReplaysNothing) {
+  TempDir dir("wal2");
+  auto n = WalReplay(dir.File("absent.log"), [](std::string_view) {});
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0u);
+}
+
+TEST(WalTest, AppendAfterReopenPreservesOldRecords) {
+  TempDir dir("wal3");
+  std::string path = dir.File("wal.log");
+  {
+    auto w = WalWriter::Open(path);
+    ASSERT_TRUE(w->Append("a").ok());
+    ASSERT_TRUE(w->Sync().ok());
+  }
+  {
+    auto w = WalWriter::Open(path);
+    ASSERT_TRUE(w->Append("b").ok());
+    ASSERT_TRUE(w->Sync().ok());
+  }
+  int count = 0;
+  ASSERT_TRUE(WalReplay(path, [&](std::string_view) { count++; }).ok());
+  EXPECT_EQ(count, 2);
+}
+
+TEST(WalTest, TornTailIsDiscarded) {
+  TempDir dir("wal4");
+  std::string path = dir.File("wal.log");
+  {
+    auto w = WalWriter::Open(path);
+    ASSERT_TRUE(w->Append("intact").ok());
+    ASSERT_TRUE(w->Append("to-be-torn").ok());
+    ASSERT_TRUE(w->Sync().ok());
+  }
+  // Tear the last record: truncate 3 bytes.
+  auto size = fs::file_size(path);
+  fs::resize_file(path, size - 3);
+  std::vector<std::string> records;
+  auto n = WalReplay(path, [&](std::string_view p) {
+    records.emplace_back(p);
+  });
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(records, std::vector<std::string>{"intact"});
+}
+
+TEST(WalTest, CorruptPayloadStopsReplay) {
+  TempDir dir("wal5");
+  std::string path = dir.File("wal.log");
+  {
+    auto w = WalWriter::Open(path);
+    ASSERT_TRUE(w->Append("good").ok());
+    ASSERT_TRUE(w->Append("evil-payload").ok());
+    ASSERT_TRUE(w->Sync().ok());
+  }
+  // Flip one byte inside the second record's payload.
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(-3, std::ios::end);
+  f.put('X');
+  f.close();
+  int count = 0;
+  ASSERT_TRUE(WalReplay(path, [&](std::string_view) { count++; }).ok());
+  EXPECT_EQ(count, 1);
+}
+
+TEST(WalTest, EmptyPayloadAllowed) {
+  TempDir dir("wal6");
+  std::string path = dir.File("wal.log");
+  auto w = WalWriter::Open(path);
+  ASSERT_TRUE(w->Append("").ok());
+  ASSERT_TRUE(w->Sync().ok());
+  int count = 0;
+  ASSERT_TRUE(WalReplay(path, [&](std::string_view p) {
+                EXPECT_TRUE(p.empty());
+                count++;
+              }).ok());
+  EXPECT_EQ(count, 1);
+}
+
+// -------------------------------- Table -----------------------------------
+
+TEST(TableTest, BuildAndPointLookup) {
+  TempDir dir("tbl1");
+  std::string path = dir.File("t.tbl");
+  {
+    auto b = TableBuilder::Create(path);
+    ASSERT_TRUE(b.ok());
+    for (int i = 0; i < 100; i++) {
+      char key[16];
+      std::snprintf(key, sizeof(key), "key%04d", i);
+      ASSERT_TRUE(b->Add(key, "value" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(b->Finish().ok());
+  }
+  auto r = TableReader::Open(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->entries(), 100u);
+  EXPECT_EQ(*r->Get("key0042"), "value42");
+  EXPECT_EQ(*r->Get("key0000"), "value0");
+  EXPECT_EQ(*r->Get("key0099"), "value99");
+  EXPECT_TRUE(r->Get("key0100").status().IsNotFound());
+  EXPECT_TRUE(r->Get("aaa").status().IsNotFound());
+  EXPECT_TRUE(r->Get("zzz").status().IsNotFound());
+}
+
+TEST(TableTest, RejectsOutOfOrderKeys) {
+  TempDir dir("tbl2");
+  auto b = TableBuilder::Create(dir.File("t.tbl"));
+  ASSERT_TRUE(b->Add("b", "1").ok());
+  EXPECT_FALSE(b->Add("a", "2").ok());
+  EXPECT_FALSE(b->Add("b", "3").ok());  // duplicates rejected too
+}
+
+TEST(TableTest, ScanRange) {
+  TempDir dir("tbl3");
+  std::string path = dir.File("t.tbl");
+  {
+    auto b = TableBuilder::Create(path);
+    for (char c = 'a'; c <= 'z'; c++) {
+      ASSERT_TRUE(b->Add(std::string(1, c), std::string(1, c)).ok());
+    }
+    ASSERT_TRUE(b->Finish().ok());
+  }
+  auto r = TableReader::Open(path);
+  std::string seen;
+  ASSERT_TRUE(r->Scan("d", "h", [&](std::string_view k, std::string_view) {
+                seen += k;
+              }).ok());
+  EXPECT_EQ(seen, "defg");
+}
+
+TEST(TableTest, EmptyTableRoundTrips) {
+  TempDir dir("tbl4");
+  std::string path = dir.File("t.tbl");
+  {
+    auto b = TableBuilder::Create(path);
+    ASSERT_TRUE(b->Finish().ok());
+  }
+  auto r = TableReader::Open(path);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->entries(), 0u);
+  EXPECT_TRUE(r->Get("x").status().IsNotFound());
+}
+
+TEST(TableTest, DetectsBadMagic) {
+  TempDir dir("tbl5");
+  std::string path = dir.File("t.tbl");
+  std::ofstream(path, std::ios::binary) << std::string(64, 'j');
+  EXPECT_TRUE(TableReader::Open(path).status().IsCorruption());
+}
+
+TEST(TableTest, DetectsCorruptIndex) {
+  TempDir dir("tbl6");
+  std::string path = dir.File("t.tbl");
+  {
+    auto b = TableBuilder::Create(path);
+    for (int i = 0; i < 50; i++) {
+      ASSERT_TRUE(
+          b->Add("key" + std::to_string(100 + i), "v").ok());
+    }
+    ASSERT_TRUE(b->Finish().ok());
+  }
+  // Corrupt a byte in the index region (just before the footer).
+  auto size = fs::file_size(path);
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(static_cast<std::streamoff>(size - 28 - 4));
+  f.put('~');
+  f.close();
+  EXPECT_TRUE(TableReader::Open(path).status().IsCorruption());
+}
+
+// ------------------------------ LocalStore --------------------------------
+
+TEST(LocalStoreTest, PutGetDelete) {
+  TempDir dir("db1");
+  auto db = LocalStore::Open(dir.path());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE((*db)->Put("k1", "v1").ok());
+  ASSERT_TRUE((*db)->Put("k2", "v2").ok());
+  EXPECT_EQ(*(*db)->Get("k1"), "v1");
+  ASSERT_TRUE((*db)->Delete("k1").ok());
+  EXPECT_TRUE((*db)->Get("k1").status().IsNotFound());
+  EXPECT_EQ(*(*db)->Get("k2"), "v2");
+}
+
+TEST(LocalStoreTest, OverwriteKeepsLatest) {
+  TempDir dir("db2");
+  auto db = LocalStore::Open(dir.path());
+  ASSERT_TRUE((*db)->Put("k", "old").ok());
+  ASSERT_TRUE((*db)->Put("k", "new").ok());
+  EXPECT_EQ(*(*db)->Get("k"), "new");
+}
+
+TEST(LocalStoreTest, RecoversFromWalAfterReopen) {
+  TempDir dir("db3");
+  {
+    auto db = LocalStore::Open(dir.path());
+    ASSERT_TRUE((*db)->Put("persisted", "yes").ok());
+    ASSERT_TRUE((*db)->Delete("gone").ok());
+    // No flush: data only in WAL + memtable; the destructor does not flush.
+  }
+  auto db = LocalStore::Open(dir.path());
+  ASSERT_TRUE(db.ok());
+  EXPECT_GT((*db)->stats().wal_records_replayed, 0u);
+  EXPECT_EQ(*(*db)->Get("persisted"), "yes");
+  EXPECT_TRUE((*db)->Get("gone").status().IsNotFound());
+}
+
+TEST(LocalStoreTest, FlushCreatesRunAndDataSurvives) {
+  TempDir dir("db4");
+  auto db = LocalStore::Open(dir.path());
+  for (int i = 0; i < 100; i++) {
+    ASSERT_TRUE(
+        (*db)->Put("key" + std::to_string(1000 + i), "v" + std::to_string(i))
+            .ok());
+  }
+  ASSERT_TRUE((*db)->Flush().ok());
+  EXPECT_EQ((*db)->run_count(), 1u);
+  EXPECT_EQ(*(*db)->Get("key1042"), "v42");
+}
+
+TEST(LocalStoreTest, TombstoneShadowsOlderRun) {
+  TempDir dir("db5");
+  auto db = LocalStore::Open(dir.path());
+  ASSERT_TRUE((*db)->Put("k", "v").ok());
+  ASSERT_TRUE((*db)->Flush().ok());
+  ASSERT_TRUE((*db)->Delete("k").ok());
+  ASSERT_TRUE((*db)->Flush().ok());
+  EXPECT_TRUE((*db)->Get("k").status().IsNotFound());
+  // Reopen: run order must be preserved.
+  db = LocalStore::Open(dir.path());
+  EXPECT_TRUE((*db)->Get("k").status().IsNotFound());
+}
+
+TEST(LocalStoreTest, CompactMergesRuns) {
+  TempDir dir("db6");
+  auto db = LocalStore::Open(dir.path());
+  for (int round = 0; round < 3; round++) {
+    for (int i = 0; i < 20; i++) {
+      ASSERT_TRUE((*db)->Put("key" + std::to_string(i),
+                             "round" + std::to_string(round))
+                      .ok());
+    }
+    ASSERT_TRUE((*db)->Flush().ok());
+  }
+  ASSERT_TRUE((*db)->Delete("key0").ok());
+  ASSERT_TRUE((*db)->Compact().ok());
+  EXPECT_EQ((*db)->run_count(), 1u);
+  EXPECT_TRUE((*db)->Get("key0").status().IsNotFound());
+  EXPECT_EQ(*(*db)->Get("key7"), "round2");
+}
+
+TEST(LocalStoreTest, ScanMergesMemtableAndRuns) {
+  TempDir dir("db7");
+  auto db = LocalStore::Open(dir.path());
+  ASSERT_TRUE((*db)->Put("a", "1").ok());
+  ASSERT_TRUE((*db)->Put("b", "old").ok());
+  ASSERT_TRUE((*db)->Flush().ok());
+  ASSERT_TRUE((*db)->Put("b", "new").ok());  // memtable overrides run
+  ASSERT_TRUE((*db)->Put("c", "3").ok());
+  ASSERT_TRUE((*db)->Delete("a").ok());      // tombstone in memtable
+  std::map<std::string, std::string> seen;
+  ASSERT_TRUE((*db)->Scan("", "", [&](std::string_view k, std::string_view v) {
+                seen.emplace(k, v);
+              }).ok());
+  EXPECT_EQ(seen, (std::map<std::string, std::string>{{"b", "new"},
+                                                      {"c", "3"}}));
+}
+
+TEST(LocalStoreTest, AutomaticFlushAtThreshold) {
+  TempDir dir("db8");
+  LocalStoreOptions opts;
+  opts.memtable_flush_bytes = 1024;
+  auto db = LocalStore::Open(dir.path(), opts);
+  for (int i = 0; i < 64; i++) {
+    ASSERT_TRUE((*db)->Put("key" + std::to_string(i),
+                           std::string(64, 'v'))
+                    .ok());
+  }
+  EXPECT_GT((*db)->run_count(), 0u);
+  EXPECT_EQ(*(*db)->Get("key63"), std::string(64, 'v'));
+}
+
+TEST(LocalStoreTest, ModelBasedRandomOps) {
+  TempDir dir("db9");
+  LocalStoreOptions opts;
+  opts.memtable_flush_bytes = 2048;  // force frequent flushes
+  auto db = LocalStore::Open(dir.path(), opts);
+  std::map<std::string, std::string> model;
+  Rng rng(99);
+  for (int i = 0; i < 3000; i++) {
+    std::string key = "k" + std::to_string(rng.NextBelow(200));
+    double dice = rng.NextDouble();
+    if (dice < 0.55) {
+      std::string value = "v" + std::to_string(rng.NextUint64() % 100000);
+      ASSERT_TRUE((*db)->Put(key, value).ok());
+      model[key] = value;
+    } else if (dice < 0.8) {
+      ASSERT_TRUE((*db)->Delete(key).ok());
+      model.erase(key);
+    } else if (dice < 0.95) {
+      auto got = (*db)->Get(key);
+      auto expected = model.find(key);
+      if (expected == model.end()) {
+        EXPECT_TRUE(got.status().IsNotFound()) << key;
+      } else {
+        ASSERT_TRUE(got.ok()) << key;
+        EXPECT_EQ(*got, expected->second);
+      }
+    } else if (dice < 0.98) {
+      ASSERT_TRUE((*db)->Flush().ok());
+    } else {
+      ASSERT_TRUE((*db)->Compact().ok());
+    }
+  }
+  // Final full scan agrees with the model.
+  std::map<std::string, std::string> seen;
+  ASSERT_TRUE((*db)->Scan("", "", [&](std::string_view k, std::string_view v) {
+                seen.emplace(k, v);
+              }).ok());
+  EXPECT_EQ(seen, model);
+}
+
+TEST(LocalStoreTest, ModelSurvivesReopen) {
+  TempDir dir("db10");
+  std::map<std::string, std::string> model;
+  Rng rng(100);
+  for (int round = 0; round < 3; round++) {
+    auto db = LocalStore::Open(dir.path());
+    ASSERT_TRUE(db.ok());
+    // Verify model after reopen.
+    for (const auto& [k, v] : model) {
+      auto got = (*db)->Get(k);
+      ASSERT_TRUE(got.ok()) << k;
+      EXPECT_EQ(*got, v);
+    }
+    for (int i = 0; i < 500; i++) {
+      std::string key = "k" + std::to_string(rng.NextBelow(100));
+      if (rng.NextBool(0.7)) {
+        std::string value = "r" + std::to_string(round) + "-" +
+                            std::to_string(i);
+        ASSERT_TRUE((*db)->Put(key, value).ok());
+        model[key] = value;
+      } else {
+        ASSERT_TRUE((*db)->Delete(key).ok());
+        model.erase(key);
+      }
+    }
+    if (round == 1) ASSERT_TRUE((*db)->Flush().ok());
+  }
+}
+
+}  // namespace
+}  // namespace hat::storage

@@ -1,0 +1,319 @@
+// Unit tests for the multi-version store: LWW registers, delta folding,
+// convergence under permuted delivery, bounded reads, GC, serialization.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hat/common/codec.h"
+#include "hat/common/rng.h"
+#include "hat/version/versioned_store.h"
+#include "hat/version/wire.h"
+
+namespace hat::version {
+namespace {
+
+WriteRecord Put(const Key& k, const Value& v, uint64_t logical,
+                uint32_t client = 1) {
+  WriteRecord w;
+  w.key = k;
+  w.value = v;
+  w.ts = {logical, client};
+  return w;
+}
+
+WriteRecord Delta(const Key& k, int64_t d, uint64_t logical,
+                  uint32_t client = 1) {
+  WriteRecord w;
+  w.key = k;
+  w.value = EncodeInt64Value(d);
+  w.kind = WriteKind::kDelta;
+  w.ts = {logical, client};
+  return w;
+}
+
+TEST(TimestampTest, TotalOrder) {
+  Timestamp a{1, 5}, b{2, 1}, c{1, 6};
+  EXPECT_LT(a, b);
+  EXPECT_LT(a, c);
+  EXPECT_LT(c, b);
+  EXPECT_TRUE(kInitialVersion < a);
+  EXPECT_TRUE(kInitialVersion.IsZero());
+}
+
+TEST(VersionedStoreTest, EmptyReadsNotFound) {
+  VersionedStore store;
+  EXPECT_FALSE(store.Read("x").found);
+  EXPECT_FALSE(store.LatestTimestamp("x").has_value());
+}
+
+TEST(VersionedStoreTest, LastWriterWins) {
+  VersionedStore store;
+  store.Apply(Put("x", "old", 1));
+  store.Apply(Put("x", "new", 2));
+  auto rv = store.Read("x");
+  EXPECT_TRUE(rv.found);
+  EXPECT_EQ(rv.value, "new");
+  EXPECT_EQ(rv.ts, (Timestamp{2, 1}));
+}
+
+TEST(VersionedStoreTest, LwwIndependentOfArrivalOrder) {
+  VersionedStore store;
+  store.Apply(Put("x", "new", 2));
+  store.Apply(Put("x", "old", 1));  // arrives late
+  EXPECT_EQ(store.Read("x").value, "new");
+}
+
+TEST(VersionedStoreTest, ClientIdBreaksTies) {
+  VersionedStore store;
+  store.Apply(Put("x", "a", 5, /*client=*/1));
+  store.Apply(Put("x", "b", 5, /*client=*/2));
+  EXPECT_EQ(store.Read("x").value, "b");
+}
+
+TEST(VersionedStoreTest, DuplicateApplyIsIdempotent) {
+  VersionedStore store;
+  EXPECT_TRUE(store.Apply(Put("x", "v", 1)));
+  EXPECT_FALSE(store.Apply(Put("x", "v", 1)));
+  EXPECT_EQ(store.VersionCountFor("x"), 1u);
+}
+
+TEST(VersionedStoreTest, DeltasFoldOntoBase) {
+  VersionedStore store;
+  store.Apply(Put("bal", EncodeInt64Value(100), 1));
+  store.Apply(Delta("bal", 20, 2));
+  store.Apply(Delta("bal", -5, 3));
+  EXPECT_EQ(DecodeInt64Value(store.Read("bal").value), 115);
+}
+
+TEST(VersionedStoreTest, PutResetsDeltaAccumulation) {
+  VersionedStore store;
+  store.Apply(Put("bal", EncodeInt64Value(100), 1));
+  store.Apply(Delta("bal", 50, 2));
+  store.Apply(Put("bal", EncodeInt64Value(0), 3));  // reset
+  store.Apply(Delta("bal", 7, 4));
+  EXPECT_EQ(DecodeInt64Value(store.Read("bal").value), 7);
+}
+
+TEST(VersionedStoreTest, DeltaOnlyKeyStartsFromZero) {
+  VersionedStore store;
+  store.Apply(Delta("ctr", 3, 1));
+  store.Apply(Delta("ctr", 4, 2));
+  EXPECT_EQ(DecodeInt64Value(store.Read("ctr").value), 7);
+}
+
+TEST(VersionedStoreTest, ConvergencePropertyRandomPermutations) {
+  // The paper's convergence guarantee (Section 5.1.4): replicas that receive
+  // the same set of writes in any order agree.
+  Rng rng(42);
+  for (int trial = 0; trial < 50; trial++) {
+    std::vector<WriteRecord> writes;
+    for (int i = 1; i <= 20; i++) {
+      if (rng.NextBool(0.6)) {
+        writes.push_back(Put("k", "v" + std::to_string(i), i,
+                             1 + i % 3));
+      } else {
+        writes.push_back(
+            Delta("k", rng.NextInRange(-10, 10), i, 1 + i % 3));
+      }
+    }
+    VersionedStore replica_a, replica_b;
+    for (const auto& w : writes) replica_a.Apply(w);
+    // Shuffle.
+    for (size_t i = writes.size(); i > 1; i--) {
+      std::swap(writes[i - 1], writes[rng.NextBelow(i)]);
+    }
+    for (const auto& w : writes) replica_b.Apply(w);
+    auto a = replica_a.Read("k");
+    auto b = replica_b.Read("k");
+    EXPECT_EQ(a.value, b.value) << "trial " << trial;
+    EXPECT_EQ(a.ts, b.ts);
+  }
+}
+
+TEST(VersionedStoreTest, BoundedReadSeesSnapshot) {
+  VersionedStore store;
+  store.Apply(Put("x", "v1", 1));
+  store.Apply(Put("x", "v2", 5));
+  store.Apply(Put("x", "v3", 9));
+  EXPECT_EQ(store.Read("x", Timestamp{5, 1}).value, "v2");
+  EXPECT_EQ(store.Read("x", Timestamp{4, 99}).value, "v1");
+  EXPECT_FALSE(store.Read("x", Timestamp{0, 1}).found);
+}
+
+TEST(VersionedStoreTest, ReadAtLeast) {
+  VersionedStore store;
+  store.Apply(Put("x", "v1", 1));
+  EXPECT_FALSE(store.ReadAtLeast("x", Timestamp{2, 0}).has_value());
+  store.Apply(Put("x", "v2", 3));
+  auto rv = store.ReadAtLeast("x", Timestamp{2, 0});
+  ASSERT_TRUE(rv.has_value());
+  EXPECT_EQ(rv->value, "v2");
+}
+
+TEST(VersionedStoreTest, ScanReturnsSortedRange) {
+  VersionedStore store;
+  store.Apply(Put("b", "2", 1));
+  store.Apply(Put("a", "1", 1));
+  store.Apply(Put("d", "4", 1));
+  store.Apply(Put("c", "3", 1));
+  auto items = store.Scan("b", "d");
+  ASSERT_EQ(items.size(), 2u);
+  EXPECT_EQ(items[0].first, "b");
+  EXPECT_EQ(items[1].first, "c");
+}
+
+TEST(VersionedStoreTest, VersionsAfterForAntiEntropy) {
+  VersionedStore store;
+  store.Apply(Put("x", "v1", 1));
+  store.Apply(Put("x", "v2", 2));
+  store.Apply(Put("x", "v3", 3));
+  auto missing = store.VersionsAfter("x", Timestamp{1, 1});
+  ASSERT_EQ(missing.size(), 2u);
+  EXPECT_EQ(missing[0].value, "v2");
+  EXPECT_EQ(missing[1].value, "v3");
+}
+
+TEST(VersionedStoreTest, DigestListsLatestPerKey) {
+  VersionedStore store;
+  store.Apply(Put("a", "1", 1));
+  store.Apply(Put("a", "2", 7));
+  store.Apply(Put("b", "1", 3));
+  auto digest = store.Digest();
+  ASSERT_EQ(digest.size(), 2u);
+  EXPECT_EQ(digest[0], (std::pair<Key, Timestamp>{"a", {7, 1}}));
+  EXPECT_EQ(digest[1], (std::pair<Key, Timestamp>{"b", {3, 1}}));
+}
+
+TEST(VersionedStoreTest, GcPreservesVisibleValue) {
+  VersionedStore store;
+  store.Apply(Put("bal", EncodeInt64Value(10), 1));
+  store.Apply(Delta("bal", 5, 2));
+  store.Apply(Delta("bal", 5, 3));
+  store.Apply(Delta("bal", 1, 9));
+  int64_t before = *DecodeInt64Value(store.Read("bal").value);
+  size_t dropped = store.GarbageCollect("bal", Timestamp{9, 0});
+  EXPECT_GT(dropped, 0u);
+  EXPECT_EQ(*DecodeInt64Value(store.Read("bal").value), before);
+  EXPECT_LE(store.VersionCountFor("bal"), 2u);
+}
+
+TEST(VersionedStoreTest, GcKeepsNewerVersionsIntact) {
+  VersionedStore store;
+  for (int i = 1; i <= 10; i++) {
+    store.Apply(Put("x", "v" + std::to_string(i), i));
+  }
+  store.GarbageCollect("x", Timestamp{8, 0});
+  EXPECT_EQ(store.Read("x").value, "v10");
+  EXPECT_EQ(store.Read("x", Timestamp{8, 1}).value, "v8");
+}
+
+TEST(VersionedStoreTest, SibsAndDepsSurviveFold) {
+  VersionedStore store;
+  WriteRecord w = Put("x", "v", 4);
+  w.sibs = {"x", "y", "z"};
+  w.deps = {{"a", {1, 1}}};
+  store.Apply(w);
+  auto rv = store.Read("x");
+  EXPECT_EQ(rv.sibs, (std::vector<Key>{"x", "y", "z"}));
+  ASSERT_EQ(rv.deps.size(), 1u);
+  EXPECT_EQ(rv.deps[0].key, "a");
+}
+
+TEST(VersionedStoreTest, NthNewestTimestamp) {
+  VersionedStore store;
+  for (uint64_t i = 1; i <= 5; i++) {
+    store.Apply(Put("x", "v" + std::to_string(i), i));
+  }
+  EXPECT_EQ(store.NthNewestTimestamp("x", 0), (Timestamp{5, 1}));
+  EXPECT_EQ(store.NthNewestTimestamp("x", 4), (Timestamp{1, 1}));
+  EXPECT_FALSE(store.NthNewestTimestamp("x", 5).has_value());
+  EXPECT_FALSE(store.NthNewestTimestamp("absent", 0).has_value());
+}
+
+TEST(VersionedStoreTest, NewestPutTimestampSkipsDeltas) {
+  VersionedStore store;
+  store.Apply(Put("x", EncodeInt64Value(1), 1));
+  store.Apply(Delta("x", 1, 2));
+  store.Apply(Put("x", EncodeInt64Value(5), 3));
+  store.Apply(Delta("x", 1, 4));
+  store.Apply(Delta("x", 1, 5));
+  EXPECT_EQ(store.NewestPutTimestamp("x"), (Timestamp{3, 1}));
+  // Bounded search: the put is 3rd from the top.
+  EXPECT_FALSE(store.NewestPutWithin("x", 2).has_value());
+  EXPECT_EQ(store.NewestPutWithin("x", 3), (Timestamp{3, 1}));
+  EXPECT_FALSE(store.NewestPutTimestamp("absent").has_value());
+}
+
+TEST(VersionedStoreTest, DropVersionsBeforePreservesValue) {
+  VersionedStore store;
+  store.Apply(Put("x", EncodeInt64Value(10), 1));
+  store.Apply(Put("x", EncodeInt64Value(20), 2));
+  store.Apply(Delta("x", 5, 3));
+  int64_t before = *DecodeInt64Value(store.Read("x").value);
+  // Dropping below the newest Put is always safe.
+  EXPECT_EQ(store.DropVersionsBefore("x", Timestamp{2, 1}), 1u);
+  EXPECT_EQ(*DecodeInt64Value(store.Read("x").value), before);
+  EXPECT_EQ(store.VersionCountFor("x"), 2u);
+  EXPECT_EQ(store.DropVersionsBefore("x", Timestamp{1, 0}), 0u);
+}
+
+TEST(VersionedStoreTest, DropBeforeIsConvergenceSafeWithLateArrivals) {
+  // Replica A GCs below its newest Put; a late delta older than that Put
+  // then arrives at both replicas. They must still agree.
+  VersionedStore a, b;
+  auto late_delta = Delta("x", 7, 2);
+  a.Apply(Put("x", EncodeInt64Value(0), 1));
+  b.Apply(Put("x", EncodeInt64Value(0), 1));
+  a.Apply(Delta("x", 1, 4));
+  b.Apply(Delta("x", 1, 4));
+  a.Apply(Put("x", EncodeInt64Value(100), 3));
+  b.Apply(Put("x", EncodeInt64Value(100), 3));
+  a.DropVersionsBefore("x", *a.NewestPutTimestamp("x"));
+  // The late delta (ts 2 < put ts 3) arrives everywhere afterwards.
+  a.Apply(late_delta);
+  b.Apply(late_delta);
+  EXPECT_EQ(a.Read("x").value, b.Read("x").value);
+  EXPECT_EQ(*DecodeInt64Value(a.Read("x").value), 101);
+}
+
+// ------------------------------- wire -------------------------------------
+
+TEST(WireTest, WriteRecordRoundTrip) {
+  WriteRecord w;
+  w.key = "the-key";
+  w.value = "payload with \0 byte";
+  w.kind = WriteKind::kDelta;
+  w.ts = {123456789, 42};
+  w.sibs = {"a", "b", "the-key"};
+  w.deps = {{"x", {9, 9}}, {"y", {8, 8}}};
+  auto decoded = DecodeWriteRecord(w.key, EncodeWriteRecord(w));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(decoded->key, w.key);
+  EXPECT_EQ(decoded->value, w.value);
+  EXPECT_EQ(decoded->kind, w.kind);
+  EXPECT_EQ(decoded->ts, w.ts);
+  EXPECT_EQ(decoded->sibs, w.sibs);
+  ASSERT_EQ(decoded->deps.size(), 2u);
+  EXPECT_EQ(decoded->deps[1].key, "y");
+}
+
+TEST(WireTest, DecodeRejectsTruncation) {
+  WriteRecord w;
+  w.key = "k";
+  w.value = "v";
+  w.ts = {1, 1};
+  w.sibs = {"k", "other"};
+  std::string enc = EncodeWriteRecord(w);
+  EXPECT_FALSE(DecodeWriteRecord("k", enc.substr(0, 5)).has_value());
+}
+
+TEST(WireTest, StorageKeyRoundTrip) {
+  auto parsed = ParseStorageKey(StorageKeyFor("mykey", {77, 3}));
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->first, "mykey");
+  EXPECT_EQ(parsed->second, (Timestamp{77, 3}));
+}
+
+}  // namespace
+}  // namespace hat::version

@@ -1,0 +1,211 @@
+// Tests for the workload generators (YCSB, TPC-C) and the harness drivers.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "hat/harness/driver.h"
+#include "hat/harness/table.h"
+#include "hat/workload/tpcc.h"
+#include "hat/workload/ycsb.h"
+
+namespace hat::workload {
+namespace {
+
+TEST(YcsbTest, KeyNamesAreStable) {
+  EXPECT_EQ(YcsbGenerator::KeyFor(0), "user0000000000");
+  EXPECT_EQ(YcsbGenerator::KeyFor(42), "user0000000042");
+}
+
+TEST(YcsbTest, TxnShapeMatchesOptions) {
+  YcsbOptions opts;
+  opts.ops_per_txn = 8;
+  opts.num_keys = 100;
+  YcsbGenerator gen(opts);
+  Rng rng(1);
+  auto txn = gen.NextTxn(rng);
+  EXPECT_EQ(txn.ops.size(), 8u);
+  for (const auto& op : txn.ops) {
+    EXPECT_EQ(op.key.substr(0, 4), "user");
+  }
+}
+
+TEST(YcsbTest, ReadFractionApproximatelyHonored) {
+  YcsbOptions opts;
+  opts.read_fraction = 0.8;
+  YcsbGenerator gen(opts);
+  Rng rng(2);
+  int reads = 0, total = 0;
+  for (int i = 0; i < 2000; i++) {
+    for (const auto& op : gen.NextTxn(rng).ops) {
+      reads += op.is_read;
+      total++;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(reads) / total, 0.8, 0.02);
+}
+
+TEST(YcsbTest, AllWriteAndAllReadExtremes) {
+  Rng rng(3);
+  for (double f : {0.0, 1.0}) {
+    YcsbOptions opts;
+    opts.read_fraction = f;
+    YcsbGenerator gen(opts);
+    for (int i = 0; i < 50; i++) {
+      for (const auto& op : gen.NextTxn(rng).ops) {
+        EXPECT_EQ(op.is_read, f == 1.0);
+      }
+    }
+  }
+}
+
+TEST(YcsbTest, ZipfianSkewsKeys) {
+  YcsbOptions opts;
+  opts.distribution = KeyDistribution::kZipfian;
+  opts.num_keys = 1000;
+  YcsbGenerator gen(opts);
+  Rng rng(4);
+  std::map<Key, int> counts;
+  for (int i = 0; i < 3000; i++) {
+    for (const auto& op : gen.NextTxn(rng).ops) counts[op.key]++;
+  }
+  int max_count = 0;
+  for (const auto& [k, n] : counts) max_count = std::max(max_count, n);
+  // The hottest key should be far above the uniform expectation (~24).
+  EXPECT_GT(max_count, 200);
+}
+
+TEST(YcsbTest, ValuesSizedAndTagged) {
+  YcsbOptions opts;
+  opts.value_size = 128;
+  YcsbGenerator gen(opts);
+  Value v1 = gen.MakeValue(7);
+  Value v2 = gen.MakeValue(8);
+  EXPECT_EQ(v1.size(), 128u);
+  EXPECT_NE(v1, v2);
+}
+
+// --------------------------------- TPC-C ----------------------------------
+
+TEST(TpccTest, KeysAreWellFormedAndDistinct) {
+  std::set<Key> keys = {
+      TpccKeys::WarehouseYtd(1),       TpccKeys::DistrictYtd(1, 2),
+      TpccKeys::DistrictNextOid(1, 2), TpccKeys::CustomerBalance(1, 2, 3),
+      TpccKeys::CustomerPayCount(1, 2, 3),
+      TpccKeys::CustomerLastOrder(1, 2, 3),
+      TpccKeys::Stock(1, 4),           TpccKeys::ItemPrice(4),
+      TpccKeys::Order(1, 2, "o1"),     TpccKeys::NewOrderMarker(1, 2, "o1"),
+      TpccKeys::OrderLine(1, 2, "o1", 0),
+      TpccKeys::History(1, 2, 3, 99)};
+  EXPECT_EQ(keys.size(), 12u);
+}
+
+TEST(TpccTest, NewOrderPrefixCoversMarkers) {
+  Key marker = TpccKeys::NewOrderMarker(1, 2, "oid9");
+  Key prefix = TpccKeys::NewOrderPrefix(1, 2);
+  EXPECT_EQ(marker.substr(0, prefix.size()), prefix);
+  EXPECT_EQ(marker.substr(prefix.size()), "oid9");
+}
+
+TEST(TpccTest, OrderRecordRoundTrip) {
+  int c = 0, n = 0;
+  int64_t t = 0;
+  ASSERT_TRUE(DecodeOrderRecord(EncodeOrderRecord(12, 5, 990), &c, &n, &t));
+  EXPECT_EQ(c, 12);
+  EXPECT_EQ(n, 5);
+  EXPECT_EQ(t, 990);
+  EXPECT_FALSE(DecodeOrderRecord("garbage", &c, &n, &t));
+}
+
+TEST(TpccTest, GeneratorRespectsConfigBounds) {
+  TpccConfig config;
+  config.warehouses = 3;
+  config.districts_per_warehouse = 4;
+  config.customers_per_district = 5;
+  config.items = 10;
+  config.max_order_lines = 3;
+  TpccGenerator gen(config);
+  Rng rng(5);
+  for (int i = 0; i < 500; i++) {
+    auto no = gen.MakeNewOrder(rng);
+    EXPECT_LT(no.w, 3);
+    EXPECT_LT(no.d, 4);
+    EXPECT_LT(no.c, 5);
+    EXPECT_GE(no.lines.size(), 1u);
+    EXPECT_LE(no.lines.size(), 3u);
+    for (auto [item, qty] : no.lines) {
+      EXPECT_LT(item, 10);
+      EXPECT_GE(qty, 1);
+      EXPECT_LE(qty, 10);
+    }
+    auto pay = gen.MakePayment(rng);
+    EXPECT_GT(pay.amount, 0);
+  }
+}
+
+// ------------------------------ harness -----------------------------------
+
+TEST(TablePrinterTest, NumFormatting) {
+  EXPECT_EQ(harness::TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(harness::TablePrinter::Num(1000, 0), "1000");
+}
+
+TEST(DriverTest, YcsbDriverMeasuresThroughput) {
+  sim::Simulation sim(51);
+  auto dopts = cluster::DeploymentOptions::SingleDatacenter();
+  dopts.server.durable = false;
+  cluster::Deployment deployment(sim, dopts);
+
+  YcsbOptions wopts;
+  wopts.num_keys = 100;
+  wopts.value_size = 64;
+  harness::YcsbDriver driver(deployment, wopts, client::ClientOptions{},
+                             /*num_clients=*/8, /*seed=*/9);
+  driver.Preload();
+  auto result = driver.Run(sim::kSecond, 5 * sim::kSecond);
+  EXPECT_GT(result.committed, 100u);
+  EXPECT_EQ(result.unavailable, 0u);
+  EXPECT_GT(result.TxnsPerSecond(), 0.0);
+  EXPECT_GT(result.txn_latency_ms.Mean(), 0.0);
+  EXPECT_EQ(result.ops_committed, result.committed * 8);
+}
+
+TEST(DriverTest, DeterministicAcrossIdenticalRuns) {
+  auto run = [](uint64_t seed) {
+    sim::Simulation sim(seed);
+    auto dopts = cluster::DeploymentOptions::SingleDatacenter();
+    dopts.server.durable = false;
+    cluster::Deployment deployment(sim, dopts);
+    YcsbOptions wopts;
+    wopts.num_keys = 50;
+    wopts.value_size = 64;
+    harness::YcsbDriver driver(deployment, wopts, client::ClientOptions{}, 4,
+                               7);
+    driver.Preload();
+    return driver.Run(sim::kSecond, 3 * sim::kSecond).committed;
+  };
+  EXPECT_EQ(run(33), run(33));
+}
+
+TEST(DriverTest, MavSlowerThanEventualButComparable) {
+  auto run = [](client::IsolationLevel iso) {
+    sim::Simulation sim(52);
+    auto dopts = cluster::DeploymentOptions::SingleDatacenter();
+    cluster::Deployment deployment(sim, dopts);
+    YcsbOptions wopts;
+    wopts.num_keys = 500;
+    client::ClientOptions copts;
+    copts.isolation = iso;
+    harness::YcsbDriver driver(deployment, wopts, copts, 64, 7);
+    driver.Preload();
+    return driver.Run(sim::kSecond, 5 * sim::kSecond).TxnsPerSecond();
+  };
+  double eventual = run(client::IsolationLevel::kReadUncommitted);
+  double mav = run(client::IsolationLevel::kMonotonicAtomicView);
+  EXPECT_GT(mav, 0.3 * eventual);
+  EXPECT_LT(mav, eventual);
+}
+
+}  // namespace
+}  // namespace hat::workload
