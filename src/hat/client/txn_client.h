@@ -134,7 +134,9 @@ class TxnClient : public net::RpcNode {
   const Routing* routing_;
   TxnObserver* observer_ = nullptr;
   ClientStats stats_;
-  mutable Rng route_rng_{0};  // randomized (non-sticky) cluster selection
+  // Randomized (non-sticky) cluster selection. Seeded from the node id in
+  // the constructor so clients don't make lock-stepped routing choices.
+  mutable Rng route_rng_;
 
   // session state
   uint32_t session_id_ = 1;

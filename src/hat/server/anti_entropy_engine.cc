@@ -1,0 +1,167 @@
+#include "hat/server/anti_entropy_engine.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hat::server {
+
+namespace {
+constexpr size_t kAppliedBatchMemory = 4096;
+constexpr sim::Duration kMaxBackoff = 8 * sim::kSecond;
+}  // namespace
+
+AntiEntropyEngine::AntiEntropyEngine(sim::Simulation& sim, net::NodeId id,
+                                     const Partitioner* partitioner,
+                                     const version::VersionedStore& good,
+                                     Options options, SendFn send,
+                                     InstallFn install)
+    : sim_(sim),
+      id_(id),
+      partitioner_(partitioner),
+      good_(good),
+      options_(options),
+      send_(std::move(send)),
+      install_(std::move(install)),
+      rng_(Fnv1a64(static_cast<uint64_t>(id)) ^ 0x5e53a11e) {}
+
+void AntiEntropyEngine::Start() {
+  // Stagger recurring timers per server so deterministic runs do not
+  // synchronize every server's background work on the same tick.
+  sim::Duration offset = (id_ * 97) % options_.flush_interval + 1;
+  sim_.After(offset, [this]() { FlushTick(); });
+  if (options_.digest_sync_interval > 0) {
+    sim::Duration doffset = (id_ * 173) % options_.digest_sync_interval + 1;
+    sim_.After(doffset, [this]() { DigestSyncTick(); });
+  }
+}
+
+void AntiEntropyEngine::Enqueue(const WriteRecord& w, net::PutMode mode,
+                                net::NodeId except) {
+  for (net::NodeId peer : partitioner_->ReplicasOf(w.key)) {
+    if (peer == id_ || peer == except) continue;
+    outbox_[peer].push_back(OutboxItem{w, mode});
+  }
+}
+
+void AntiEntropyEngine::FlushTick() {
+  for (auto& [peer, queue] : outbox_) {
+    while (!queue.empty()) {
+      net::AntiEntropyBatch batch;
+      batch.batch_id = NextBatchId();
+      batch.mode = queue.front().mode;
+      while (!queue.empty() && queue.front().mode == batch.mode &&
+             batch.writes.size() < options_.batch_max) {
+        batch.writes.push_back(std::move(queue.front().write));
+        queue.pop_front();
+      }
+      stats_.records_out += batch.writes.size();
+      inflight_.emplace(batch.batch_id,
+                        InFlightBatch{peer, batch, sim_.Now(),
+                                      options_.retry_interval});
+      send_(peer, std::move(batch));
+    }
+  }
+  // Retransmit stragglers (lost to partitions) with exponential backoff.
+  for (auto& [batch_id, flight] : inflight_) {
+    if (sim_.Now() - flight.sent_at >= flight.backoff) {
+      flight.sent_at = sim_.Now();
+      flight.backoff = std::min(flight.backoff * 2, kMaxBackoff);
+      send_(flight.peer, flight.batch);
+    }
+  }
+  sim_.After(options_.flush_interval, [this]() { FlushTick(); });
+}
+
+void AntiEntropyEngine::HandleBatch(const net::AntiEntropyBatch& batch,
+                                    net::NodeId from) {
+  stats_.batches_in++;
+  send_(from, net::AntiEntropyAck{batch.batch_id});
+  if (applied_batches_.count(batch.batch_id)) return;  // retransmit dupe
+  applied_batches_.insert(batch.batch_id);
+  applied_batches_fifo_.push_back(batch.batch_id);
+  if (applied_batches_fifo_.size() > kAppliedBatchMemory) {
+    applied_batches_.erase(applied_batches_fifo_.front());
+    applied_batches_fifo_.pop_front();
+  }
+  for (const auto& w : batch.writes) {
+    stats_.records_in++;
+    install_(w, batch.mode);
+  }
+}
+
+std::vector<net::NodeId> AntiEntropyEngine::PeerReplicas() const {
+  // Replicas share shards key-wise; with cluster-per-copy sharding, the
+  // peers for every key this server holds are the same set, so any one
+  // stored key determines it.
+  std::set<net::NodeId> peers;
+  if (const WriteRecord* w = good_.AnyRecord()) {
+    for (net::NodeId r : partitioner_->ReplicasOf(w->key)) {
+      if (r != id_) peers.insert(r);
+    }
+  }
+  return std::vector<net::NodeId>(peers.begin(), peers.end());
+}
+
+void AntiEntropyEngine::DigestSyncTick() {
+  auto peers = PeerReplicas();
+  if (!peers.empty()) {
+    net::NodeId peer = peers[rng_.NextBelow(peers.size())];
+    net::DigestRequest digest;
+    digest.latest = good_.Digest();
+    send_(peer, std::move(digest));
+  }
+  sim_.After(options_.digest_sync_interval, [this]() { DigestSyncTick(); });
+}
+
+void AntiEntropyEngine::HandleDigest(const net::DigestRequest& req,
+                                     net::NodeId from) {
+  // Send back every version the requester is missing, in bounded batches
+  // (unacknowledged one-shot batches: the requester's next digest will
+  // re-trigger anything lost).
+  std::map<Key, Timestamp> theirs;
+  for (const auto& [k, ts] : req.latest) theirs.emplace(k, ts);
+  net::AntiEntropyBatch batch;
+  batch.batch_id = NextBatchId();
+  auto flush = [this, from, &batch]() {
+    if (batch.writes.empty()) return;
+    stats_.records_out += batch.writes.size();
+    send_(from, std::move(batch));
+    batch = net::AntiEntropyBatch();
+    batch.batch_id = NextBatchId();
+  };
+  good_.ForEachVersion([&](const WriteRecord& w) {
+    auto it = theirs.find(w.key);
+    if (it != theirs.end() && w.ts <= it->second) return;  // they have newer
+    batch.writes.push_back(w);
+    if (batch.writes.size() >= options_.batch_max) flush();
+  });
+  flush();
+
+  // Reverse direction: if the initiator advertises data we lack, answer
+  // with our own digest (one round only) so it pushes the difference back.
+  if (req.reply_allowed) {
+    bool missing = false;
+    for (const auto& [k, ts] : req.latest) {
+      auto ours = good_.LatestTimestamp(k);
+      if (!ours || *ours < ts) {
+        missing = true;
+        break;
+      }
+    }
+    if (missing) {
+      net::DigestRequest mine;
+      mine.latest = good_.Digest();
+      mine.reply_allowed = false;
+      send_(from, std::move(mine));
+    }
+  }
+}
+
+void AntiEntropyEngine::Clear() {
+  outbox_.clear();
+  inflight_.clear();
+  applied_batches_.clear();
+  applied_batches_fifo_.clear();
+}
+
+}  // namespace hat::server

@@ -1,0 +1,132 @@
+// AntiEntropyEngine: replica-to-replica write propagation for one server.
+//
+// Two complementary mechanisms, both deterministic under the simulation:
+//  * Reliable push — per-peer outboxes are flushed on a timer into
+//    mode-homogeneous batches; unacknowledged batches retransmit with
+//    exponential backoff, so partitions delay but never lose gossip.
+//    Receivers dedupe batches by id (bounded FIFO memory).
+//  * Digest pull — optionally, the engine periodically sends its per-key
+//    latest-version digest to one random peer, which returns whatever the
+//    sender is missing. Catches writes whose push outbox died with a crash.
+//
+// The engine owns no sockets and installs nothing itself: messages leave via
+// a SendFn callback and incoming records are handed to an InstallFn, so the
+// engine is constructible — and fully drivable — from a unit test without a
+// ReplicaServer.
+
+#ifndef HAT_SERVER_ANTI_ENTROPY_ENGINE_H_
+#define HAT_SERVER_ANTI_ENTROPY_ENGINE_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "hat/common/rng.h"
+#include "hat/net/message.h"
+#include "hat/server/partitioner.h"
+#include "hat/sim/simulation.h"
+#include "hat/version/versioned_store.h"
+
+namespace hat::server {
+
+struct AntiEntropyStats {
+  uint64_t batches_in = 0;
+  uint64_t records_in = 0;
+  uint64_t records_out = 0;
+};
+
+class AntiEntropyEngine {
+ public:
+  struct Options {
+    /// Outbox flush cadence.
+    sim::Duration flush_interval = 5 * sim::kMillisecond;
+    /// Retransmit unacknowledged batches after this long (doubles per retry).
+    sim::Duration retry_interval = 250 * sim::kMillisecond;
+    /// Digest exchange cadence; 0 disables (push-only anti-entropy).
+    sim::Duration digest_sync_interval = 0;
+    /// Max writes per batch.
+    size_t batch_max = 64;
+  };
+  /// Delivers a one-way message to a peer.
+  using SendFn = std::function<void(net::NodeId, net::Message)>;
+  /// Installs one received record (dispatches on PutMode at the owner).
+  using InstallFn = std::function<void(const WriteRecord&, net::PutMode)>;
+
+  AntiEntropyEngine(sim::Simulation& sim, net::NodeId id,
+                    const Partitioner* partitioner,
+                    const version::VersionedStore& good, Options options,
+                    SendFn send, InstallFn install);
+
+  /// Schedules the flush (and, if enabled, digest) timers, staggered by node
+  /// id. Call once.
+  void Start();
+
+  /// Queues `w` for push to every replica of its key except this node and
+  /// `except` (the node it came from).
+  void Enqueue(const WriteRecord& w, net::PutMode mode, net::NodeId except);
+
+  /// Applies an incoming push batch (acks it, dedupes retransmits, installs
+  /// each record through the InstallFn).
+  void HandleBatch(const net::AntiEntropyBatch& batch, net::NodeId from);
+
+  /// Retires the inflight batch an ack refers to.
+  void HandleAck(const net::AntiEntropyAck& ack) {
+    inflight_.erase(ack.batch_id);
+  }
+
+  /// Answers a peer's digest with the versions it is missing, and — on the
+  /// initiating round — with our own digest when the peer has data we lack.
+  void HandleDigest(const net::DigestRequest& req, net::NodeId from);
+
+  /// Drops all volatile gossip state (crash). Stats survive.
+  void Clear();
+
+  const AntiEntropyStats& stats() const { return stats_; }
+
+ private:
+  void FlushTick();
+  void DigestSyncTick();
+  uint64_t NextBatchId() {
+    return (static_cast<uint64_t>(id_) << 40) | next_batch_id_++;
+  }
+  /// All peer replicas this server shares any shard with.
+  std::vector<net::NodeId> PeerReplicas() const;
+
+  sim::Simulation& sim_;
+  net::NodeId id_;
+  const Partitioner* partitioner_;
+  const version::VersionedStore& good_;
+  Options options_;
+  SendFn send_;
+  InstallFn install_;
+  AntiEntropyStats stats_;
+  // Digest-sync peer selection. Seeded from the node id (not a shared
+  // constant) so replicas pick different peers in lock-stepped runs, while
+  // staying deterministic for a given topology.
+  Rng rng_;
+
+  struct OutboxItem {
+    WriteRecord write;
+    net::PutMode mode;
+  };
+  std::map<net::NodeId, std::deque<OutboxItem>> outbox_;
+  struct InFlightBatch {
+    net::NodeId peer;
+    net::AntiEntropyBatch batch;
+    sim::SimTime sent_at;
+    /// Exponential backoff: doubles per retransmission (capped), so slow
+    /// acks under load do not trigger duplicate-processing storms.
+    sim::Duration backoff;
+  };
+  std::map<uint64_t, InFlightBatch> inflight_;
+  uint64_t next_batch_id_ = 1;
+  // Batches already applied (dedupe against retransmits), bounded FIFO.
+  std::deque<uint64_t> applied_batches_fifo_;
+  std::set<uint64_t> applied_batches_;
+};
+
+}  // namespace hat::server
+
+#endif  // HAT_SERVER_ANTI_ENTROPY_ENGINE_H_

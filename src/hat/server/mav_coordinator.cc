@@ -1,0 +1,205 @@
+#include "hat/server/mav_coordinator.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace hat::server {
+
+namespace {
+constexpr size_t kPromotedMemory = 100000;
+constexpr size_t kEarlyAckBackstop = 100000;
+}  // namespace
+
+MavCoordinator::MavCoordinator(sim::Simulation& sim, net::NodeId id,
+                               const Partitioner* partitioner,
+                               version::VersionedStore& good,
+                               PersistenceManager& persistence, Options options,
+                               SendFn send, GossipFn gossip, GcFn gc_versions)
+    : sim_(sim),
+      id_(id),
+      partitioner_(partitioner),
+      good_(good),
+      persistence_(persistence),
+      options_(options),
+      send_(std::move(send)),
+      gossip_(std::move(gossip)),
+      gc_versions_(std::move(gc_versions)) {}
+
+void MavCoordinator::Start() {
+  // Stagger the recurring timer per server so deterministic runs do not
+  // synchronize every server's background work on the same tick.
+  sim::Duration offset = (id_ * 131) % options_.renotify_interval + 1;
+  sim_.After(offset, [this]() { RenotifyTick(); });
+}
+
+size_t MavCoordinator::PendingWriteCount() const {
+  size_t n = 0;
+  for (const auto& [ts, txn] : pending_txns_) n += txn.writes.size();
+  return n;
+}
+
+const WriteRecord* MavCoordinator::PendingVersion(const Key& key,
+                                                  const Timestamp& ts) {
+  auto by_key = pending_by_key_.find(key);
+  if (by_key == pending_by_key_.end()) return nullptr;
+  auto exact = by_key->second.find(ts);
+  if (exact == by_key->second.end()) return nullptr;
+  stats_.gets_from_pending++;
+  return &exact->second;
+}
+
+void MavCoordinator::Install(const WriteRecord& w, bool gossip) {
+  // Duplicate suppression: already promoted or already pending.
+  if (good_.Contains(w.key, w.ts)) return;
+  auto& per_key = pending_by_key_[w.key];
+  if (per_key.count(w.ts)) return;
+
+  // Pending invalidation (Appendix B optimization): a good version newer
+  // than this write supersedes it for every read path, so the write itself
+  // can be dropped — but we still ack so siblings can promote elsewhere.
+  auto latest_good = good_.LatestTimestamp(w.key);
+  bool stale =
+      options_.gc_stale_pending && latest_good && *latest_good > w.ts;
+  if (stale) {
+    stats_.stale_pending_dropped++;
+  } else {
+    per_key.emplace(w.ts, w);
+  }
+  if (per_key.empty()) pending_by_key_.erase(w.key);
+
+  auto& txn = pending_txns_[w.ts];
+  if (txn.sibs.empty()) {
+    txn.sibs = w.sibs.empty() ? std::vector<Key>{w.key} : w.sibs;
+    auto early = early_acks_.find(w.ts);
+    if (early != early_acks_.end()) {
+      txn.acks = std::move(early->second);
+      early_acks_.erase(early);
+    }
+  }
+  txn.writes.push_back(w);
+  if (!stale) persistence_.PersistPending(w);
+  if (gossip) gossip_(w);
+  MaybeAck(w.ts);
+  MaybePromote(w.ts);
+}
+
+std::set<net::NodeId> MavCoordinator::AckSetFor(
+    const std::vector<Key>& sibs) const {
+  std::set<net::NodeId> out;
+  for (const auto& k : sibs) {
+    for (net::NodeId r : partitioner_->ReplicasOf(k)) out.insert(r);
+  }
+  return out;
+}
+
+std::vector<Key> MavCoordinator::LocalKeysOf(
+    const std::vector<Key>& sibs) const {
+  std::vector<Key> out;
+  for (const auto& k : sibs) {
+    auto replicas = partitioner_->ReplicasOf(k);
+    if (std::find(replicas.begin(), replicas.end(), id_) != replicas.end()) {
+      out.push_back(k);
+    }
+  }
+  return out;
+}
+
+void MavCoordinator::MaybeAck(const Timestamp& ts) {
+  auto it = pending_txns_.find(ts);
+  if (it == pending_txns_.end() || it->second.acked_by_self) return;
+  PendingTxn& txn = it->second;
+  // Ack once every sibling key this server replicates has arrived.
+  std::vector<Key> local = LocalKeysOf(txn.sibs);
+  for (const auto& k : local) {
+    bool have = false;
+    for (const auto& w : txn.writes) {
+      if (w.key == k) {
+        have = true;
+        break;
+      }
+    }
+    if (!have) return;
+  }
+  txn.acked_by_self = true;
+  for (net::NodeId peer : AckSetFor(txn.sibs)) {
+    if (peer == id_) {
+      txn.acks.insert(id_);
+    } else {
+      send_(peer, net::NotifyRequest{ts, id_});
+    }
+  }
+}
+
+void MavCoordinator::HandleNotify(const net::NotifyRequest& req) {
+  stats_.notifies++;
+  auto it = pending_txns_.find(req.ts);
+  if (it == pending_txns_.end()) {
+    if (promoted_.count(req.ts)) {
+      // We already promoted this transaction and dropped its ack state; the
+      // sender is catching up after a partition — answer so it can promote.
+      if (req.sender != id_) {
+        send_(req.sender, net::NotifyRequest{req.ts, id_});
+      }
+      return;
+    }
+    // The ack raced ahead of the write itself; remember it.
+    if (early_acks_.size() > kEarlyAckBackstop) early_acks_.clear();
+    early_acks_[req.ts].insert(req.sender);
+    return;
+  }
+  it->second.acks.insert(req.sender);
+  MaybePromote(req.ts);
+}
+
+void MavCoordinator::MaybePromote(const Timestamp& ts) {
+  auto it = pending_txns_.find(ts);
+  if (it == pending_txns_.end()) return;
+  PendingTxn& txn = it->second;
+  std::set<net::NodeId> expected = AckSetFor(txn.sibs);
+  for (net::NodeId n : expected) {
+    if (!txn.acks.count(n)) return;
+  }
+  // Pending-stable everywhere: reveal.
+  for (const auto& w : txn.writes) {
+    if (good_.Apply(w)) persistence_.PersistGood(w);
+    gc_versions_(w.key);
+    persistence_.ErasePersistedPending(w);
+    auto by_key = pending_by_key_.find(w.key);
+    if (by_key != pending_by_key_.end()) {
+      by_key->second.erase(w.ts);
+      if (by_key->second.empty()) pending_by_key_.erase(by_key);
+    }
+  }
+  stats_.promotions++;
+  pending_txns_.erase(it);
+  promoted_.insert(ts);
+  promoted_fifo_.push_back(ts);
+  if (promoted_fifo_.size() > kPromotedMemory) {
+    promoted_.erase(promoted_fifo_.front());
+    promoted_fifo_.pop_front();
+  }
+}
+
+void MavCoordinator::RenotifyTick() {
+  // Liveness under partitions: keep re-broadcasting our ack for transactions
+  // still pending so a healed network eventually promotes them.
+  for (auto& [ts, txn] : pending_txns_) {
+    if (!txn.acked_by_self) continue;
+    for (net::NodeId peer : AckSetFor(txn.sibs)) {
+      if (peer != id_ && !txn.acks.count(peer)) {
+        send_(peer, net::NotifyRequest{ts, id_});
+      }
+    }
+  }
+  sim_.After(options_.renotify_interval, [this]() { RenotifyTick(); });
+}
+
+void MavCoordinator::Clear() {
+  pending_by_key_.clear();
+  pending_txns_.clear();
+  early_acks_.clear();
+  promoted_.clear();
+  promoted_fifo_.clear();
+}
+
+}  // namespace hat::server

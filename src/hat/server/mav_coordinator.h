@@ -1,0 +1,128 @@
+// MavCoordinator: the Appendix B Monotonic Atomic View machinery of one
+// replica — the pending/good two-set installation protocol.
+//
+// Writes of a MAV transaction are held in `pending` (indexed by key for
+// required-bound reads and by transaction timestamp for promotion), sibling
+// replicas exchange NOTIFY acks, and once every replica of every sibling key
+// has acked — pending-stable — the transaction's writes are revealed into
+// the good set atomically per replica. A renotify timer re-broadcasts acks
+// for still-pending transactions so partitions only delay, never prevent,
+// promotion.
+//
+// The coordinator owns no network or disk: it reaches them through narrow
+// callbacks (send a message, gossip a write, GC a key's versions) plus
+// references to the shared VersionedStore and PersistenceManager, so it can
+// be constructed and driven directly by unit tests.
+
+#ifndef HAT_SERVER_MAV_COORDINATOR_H_
+#define HAT_SERVER_MAV_COORDINATOR_H_
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "hat/net/message.h"
+#include "hat/server/partitioner.h"
+#include "hat/server/persistence_manager.h"
+#include "hat/sim/simulation.h"
+#include "hat/version/versioned_store.h"
+
+namespace hat::server {
+
+struct MavStats {
+  uint64_t notifies = 0;
+  uint64_t promotions = 0;
+  uint64_t stale_pending_dropped = 0;
+  uint64_t gets_from_pending = 0;
+};
+
+class MavCoordinator {
+ public:
+  struct Options {
+    /// Drop pending writes older than the good version for their key
+    /// (the "pending invalidation" optimization of Appendix B).
+    bool gc_stale_pending = true;
+    /// Re-broadcast pending-stable acks for still-pending transactions.
+    sim::Duration renotify_interval = 500 * sim::kMillisecond;
+  };
+  /// Delivers a one-way message (NotifyRequest) to a peer replica.
+  using SendFn = std::function<void(net::NodeId, net::Message)>;
+  /// Hands a freshly accepted pending write to anti-entropy.
+  using GossipFn = std::function<void(const WriteRecord&)>;
+  /// Applies the owner's version-GC policy after a good-set insert.
+  using GcFn = std::function<void(const Key&)>;
+
+  MavCoordinator(sim::Simulation& sim, net::NodeId id,
+                 const Partitioner* partitioner, version::VersionedStore& good,
+                 PersistenceManager& persistence, Options options, SendFn send,
+                 GossipFn gossip, GcFn gc_versions);
+
+  /// Schedules the renotify timer (staggered by node id). Call once.
+  void Start();
+
+  /// Installs one MAV write: pending bookkeeping, ack broadcast, promotion
+  /// check. `gossip` hands newly accepted writes to the GossipFn; every
+  /// current caller (client puts, anti-entropy, recovery replay) passes true
+  /// so re-entering writes keep propagating — pass false only from a path
+  /// that provably must not re-enter anti-entropy.
+  void Install(const WriteRecord& w, bool gossip);
+
+  /// Processes a NOTIFY ack from `req.sender` (Appendix B).
+  void HandleNotify(const net::NotifyRequest& req);
+
+  /// Exact pending version (key, ts), or nullptr. Counts a pending-read hit.
+  const WriteRecord* PendingVersion(const Key& key, const Timestamp& ts);
+
+  /// Number of pending writes held (promotion-indexed count).
+  size_t PendingWriteCount() const;
+
+  /// Drops all volatile MAV state (crash). Stats survive.
+  void Clear();
+
+  const MavStats& stats() const { return stats_; }
+
+ private:
+  /// Servers that must acknowledge a transaction before promotion: every
+  /// replica of every sibling key.
+  std::set<net::NodeId> AckSetFor(const std::vector<Key>& sibs) const;
+  /// Sibling keys of `sibs` that this server replicates.
+  std::vector<Key> LocalKeysOf(const std::vector<Key>& sibs) const;
+  void MaybeAck(const Timestamp& ts);
+  void MaybePromote(const Timestamp& ts);
+  void RenotifyTick();
+
+  sim::Simulation& sim_;
+  net::NodeId id_;
+  const Partitioner* partitioner_;
+  version::VersionedStore& good_;
+  PersistenceManager& persistence_;
+  Options options_;
+  SendFn send_;
+  GossipFn gossip_;
+  GcFn gc_versions_;
+  MavStats stats_;
+
+  // Pending, indexed two ways: by key (for required-bound reads) and by
+  // transaction timestamp (for promotion).
+  std::map<Key, std::map<Timestamp, WriteRecord>> pending_by_key_;
+  struct PendingTxn {
+    std::vector<WriteRecord> writes;  // this server's sibling writes
+    std::vector<Key> sibs;            // full txn key set
+    std::set<net::NodeId> acks;       // distinct ack senders seen
+    bool acked_by_self = false;       // we broadcast our ack already
+  };
+  std::map<Timestamp, PendingTxn> pending_txns_;
+  // Acks that arrived before the first write of their transaction.
+  std::map<Timestamp, std::set<net::NodeId>> early_acks_;
+  // Transactions this server already promoted (bounded FIFO). A late ack
+  // for a promoted transaction is answered with our own ack so replicas
+  // that received the writes after a partition heal can still promote.
+  std::set<Timestamp> promoted_;
+  std::deque<Timestamp> promoted_fifo_;
+};
+
+}  // namespace hat::server
+
+#endif  // HAT_SERVER_MAV_COORDINATOR_H_

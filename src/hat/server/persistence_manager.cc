@@ -1,0 +1,75 @@
+#include "hat/server/persistence_manager.h"
+
+#include <utility>
+#include <vector>
+
+#include "hat/version/wire.h"
+
+namespace hat::server {
+
+namespace {
+constexpr std::string_view kGoodPrefix = "g/";
+constexpr std::string_view kPendingPrefix = "p/";
+// Exclusive upper bounds for prefix scans ('/' + 1 == '0').
+constexpr std::string_view kGoodEnd = "g0";
+constexpr std::string_view kPendingEnd = "p0";
+}  // namespace
+
+PersistenceManager::PersistenceManager(const std::string& dir) {
+  if (dir.empty()) return;
+  auto store = storage::LocalStore::Open(dir);
+  if (store.ok()) disk_ = std::move(store).value();
+}
+
+void PersistenceManager::Persist(std::string_view prefix,
+                                 const WriteRecord& w) {
+  if (!disk_) return;
+  std::string sk(prefix);
+  sk += version::StorageKeyFor(w.key, w.ts);
+  (void)disk_->Put(sk, version::EncodeWriteRecord(w));
+}
+
+void PersistenceManager::PersistGood(const WriteRecord& w) {
+  Persist(kGoodPrefix, w);
+}
+
+void PersistenceManager::PersistPending(const WriteRecord& w) {
+  Persist(kPendingPrefix, w);
+}
+
+void PersistenceManager::ErasePersistedPending(const WriteRecord& w) {
+  if (!disk_) return;
+  std::string sk(kPendingPrefix);
+  sk += version::StorageKeyFor(w.key, w.ts);
+  (void)disk_->Delete(sk);
+}
+
+Status PersistenceManager::Recover(
+    const std::function<void(const WriteRecord&)>& good,
+    const std::function<void(const WriteRecord&)>& pending) {
+  if (!disk_) return Status::Unsupported("server has no storage directory");
+  HAT_RETURN_IF_ERROR(disk_->Scan(
+      std::string(kGoodPrefix), std::string(kGoodEnd),
+      [&good](std::string_view sk, std::string_view value) {
+        auto parsed = version::ParseStorageKey(sk.substr(kGoodPrefix.size()));
+        if (!parsed) return;
+        auto w = version::DecodeWriteRecord(parsed->first, value);
+        if (w) good(*w);
+      }));
+  // Buffer pending records: the callback typically re-enters the MAV
+  // pipeline, which persists (writes to this store) — illegal mid-scan.
+  std::vector<WriteRecord> buffered;
+  HAT_RETURN_IF_ERROR(disk_->Scan(
+      std::string(kPendingPrefix), std::string(kPendingEnd),
+      [&buffered](std::string_view sk, std::string_view value) {
+        auto parsed =
+            version::ParseStorageKey(sk.substr(kPendingPrefix.size()));
+        if (!parsed) return;
+        auto w = version::DecodeWriteRecord(parsed->first, value);
+        if (w) buffered.push_back(std::move(*w));
+      }));
+  for (const auto& w : buffered) pending(w);
+  return Status::Ok();
+}
+
+}  // namespace hat::server

@@ -1,0 +1,58 @@
+// PersistenceManager: write-through durability for one replica server.
+//
+// Installed (good) and not-yet-stable (MAV pending) versions are persisted
+// under distinct key prefixes in a hat::storage::LocalStore, so a crashed
+// replica can rebuild both its visible state and its in-flight Appendix B
+// pipeline from disk. When constructed without a directory the manager is
+// disabled and every call is a no-op — benchmarks model durability purely as
+// service time (ServiceCosts::wal_sync_us) without doing real IO.
+
+#ifndef HAT_SERVER_PERSISTENCE_MANAGER_H_
+#define HAT_SERVER_PERSISTENCE_MANAGER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "hat/common/status.h"
+#include "hat/storage/local_store.h"
+#include "hat/version/types.h"
+
+namespace hat::server {
+
+class PersistenceManager {
+ public:
+  /// Opens (or creates) a LocalStore rooted at `dir`. Empty `dir` disables
+  /// persistence entirely.
+  explicit PersistenceManager(const std::string& dir);
+
+  /// True when writes actually reach disk.
+  bool enabled() const { return disk_ != nullptr; }
+
+  /// Persists a revealed (good-set) version.
+  void PersistGood(const WriteRecord& w);
+
+  /// Persists a pending (MAV, not yet stable) version.
+  void PersistPending(const WriteRecord& w);
+
+  /// Removes the pending copy of `w` once its transaction promoted.
+  void ErasePersistedPending(const WriteRecord& w);
+
+  /// Replays durable state: every good version is streamed to `good`
+  /// (mid-scan — the good callback must NOT write back to this store), then
+  /// every pending version is streamed to `pending` in storage-key order.
+  /// Pending callbacks run after the scans complete, so they may persist
+  /// again (the MAV pipeline re-persists re-entering writes).
+  Status Recover(const std::function<void(const WriteRecord&)>& good,
+                 const std::function<void(const WriteRecord&)>& pending);
+
+ private:
+  void Persist(std::string_view prefix, const WriteRecord& w);
+
+  std::unique_ptr<storage::LocalStore> disk_;
+};
+
+}  // namespace hat::server
+
+#endif  // HAT_SERVER_PERSISTENCE_MANAGER_H_

@@ -1,8 +1,8 @@
 #include "hat/server/replica_server.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <utility>
 
 #include "hat/version/wire.h"
 
@@ -11,39 +11,52 @@ namespace hat::server {
 using net::Envelope;
 using net::Message;
 
-namespace {
-constexpr std::string_view kGoodPrefix = "g/";
-constexpr std::string_view kPendingPrefix = "p/";
-constexpr size_t kAppliedBatchMemory = 4096;
-}  // namespace
-
 ReplicaServer::ReplicaServer(sim::Simulation& sim, net::Network& net,
                              net::NodeId id, ServerOptions options,
                              const Partitioner* partitioner)
     : net::RpcNode(sim, net, id),
       options_(std::move(options)),
-      partitioner_(partitioner) {
-  if (!options_.storage_dir.empty()) {
-    auto store = storage::LocalStore::Open(options_.storage_dir);
-    if (store.ok()) disk_ = std::move(store).value();
-  }
-  // Stagger recurring timers per server so deterministic runs do not
-  // synchronize every server's background work on the same tick.
-  sim::Duration offset = (id * 97) % options_.ae_flush_interval + 1;
-  sim_.After(offset, [this]() { FlushOutboxes(); });
-  sim::Duration roffset = (id * 131) % options_.renotify_interval + 1;
-  sim_.After(roffset, [this]() { RenotifyTick(); });
-  if (options_.digest_sync_interval > 0) {
-    sim::Duration doffset = (id * 173) % options_.digest_sync_interval + 1;
-    sim_.After(doffset, [this]() { DigestSyncTick(); });
-  }
-  rng_ = sim_.rng().Fork(0x5e53 + id);
+      partitioner_(partitioner),
+      persistence_(options_.storage_dir),
+      mav_(sim_, id, partitioner_, good_, persistence_,
+           MavCoordinator::Options{options_.gc_stale_pending,
+                                   options_.renotify_interval},
+           [this](net::NodeId to, Message m) { SendOneWay(to, std::move(m)); },
+           [this](const WriteRecord& w) {
+             anti_entropy_.Enqueue(w, net::PutMode::kMav, this->id());
+           },
+           [this](const Key& k) { MaybeGcVersions(k); }),
+      anti_entropy_(
+          sim_, id, partitioner_, good_,
+          AntiEntropyEngine::Options{
+              options_.ae_flush_interval, options_.ae_retry_interval,
+              options_.digest_sync_interval, options_.ae_batch_max},
+          [this](net::NodeId to, Message m) { SendOneWay(to, std::move(m)); },
+          [this](const WriteRecord& w, net::PutMode mode) {
+            InstallFromPeer(w, mode);
+          }),
+      locks_([this](const Envelope& env, const net::LockResponse& resp) {
+        Reply(env, resp);
+      }) {
+  mav_.Start();
+  anti_entropy_.Start();
 }
 
-size_t ReplicaServer::PendingCount() const {
-  size_t n = 0;
-  for (const auto& [ts, txn] : pending_txns_) n += txn.writes.size();
-  return n;
+const ServerStats& ReplicaServer::stats() const {
+  const MavStats& m = mav_.stats();
+  stats_.gets_from_pending = m.gets_from_pending;
+  stats_.notifies = m.notifies;
+  stats_.mav_promotions = m.promotions;
+  stats_.stale_pending_dropped = m.stale_pending_dropped;
+  const AntiEntropyStats& ae = anti_entropy_.stats();
+  stats_.ae_batches_in = ae.batches_in;
+  stats_.ae_records_in = ae.records_in;
+  stats_.ae_records_out = ae.records_out;
+  const LockStats& l = locks_.stats();
+  stats_.locks_granted = l.granted;
+  stats_.locks_queued = l.queued;
+  stats_.lock_deaths = l.deaths;
+  return stats_;
 }
 
 // --------------------------------------------------------------------------
@@ -68,7 +81,7 @@ double ReplicaServer::CostOf(const Message& msg) const {
       cost += c.mav_metadata_per_kb_us *
               static_cast<double>(put->write.SibBytes()) / 1024.0;
       if (c.pending_contention_scale > 0) {
-        cost *= 1.0 + static_cast<double>(PendingCount()) /
+        cost *= 1.0 + static_cast<double>(mav_.PendingWriteCount()) /
                           c.pending_contention_scale;
       }
     }
@@ -115,17 +128,17 @@ void ReplicaServer::Process(const Envelope& env) {
   } else if (std::holds_alternative<net::PutRequest>(env.msg)) {
     HandlePut(env);
   } else if (const auto* notify = std::get_if<net::NotifyRequest>(&env.msg)) {
-    HandleNotify(*notify);
-  } else if (std::holds_alternative<net::AntiEntropyBatch>(env.msg)) {
-    HandleAntiEntropy(env);
+    mav_.HandleNotify(*notify);
+  } else if (const auto* batch = std::get_if<net::AntiEntropyBatch>(&env.msg)) {
+    anti_entropy_.HandleBatch(*batch, env.from);
   } else if (const auto* ack = std::get_if<net::AntiEntropyAck>(&env.msg)) {
-    inflight_.erase(ack->batch_id);
-  } else if (std::holds_alternative<net::DigestRequest>(env.msg)) {
-    HandleDigest(env);
-  } else if (std::holds_alternative<net::LockRequest>(env.msg)) {
-    HandleLock(env);
-  } else if (std::holds_alternative<net::UnlockRequest>(env.msg)) {
-    HandleUnlock(env);
+    anti_entropy_.HandleAck(*ack);
+  } else if (const auto* digest = std::get_if<net::DigestRequest>(&env.msg)) {
+    anti_entropy_.HandleDigest(*digest, env.from);
+  } else if (const auto* lock = std::get_if<net::LockRequest>(&env.msg)) {
+    locks_.Acquire(env, *lock);
+  } else if (const auto* unlock = std::get_if<net::UnlockRequest>(&env.msg)) {
+    locks_.Release(*unlock);
   }
 }
 
@@ -161,20 +174,14 @@ void ReplicaServer::HandleGet(const Envelope& env) {
     Reply(env, std::move(resp));
     return;
   }
-  auto by_key = pending_by_key_.find(req.key);
-  if (by_key != pending_by_key_.end()) {
-    auto exact = by_key->second.find(*req.required);
-    if (exact != by_key->second.end()) {
-      const WriteRecord& w = exact->second;
-      resp.found = true;
-      resp.value = w.value;
-      resp.ts = w.ts;
-      resp.sibs = w.sibs;
-      resp.deps = w.deps;
-      stats_.gets_from_pending++;
-      Reply(env, std::move(resp));
-      return;
-    }
+  if (const WriteRecord* w = mav_.PendingVersion(req.key, *req.required)) {
+    resp.found = true;
+    resp.value = w->value;
+    resp.ts = w->ts;
+    resp.sibs = w->sibs;
+    resp.deps = w->deps;
+    Reply(env, std::move(resp));
+    return;
   }
   stats_.gets_not_yet++;
   resp.code = net::GetCode::kNotYet;
@@ -185,14 +192,15 @@ void ReplicaServer::HandleScan(const Envelope& env) {
   const auto& req = std::get<net::ScanRequest>(env.msg);
   stats_.scans++;
   net::ScanResponse resp;
-  for (auto& [key, rv] : good_.Scan(req.lo, req.hi, req.bound)) {
-    net::ScanResponse::Item item;
-    item.key = key;
-    item.value = std::move(rv.value);
-    item.ts = rv.ts;
-    item.sibs = std::move(rv.sibs);
-    resp.items.push_back(std::move(item));
-  }
+  good_.ScanVisit(req.lo, req.hi, req.bound,
+                  [&resp](const Key& key, ReadVersion rv) {
+                    net::ScanResponse::Item item;
+                    item.key = key;
+                    item.value = std::move(rv.value);
+                    item.ts = rv.ts;
+                    item.sibs = std::move(rv.sibs);
+                    resp.items.push_back(std::move(item));
+                  });
   // Post-hoc service charge for result size (volume known only now).
   double extra = options_.costs.scan_item_us *
                  static_cast<double>(resp.items.size());
@@ -212,31 +220,25 @@ void ReplicaServer::HandlePut(const Envelope& env) {
   if (req.mode == net::PutMode::kEventual) {
     InstallEventual(req.write, /*gossip=*/true);
   } else {
-    InstallMav(req.write, /*gossip=*/true);
+    mav_.Install(req.write, /*gossip=*/true);
   }
   Reply(env, net::PutResponse{true});
-}
-
-void ReplicaServer::PersistWrite(const WriteRecord& w, bool pending) {
-  if (!disk_) return;
-  std::string sk(pending ? kPendingPrefix : kGoodPrefix);
-  sk += version::StorageKeyFor(w.key, w.ts);
-  (void)disk_->Put(sk, version::EncodeWriteRecord(w));
-}
-
-void ReplicaServer::EraseePersistedPending(const WriteRecord& w) {
-  if (!disk_) return;
-  std::string sk(kPendingPrefix);
-  sk += version::StorageKeyFor(w.key, w.ts);
-  (void)disk_->Delete(sk);
 }
 
 void ReplicaServer::InstallEventual(const WriteRecord& w, bool gossip) {
   bool inserted = good_.Apply(w);
   if (!inserted) return;  // duplicate delivery (anti-entropy redundancy)
-  PersistWrite(w, /*pending=*/false);
+  persistence_.PersistGood(w);
   MaybeGcVersions(w.key);
-  if (gossip) EnqueueGossip(w, net::PutMode::kEventual, /*except=*/id());
+  if (gossip) anti_entropy_.Enqueue(w, net::PutMode::kEventual, id());
+}
+
+void ReplicaServer::InstallFromPeer(const WriteRecord& w, net::PutMode mode) {
+  if (mode == net::PutMode::kEventual) {
+    InstallEventual(w, /*gossip=*/true);
+  } else {
+    mav_.Install(w, /*gossip=*/true);
+  }
 }
 
 void ReplicaServer::MaybeGcVersions(const Key& key) {
@@ -264,452 +266,25 @@ void ReplicaServer::MaybeGcVersions(const Key& key) {
   good_.DropVersionsBefore(key, std::min(*horizon, *newest_put));
 }
 
-void ReplicaServer::InstallMav(const WriteRecord& w, bool gossip) {
-  // Duplicate suppression: already promoted or already pending.
-  if (good_.Contains(w.key, w.ts)) return;
-  auto& per_key = pending_by_key_[w.key];
-  if (per_key.count(w.ts)) return;
-
-  // Pending invalidation (Appendix B optimization): a good version newer
-  // than this write supersedes it for every read path, so the write itself
-  // can be dropped — but we still ack so siblings can promote elsewhere.
-  auto latest_good = good_.LatestTimestamp(w.key);
-  bool stale = options_.gc_stale_pending && latest_good &&
-               *latest_good > w.ts;
-  if (stale) {
-    stats_.stale_pending_dropped++;
-  } else {
-    per_key.emplace(w.ts, w);
-  }
-  if (per_key.empty()) pending_by_key_.erase(w.key);
-
-  auto& txn = pending_txns_[w.ts];
-  if (txn.sibs.empty()) {
-    txn.sibs = w.sibs.empty() ? std::vector<Key>{w.key} : w.sibs;
-    auto early = early_acks_.find(w.ts);
-    if (early != early_acks_.end()) {
-      txn.acks = std::move(early->second);
-      early_acks_.erase(early);
-    }
-  }
-  txn.writes.push_back(w);
-  if (!stale) PersistWrite(w, /*pending=*/true);
-  if (gossip) EnqueueGossip(w, net::PutMode::kMav, /*except=*/id());
-  MaybeAck(w.ts);
-  MaybePromote(w.ts);
-}
-
-// --------------------------------------------------------------------------
-// MAV pending-stable machinery (Appendix B)
-// --------------------------------------------------------------------------
-
-std::set<net::NodeId> ReplicaServer::AckSetFor(
-    const std::vector<Key>& sibs) const {
-  std::set<net::NodeId> out;
-  for (const auto& k : sibs) {
-    for (net::NodeId r : partitioner_->ReplicasOf(k)) out.insert(r);
-  }
-  return out;
-}
-
-std::vector<Key> ReplicaServer::LocalKeysOf(
-    const std::vector<Key>& sibs) const {
-  std::vector<Key> out;
-  for (const auto& k : sibs) {
-    auto replicas = partitioner_->ReplicasOf(k);
-    if (std::find(replicas.begin(), replicas.end(), id()) != replicas.end()) {
-      out.push_back(k);
-    }
-  }
-  return out;
-}
-
-void ReplicaServer::MaybeAck(const Timestamp& ts) {
-  auto it = pending_txns_.find(ts);
-  if (it == pending_txns_.end() || it->second.acked_by_self) return;
-  PendingTxn& txn = it->second;
-  // Ack once every sibling key this server replicates has arrived.
-  std::vector<Key> local = LocalKeysOf(txn.sibs);
-  for (const auto& k : local) {
-    bool have = false;
-    for (const auto& w : txn.writes) {
-      if (w.key == k) {
-        have = true;
-        break;
-      }
-    }
-    if (!have) return;
-  }
-  txn.acked_by_self = true;
-  for (net::NodeId peer : AckSetFor(txn.sibs)) {
-    if (peer == id()) {
-      txn.acks.insert(id());
-    } else {
-      SendOneWay(peer, net::NotifyRequest{ts, id()});
-    }
-  }
-}
-
-void ReplicaServer::HandleNotify(const net::NotifyRequest& req) {
-  stats_.notifies++;
-  auto it = pending_txns_.find(req.ts);
-  if (it == pending_txns_.end()) {
-    if (promoted_.count(req.ts)) {
-      // We already promoted this transaction and dropped its ack state; the
-      // sender is catching up after a partition — answer so it can promote.
-      if (req.sender != id()) {
-        SendOneWay(req.sender, net::NotifyRequest{req.ts, id()});
-      }
-      return;
-    }
-    // The ack raced ahead of the write itself; remember it.
-    if (early_acks_.size() > 100000) early_acks_.clear();  // backstop
-    early_acks_[req.ts].insert(req.sender);
-    return;
-  }
-  it->second.acks.insert(req.sender);
-  MaybePromote(req.ts);
-}
-
-void ReplicaServer::MaybePromote(const Timestamp& ts) {
-  auto it = pending_txns_.find(ts);
-  if (it == pending_txns_.end()) return;
-  PendingTxn& txn = it->second;
-  std::set<net::NodeId> expected = AckSetFor(txn.sibs);
-  for (net::NodeId n : expected) {
-    if (!txn.acks.count(n)) return;
-  }
-  // Pending-stable everywhere: reveal.
-  for (const auto& w : txn.writes) {
-    if (good_.Apply(w)) PersistWrite(w, /*pending=*/false);
-    MaybeGcVersions(w.key);
-    EraseePersistedPending(w);
-    auto by_key = pending_by_key_.find(w.key);
-    if (by_key != pending_by_key_.end()) {
-      by_key->second.erase(w.ts);
-      if (by_key->second.empty()) pending_by_key_.erase(by_key);
-    }
-  }
-  stats_.mav_promotions++;
-  pending_txns_.erase(it);
-  promoted_.insert(ts);
-  promoted_fifo_.push_back(ts);
-  if (promoted_fifo_.size() > 100000) {
-    promoted_.erase(promoted_fifo_.front());
-    promoted_fifo_.pop_front();
-  }
-}
-
-void ReplicaServer::RenotifyTick() {
-  // Liveness under partitions: keep re-broadcasting our ack for transactions
-  // still pending so a healed network eventually promotes them.
-  for (auto& [ts, txn] : pending_txns_) {
-    if (!txn.acked_by_self) continue;
-    for (net::NodeId peer : AckSetFor(txn.sibs)) {
-      if (peer != id() && !txn.acks.count(peer)) {
-        SendOneWay(peer, net::NotifyRequest{ts, id()});
-      }
-    }
-  }
-  sim_.After(options_.renotify_interval, [this]() { RenotifyTick(); });
-}
-
-// --------------------------------------------------------------------------
-// Anti-entropy
-// --------------------------------------------------------------------------
-
-void ReplicaServer::EnqueueGossip(const WriteRecord& w, net::PutMode mode,
-                                  net::NodeId except) {
-  for (net::NodeId peer : partitioner_->ReplicasOf(w.key)) {
-    if (peer == id() || peer == except) continue;
-    outbox_[peer].push_back(OutboxItem{w, mode});
-  }
-}
-
-void ReplicaServer::FlushOutboxes() {
-  for (auto& [peer, queue] : outbox_) {
-    while (!queue.empty()) {
-      net::AntiEntropyBatch batch;
-      batch.batch_id = (static_cast<uint64_t>(id()) << 40) | next_batch_id_++;
-      batch.mode = queue.front().mode;
-      while (!queue.empty() && queue.front().mode == batch.mode &&
-             batch.writes.size() < options_.ae_batch_max) {
-        batch.writes.push_back(std::move(queue.front().write));
-        queue.pop_front();
-      }
-      stats_.ae_records_out += batch.writes.size();
-      inflight_.emplace(
-          batch.batch_id,
-          InFlightBatch{peer, batch, sim_.Now(),
-                        options_.ae_retry_interval});
-      SendOneWay(peer, std::move(batch));
-    }
-  }
-  // Retransmit stragglers (lost to partitions) with exponential backoff.
-  constexpr sim::Duration kMaxBackoff = 8 * sim::kSecond;
-  for (auto& [batch_id, flight] : inflight_) {
-    if (sim_.Now() - flight.sent_at >= flight.backoff) {
-      flight.sent_at = sim_.Now();
-      flight.backoff = std::min(flight.backoff * 2, kMaxBackoff);
-      SendOneWay(flight.peer, flight.batch);
-    }
-  }
-  sim_.After(options_.ae_flush_interval, [this]() { FlushOutboxes(); });
-}
-
-void ReplicaServer::HandleAntiEntropy(const Envelope& env) {
-  const auto& batch = std::get<net::AntiEntropyBatch>(env.msg);
-  stats_.ae_batches_in++;
-  SendOneWay(env.from, net::AntiEntropyAck{batch.batch_id});
-  if (applied_batches_.count(batch.batch_id)) return;  // retransmit dupe
-  applied_batches_.insert(batch.batch_id);
-  applied_batches_fifo_.push_back(batch.batch_id);
-  if (applied_batches_fifo_.size() > kAppliedBatchMemory) {
-    applied_batches_.erase(applied_batches_fifo_.front());
-    applied_batches_fifo_.pop_front();
-  }
-  for (const auto& w : batch.writes) {
-    stats_.ae_records_in++;
-    if (batch.mode == net::PutMode::kEventual) {
-      InstallEventual(w, /*gossip=*/true);
-    } else {
-      InstallMav(w, /*gossip=*/true);
-    }
-  }
-}
-
-std::vector<net::NodeId> ReplicaServer::PeerReplicas() const {
-  // Replicas share shards key-wise; with cluster-per-copy sharding, the peers
-  // for every key this server holds are the same set. Derive them from any
-  // key we store — or, absent data, from a probe of the partitioner using a
-  // synthetic key is not possible, so fall back to scanning the digest.
-  std::set<net::NodeId> peers;
-  good_.ForEachVersion([this, &peers](const WriteRecord& w) {
-    if (!peers.empty()) return;  // one key suffices: peer set is shard-wide
-    for (net::NodeId r : partitioner_->ReplicasOf(w.key)) {
-      if (r != id()) peers.insert(r);
-    }
-  });
-  return std::vector<net::NodeId>(peers.begin(), peers.end());
-}
-
-void ReplicaServer::DigestSyncTick() {
-  auto peers = PeerReplicas();
-  if (!peers.empty()) {
-    net::NodeId peer = peers[rng_.NextBelow(peers.size())];
-    net::DigestRequest digest;
-    digest.latest = good_.Digest();
-    SendOneWay(peer, std::move(digest));
-  }
-  sim_.After(options_.digest_sync_interval, [this]() { DigestSyncTick(); });
-}
-
-void ReplicaServer::HandleDigest(const net::Envelope& env) {
-  const auto& req = std::get<net::DigestRequest>(env.msg);
-  // Send back every version the requester is missing, in bounded batches
-  // (unacknowledged one-shot batches: the requester's next digest will
-  // re-trigger anything lost).
-  std::map<Key, Timestamp> theirs;
-  for (const auto& [k, ts] : req.latest) theirs.emplace(k, ts);
-  net::AntiEntropyBatch batch;
-  batch.batch_id = (static_cast<uint64_t>(id()) << 40) | next_batch_id_++;
-  auto flush = [this, &env, &batch]() {
-    if (batch.writes.empty()) return;
-    stats_.ae_records_out += batch.writes.size();
-    SendOneWay(env.from, std::move(batch));
-    batch = net::AntiEntropyBatch();
-    batch.batch_id = (static_cast<uint64_t>(id()) << 40) | next_batch_id_++;
-  };
-  good_.ForEachVersion([&](const WriteRecord& w) {
-    auto it = theirs.find(w.key);
-    if (it != theirs.end() && w.ts <= it->second) return;  // they have newer
-    batch.writes.push_back(w);
-    if (batch.writes.size() >= options_.ae_batch_max) flush();
-  });
-  flush();
-
-  // Reverse direction: if the initiator advertises data we lack, answer
-  // with our own digest (one round only) so it pushes the difference back.
-  if (req.reply_allowed) {
-    bool missing = false;
-    for (const auto& [k, ts] : req.latest) {
-      auto ours = good_.LatestTimestamp(k);
-      if (!ours || *ours < ts) {
-        missing = true;
-        break;
-      }
-    }
-    if (missing) {
-      net::DigestRequest mine;
-      mine.latest = good_.Digest();
-      mine.reply_allowed = false;
-      SendOneWay(env.from, std::move(mine));
-    }
-  }
-}
-
-// --------------------------------------------------------------------------
-// Lock service (strict 2PL with wait-die)
-// --------------------------------------------------------------------------
-
-void ReplicaServer::HandleLock(const Envelope& env) {
-  const auto& req = std::get<net::LockRequest>(env.msg);
-  LockState& state = locks_[req.key];
-
-  auto grant = [&]() {
-    if (req.exclusive) {
-      state.s_holders.erase(req.txn);  // S->X upgrade
-      state.x_holder = req.txn;
-    } else {
-      state.s_holders.insert(req.txn);
-    }
-    stats_.locks_granted++;
-    Reply(env, net::LockResponse{/*granted=*/true, /*must_abort=*/false});
-  };
-
-  // Re-entrant / already-held cases.
-  if (state.x_holder == req.txn) {
-    grant();
-    return;
-  }
-  if (!req.exclusive && state.s_holders.count(req.txn)) {
-    grant();
-    return;
-  }
-
-  // Conflicting transactions: current incompatible holders, plus queued
-  // exclusive waiters (new shared requests must not overtake a waiting
-  // writer — otherwise a contended upgrade starves forever behind an
-  // ever-replenished reader population).
-  std::set<Timestamp> conflicts;
-  if (req.exclusive) {
-    if (state.x_holder) conflicts.insert(*state.x_holder);
-    for (const auto& s : state.s_holders) {
-      if (s != req.txn) conflicts.insert(s);
-    }
-    // Sole-shared-holder upgrade is permitted.
-    if (!state.x_holder && state.s_holders.size() == 1 &&
-        state.s_holders.count(req.txn)) {
-      conflicts.clear();
-    }
-  } else {
-    if (state.x_holder) conflicts.insert(*state.x_holder);
-  }
-  for (const auto& w : state.waiters) {
-    if (w.exclusive && w.txn != req.txn) conflicts.insert(w.txn);
-  }
-  if (conflicts.empty()) {
-    grant();
-    return;
-  }
-
-  // Wait-die: the requester may wait only if it is older (smaller
-  // timestamp) than every conflicting transaction; otherwise it dies.
-  bool older_than_all = req.txn < *conflicts.begin();
-  if (older_than_all) {
-    stats_.locks_queued++;
-    state.waiters.push_back(Waiter{req.txn, req.exclusive, env});
-  } else {
-    stats_.lock_deaths++;
-    Reply(env, net::LockResponse{/*granted=*/false, /*must_abort=*/true});
-  }
-}
-
-void ReplicaServer::HandleUnlock(const Envelope& env) {
-  const auto& req = std::get<net::UnlockRequest>(env.msg);
-  for (const auto& key : req.keys) {
-    auto it = locks_.find(key);
-    if (it == locks_.end()) continue;
-    LockState& state = it->second;
-    if (state.x_holder == req.txn) state.x_holder.reset();
-    state.s_holders.erase(req.txn);
-    // Also purge this txn from the wait queue (abort cleanup).
-    for (auto w = state.waiters.begin(); w != state.waiters.end();) {
-      w = (w->txn == req.txn) ? state.waiters.erase(w) : std::next(w);
-    }
-    GrantWaiters(key);
-    if (!state.x_holder && state.s_holders.empty() && state.waiters.empty()) {
-      locks_.erase(it);
-    }
-  }
-}
-
-void ReplicaServer::GrantWaiters(const Key& key) {
-  auto it = locks_.find(key);
-  if (it == locks_.end()) return;
-  LockState& state = it->second;
-  while (!state.waiters.empty()) {
-    Waiter& w = state.waiters.front();
-    // Re-entrant compatibility: a waiter whose transaction already holds the
-    // lock (e.g. a duplicate request after an RPC timeout raced with the
-    // original grant) must be granted, not wedged behind itself.
-    bool compatible;
-    if (w.exclusive) {
-      compatible = (!state.x_holder || *state.x_holder == w.txn) &&
-                   (state.s_holders.empty() ||
-                    (state.s_holders.size() == 1 &&
-                     state.s_holders.count(w.txn)));
-    } else {
-      compatible = !state.x_holder || *state.x_holder == w.txn;
-    }
-    if (!compatible) break;
-    if (w.exclusive) {
-      state.s_holders.erase(w.txn);
-      state.x_holder = w.txn;
-    } else {
-      state.s_holders.insert(w.txn);
-    }
-    stats_.locks_granted++;
-    Reply(w.request, net::LockResponse{/*granted=*/true, false});
-    state.waiters.pop_front();
-    if (w.exclusive) break;  // X admits nobody else
-  }
-}
-
 // --------------------------------------------------------------------------
 // Durability / recovery
 // --------------------------------------------------------------------------
 
 void ReplicaServer::Crash() {
   good_ = version::VersionedStore();
-  pending_by_key_.clear();
-  pending_txns_.clear();
-  early_acks_.clear();
-  promoted_.clear();
-  promoted_fifo_.clear();
-  outbox_.clear();
-  inflight_.clear();
-  applied_batches_.clear();
-  applied_batches_fifo_.clear();
-  locks_.clear();
+  mav_.Clear();
+  anti_entropy_.Clear();
+  locks_.Clear();
   busy_until_ = sim_.Now();
 }
 
 Status ReplicaServer::RecoverFromStorage() {
-  if (!disk_) return Status::Unsupported("server has no storage directory");
-  // Good (revealed) versions.
-  HAT_RETURN_IF_ERROR(disk_->Scan(
-      std::string(kGoodPrefix), std::string("g0"),
-      [this](std::string_view sk, std::string_view value) {
-        auto parsed = version::ParseStorageKey(sk.substr(kGoodPrefix.size()));
-        if (!parsed) return;
-        auto w = version::DecodeWriteRecord(parsed->first, value);
-        if (w) good_.Apply(*w);
-      }));
-  // Pending (not yet stable) versions re-enter the MAV pipeline; acks will
-  // be re-broadcast by MaybeAck/RenotifyTick.
-  std::vector<WriteRecord> pending;
-  HAT_RETURN_IF_ERROR(disk_->Scan(
-      std::string(kPendingPrefix), std::string("p0"),
-      [&pending](std::string_view sk, std::string_view value) {
-        auto parsed =
-            version::ParseStorageKey(sk.substr(kPendingPrefix.size()));
-        if (!parsed) return;
-        auto w = version::DecodeWriteRecord(parsed->first, value);
-        if (w) pending.push_back(std::move(*w));
-      }));
-  for (const auto& w : pending) InstallMav(w, /*gossip=*/true);
-  return Status::Ok();
+  // Good (revealed) versions re-enter directly; pending (not yet stable)
+  // versions re-enter the MAV pipeline, whose acks will be re-broadcast by
+  // MaybeAck/RenotifyTick.
+  return persistence_.Recover(
+      [this](const WriteRecord& w) { good_.Apply(w); },
+      [this](const WriteRecord& w) { mav_.Install(w, /*gossip=*/true); });
 }
 
 }  // namespace hat::server

@@ -1,36 +1,35 @@
-// ReplicaServer: one hatkv database server.
+// ReplicaServer: one hatkv database server — a thin dispatcher over four
+// composable subsystems:
 //
-// A single server class implements every role the paper's evaluation needs:
-//  * eventual / Read Committed installation (last-writer-wins registers),
-//  * the Appendix B MAV algorithm (pending / good sets, pending-stable
-//    notification, required-bound reads),
-//  * all-to-all anti-entropy with reliable (retransmitted) outboxes,
-//  * per-key master serving (single serialization point for the "master"
-//    baseline; recency comes from routing),
-//  * a strict two-phase-locking lock service with wait-die deadlock
-//    avoidance (the "locking" baseline of Section 6.3),
-//  * optional real durability via hat::storage::LocalStore (replicas can be
-//    crashed and recovered in tests).
+//  * MavCoordinator     — the Appendix B MAV algorithm (pending/good sets,
+//                         pending-stable notification, promotion, renotify),
+//  * AntiEntropyEngine  — reliable push outboxes with retransmission plus
+//                         optional digest-based repair,
+//  * LockManager        — strict two-phase locking with wait-die (the
+//                         "locking" baseline of Section 6.3),
+//  * PersistenceManager — optional real durability via storage::LocalStore
+//                         (replicas can be crashed and recovered in tests).
 //
-// Servers are single service centers: each incoming message is queued and
-// charged a service demand (ServiceCosts), which produces the saturation and
-// overhead behaviour of Figures 3-6.
+// The server itself only routes envelopes, charges service demands
+// (ServiceCosts — producing the saturation/overhead behaviour of
+// Figures 3-6), answers reads from the shared VersionedStore, and installs
+// eventual/Read-Committed writes. Everything protocol-specific lives in the
+// subsystems, which are independently constructible and unit-tested; future
+// scenarios can swap an anti-entropy strategy or lock manager without
+// touching the dispatcher.
 
 #ifndef HAT_SERVER_REPLICA_SERVER_H_
 #define HAT_SERVER_REPLICA_SERVER_H_
 
-#include <deque>
-#include <map>
-#include <memory>
-#include <optional>
-#include <set>
 #include <string>
-#include <vector>
 
 #include "hat/net/rpc.h"
+#include "hat/server/anti_entropy_engine.h"
+#include "hat/server/lock_manager.h"
+#include "hat/server/mav_coordinator.h"
 #include "hat/server/partitioner.h"
+#include "hat/server/persistence_manager.h"
 #include "hat/server/service_costs.h"
-#include "hat/storage/local_store.h"
 #include "hat/version/versioned_store.h"
 
 namespace hat::server {
@@ -68,6 +67,9 @@ struct ServerOptions {
   size_t max_versions_per_key = 8;
 };
 
+/// Aggregate view over the dispatcher's own counters and every subsystem's
+/// stats — the external monitoring surface (kept flat so tests and benches
+/// sum servers field-wise).
 struct ServerStats {
   uint64_t gets = 0;
   uint64_t gets_not_yet = 0;  ///< required-bound reads answered kNotYet
@@ -99,9 +101,14 @@ class ReplicaServer : public net::RpcNode {
   /// outboxes). Durable state on disk survives for RecoverFromStorage().
   void Crash();
 
-  const ServerStats& stats() const { return stats_; }
+  const ServerStats& stats() const;
   const version::VersionedStore& good() const { return good_; }
-  size_t PendingCount() const;
+  size_t PendingCount() const { return mav_.PendingWriteCount(); }
+
+  /// Subsystem views, for tests and diagnostics.
+  const MavCoordinator& mav() const { return mav_; }
+  const AntiEntropyEngine& anti_entropy() const { return anti_entropy_; }
+  const LockManager& lock_manager() const { return locks_; }
 
   /// Bootstrap/test hook: installs a version directly into the good set with
   /// no gossip, persistence, or service cost (dataset preloading).
@@ -119,102 +126,26 @@ class ReplicaServer : public net::RpcNode {
   void Process(const net::Envelope& env);
   double CostOf(const net::Message& msg) const;
 
-  // --- write installation ---------------------------------------------
-  void InstallEventual(const WriteRecord& w, bool gossip);
-  void InstallMav(const WriteRecord& w, bool gossip);
-  void MaybeGcVersions(const Key& key);
-  void PersistWrite(const WriteRecord& w, bool pending);
-  void EraseePersistedPending(const WriteRecord& w);
-
-  // --- MAV machinery ----------------------------------------------------
-  /// Servers that must acknowledge transaction `ts` before promotion:
-  /// every replica of every sibling key.
-  std::set<net::NodeId> AckSetFor(const std::vector<Key>& sibs) const;
-  /// Sibling keys of `sibs` that this server replicates.
-  std::vector<Key> LocalKeysOf(const std::vector<Key>& sibs) const;
-  void MaybeAck(const Timestamp& ts);
-  void MaybePromote(const Timestamp& ts);
-  void HandleNotify(const net::NotifyRequest& req);
-  void RenotifyTick();
-
-  // --- anti-entropy -------------------------------------------------------
-  void EnqueueGossip(const WriteRecord& w, net::PutMode mode,
-                     net::NodeId except);
-  void FlushOutboxes();
-  void HandleAntiEntropy(const net::Envelope& env);
-  void DigestSyncTick();
-  void HandleDigest(const net::Envelope& env);
-  /// All peer replicas this server shares any shard with (same shard index
-  /// in the other clusters).
-  std::vector<net::NodeId> PeerReplicas() const;
-
-  // --- request handlers --------------------------------------------------
   void HandleGet(const net::Envelope& env);
   void HandleScan(const net::Envelope& env);
   void HandlePut(const net::Envelope& env);
-  void HandleLock(const net::Envelope& env);
-  void HandleUnlock(const net::Envelope& env);
-  void GrantWaiters(const Key& key);
+
+  /// Installs into the good set (eventual / Read Committed path).
+  void InstallEventual(const WriteRecord& w, bool gossip);
+  /// Routes a record received via anti-entropy to the right install path.
+  void InstallFromPeer(const WriteRecord& w, net::PutMode mode);
+  void MaybeGcVersions(const Key& key);
 
   ServerOptions options_;
   const Partitioner* partitioner_;
-  ServerStats stats_;
+  mutable ServerStats stats_;  // mutable: stats() assembles subsystem counts
   sim::SimTime busy_until_ = 0;
-  Rng rng_{0};  // peer selection for digest sync
 
   version::VersionedStore good_;
-  // MAV pending, indexed two ways: by key (for required-bound reads) and by
-  // transaction timestamp (for promotion).
-  std::map<Key, std::map<Timestamp, WriteRecord>> pending_by_key_;
-  struct PendingTxn {
-    std::vector<WriteRecord> writes;       // this server's sibling writes
-    std::vector<Key> sibs;                 // full txn key set
-    std::set<net::NodeId> acks;            // distinct ack senders seen
-    bool acked_by_self = false;            // we broadcast our ack already
-  };
-  std::map<Timestamp, PendingTxn> pending_txns_;
-  // Acks that arrived before the first write of their transaction.
-  std::map<Timestamp, std::set<net::NodeId>> early_acks_;
-  // Transactions this server already promoted (bounded FIFO). A late ack
-  // for a promoted transaction is answered with our own ack so replicas
-  // that received the writes after a partition heal can still promote.
-  std::set<Timestamp> promoted_;
-  std::deque<Timestamp> promoted_fifo_;
-
-  // Anti-entropy outboxes.
-  struct OutboxItem {
-    WriteRecord write;
-    net::PutMode mode;
-  };
-  std::map<net::NodeId, std::deque<OutboxItem>> outbox_;
-  struct InFlightBatch {
-    net::NodeId peer;
-    net::AntiEntropyBatch batch;
-    sim::SimTime sent_at;
-    /// Exponential backoff: doubles per retransmission (capped), so slow
-    /// acks under load do not trigger duplicate-processing storms.
-    sim::Duration backoff;
-  };
-  std::map<uint64_t, InFlightBatch> inflight_;
-  uint64_t next_batch_id_ = 1;
-  // Batches already applied (dedupe against retransmits), bounded FIFO.
-  std::deque<uint64_t> applied_batches_fifo_;
-  std::set<uint64_t> applied_batches_;
-
-  // Lock table (strict 2PL, wait-die on priority = txn timestamp age).
-  struct Waiter {
-    Timestamp txn;
-    bool exclusive;
-    net::Envelope request;  // replied to on grant
-  };
-  struct LockState {
-    std::optional<Timestamp> x_holder;
-    std::set<Timestamp> s_holders;
-    std::deque<Waiter> waiters;
-  };
-  std::map<Key, LockState> locks_;
-
-  std::unique_ptr<storage::LocalStore> disk_;
+  PersistenceManager persistence_;
+  MavCoordinator mav_;
+  AntiEntropyEngine anti_entropy_;
+  LockManager locks_;
 };
 
 }  // namespace hat::server

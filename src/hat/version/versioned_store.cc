@@ -127,13 +127,21 @@ std::vector<WriteRecord> VersionedStore::Versions(const Key& key) const {
 std::vector<std::pair<Key, ReadVersion>> VersionedStore::Scan(
     const Key& lo, const Key& hi, std::optional<Timestamp> bound) const {
   std::vector<std::pair<Key, ReadVersion>> out;
+  ScanVisit(lo, hi, bound, [&out](const Key& key, ReadVersion rv) {
+    out.emplace_back(key, std::move(rv));
+  });
+  return out;
+}
+
+void VersionedStore::ScanVisit(
+    const Key& lo, const Key& hi, std::optional<Timestamp> bound,
+    const std::function<void(const Key&, ReadVersion)>& fn) const {
   for (auto it = data_.lower_bound(lo); it != data_.end() && it->first < hi;
        ++it) {
     auto end = bound ? it->second.upper_bound(*bound) : it->second.end();
     ReadVersion rv = FoldUpTo(it->second, end);
-    if (rv.found) out.emplace_back(it->first, std::move(rv));
+    if (rv.found) fn(it->first, std::move(rv));
   }
-  return out;
 }
 
 std::vector<WriteRecord> VersionedStore::VersionsAfter(
@@ -150,10 +158,17 @@ std::vector<WriteRecord> VersionedStore::VersionsAfter(
 std::vector<std::pair<Key, Timestamp>> VersionedStore::Digest() const {
   std::vector<std::pair<Key, Timestamp>> out;
   out.reserve(data_.size());
-  for (const auto& [key, versions] : data_) {
-    if (!versions.empty()) out.emplace_back(key, versions.rbegin()->first);
-  }
+  ForEachLatest([&out](const Key& key, const Timestamp& ts) {
+    out.emplace_back(key, ts);
+  });
   return out;
+}
+
+void VersionedStore::ForEachLatest(
+    const std::function<void(const Key&, const Timestamp&)>& fn) const {
+  for (const auto& [key, versions] : data_) {
+    if (!versions.empty()) fn(key, versions.rbegin()->first);
+  }
 }
 
 void VersionedStore::ForEachVersion(
@@ -161,6 +176,20 @@ void VersionedStore::ForEachVersion(
   for (const auto& [key, versions] : data_) {
     for (const auto& [ts, w] : versions) fn(w);
   }
+}
+
+void VersionedStore::ForEachVersionOf(
+    const Key& key, const std::function<void(const WriteRecord&)>& fn) const {
+  auto it = data_.find(key);
+  if (it == data_.end()) return;
+  for (const auto& [ts, w] : it->second) fn(w);
+}
+
+const WriteRecord* VersionedStore::AnyRecord() const {
+  for (const auto& [key, versions] : data_) {
+    if (!versions.empty()) return &versions.begin()->second;
+  }
+  return nullptr;
 }
 
 size_t VersionedStore::GarbageCollect(const Key& key,

@@ -61,6 +61,12 @@ class VersionedStore {
       const Key& lo, const Key& hi,
       std::optional<Timestamp> bound = std::nullopt) const;
 
+  /// Visitor form of Scan(): streams each (key, folded version) without
+  /// materializing an intermediate vector. Hot path for server-side scans.
+  void ScanVisit(
+      const Key& lo, const Key& hi, std::optional<Timestamp> bound,
+      const std::function<void(const Key&, ReadVersion)>& fn) const;
+
   /// Versions of `key` with timestamp strictly greater than `after`; used by
   /// anti-entropy to ship missing versions.
   std::vector<WriteRecord> VersionsAfter(const Key& key,
@@ -70,9 +76,24 @@ class VersionedStore {
   /// anti-entropy.
   std::vector<std::pair<Key, Timestamp>> Digest() const;
 
+  /// Visitor form of Digest(): streams (key, latest timestamp) pairs without
+  /// copying keys. Hot path for periodic digest-sync ticks.
+  void ForEachLatest(
+      const std::function<void(const Key&, const Timestamp&)>& fn) const;
+
   /// Iterates every stored version (for anti-entropy full sync and tests).
   void ForEachVersion(
       const std::function<void(const WriteRecord&)>& fn) const;
+
+  /// Visitor form of Versions(): streams `key`'s versions in ascending
+  /// timestamp order without copying the records.
+  void ForEachVersionOf(
+      const Key& key, const std::function<void(const WriteRecord&)>& fn) const;
+
+  /// An arbitrary stored record (the first in key order), or nullptr when
+  /// the store is empty. O(1); used to derive shard-wide facts (e.g. the
+  /// peer-replica set) without walking every version.
+  const WriteRecord* AnyRecord() const;
 
   /// Drops all versions of `key` with ts < `before` except the newest Put at
   /// or below `before` (the fold below `before` collapses into one Put).

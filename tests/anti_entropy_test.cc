@@ -1,0 +1,205 @@
+// Direct unit tests for server::AntiEntropyEngine, constructed without a
+// ReplicaServer: outgoing messages are captured by the SendFn, incoming
+// records by the InstallFn.
+
+#include "hat/server/anti_entropy_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tests/test_util.h"
+
+namespace hat::server {
+namespace {
+
+struct Sent {
+  net::NodeId to;
+  net::Message msg;
+};
+
+class AntiEntropyTest : public ::testing::Test {
+ protected:
+  static constexpr net::NodeId kSelf = 1;
+  static constexpr net::NodeId kPeer = 2;
+
+  void MakeEngine(AntiEntropyEngine::Options opts = {}) {
+    engine_ = std::make_unique<AntiEntropyEngine>(
+        sim_, kSelf, &partitioner_, good_, opts,
+        [this](net::NodeId to, net::Message m) {
+          sent_.push_back(Sent{to, std::move(m)});
+        },
+        [this](const WriteRecord& w, net::PutMode) { installed_.push_back(w); });
+  }
+
+  WriteRecord MakeWrite(const Key& key, uint64_t logical) {
+    WriteRecord w;
+    w.key = key;
+    w.value = "v";
+    w.ts = {logical, 7};
+    return w;
+  }
+
+  std::vector<const net::AntiEntropyBatch*> SentBatches() {
+    std::vector<const net::AntiEntropyBatch*> out;
+    for (const auto& s : sent_) {
+      if (const auto* b = std::get_if<net::AntiEntropyBatch>(&s.msg)) {
+        out.push_back(b);
+      }
+    }
+    return out;
+  }
+
+  sim::Simulation sim_{1};
+  FixedPartitioner partitioner_{{kSelf, kPeer, 3}};
+  version::VersionedStore good_;
+  std::unique_ptr<AntiEntropyEngine> engine_;
+  std::vector<Sent> sent_;
+  std::vector<WriteRecord> installed_;
+};
+
+TEST_F(AntiEntropyTest, FlushBatchesRespectSizeCap) {
+  AntiEntropyEngine::Options opts;
+  opts.batch_max = 4;
+  MakeEngine(opts);
+  engine_->Start();
+  for (uint64_t i = 0; i < 10; i++) {
+    engine_->Enqueue(MakeWrite("k" + std::to_string(i), 10 + i),
+                     net::PutMode::kEventual, /*except=*/0);
+  }
+  sim_.RunUntil(opts.flush_interval * 2);
+  auto batches = SentBatches();
+  // 10 writes, 2 peers, cap 4 -> 3 batches per peer.
+  ASSERT_EQ(batches.size(), 6u);
+  for (const auto* b : batches) EXPECT_LE(b->writes.size(), 4u);
+  EXPECT_EQ(engine_->stats().records_out, 20u);
+}
+
+TEST_F(AntiEntropyTest, EnqueueSkipsSelfAndOrigin) {
+  MakeEngine();
+  engine_->Start();
+  engine_->Enqueue(MakeWrite("k", 10), net::PutMode::kEventual,
+                   /*except=*/kPeer);
+  sim_.RunUntil(100 * sim::kMillisecond);
+  for (const auto& s : sent_) {
+    EXPECT_NE(s.to, kSelf);
+    EXPECT_NE(s.to, kPeer) << "origin must not receive its own write back";
+  }
+  EXPECT_EQ(SentBatches().size(), 1u);  // only node 3
+}
+
+TEST_F(AntiEntropyTest, ModeChangesSplitBatches) {
+  MakeEngine();
+  engine_->Start();
+  engine_->Enqueue(MakeWrite("a", 1), net::PutMode::kEventual, 0);
+  engine_->Enqueue(MakeWrite("b", 2), net::PutMode::kMav, 0);
+  engine_->Enqueue(MakeWrite("c", 3), net::PutMode::kEventual, 0);
+  sim_.RunUntil(100 * sim::kMillisecond);
+  auto batches = SentBatches();
+  ASSERT_EQ(batches.size(), 6u);  // 3 mode runs x 2 peers
+  for (const auto* b : batches) EXPECT_EQ(b->writes.size(), 1u);
+}
+
+TEST_F(AntiEntropyTest, DuplicateBatchesInstallOnce) {
+  MakeEngine();
+  net::AntiEntropyBatch batch;
+  batch.batch_id = 42;
+  batch.writes.push_back(MakeWrite("k", 10));
+  engine_->HandleBatch(batch, kPeer);
+  engine_->HandleBatch(batch, kPeer);  // retransmit
+  EXPECT_EQ(installed_.size(), 1u);
+  EXPECT_EQ(engine_->stats().batches_in, 2u);
+  EXPECT_EQ(engine_->stats().records_in, 1u);
+  // Both deliveries are acked so the sender stops retransmitting.
+  size_t acks = 0;
+  for (const auto& s : sent_) {
+    if (std::holds_alternative<net::AntiEntropyAck>(s.msg)) acks++;
+  }
+  EXPECT_EQ(acks, 2u);
+}
+
+TEST_F(AntiEntropyTest, UnackedBatchesRetransmitWithExponentialBackoff) {
+  AntiEntropyEngine::Options opts;
+  opts.flush_interval = 1 * sim::kMillisecond;
+  opts.retry_interval = 100 * sim::kMillisecond;
+  MakeEngine(opts);
+  engine_->Start();
+  engine_->Enqueue(MakeWrite("k", 10), net::PutMode::kEventual, 3);
+  // Never ack. Transmissions: t~1ms (initial), then backoff 100ms, 200ms,
+  // 400ms... — by 800ms we expect exactly 1 + 3 sends to kPeer.
+  sim_.RunUntil(790 * sim::kMillisecond);
+  EXPECT_EQ(SentBatches().size(), 4u);
+  // An ack stops the retransmissions entirely.
+  const auto* last = SentBatches().back();
+  engine_->HandleAck(net::AntiEntropyAck{last->batch_id});
+  size_t before = SentBatches().size();
+  sim_.RunUntil(5 * sim::kSecond);
+  EXPECT_EQ(SentBatches().size(), before);
+}
+
+TEST_F(AntiEntropyTest, DigestAnswersOnlyMissingVersions) {
+  MakeEngine();
+  WriteRecord shared = MakeWrite("a", 10);
+  WriteRecord newer = MakeWrite("b", 20);
+  good_.Apply(shared);
+  good_.Apply(newer);
+  // Peer advertises: same version of "a", older version of "b".
+  net::DigestRequest req;
+  req.latest = {{"a", {10, 7}}, {"b", {5, 7}}};
+  req.reply_allowed = true;
+  engine_->HandleDigest(req, kPeer);
+  auto batches = SentBatches();
+  ASSERT_EQ(batches.size(), 1u);
+  ASSERT_EQ(batches[0]->writes.size(), 1u);
+  EXPECT_EQ(batches[0]->writes[0].key, "b");
+  EXPECT_EQ(engine_->stats().records_out, 1u);
+}
+
+TEST_F(AntiEntropyTest, DigestReverseRoundWhenInitiatorHasMore) {
+  MakeEngine();
+  good_.Apply(MakeWrite("a", 10));
+  // Peer advertises a key we lack entirely: we respond with our own digest
+  // (reply_allowed=false) so it pushes the difference back — one round only.
+  net::DigestRequest req;
+  req.latest = {{"z", {30, 7}}};
+  req.reply_allowed = true;
+  engine_->HandleDigest(req, kPeer);
+  size_t digests = 0;
+  for (const auto& s : sent_) {
+    if (const auto* d = std::get_if<net::DigestRequest>(&s.msg)) {
+      EXPECT_FALSE(d->reply_allowed);
+      EXPECT_EQ(s.to, kPeer);
+      digests++;
+    }
+  }
+  EXPECT_EQ(digests, 1u);
+}
+
+TEST_F(AntiEntropyTest, DigestSyncTickTargetsAPeerReplica) {
+  AntiEntropyEngine::Options opts;
+  opts.digest_sync_interval = 50 * sim::kMillisecond;
+  MakeEngine(opts);
+  engine_->Start();
+  good_.Apply(MakeWrite("k", 10));
+  sim_.RunUntil(sim::kSecond);
+  size_t digests = 0;
+  for (const auto& s : sent_) {
+    if (std::holds_alternative<net::DigestRequest>(s.msg)) {
+      EXPECT_NE(s.to, kSelf);
+      digests++;
+    }
+  }
+  EXPECT_GT(digests, 0u);
+}
+
+TEST_F(AntiEntropyTest, ClearDropsOutboxesAndInflight) {
+  MakeEngine();
+  engine_->Start();
+  engine_->Enqueue(MakeWrite("k", 10), net::PutMode::kEventual, 0);
+  engine_->Clear();  // crash before the first flush
+  sim_.RunUntil(sim::kSecond);
+  EXPECT_TRUE(SentBatches().empty());
+}
+
+}  // namespace
+}  // namespace hat::server

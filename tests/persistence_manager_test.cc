@@ -1,0 +1,128 @@
+// Direct unit tests for server::PersistenceManager: good/pending write-through
+// round trips a real LocalStore, without a ReplicaServer in the loop.
+
+#include "hat/server/persistence_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace hat::server {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  explicit TempDir(const std::string& name) {
+    path_ = fs::temp_directory_path() /
+            ("hatkv_persist_" + name + "_" + std::to_string(::getpid()));
+    fs::remove_all(path_);
+    fs::create_directories(path_);
+  }
+  ~TempDir() { fs::remove_all(path_); }
+  std::string path() const { return path_.string(); }
+
+ private:
+  fs::path path_;
+};
+
+WriteRecord MakeWrite(const Key& key, uint64_t logical, const Value& value) {
+  WriteRecord w;
+  w.key = key;
+  w.value = value;
+  w.ts = {logical, 7};
+  w.sibs = {key, "sibling"};
+  return w;
+}
+
+struct Recovered {
+  std::vector<WriteRecord> good;
+  std::vector<WriteRecord> pending;
+};
+
+Recovered Recover(PersistenceManager& pm) {
+  Recovered out;
+  Status s =
+      pm.Recover([&](const WriteRecord& w) { out.good.push_back(w); },
+                 [&](const WriteRecord& w) { out.pending.push_back(w); });
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  return out;
+}
+
+TEST(PersistenceManagerTest, DisabledManagerIsInert) {
+  PersistenceManager pm("");
+  EXPECT_FALSE(pm.enabled());
+  pm.PersistGood(MakeWrite("k", 1, "v"));   // must not crash
+  pm.PersistPending(MakeWrite("k", 2, "v"));
+  pm.ErasePersistedPending(MakeWrite("k", 2, "v"));
+  Status s = pm.Recover([](const WriteRecord&) {}, [](const WriteRecord&) {});
+  EXPECT_FALSE(s.ok());
+}
+
+TEST(PersistenceManagerTest, GoodAndPendingSurviveReopen) {
+  TempDir dir("roundtrip");
+  {
+    PersistenceManager pm(dir.path());
+    ASSERT_TRUE(pm.enabled());
+    pm.PersistGood(MakeWrite("a", 1, "va"));
+    pm.PersistPending(MakeWrite("b", 2, "vb"));
+  }
+  PersistenceManager pm(dir.path());
+  Recovered r = Recover(pm);
+  ASSERT_EQ(r.good.size(), 1u);
+  EXPECT_EQ(r.good[0].key, "a");
+  EXPECT_EQ(r.good[0].value, "va");
+  EXPECT_EQ(r.good[0].ts, (Timestamp{1, 7}));
+  EXPECT_EQ(r.good[0].sibs, (std::vector<Key>{"a", "sibling"}));
+  ASSERT_EQ(r.pending.size(), 1u);
+  EXPECT_EQ(r.pending[0].key, "b");
+}
+
+TEST(PersistenceManagerTest, ErasePendingRemovesOnlyThatVersion) {
+  TempDir dir("erase");
+  PersistenceManager pm(dir.path());
+  WriteRecord keep = MakeWrite("k", 1, "keep");
+  WriteRecord gone = MakeWrite("k", 2, "gone");
+  pm.PersistPending(keep);
+  pm.PersistPending(gone);
+  pm.ErasePersistedPending(gone);
+  Recovered r = Recover(pm);
+  ASSERT_EQ(r.pending.size(), 1u);
+  EXPECT_EQ(r.pending[0].value, "keep");
+}
+
+TEST(PersistenceManagerTest, PromotionMovesPendingToGood) {
+  TempDir dir("promote");
+  PersistenceManager pm(dir.path());
+  WriteRecord w = MakeWrite("k", 3, "v");
+  pm.PersistPending(w);
+  // Promotion path: good copy written, pending copy erased.
+  pm.PersistGood(w);
+  pm.ErasePersistedPending(w);
+  Recovered r = Recover(pm);
+  EXPECT_TRUE(r.pending.empty());
+  ASSERT_EQ(r.good.size(), 1u);
+  EXPECT_EQ(r.good[0].ts, (Timestamp{3, 7}));
+}
+
+TEST(PersistenceManagerTest, RecoveryCallbacksMayPersistAgain) {
+  TempDir dir("reentrant");
+  PersistenceManager pm(dir.path());
+  pm.PersistPending(MakeWrite("k", 1, "v"));
+  // A pending record re-entering the MAV pipeline persists itself again
+  // mid-recovery; the scan must not observe its own writes.
+  size_t seen = 0;
+  Status s = pm.Recover([](const WriteRecord&) {},
+                        [&](const WriteRecord& w) {
+                          seen++;
+                          pm.PersistPending(w);
+                        });
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(seen, 1u);
+}
+
+}  // namespace
+}  // namespace hat::server

@@ -1,0 +1,31 @@
+// Shared helpers for subsystem-level unit tests that need a Partitioner but
+// not a full Deployment.
+
+#ifndef HAT_TESTS_TEST_UTIL_H_
+#define HAT_TESTS_TEST_UTIL_H_
+
+#include <vector>
+
+#include "hat/server/partitioner.h"
+
+namespace hat::server {
+
+/// Every key is replicated on the same fixed set of nodes; the first node is
+/// the master. Mirrors one shard of the paper's cluster-per-copy layout.
+class FixedPartitioner : public Partitioner {
+ public:
+  explicit FixedPartitioner(std::vector<net::NodeId> replicas)
+      : replicas_(std::move(replicas)) {}
+
+  std::vector<net::NodeId> ReplicasOf(const Key&) const override {
+    return replicas_;
+  }
+  net::NodeId MasterOf(const Key&) const override { return replicas_.front(); }
+
+ private:
+  std::vector<net::NodeId> replicas_;
+};
+
+}  // namespace hat::server
+
+#endif  // HAT_TESTS_TEST_UTIL_H_
