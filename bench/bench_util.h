@@ -4,6 +4,8 @@
 #ifndef HAT_BENCH_BENCH_UTIL_H_
 #define HAT_BENCH_BENCH_UTIL_H_
 
+#include <cstdio>
+#include <cstdlib>
 #include <memory>
 #include <string>
 
@@ -25,14 +27,66 @@ struct YcsbRun {
   sim::Duration warmup = 1 * sim::kSecond;
   sim::Duration measure = 4 * sim::kSecond;
 
-  harness::WorkloadResult Execute() const {
+  /// `server_totals`, when non-null, receives the deployment-wide server
+  /// counters at the end of the run (anti-entropy steady-state reporting).
+  harness::WorkloadResult Execute(
+      server::ServerStats* server_totals = nullptr) const {
     sim::Simulation sim(seed);
     cluster::Deployment deployment_instance(sim, deployment);
     harness::YcsbDriver driver(deployment_instance, workload, client,
                                num_clients, seed ^ 0x9e37);
     driver.Preload();
-    return driver.Run(warmup, measure);
+    harness::WorkloadResult result = driver.Run(warmup, measure);
+    if (server_totals) *server_totals = deployment_instance.TotalServerStats();
+    return result;
   }
+};
+
+/// True when the benchmark should run a reduced sweep (CI perf job); set via
+/// the HAT_BENCH_QUICK environment variable.
+inline bool QuickBench() { return std::getenv("HAT_BENCH_QUICK") != nullptr; }
+
+/// Accumulates figure series and writes them as one JSON document to the
+/// path named by HAT_BENCH_JSON (no-op when unset) — the machine-readable
+/// throughput summary the CI perf job uploads as an artifact.
+class JsonSummary {
+ public:
+  void Add(const std::string& figure, const harness::FigureSeries& fig) {
+    figures_.emplace_back(figure, fig);
+  }
+
+  /// Writes the document; returns the path written or nullptr when disabled.
+  const char* Flush() const {
+    const char* path = std::getenv("HAT_BENCH_JSON");
+    if (!path) return nullptr;
+    FILE* out = std::fopen(path, "w");
+    if (!out) return nullptr;
+    std::fprintf(out, "{\n  \"figures\": [\n");
+    for (size_t f = 0; f < figures_.size(); f++) {
+      const auto& [name, fig] = figures_[f];
+      std::fprintf(out, "    {\"name\": \"%s\", \"title\": \"%s\", \"x\": [",
+                   name.c_str(), fig.title.c_str());
+      for (size_t i = 0; i < fig.x.size(); i++) {
+        std::fprintf(out, "%s%g", i ? ", " : "", fig.x[i]);
+      }
+      std::fprintf(out, "], \"series\": {");
+      for (size_t s = 0; s < fig.series.size(); s++) {
+        std::fprintf(out, "%s\"%s\": [", s ? ", " : "",
+                     fig.series[s].first.c_str());
+        for (size_t i = 0; i < fig.series[s].second.size(); i++) {
+          std::fprintf(out, "%s%g", i ? ", " : "", fig.series[s].second[i]);
+        }
+        std::fprintf(out, "]");
+      }
+      std::fprintf(out, "}}%s\n", f + 1 < figures_.size() ? "," : "");
+    }
+    std::fprintf(out, "  ]\n}\n");
+    std::fclose(out);
+    return path;
+  }
+
+ private:
+  std::vector<std::pair<std::string, harness::FigureSeries>> figures_;
 };
 
 /// Default workload: the paper's YCSB configuration, with a 20k keyspace

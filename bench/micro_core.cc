@@ -48,14 +48,14 @@ void BM_VersionedStoreRead(benchmark::State& state) {
 }
 BENCHMARK(BM_VersionedStoreRead)->Arg(1)->Arg(8)->Arg(64);
 
-void BM_DeltaFold(benchmark::State& state) {
+version::VersionedStore MakeDeltaChain(uint64_t deltas) {
   version::VersionedStore store;
   WriteRecord base;
   base.key = "ctr";
   base.value = EncodeInt64Value(0);
   base.ts = {1, 1};
   store.Apply(base);
-  for (uint64_t i = 2; i < 2 + static_cast<uint64_t>(state.range(0)); i++) {
+  for (uint64_t i = 2; i < 2 + deltas; i++) {
     WriteRecord d;
     d.key = "ctr";
     d.kind = WriteKind::kDelta;
@@ -63,11 +63,66 @@ void BM_DeltaFold(benchmark::State& state) {
     d.ts = {i, 1};
     store.Apply(d);
   }
+  return store;
+}
+
+/// Steady-state read of a delta chain: after the first fold the per-key
+/// memo serves every repeat in O(1) — the paper-motivated common case
+/// (replicas read far more often than version sets change).
+void BM_DeltaFold(benchmark::State& state) {
+  auto store = MakeDeltaChain(static_cast<uint64_t>(state.range(0)));
   for (auto _ : state) {
     benchmark::DoNotOptimize(store.Read("ctr"));
   }
 }
-BENCHMARK(BM_DeltaFold)->Arg(4)->Arg(32)->Arg(256);
+BENCHMARK(BM_DeltaFold)->Arg(4)->Arg(32)->Arg(64)->Arg(256);
+
+/// The same read forced through a cold fold every iteration (a bounded read
+/// ending one version below the newest cannot use the full-fold memo), i.e.
+/// the per-read cost the whole data plane paid before fold caching. The
+/// BM_DeltaFold/64 : BM_DeltaFoldUncached/64 ratio is the cached-read
+/// speedup (acceptance bar: >= 5x on a 64-version chain).
+void BM_DeltaFoldUncached(benchmark::State& state) {
+  uint64_t deltas = static_cast<uint64_t>(state.range(0));
+  auto store = MakeDeltaChain(deltas);
+  Timestamp second_newest{deltas, 1};  // newest is {deltas + 1, 1}
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Read("ctr", second_newest));
+  }
+}
+BENCHMARK(BM_DeltaFoldUncached)->Arg(4)->Arg(32)->Arg(64)->Arg(256);
+
+/// Digest-bucket snapshot (round 1 of bucketed repair): constant work
+/// regardless of keyspace size, versus Digest()'s per-key walk.
+void BM_BucketHashes(benchmark::State& state) {
+  version::VersionedStore store;
+  for (uint64_t i = 0; i < static_cast<uint64_t>(state.range(0)); i++) {
+    WriteRecord w;
+    w.key = "key" + std::to_string(i);
+    w.value = "value";
+    w.ts = {i + 1, 1};
+    store.Apply(w);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.BucketHashes());
+  }
+}
+BENCHMARK(BM_BucketHashes)->Arg(1000)->Arg(100000);
+
+void BM_FlatDigest(benchmark::State& state) {
+  version::VersionedStore store;
+  for (uint64_t i = 0; i < static_cast<uint64_t>(state.range(0)); i++) {
+    WriteRecord w;
+    w.key = "key" + std::to_string(i);
+    w.value = "value";
+    w.ts = {i + 1, 1};
+    store.Apply(w);
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.Digest());
+  }
+}
+BENCHMARK(BM_FlatDigest)->Arg(1000)->Arg(100000);
 
 adya::History MakeHistory(int txns, int keys, uint64_t seed) {
   adya::HistoryBuilder b;

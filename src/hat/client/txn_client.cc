@@ -760,6 +760,26 @@ void TxnClient::AcquireLock(Key key, bool exclusive, sim::SimTime deadline,
            if (resp.granted) {
              held_locks_.push_back(key);
              done(Status::Ok());
+           } else if (held_locks_.empty()) {
+             // Wait-die victim on our FIRST lock: we hold nothing, so no
+             // deadlock cycle can pass through this transaction — retry
+             // until the holder releases (bounded by the op deadline)
+             // instead of aborting a lock-free transaction. Typically the
+             // holder's unlock is simply still in flight. The no-locks-held
+             // premise is re-checked when the retry fires: a concurrent
+             // grant in the interim means waiting would now be
+             // wait-while-holding, so the abort must surface after all.
+             sim_.After(options_.retry_backoff,
+                        [this, key = std::move(key), exclusive, deadline,
+                         done = std::move(done), epoch]() mutable {
+                          if (epoch != txn_epoch_) return;
+                          if (!held_locks_.empty()) {
+                            done(Status::Aborted("wait-die"));
+                            return;
+                          }
+                          AcquireLock(std::move(key), exclusive, deadline,
+                                      std::move(done));
+                        });
            } else {
              // Wait-die victim: external abort, caller should retry txn.
              done(Status::Aborted("wait-die"));

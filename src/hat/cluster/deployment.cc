@@ -124,6 +124,9 @@ server::ServerStats Deployment::TotalServerStats() const {
     total.ae_batches_in += st.ae_batches_in;
     total.ae_records_in += st.ae_records_in;
     total.ae_records_out += st.ae_records_out;
+    total.ae_digest_ticks += st.ae_digest_ticks;
+    total.ae_digest_entries_out += st.ae_digest_entries_out;
+    total.ae_digest_bytes_out += st.ae_digest_bytes_out;
     total.mav_promotions += st.mav_promotions;
     total.stale_pending_dropped += st.stale_pending_dropped;
     total.locks_granted += st.locks_granted;

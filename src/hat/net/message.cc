@@ -2,11 +2,9 @@
 
 namespace hat::net {
 
-namespace {
-size_t WriteBytes(const WriteRecord& w) {
+size_t WriteRecordWireBytes(const WriteRecord& w) {
   return w.key.size() + w.value.size() + w.SibBytes() + 14;
 }
-}  // namespace
 
 size_t WireBytes(const Message& msg) {
   constexpr size_t kHeader = 24;
@@ -15,7 +13,7 @@ size_t WireBytes(const Message& msg) {
              [](const auto& m) -> size_t {
                using T = std::decay_t<decltype(m)>;
                if constexpr (std::is_same_v<T, PutRequest>) {
-                 return WriteBytes(m.write);
+                 return WriteRecordWireBytes(m.write);
                } else if constexpr (std::is_same_v<T, GetRequest>) {
                  return m.key.size() + 14;
                } else if constexpr (std::is_same_v<T, GetResponse>) {
@@ -34,12 +32,14 @@ size_t WireBytes(const Message& msg) {
                } else if constexpr (std::is_same_v<T, NotifyRequest>) {
                  return 16;
                } else if constexpr (std::is_same_v<T, DigestRequest>) {
-                 size_t n = 4;
+                 size_t n = 4 + 4 * m.buckets.size();
                  for (const auto& [k, ts] : m.latest) n += k.size() + 18;
                  return n;
+               } else if constexpr (std::is_same_v<T, BucketDigest>) {
+                 return 4 + 8 * m.hashes.size();
                } else if constexpr (std::is_same_v<T, AntiEntropyBatch>) {
                  size_t n = 8;
-                 for (const auto& w : m.writes) n += WriteBytes(w);
+                 for (const auto& w : m.writes) n += WriteRecordWireBytes(w);
                  return n;
                } else if constexpr (std::is_same_v<T, LockRequest>) {
                  return m.key.size() + 16;

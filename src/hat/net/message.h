@@ -115,6 +115,20 @@ struct DigestRequest {
   /// digest (reply=false) when it notices the initiator has data it lacks,
   /// so repair works in both directions without recursing further.
   bool reply_allowed = true;
+  /// Empty: `latest` covers the sender's whole keyspace (flat protocol).
+  /// Non-empty: round 2 of bucketed repair — `latest` covers exactly the
+  /// sender's keys in these digest buckets, and the receiver's answer is
+  /// scoped to them too.
+  std::vector<uint32_t> buckets;
+};
+
+/// Round 1 of bucketed digest repair: the sender's per-bucket incremental
+/// hashes over (key, latest-ts) entries (VersionedStore::kDigestBuckets of
+/// them). The receiver compares with its own buckets and answers with a
+/// bucket-scoped DigestRequest for the mismatches only — so a sync tick on
+/// an in-sync store costs B hashes, not one digest entry per key.
+struct BucketDigest {
+  std::vector<uint64_t> hashes;
 };
 
 /// Two-phase-locking lock service (locks live at each key's master replica).
@@ -138,7 +152,8 @@ using Message =
     std::variant<PingRequest, PingResponse, PutRequest, PutResponse,
                  GetRequest, GetResponse, ScanRequest, ScanResponse,
                  NotifyRequest, AntiEntropyBatch, AntiEntropyAck,
-                 DigestRequest, LockRequest, LockResponse, UnlockRequest>;
+                 DigestRequest, BucketDigest, LockRequest, LockResponse,
+                 UnlockRequest>;
 
 /// A message in flight.
 struct Envelope {
@@ -153,6 +168,11 @@ struct Envelope {
 /// Approximate serialized size, used for service-cost accounting and the
 /// metadata-overhead measurements of Figure 4.
 size_t WireBytes(const Message& msg);
+
+/// Approximate serialized size of one replicated write — exposed so batch
+/// builders (digest repair) can cap batches by bytes without constructing a
+/// Message per probe.
+size_t WriteRecordWireBytes(const WriteRecord& w);
 
 }  // namespace hat::net
 

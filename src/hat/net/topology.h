@@ -54,6 +54,10 @@ struct Location {
 /// Identifies a node (server or client) on the network.
 using NodeId = uint32_t;
 
+/// Sentinel NodeId naming no node (e.g. "exclude nobody" in gossip fan-out).
+/// Node ids are assigned densely from 0, so the maximum is never allocated.
+inline constexpr NodeId kNoPeer = static_cast<NodeId>(-1);
+
 /// Latency model options. Defaults are calibrated so that sampled means match
 /// Table 1 and tails resemble Figure 1 (95th percentile of SP-SI ~ 1.8x mean).
 struct LatencyOptions {

@@ -1,6 +1,7 @@
 #include "hat/server/anti_entropy_engine.h"
 
 #include <algorithm>
+#include <set>
 #include <utility>
 
 namespace hat::server {
@@ -8,6 +9,21 @@ namespace hat::server {
 namespace {
 constexpr size_t kAppliedBatchMemory = 4096;
 constexpr sim::Duration kMaxBackoff = 8 * sim::kSecond;
+
+using version::VersionedStore;
+
+/// Recomputes a peer's bucket hashes from its flat per-key digest. Matches
+/// VersionedStore's incremental maintenance by construction (same entry hash,
+/// same XOR aggregation), so bucket-equal regions can be skipped.
+std::vector<uint64_t> BucketHashesOfDigest(
+    const std::vector<std::pair<Key, Timestamp>>& latest) {
+  std::vector<uint64_t> hashes(VersionedStore::kDigestBuckets, 0);
+  for (const auto& [key, ts] : latest) {
+    hashes[VersionedStore::DigestBucketOf(key)] ^=
+        VersionedStore::DigestEntryHash(key, ts);
+  }
+  return hashes;
+}
 }  // namespace
 
 AntiEntropyEngine::AntiEntropyEngine(sim::Simulation& sim, net::NodeId id,
@@ -27,8 +43,10 @@ AntiEntropyEngine::AntiEntropyEngine(sim::Simulation& sim, net::NodeId id,
 void AntiEntropyEngine::Start() {
   // Stagger recurring timers per server so deterministic runs do not
   // synchronize every server's background work on the same tick.
-  sim::Duration offset = (id_ * 97) % options_.flush_interval + 1;
-  sim_.After(offset, [this]() { FlushTick(); });
+  if (options_.push_enabled) {
+    sim::Duration offset = (id_ * 97) % options_.flush_interval + 1;
+    sim_.After(offset, [this]() { FlushTick(); });
+  }
   if (options_.digest_sync_interval > 0) {
     sim::Duration doffset = (id_ * 173) % options_.digest_sync_interval + 1;
     sim_.After(doffset, [this]() { DigestSyncTick(); });
@@ -37,6 +55,7 @@ void AntiEntropyEngine::Start() {
 
 void AntiEntropyEngine::Enqueue(const WriteRecord& w, net::PutMode mode,
                                 net::NodeId except) {
+  if (!options_.push_enabled) return;
   for (net::NodeId peer : partitioner_->ReplicasOf(w.key)) {
     if (peer == id_ || peer == except) continue;
     outbox_[peer].push_back(OutboxItem{w, mode});
@@ -76,16 +95,18 @@ void AntiEntropyEngine::HandleBatch(const net::AntiEntropyBatch& batch,
                                     net::NodeId from) {
   stats_.batches_in++;
   send_(from, net::AntiEntropyAck{batch.batch_id});
-  if (applied_batches_.count(batch.batch_id)) return;  // retransmit dupe
+  if (applied_batches_.count(batch.batch_id) ||
+      applied_batches_prev_.count(batch.batch_id)) {
+    return;  // retransmit dupe
+  }
   applied_batches_.insert(batch.batch_id);
-  applied_batches_fifo_.push_back(batch.batch_id);
-  if (applied_batches_fifo_.size() > kAppliedBatchMemory) {
-    applied_batches_.erase(applied_batches_fifo_.front());
-    applied_batches_fifo_.pop_front();
+  if (applied_batches_.size() >= kAppliedBatchMemory) {
+    applied_batches_prev_ = std::move(applied_batches_);
+    applied_batches_.clear();
   }
   for (const auto& w : batch.writes) {
     stats_.records_in++;
-    install_(w, batch.mode);
+    install_(w, batch.mode, from);
   }
 }
 
@@ -106,42 +127,113 @@ void AntiEntropyEngine::DigestSyncTick() {
   auto peers = PeerReplicas();
   if (!peers.empty()) {
     net::NodeId peer = peers[rng_.NextBelow(peers.size())];
-    net::DigestRequest digest;
-    digest.latest = good_.Digest();
-    send_(peer, std::move(digest));
+    stats_.digest_ticks++;
+    if (options_.bucketed_digest) {
+      SendDigestMessage(peer, net::BucketDigest{good_.BucketHashes()},
+                        /*entries=*/0);
+    } else {
+      net::DigestRequest digest;
+      digest.latest = good_.Digest();
+      SendDigestMessage(peer, std::move(digest), good_.KeyCount());
+    }
   }
   sim_.After(options_.digest_sync_interval, [this]() { DigestSyncTick(); });
+}
+
+void AntiEntropyEngine::SendDigestMessage(net::NodeId to, net::Message msg,
+                                          size_t entries) {
+  stats_.digest_entries_out += entries;
+  stats_.digest_bytes_out += net::WireBytes(msg);
+  send_(to, std::move(msg));
+}
+
+void AntiEntropyEngine::HandleBucketDigest(const net::BucketDigest& digest,
+                                           net::NodeId from) {
+  // Round 1 -> round 2: advertise our per-key digests for the buckets whose
+  // hashes disagree (either side missing or stale there); matching buckets
+  // are in sync and drop out of the protocol entirely.
+  net::DigestRequest scoped;
+  size_t n = std::min(digest.hashes.size(), VersionedStore::kDigestBuckets);
+  for (size_t b = 0; b < n; b++) {
+    if (digest.hashes[b] == good_.BucketHash(b)) continue;
+    scoped.buckets.push_back(static_cast<uint32_t>(b));
+    good_.ForEachLatestInBucket(b, [&](const Key& key, const Timestamp& ts) {
+      scoped.latest.emplace_back(key, ts);
+    });
+  }
+  if (scoped.buckets.empty()) return;  // fully in sync
+  size_t entries = scoped.latest.size();
+  SendDigestMessage(from, std::move(scoped), entries);
+}
+
+void AntiEntropyEngine::BackfillBucket(
+    size_t bucket, const std::map<Key, Timestamp>& theirs,
+    const std::function<void(const WriteRecord&)>& add) const {
+  good_.ForEachLatestInBucket(
+      bucket, [&](const Key& key, const Timestamp& ours) {
+        auto it = theirs.find(key);
+        if (it != theirs.end() && ours <= it->second) return;  // they have it
+        Timestamp after = it == theirs.end() ? kInitialVersion : it->second;
+        for (const WriteRecord& w : good_.VersionsAfter(key, after)) add(w);
+      });
 }
 
 void AntiEntropyEngine::HandleDigest(const net::DigestRequest& req,
                                      net::NodeId from) {
   // Send back every version the requester is missing, in bounded batches
   // (unacknowledged one-shot batches: the requester's next digest will
-  // re-trigger anything lost).
+  // re-trigger anything lost). Work is confined to the digest's buckets:
+  // req.buckets for a scoped round-2 request; for a flat digest, the
+  // requester's bucket hashes are recomputed from its entries so in-sync
+  // buckets cost one comparison instead of a per-key walk.
+  const bool scoped = !req.buckets.empty();
   std::map<Key, Timestamp> theirs;
   for (const auto& [k, ts] : req.latest) theirs.emplace(k, ts);
+
+  std::vector<size_t> mismatched;
+  if (scoped) {
+    for (uint32_t b : req.buckets) {
+      if (b < VersionedStore::kDigestBuckets) mismatched.push_back(b);
+    }
+  } else {
+    std::vector<uint64_t> their_hashes = BucketHashesOfDigest(req.latest);
+    for (size_t b = 0; b < VersionedStore::kDigestBuckets; b++) {
+      if (their_hashes[b] != good_.BucketHash(b)) mismatched.push_back(b);
+    }
+  }
+
   net::AntiEntropyBatch batch;
   batch.batch_id = NextBatchId();
-  auto flush = [this, from, &batch]() {
+  size_t batch_bytes = 0;
+  auto flush = [this, from, &batch, &batch_bytes]() {
     if (batch.writes.empty()) return;
     stats_.records_out += batch.writes.size();
     send_(from, std::move(batch));
     batch = net::AntiEntropyBatch();
     batch.batch_id = NextBatchId();
+    batch_bytes = 0;
   };
-  good_.ForEachVersion([&](const WriteRecord& w) {
-    auto it = theirs.find(w.key);
-    if (it != theirs.end() && w.ts <= it->second) return;  // they have newer
+  auto add = [this, &batch, &batch_bytes, &flush](const WriteRecord& w) {
     batch.writes.push_back(w);
-    if (batch.writes.size() >= options_.batch_max) flush();
-  });
+    batch_bytes += net::WriteRecordWireBytes(w);
+    if (batch.writes.size() >= options_.batch_max ||
+        (options_.batch_max_bytes > 0 &&
+         batch_bytes >= options_.batch_max_bytes)) {
+      flush();
+    }
+  };
+  for (size_t b : mismatched) BackfillBucket(b, theirs, add);
   flush();
 
-  // Reverse direction: if the initiator advertises data we lack, answer
+  // Reverse direction: if the requester advertises data we lack, answer
   // with our own digest (one round only) so it pushes the difference back.
+  // Only entries in mismatched buckets can differ, so only they are probed.
   if (req.reply_allowed) {
+    std::vector<bool> in_scope(VersionedStore::kDigestBuckets, false);
+    for (size_t b : mismatched) in_scope[b] = true;
     bool missing = false;
     for (const auto& [k, ts] : req.latest) {
+      if (!in_scope[VersionedStore::DigestBucketOf(k)]) continue;
       auto ours = good_.LatestTimestamp(k);
       if (!ours || *ours < ts) {
         missing = true;
@@ -150,9 +242,21 @@ void AntiEntropyEngine::HandleDigest(const net::DigestRequest& req,
     }
     if (missing) {
       net::DigestRequest mine;
-      mine.latest = good_.Digest();
       mine.reply_allowed = false;
-      send_(from, std::move(mine));
+      if (scoped) {
+        // Stay scoped: our entries for the same buckets.
+        mine.buckets = req.buckets;
+        for (size_t b : mismatched) {
+          good_.ForEachLatestInBucket(
+              b, [&](const Key& key, const Timestamp& ts) {
+                mine.latest.emplace_back(key, ts);
+              });
+        }
+      } else {
+        mine.latest = good_.Digest();
+      }
+      size_t entries = mine.latest.size();
+      SendDigestMessage(from, std::move(mine), entries);
     }
   }
 }
@@ -161,7 +265,7 @@ void AntiEntropyEngine::Clear() {
   outbox_.clear();
   inflight_.clear();
   applied_batches_.clear();
-  applied_batches_fifo_.clear();
+  applied_batches_prev_.clear();
 }
 
 }  // namespace hat::server

@@ -4,10 +4,15 @@
 //  * Reliable push — per-peer outboxes are flushed on a timer into
 //    mode-homogeneous batches; unacknowledged batches retransmit with
 //    exponential backoff, so partitions delay but never lose gossip.
-//    Receivers dedupe batches by id (bounded FIFO memory).
-//  * Digest pull — optionally, the engine periodically sends its per-key
-//    latest-version digest to one random peer, which returns whatever the
-//    sender is missing. Catches writes whose push outbox died with a crash.
+//    Receivers dedupe batches by id (bounded generational memory).
+//  * Digest pull — optionally, the engine periodically syncs with one random
+//    peer. The default protocol is *bucketed*: round 1 ships the store's
+//    B incremental bucket hashes; the receiver answers with per-key digests
+//    for mismatched buckets only; round 2 back-fills just those keys from
+//    VersionsAfter. An in-sync tick therefore costs B hashes instead of one
+//    digest entry per key plus a full-store walk. The flat per-key protocol
+//    remains available (Options::bucketed_digest = false) and its responder
+//    also uses the bucket hashes to skip matching regions of the keyspace.
 //
 // The engine owns no sockets and installs nothing itself: messages leave via
 // a SendFn callback and incoming records are handed to an InstallFn, so the
@@ -20,7 +25,7 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <set>
+#include <unordered_set>
 #include <vector>
 
 #include "hat/common/rng.h"
@@ -35,6 +40,14 @@ struct AntiEntropyStats {
   uint64_t batches_in = 0;
   uint64_t records_in = 0;
   uint64_t records_out = 0;
+  /// Digest-sync rounds initiated.
+  uint64_t digest_ticks = 0;
+  /// Per-key digest entries shipped (both directions we sent). The bucketed
+  /// protocol keeps this proportional to the diff; the flat protocol pays
+  /// one entry per key per tick.
+  uint64_t digest_entries_out = 0;
+  /// Wire bytes of digest-protocol messages sent (hashes + entries).
+  uint64_t digest_bytes_out = 0;
 };
 
 class AntiEntropyEngine {
@@ -48,11 +61,26 @@ class AntiEntropyEngine {
     sim::Duration digest_sync_interval = 0;
     /// Max writes per batch.
     size_t batch_max = 64;
+    /// Max payload bytes per digest-repair reply batch (0 = uncapped).
+    /// Batches flush when either cap is hit, so a repair of few huge values
+    /// cannot emit one enormous message.
+    size_t batch_max_bytes = 64 * 1024;
+    /// Use the two-round bucketed digest protocol (round 1: bucket hashes;
+    /// round 2: per-key digests for mismatched buckets only). Defaults off
+    /// at the engine layer to preserve the legacy flat wire protocol for
+    /// direct users; ServerOptions turns it on for the replica data plane.
+    bool bucketed_digest = false;
+    /// False disables the push outboxes entirely (Enqueue becomes a no-op
+    /// and no flush timer runs) — used to exercise digest repair alone.
+    bool push_enabled = true;
   };
   /// Delivers a one-way message to a peer.
   using SendFn = std::function<void(net::NodeId, net::Message)>;
   /// Installs one received record (dispatches on PutMode at the owner).
-  using InstallFn = std::function<void(const WriteRecord&, net::PutMode)>;
+  /// `from` is the peer the enclosing batch arrived from, so the owner's
+  /// re-gossip can exclude it (echo suppression).
+  using InstallFn =
+      std::function<void(const WriteRecord&, net::PutMode, net::NodeId from)>;
 
   AntiEntropyEngine(sim::Simulation& sim, net::NodeId id,
                     const Partitioner* partitioner,
@@ -78,7 +106,14 @@ class AntiEntropyEngine {
 
   /// Answers a peer's digest with the versions it is missing, and — on the
   /// initiating round — with our own digest when the peer has data we lack.
+  /// Scoped requests (req.buckets non-empty) are answered within those
+  /// buckets only; flat requests use the peer's recomputed bucket hashes to
+  /// skip matching regions of the keyspace.
   void HandleDigest(const net::DigestRequest& req, net::NodeId from);
+
+  /// Round 1 of bucketed repair: compare the initiator's bucket hashes with
+  /// ours and reply with a bucket-scoped DigestRequest for mismatches.
+  void HandleBucketDigest(const net::BucketDigest& digest, net::NodeId from);
 
   /// Drops all volatile gossip state (crash). Stats survive.
   void Clear();
@@ -88,6 +123,13 @@ class AntiEntropyEngine {
  private:
   void FlushTick();
   void DigestSyncTick();
+  /// Sends `msg` to `from`, charging its wire size to the digest counters.
+  void SendDigestMessage(net::NodeId to, net::Message msg, size_t entries);
+  /// Streams every version the peer is missing within one bucket, given the
+  /// peer's latest-ts entries, into `add`.
+  void BackfillBucket(
+      size_t bucket, const std::map<Key, Timestamp>& theirs,
+      const std::function<void(const WriteRecord&)>& add) const;
   uint64_t NextBatchId() {
     return (static_cast<uint64_t>(id_) << 40) | next_batch_id_++;
   }
@@ -122,9 +164,13 @@ class AntiEntropyEngine {
   };
   std::map<uint64_t, InFlightBatch> inflight_;
   uint64_t next_batch_id_ = 1;
-  // Batches already applied (dedupe against retransmits), bounded FIFO.
-  std::deque<uint64_t> applied_batches_fifo_;
-  std::set<uint64_t> applied_batches_;
+  // Batch ids already applied, for O(1) retransmit dedupe. Bounded by
+  // generational rotation: when the current set fills, it becomes the
+  // previous generation and a fresh set starts — recent ids (the ones
+  // retransmits actually target) always stay resident, with no ordered
+  // container or parallel FIFO to maintain.
+  std::unordered_set<uint64_t> applied_batches_;
+  std::unordered_set<uint64_t> applied_batches_prev_;
 };
 
 }  // namespace hat::server

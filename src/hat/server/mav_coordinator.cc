@@ -48,7 +48,8 @@ const WriteRecord* MavCoordinator::PendingVersion(const Key& key,
   return &exact->second;
 }
 
-void MavCoordinator::Install(const WriteRecord& w, bool gossip) {
+void MavCoordinator::Install(const WriteRecord& w, bool gossip,
+                             net::NodeId origin) {
   // Duplicate suppression: already promoted or already pending.
   if (good_.Contains(w.key, w.ts)) return;
   auto& per_key = pending_by_key_[w.key];
@@ -78,7 +79,7 @@ void MavCoordinator::Install(const WriteRecord& w, bool gossip) {
   }
   txn.writes.push_back(w);
   if (!stale) persistence_.PersistPending(w);
-  if (gossip) gossip_(w);
+  if (gossip) gossip_(w, origin);
   MaybeAck(w.ts);
   MaybePromote(w.ts);
 }

@@ -49,8 +49,10 @@ class MavCoordinator {
   };
   /// Delivers a one-way message (NotifyRequest) to a peer replica.
   using SendFn = std::function<void(net::NodeId, net::Message)>;
-  /// Hands a freshly accepted pending write to anti-entropy.
-  using GossipFn = std::function<void(const WriteRecord&)>;
+  /// Hands a freshly accepted pending write to anti-entropy. `origin` is the
+  /// peer the write arrived from (net::kNoPeer for local client writes), so
+  /// re-gossip can exclude it instead of echoing the write straight back.
+  using GossipFn = std::function<void(const WriteRecord&, net::NodeId origin)>;
   /// Applies the owner's version-GC policy after a good-set insert.
   using GcFn = std::function<void(const Key&)>;
 
@@ -66,8 +68,10 @@ class MavCoordinator {
   /// check. `gossip` hands newly accepted writes to the GossipFn; every
   /// current caller (client puts, anti-entropy, recovery replay) passes true
   /// so re-entering writes keep propagating — pass false only from a path
-  /// that provably must not re-enter anti-entropy.
-  void Install(const WriteRecord& w, bool gossip);
+  /// that provably must not re-enter anti-entropy. `origin` is forwarded to
+  /// the GossipFn: the peer the write came from (net::kNoPeer otherwise).
+  void Install(const WriteRecord& w, bool gossip,
+               net::NodeId origin = net::kNoPeer);
 
   /// Processes a NOTIFY ack from `req.sender` (Appendix B).
   void HandleNotify(const net::NotifyRequest& req);

@@ -22,18 +22,20 @@ ReplicaServer::ReplicaServer(sim::Simulation& sim, net::Network& net,
            MavCoordinator::Options{options_.gc_stale_pending,
                                    options_.renotify_interval},
            [this](net::NodeId to, Message m) { SendOneWay(to, std::move(m)); },
-           [this](const WriteRecord& w) {
-             anti_entropy_.Enqueue(w, net::PutMode::kMav, this->id());
+           [this](const WriteRecord& w, net::NodeId origin) {
+             anti_entropy_.Enqueue(w, net::PutMode::kMav, origin);
            },
            [this](const Key& k) { MaybeGcVersions(k); }),
       anti_entropy_(
           sim_, id, partitioner_, good_,
           AntiEntropyEngine::Options{
               options_.ae_flush_interval, options_.ae_retry_interval,
-              options_.digest_sync_interval, options_.ae_batch_max},
+              options_.digest_sync_interval, options_.ae_batch_max,
+              options_.ae_batch_max_bytes, options_.ae_bucketed_digest,
+              options_.ae_push_enabled},
           [this](net::NodeId to, Message m) { SendOneWay(to, std::move(m)); },
-          [this](const WriteRecord& w, net::PutMode mode) {
-            InstallFromPeer(w, mode);
+          [this](const WriteRecord& w, net::PutMode mode, net::NodeId from) {
+            InstallFromPeer(w, mode, from);
           }),
       locks_([this](const Envelope& env, const net::LockResponse& resp) {
         Reply(env, resp);
@@ -52,6 +54,9 @@ const ServerStats& ReplicaServer::stats() const {
   stats_.ae_batches_in = ae.batches_in;
   stats_.ae_records_in = ae.records_in;
   stats_.ae_records_out = ae.records_out;
+  stats_.ae_digest_ticks = ae.digest_ticks;
+  stats_.ae_digest_entries_out = ae.digest_entries_out;
+  stats_.ae_digest_bytes_out = ae.digest_bytes_out;
   const LockStats& l = locks_.stats();
   stats_.locks_granted = l.granted;
   stats_.locks_queued = l.queued;
@@ -101,6 +106,9 @@ double ReplicaServer::CostOf(const Message& msg) const {
   } else if (const auto* digest = std::get_if<net::DigestRequest>(&msg)) {
     cost += c.ae_batch_us +
             0.2 * static_cast<double>(digest->latest.size());
+  } else if (const auto* bd = std::get_if<net::BucketDigest>(&msg)) {
+    // Comparing B hashes is far cheaper than per-key digest processing.
+    cost += c.ae_batch_us + 0.02 * static_cast<double>(bd->hashes.size());
   } else if (std::holds_alternative<net::LockRequest>(msg) ||
              std::holds_alternative<net::UnlockRequest>(msg)) {
     cost += c.lock_us;
@@ -135,6 +143,8 @@ void ReplicaServer::Process(const Envelope& env) {
     anti_entropy_.HandleAck(*ack);
   } else if (const auto* digest = std::get_if<net::DigestRequest>(&env.msg)) {
     anti_entropy_.HandleDigest(*digest, env.from);
+  } else if (const auto* bd = std::get_if<net::BucketDigest>(&env.msg)) {
+    anti_entropy_.HandleBucketDigest(*bd, env.from);
   } else if (const auto* lock = std::get_if<net::LockRequest>(&env.msg)) {
     locks_.Acquire(env, *lock);
   } else if (const auto* unlock = std::get_if<net::UnlockRequest>(&env.msg)) {
@@ -225,19 +235,23 @@ void ReplicaServer::HandlePut(const Envelope& env) {
   Reply(env, net::PutResponse{true});
 }
 
-void ReplicaServer::InstallEventual(const WriteRecord& w, bool gossip) {
+void ReplicaServer::InstallEventual(const WriteRecord& w, bool gossip,
+                                    net::NodeId origin) {
   bool inserted = good_.Apply(w);
   if (!inserted) return;  // duplicate delivery (anti-entropy redundancy)
   persistence_.PersistGood(w);
   MaybeGcVersions(w.key);
-  if (gossip) anti_entropy_.Enqueue(w, net::PutMode::kEventual, id());
+  if (gossip) anti_entropy_.Enqueue(w, net::PutMode::kEventual, origin);
 }
 
-void ReplicaServer::InstallFromPeer(const WriteRecord& w, net::PutMode mode) {
+void ReplicaServer::InstallFromPeer(const WriteRecord& w, net::PutMode mode,
+                                    net::NodeId from) {
+  // `from` threads through to Enqueue's `except`: the sender already has the
+  // write, so re-gossiping it back would only double anti-entropy traffic.
   if (mode == net::PutMode::kEventual) {
-    InstallEventual(w, /*gossip=*/true);
+    InstallEventual(w, /*gossip=*/true, from);
   } else {
-    mav_.Install(w, /*gossip=*/true);
+    mav_.Install(w, /*gossip=*/true, from);
   }
 }
 

@@ -50,11 +50,20 @@ struct ServerOptions {
   /// Re-broadcast MAV pending-stable acks for still-pending transactions
   /// (recovers promotions whose notifies were lost to a partition).
   sim::Duration renotify_interval = 500 * sim::kMillisecond;
-  /// Digest-based repair: every interval, exchange per-key latest-version
-  /// digests with one random peer replica and back-fill whatever it is
-  /// missing. Catches writes whose push outbox was lost to a crash.
-  /// 0 disables (benchmarks use push-only anti-entropy).
+  /// Digest-based repair: every interval, exchange digests with one random
+  /// peer replica and back-fill whatever it is missing. Catches writes whose
+  /// push outbox was lost to a crash. 0 disables (benchmarks use push-only
+  /// anti-entropy).
   sim::Duration digest_sync_interval = 0;
+  /// Use the two-round bucketed digest protocol (round 1: B bucket hashes;
+  /// round 2: per-key digests for mismatched buckets only). False falls back
+  /// to the flat all-keys digest.
+  bool ae_bucketed_digest = true;
+  /// False disables the anti-entropy push outboxes (writes propagate via
+  /// digest repair only) — used by tests that exercise repair in isolation.
+  bool ae_push_enabled = true;
+  /// Max payload bytes per digest-repair reply batch (0 = uncapped).
+  size_t ae_batch_max_bytes = 64 * 1024;
   /// Drop pending MAV writes older than the good version for their key
   /// (the "pending invalidation" optimization of Appendix B).
   bool gc_stale_pending = true;
@@ -80,6 +89,9 @@ struct ServerStats {
   uint64_t ae_batches_in = 0;
   uint64_t ae_records_in = 0;
   uint64_t ae_records_out = 0;
+  uint64_t ae_digest_ticks = 0;
+  uint64_t ae_digest_entries_out = 0;  ///< per-key digest entries shipped
+  uint64_t ae_digest_bytes_out = 0;    ///< digest-protocol wire bytes sent
   uint64_t mav_promotions = 0;
   uint64_t stale_pending_dropped = 0;
   uint64_t locks_granted = 0;
@@ -130,10 +142,15 @@ class ReplicaServer : public net::RpcNode {
   void HandleScan(const net::Envelope& env);
   void HandlePut(const net::Envelope& env);
 
-  /// Installs into the good set (eventual / Read Committed path).
-  void InstallEventual(const WriteRecord& w, bool gossip);
+  /// Installs into the good set (eventual / Read Committed path). `origin`
+  /// is the peer the write arrived from (net::kNoPeer for client writes);
+  /// re-gossip excludes it so a 2-replica exchange does not echo every write
+  /// straight back to its sender.
+  void InstallEventual(const WriteRecord& w, bool gossip,
+                       net::NodeId origin = net::kNoPeer);
   /// Routes a record received via anti-entropy to the right install path.
-  void InstallFromPeer(const WriteRecord& w, net::PutMode mode);
+  void InstallFromPeer(const WriteRecord& w, net::PutMode mode,
+                       net::NodeId from);
   void MaybeGcVersions(const Key& key);
 
   ServerOptions options_;

@@ -1,17 +1,78 @@
 #include "hat/version/versioned_store.h"
 
 #include "hat/common/codec.h"
+#include "hat/common/rng.h"
 
 namespace hat::version {
 
-bool VersionedStore::Apply(const WriteRecord& w) {
-  auto& versions = data_[w.key];
-  auto [it, inserted] = versions.emplace(w.ts, w);
-  (void)it;
-  if (inserted) {
-    approx_bytes_ += w.key.size() + w.value.size() + w.SibBytes() + 16;
+namespace {
+/// Bytes charged to approx_bytes_ per stored version beyond its payload.
+constexpr size_t kVersionOverhead = 16;
+
+size_t RecordBytes(const WriteRecord& w) {
+  return w.key.size() + w.value.size() + w.SibBytes() + kVersionOverhead;
+}
+}  // namespace
+
+size_t VersionedStore::DigestBucketOf(const Key& key) {
+  return Fnv1a64(key.data(), key.size()) % kDigestBuckets;
+}
+
+uint64_t VersionedStore::DigestEntryHash(const Key& key, const Timestamp& ts) {
+  uint64_t parts[2] = {
+      ts.logical,
+      (static_cast<uint64_t>(ts.client_id) << 32) | ts.seq};
+  // Mix the key and timestamp hashes so (k1,t1)^(k2,t2) != (k1,t2)^(k2,t1).
+  uint64_t h = Fnv1a64(key.data(), key.size());
+  return (h * 0x9e3779b97f4a7c15ull) ^ Fnv1a64(parts, sizeof(parts)) ^ h;
+}
+
+std::optional<Timestamp> VersionedStore::LatestOf(const VersionMap& versions) {
+  if (versions.empty()) return std::nullopt;
+  return versions.rbegin()->first;
+}
+
+void VersionedStore::PatchDigest(const Key& key,
+                                 const std::optional<Timestamp>& was,
+                                 const std::optional<Timestamp>& now) {
+  if (was == now) return;
+  BucketState& bucket = buckets_[DigestBucketOf(key)];
+  if (was) {
+    bucket.hash ^= DigestEntryHash(key, *was);
+    if (!now) bucket.latest.erase(key);
   }
-  return inserted;
+  if (now) {
+    bucket.hash ^= DigestEntryHash(key, *now);
+    bucket.latest.insert_or_assign(key, *now);
+  }
+}
+
+bool VersionedStore::Apply(const WriteRecord& w) {
+  KeyState& st = data_[w.key];
+  std::optional<Timestamp> was = LatestOf(st.versions);
+  auto [it, inserted] = st.versions.emplace(w.ts, w);
+  if (!inserted) return false;
+  approx_bytes_ += RecordBytes(w);
+  PatchDigest(w.key, was, st.versions.rbegin()->first);
+  // Fold-cache maintenance: an append (the common, in-timestamp-order case)
+  // extends the memoized fold in O(1); an out-of-order insert can change any
+  // part of the fold, so it invalidates.
+  if (st.fold_valid) {
+    if (std::next(it) != st.versions.end()) {
+      st.fold_valid = false;
+    } else if (w.kind == WriteKind::kPut) {
+      st.fold = ReadVersion{w.ts, w.value, true, w.sibs, w.deps};
+    } else {
+      // Delta onto the cached fold. DecodeInt64Value mirrors FoldUpTo: a
+      // non-numeric base (or none at all) contributes 0 to the sum.
+      int64_t base =
+          st.fold.found ? DecodeInt64Value(st.fold.value).value_or(0) : 0;
+      int64_t delta = DecodeInt64Value(w.value).value_or(0);
+      st.fold = ReadVersion{w.ts, EncodeInt64Value(base + delta), true, w.sibs,
+                            w.deps};
+    }
+  }
+  return true;
 }
 
 ReadVersion VersionedStore::FoldUpTo(const VersionMap& versions,
@@ -72,45 +133,54 @@ ReadVersion VersionedStore::FoldUpTo(const VersionMap& versions,
   return out;
 }
 
+const ReadVersion& VersionedStore::CachedFold(const KeyState& st) {
+  if (!st.fold_valid) {
+    st.fold = FoldUpTo(st.versions, st.versions.end());
+    st.fold_valid = true;
+  }
+  return st.fold;
+}
+
 ReadVersion VersionedStore::Read(const Key& key,
                                  std::optional<Timestamp> bound) const {
   auto it = data_.find(key);
   if (it == data_.end()) return ReadVersion{};
-  const VersionMap& versions = it->second;
-  auto end = bound ? versions.upper_bound(*bound) : versions.end();
-  return FoldUpTo(versions, end);
+  const KeyState& st = it->second;
+  auto end = bound ? st.versions.upper_bound(*bound) : st.versions.end();
+  if (end == st.versions.end()) return CachedFold(st);
+  return FoldUpTo(st.versions, end);
 }
 
 std::optional<ReadVersion> VersionedStore::ReadAtLeast(
     const Key& key, const Timestamp& at_least) const {
   auto it = data_.find(key);
   if (it == data_.end()) return std::nullopt;
-  const VersionMap& versions = it->second;
+  const KeyState& st = it->second;
   // Need at least one version with ts >= at_least.
-  auto ge = versions.lower_bound(at_least);
-  if (ge == versions.end()) return std::nullopt;
+  auto ge = st.versions.lower_bound(at_least);
+  if (ge == st.versions.end()) return std::nullopt;
   // Fold everything (the newest state) — a pending read serves the newest
   // version that covers the requirement.
-  return FoldUpTo(versions, versions.end());
+  return CachedFold(st);
 }
 
 bool VersionedStore::Contains(const Key& key, const Timestamp& ts) const {
   auto it = data_.find(key);
-  return it != data_.end() && it->second.count(ts) > 0;
+  return it != data_.end() && it->second.versions.count(ts) > 0;
 }
 
 std::optional<Timestamp> VersionedStore::LatestTimestamp(
     const Key& key) const {
   auto it = data_.find(key);
-  if (it == data_.end() || it->second.empty()) return std::nullopt;
-  return it->second.rbegin()->first;
+  if (it == data_.end()) return std::nullopt;
+  return LatestOf(it->second.versions);
 }
 
 std::optional<Timestamp> VersionedStore::NthNewestTimestamp(const Key& key,
                                                             size_t n) const {
   auto it = data_.find(key);
-  if (it == data_.end() || it->second.size() <= n) return std::nullopt;
-  auto v = it->second.rbegin();
+  if (it == data_.end() || it->second.versions.size() <= n) return std::nullopt;
+  auto v = it->second.versions.rbegin();
   std::advance(v, n);
   return v->first;
 }
@@ -119,8 +189,8 @@ std::vector<WriteRecord> VersionedStore::Versions(const Key& key) const {
   std::vector<WriteRecord> out;
   auto it = data_.find(key);
   if (it == data_.end()) return out;
-  out.reserve(it->second.size());
-  for (const auto& [ts, w] : it->second) out.push_back(w);
+  out.reserve(it->second.versions.size());
+  for (const auto& [ts, w] : it->second.versions) out.push_back(w);
   return out;
 }
 
@@ -138,8 +208,10 @@ void VersionedStore::ScanVisit(
     const std::function<void(const Key&, ReadVersion)>& fn) const {
   for (auto it = data_.lower_bound(lo); it != data_.end() && it->first < hi;
        ++it) {
-    auto end = bound ? it->second.upper_bound(*bound) : it->second.end();
-    ReadVersion rv = FoldUpTo(it->second, end);
+    const KeyState& st = it->second;
+    auto end = bound ? st.versions.upper_bound(*bound) : st.versions.end();
+    ReadVersion rv = end == st.versions.end() ? CachedFold(st)
+                                              : FoldUpTo(st.versions, end);
     if (rv.found) fn(it->first, std::move(rv));
   }
 }
@@ -149,7 +221,8 @@ std::vector<WriteRecord> VersionedStore::VersionsAfter(
   std::vector<WriteRecord> out;
   auto it = data_.find(key);
   if (it == data_.end()) return out;
-  for (auto v = it->second.upper_bound(after); v != it->second.end(); ++v) {
+  const VersionMap& versions = it->second.versions;
+  for (auto v = versions.upper_bound(after); v != versions.end(); ++v) {
     out.push_back(v->second);
   }
   return out;
@@ -166,15 +239,28 @@ std::vector<std::pair<Key, Timestamp>> VersionedStore::Digest() const {
 
 void VersionedStore::ForEachLatest(
     const std::function<void(const Key&, const Timestamp&)>& fn) const {
-  for (const auto& [key, versions] : data_) {
-    if (!versions.empty()) fn(key, versions.rbegin()->first);
+  for (const auto& [key, st] : data_) {
+    if (!st.versions.empty()) fn(key, st.versions.rbegin()->first);
   }
+}
+
+std::vector<uint64_t> VersionedStore::BucketHashes() const {
+  std::vector<uint64_t> out;
+  out.reserve(kDigestBuckets);
+  for (const BucketState& b : buckets_) out.push_back(b.hash);
+  return out;
+}
+
+void VersionedStore::ForEachLatestInBucket(
+    size_t bucket,
+    const std::function<void(const Key&, const Timestamp&)>& fn) const {
+  for (const auto& [key, ts] : buckets_[bucket].latest) fn(key, ts);
 }
 
 void VersionedStore::ForEachVersion(
     const std::function<void(const WriteRecord&)>& fn) const {
-  for (const auto& [key, versions] : data_) {
-    for (const auto& [ts, w] : versions) fn(w);
+  for (const auto& [key, st] : data_) {
+    for (const auto& [ts, w] : st.versions) fn(w);
   }
 }
 
@@ -182,37 +268,43 @@ void VersionedStore::ForEachVersionOf(
     const Key& key, const std::function<void(const WriteRecord&)>& fn) const {
   auto it = data_.find(key);
   if (it == data_.end()) return;
-  for (const auto& [ts, w] : it->second) fn(w);
+  for (const auto& [ts, w] : it->second.versions) fn(w);
 }
 
 const WriteRecord* VersionedStore::AnyRecord() const {
-  for (const auto& [key, versions] : data_) {
-    if (!versions.empty()) return &versions.begin()->second;
+  for (const auto& [key, st] : data_) {
+    if (!st.versions.empty()) return &st.versions.begin()->second;
   }
   return nullptr;
+}
+
+size_t VersionedStore::EraseAccounted(VersionMap& versions,
+                                      VersionMap::iterator first,
+                                      VersionMap::iterator last) {
+  size_t dropped = 0;
+  for (auto v = first; v != last;) {
+    approx_bytes_ -= std::min(approx_bytes_, RecordBytes(v->second));
+    v = versions.erase(v);
+    dropped++;
+  }
+  return dropped;
 }
 
 size_t VersionedStore::GarbageCollect(const Key& key,
                                       const Timestamp& before) {
   auto it = data_.find(key);
   if (it == data_.end()) return 0;
-  VersionMap& versions = it->second;
-  auto horizon = versions.lower_bound(before);
-  if (horizon == versions.begin()) return 0;
+  KeyState& st = it->second;
+  auto horizon = st.versions.lower_bound(before);
+  if (horizon == st.versions.begin()) return 0;
   // Fold [begin, horizon) into a single Put that preserves the visible value
   // at `before`, then drop the prefix.
-  ReadVersion folded = FoldUpTo(versions, horizon);
-  size_t dropped = 0;
-  auto last_kept = std::prev(horizon);
-  Timestamp fold_ts = last_kept->first;
-  for (auto v = versions.begin(); v != horizon;) {
-    approx_bytes_ -=
-        std::min(approx_bytes_,
-                 v->second.key.size() + v->second.value.size() +
-                     v->second.SibBytes() + 16);
-    v = versions.erase(v);
-    dropped++;
-  }
+  ReadVersion folded = FoldUpTo(st.versions, horizon);
+  Timestamp fold_ts = std::prev(horizon)->first;
+  std::optional<Timestamp> was = LatestOf(st.versions);
+  size_t dropped = EraseAccounted(st.versions, st.versions.begin(), horizon);
+  st.fold_valid = false;
+  PatchDigest(key, was, LatestOf(st.versions));
   if (folded.found) {
     WriteRecord base;
     base.key = key;
@@ -229,7 +321,8 @@ std::optional<Timestamp> VersionedStore::NewestPutTimestamp(
     const Key& key) const {
   auto it = data_.find(key);
   if (it == data_.end()) return std::nullopt;
-  for (auto v = it->second.rbegin(); v != it->second.rend(); ++v) {
+  const VersionMap& versions = it->second.versions;
+  for (auto v = versions.rbegin(); v != versions.rend(); ++v) {
     if (v->second.kind == WriteKind::kPut) return v->first;
   }
   return std::nullopt;
@@ -239,9 +332,10 @@ std::optional<Timestamp> VersionedStore::NewestPutWithin(
     const Key& key, size_t max_walk) const {
   auto it = data_.find(key);
   if (it == data_.end()) return std::nullopt;
+  const VersionMap& versions = it->second.versions;
   size_t walked = 0;
-  for (auto v = it->second.rbegin();
-       v != it->second.rend() && walked < max_walk; ++v, ++walked) {
+  for (auto v = versions.rbegin(); v != versions.rend() && walked < max_walk;
+       ++v, ++walked) {
     if (v->second.kind == WriteKind::kPut) return v->first;
   }
   return std::nullopt;
@@ -251,23 +345,19 @@ size_t VersionedStore::DropVersionsBefore(const Key& key,
                                           const Timestamp& before) {
   auto it = data_.find(key);
   if (it == data_.end()) return 0;
-  VersionMap& versions = it->second;
-  size_t dropped = 0;
-  for (auto v = versions.begin();
-       v != versions.end() && v->first < before;) {
-    approx_bytes_ -=
-        std::min(approx_bytes_,
-                 v->second.key.size() + v->second.value.size() +
-                     v->second.SibBytes() + 16);
-    v = versions.erase(v);
-    dropped++;
-  }
+  KeyState& st = it->second;
+  auto last = st.versions.lower_bound(before);
+  if (last == st.versions.begin()) return 0;
+  std::optional<Timestamp> was = LatestOf(st.versions);
+  size_t dropped = EraseAccounted(st.versions, st.versions.begin(), last);
+  st.fold_valid = false;
+  PatchDigest(key, was, LatestOf(st.versions));
   return dropped;
 }
 
 size_t VersionedStore::VersionCount() const {
   size_t n = 0;
-  for (const auto& [key, versions] : data_) n += versions.size();
+  for (const auto& [key, st] : data_) n += st.versions.size();
   return n;
 }
 

@@ -7,6 +7,23 @@
 // the same writes in any order converge to the same value — this is the
 // paper's convergence/eventual-consistency guarantee (Section 5.1.4) and its
 // total order on writes per item (Read Uncommitted, Section 5.1.1).
+//
+// Two structures keep the steady-state cost proportional to the *diff*, not
+// the dataset:
+//
+//  * Fold cache — the folded ReadVersion over a key's full version set is
+//    memoized per key. In-order Apply (the common case: timestamps mostly
+//    arrive ascending) updates the memo incrementally in O(1); out-of-order
+//    inserts and GC invalidate it. Bound-free Read / ScanVisit / ReadAtLeast
+//    are then O(log keys) instead of O(versions-per-key) delta decoding.
+//
+//  * Bucketed digest — every key hashes into one of kDigestBuckets buckets;
+//    each bucket maintains an order-independent XOR hash over its
+//    (key, latest-timestamp) entries, patched incrementally on every
+//    mutation. Anti-entropy can compare B bucket hashes instead of
+//    serializing the whole keyspace, and enumerate only mismatched buckets.
+//    Equal hashes imply equal entry sets up to a 2^-64 collision — the
+//    standard Merkle-style trade, and the periodic re-sync retries anyway.
 
 #ifndef HAT_VERSION_VERSIONED_STORE_H_
 #define HAT_VERSION_VERSIONED_STORE_H_
@@ -25,6 +42,14 @@ namespace hat::version {
 /// Per-key multi-version storage.
 class VersionedStore {
  public:
+  /// Number of digest buckets. Sized so a ~100k-key store keeps bucket
+  /// populations around 100 keys: a small diff then touches few buckets and
+  /// round 2 of digest repair ships ~(diff x bucket-size) entries instead of
+  /// the whole keyspace.
+  static constexpr size_t kDigestBuckets = 1024;
+
+  VersionedStore() : buckets_(kDigestBuckets) {}
+
   /// Inserts a version. Duplicate (key, ts) insertions are idempotent —
   /// required because anti-entropy may deliver a write many times. Returns
   /// true if the version was new.
@@ -72,8 +97,8 @@ class VersionedStore {
   std::vector<WriteRecord> VersionsAfter(const Key& key,
                                          const Timestamp& after) const;
 
-  /// All (key, latest timestamp) pairs — the digest exchanged by
-  /// anti-entropy.
+  /// All (key, latest timestamp) pairs — the flat digest exchanged by
+  /// legacy anti-entropy.
   std::vector<std::pair<Key, Timestamp>> Digest() const;
 
   /// Visitor form of Digest(): streams (key, latest timestamp) pairs without
@@ -94,6 +119,37 @@ class VersionedStore {
   /// the store is empty. O(1); used to derive shard-wide facts (e.g. the
   /// peer-replica set) without walking every version.
   const WriteRecord* AnyRecord() const;
+
+  // ---- bucketed digest -----------------------------------------------------
+
+  /// Digest bucket a key belongs to (stable hash of the key bytes).
+  static size_t DigestBucketOf(const Key& key);
+
+  /// Incremental hash of one bucket: XOR over H(key, latest-ts) of every key
+  /// in it. Two stores agree on a bucket's hash iff (modulo 64-bit
+  /// collisions) they hold the same latest version for every key in it.
+  uint64_t BucketHash(size_t bucket) const { return buckets_[bucket].hash; }
+
+  /// All kDigestBuckets bucket hashes (round 1 of bucketed digest repair).
+  std::vector<uint64_t> BucketHashes() const;
+
+  /// Streams (key, latest-ts) for the keys of one bucket only — round 2 of
+  /// digest repair enumerates just the mismatched buckets. O(bucket size).
+  void ForEachLatestInBucket(
+      size_t bucket,
+      const std::function<void(const Key&, const Timestamp&)>& fn) const;
+
+  /// Number of keys currently hashed into `bucket`.
+  size_t BucketKeyCount(size_t bucket) const {
+    return buckets_[bucket].latest.size();
+  }
+
+  /// Hash contribution of one (key, latest-ts) digest entry; exposed so a
+  /// digest receiver can recompute a *peer's* bucket hashes from a flat
+  /// per-key digest and short-circuit matching buckets.
+  static uint64_t DigestEntryHash(const Key& key, const Timestamp& ts);
+
+  // --------------------------------------------------------------------------
 
   /// Drops all versions of `key` with ts < `before` except the newest Put at
   /// or below `before` (the fold below `before` collapses into one Put).
@@ -122,7 +178,7 @@ class VersionedStore {
   size_t VersionCount() const;
   size_t VersionCountFor(const Key& key) const {
     auto it = data_.find(key);
-    return it == data_.end() ? 0 : it->second.size();
+    return it == data_.end() ? 0 : it->second.versions.size();
   }
 
   /// Total bytes of values + sibling metadata held (approximate memory use).
@@ -131,11 +187,35 @@ class VersionedStore {
  private:
   // Per key: versions ordered by timestamp.
   using VersionMap = std::map<Timestamp, WriteRecord>;
-  std::map<Key, VersionMap> data_;
+  struct KeyState {
+    VersionMap versions;
+    // Memoized fold over the full version set (bound-free reads). `mutable`:
+    // reads are const but warm the cache.
+    mutable ReadVersion fold;
+    mutable bool fold_valid = false;
+  };
+  // Per digest bucket: incremental XOR hash + the bucket's own latest-ts
+  // index (so mismatched buckets enumerate in O(bucket size), not O(keys)).
+  struct BucketState {
+    uint64_t hash = 0;
+    std::map<Key, Timestamp> latest;
+  };
+
+  std::map<Key, KeyState> data_;
+  std::vector<BucketState> buckets_;
   size_t approx_bytes_ = 0;
 
   static ReadVersion FoldUpTo(const VersionMap& versions,
                               VersionMap::const_iterator end_exclusive);
+  /// The memoized full fold for `st`, computing it on a cold cache.
+  static const ReadVersion& CachedFold(const KeyState& st);
+  static std::optional<Timestamp> LatestOf(const VersionMap& versions);
+  /// Re-points `key`'s digest entry from latest-ts `was` to `now` (either
+  /// may be nullopt for absent), XOR-patching the bucket hash in O(log).
+  void PatchDigest(const Key& key, const std::optional<Timestamp>& was,
+                   const std::optional<Timestamp>& now);
+  size_t EraseAccounted(VersionMap& versions, VersionMap::iterator first,
+                        VersionMap::iterator last);
 };
 
 }  // namespace hat::version

@@ -29,7 +29,9 @@ class AntiEntropyTest : public ::testing::Test {
         [this](net::NodeId to, net::Message m) {
           sent_.push_back(Sent{to, std::move(m)});
         },
-        [this](const WriteRecord& w, net::PutMode) { installed_.push_back(w); });
+        [this](const WriteRecord& w, net::PutMode, net::NodeId) {
+          installed_.push_back(w);
+        });
   }
 
   WriteRecord MakeWrite(const Key& key, uint64_t logical) {
@@ -190,6 +192,188 @@ TEST_F(AntiEntropyTest, DigestSyncTickTargetsAPeerReplica) {
     }
   }
   EXPECT_GT(digests, 0u);
+}
+
+TEST_F(AntiEntropyTest, DisabledPushNeverFlushes) {
+  AntiEntropyEngine::Options opts;
+  opts.push_enabled = false;
+  MakeEngine(opts);
+  engine_->Start();
+  engine_->Enqueue(MakeWrite("k", 10), net::PutMode::kEventual, 0);
+  sim_.RunUntil(sim::kSecond);
+  EXPECT_TRUE(SentBatches().empty());
+}
+
+TEST_F(AntiEntropyTest, BucketedTickSendsHashesNotEntries) {
+  AntiEntropyEngine::Options opts;
+  opts.digest_sync_interval = 50 * sim::kMillisecond;
+  opts.bucketed_digest = true;
+  MakeEngine(opts);
+  engine_->Start();
+  good_.Apply(MakeWrite("k", 10));
+  sim_.RunUntil(200 * sim::kMillisecond);
+  size_t bucket_digests = 0;
+  for (const auto& s : sent_) {
+    EXPECT_FALSE(std::holds_alternative<net::DigestRequest>(s.msg))
+        << "bucketed ticks must not ship per-key digests";
+    if (const auto* bd = std::get_if<net::BucketDigest>(&s.msg)) {
+      EXPECT_EQ(bd->hashes.size(), version::VersionedStore::kDigestBuckets);
+      bucket_digests++;
+    }
+  }
+  EXPECT_GT(bucket_digests, 0u);
+  EXPECT_GT(engine_->stats().digest_ticks, 0u);
+  EXPECT_EQ(engine_->stats().digest_entries_out, 0u);
+}
+
+TEST_F(AntiEntropyTest, MatchingBucketHashesEndTheProtocol) {
+  MakeEngine();
+  good_.Apply(MakeWrite("k", 10));
+  // A peer with identical state sends identical hashes: no round 2 at all.
+  engine_->HandleBucketDigest(net::BucketDigest{good_.BucketHashes()}, kPeer);
+  EXPECT_TRUE(sent_.empty());
+}
+
+TEST_F(AntiEntropyTest, BucketDigestRepliesScopedToMismatchedBuckets) {
+  MakeEngine();
+  good_.Apply(MakeWrite("a", 10));
+  good_.Apply(MakeWrite("b", 20));
+  // Peer state: missing "b" but otherwise identical.
+  version::VersionedStore peer;
+  peer.Apply(MakeWrite("a", 10));
+  engine_->HandleBucketDigest(net::BucketDigest{peer.BucketHashes()}, kPeer);
+  ASSERT_EQ(sent_.size(), 1u);
+  const auto* req = std::get_if<net::DigestRequest>(&sent_[0].msg);
+  ASSERT_NE(req, nullptr);
+  EXPECT_TRUE(req->reply_allowed);
+  ASSERT_FALSE(req->buckets.empty());
+  size_t b_bucket = version::VersionedStore::DigestBucketOf("b");
+  bool covers_b = false;
+  for (uint32_t b : req->buckets) {
+    if (b == b_bucket) covers_b = true;
+  }
+  EXPECT_TRUE(covers_b);
+  // Entries are our keys in the mismatched buckets only — and each entry
+  // must belong to an advertised bucket.
+  for (const auto& [k, ts] : req->latest) {
+    bool in_scope = false;
+    for (uint32_t b : req->buckets) {
+      if (version::VersionedStore::DigestBucketOf(k) == b) in_scope = true;
+    }
+    EXPECT_TRUE(in_scope) << k;
+  }
+}
+
+TEST_F(AntiEntropyTest, ScopedDigestBackfillsOnlyThoseBuckets) {
+  MakeEngine();
+  good_.Apply(MakeWrite("a", 10));
+  good_.Apply(MakeWrite("b", 20));
+  // Round-2 request scoped to b's bucket from a peer that has nothing there.
+  net::DigestRequest req;
+  req.buckets = {
+      static_cast<uint32_t>(version::VersionedStore::DigestBucketOf("b"))};
+  engine_->HandleDigest(req, kPeer);
+  auto batches = SentBatches();
+  size_t shipped = 0;
+  for (const auto* batch : batches) {
+    for (const auto& w : batch->writes) {
+      EXPECT_EQ(version::VersionedStore::DigestBucketOf(w.key),
+                version::VersionedStore::DigestBucketOf("b"));
+      shipped++;
+    }
+  }
+  EXPECT_GE(shipped, 1u);
+}
+
+TEST_F(AntiEntropyTest, BucketedSyncTransmitsDiffNotDataset) {
+  // The acceptance bar for the bucketed protocol: a sync over a 100k-key
+  // store with a 50-write diff must ship asymptotically fewer digest
+  // entries than the flat all-keys digest, while still repairing the diff.
+  constexpr size_t kKeys = 100000;
+  constexpr size_t kDiff = 50;
+  MakeEngine();
+  version::VersionedStore peer;  // the out-of-date replica
+  for (size_t i = 0; i < kKeys; i++) {
+    auto w = MakeWrite("key" + std::to_string(i), 10);
+    good_.Apply(w);
+    peer.Apply(w);
+  }
+  for (size_t i = 0; i < kDiff; i++) {
+    good_.Apply(MakeWrite("key" + std::to_string(i * 1999), 77));
+  }
+
+  // Round 1: the peer's hashes arrive; we answer with scoped digests.
+  engine_->HandleBucketDigest(net::BucketDigest{peer.BucketHashes()}, kPeer);
+  ASSERT_EQ(sent_.size(), 1u);
+  const auto& scoped = std::get<net::DigestRequest>(sent_[0].msg);
+  EXPECT_EQ(engine_->stats().digest_entries_out, scoped.latest.size());
+  // Flat protocol ships one entry per key; bucketed ships only the
+  // mismatched buckets' populations (~ diff x keys-per-bucket).
+  EXPECT_LE(scoped.latest.size(), kKeys / 10);
+  EXPECT_LT(net::WireBytes(net::Message{scoped}) +
+                net::WireBytes(net::Message{net::BucketDigest{
+                    peer.BucketHashes()}}),
+            net::WireBytes(net::Message{net::DigestRequest{good_.Digest()}}));
+
+  // Round 2 (as the peer's engine would run it): feed the scoped digest to
+  // an engine owning the peer store; it must back-fill exactly the diff.
+  std::vector<Sent> peer_sent;
+  AntiEntropyEngine peer_engine(
+      sim_, kPeer, &partitioner_, peer, AntiEntropyEngine::Options{},
+      [&peer_sent](net::NodeId to, net::Message m) {
+        peer_sent.push_back(Sent{to, std::move(m)});
+      },
+      [&peer](const WriteRecord& w, net::PutMode, net::NodeId) {
+        peer.Apply(w);
+      });
+  // The scoped request carries OUR entries; the peer answers with what we
+  // are missing (nothing) and, seeing it lacks data, sends its own scoped
+  // digest back — which we answer with the 50 records.
+  peer_engine.HandleDigest(scoped, kSelf);
+  const net::DigestRequest* reverse = nullptr;
+  for (const auto& s : peer_sent) {
+    ASSERT_FALSE(std::holds_alternative<net::AntiEntropyBatch>(s.msg))
+        << "peer has nothing we lack; no records should flow to us";
+    if (const auto* d = std::get_if<net::DigestRequest>(&s.msg)) reverse = d;
+  }
+  ASSERT_NE(reverse, nullptr);
+  EXPECT_FALSE(reverse->reply_allowed);
+  engine_->HandleDigest(*reverse, kPeer);
+  size_t repaired = 0;
+  for (const auto* batch : SentBatches()) repaired += batch->writes.size();
+  EXPECT_EQ(repaired, kDiff);
+  EXPECT_EQ(engine_->stats().records_out, kDiff);
+  for (const auto& s : sent_) {
+    if (const auto* batch = std::get_if<net::AntiEntropyBatch>(&s.msg)) {
+      for (const auto& w : batch->writes) peer.Apply(w);
+    }
+  }
+  EXPECT_EQ(peer.VersionCount(), good_.VersionCount());
+  EXPECT_EQ(peer.BucketHashes(), good_.BucketHashes());
+}
+
+TEST_F(AntiEntropyTest, DigestRepliesCappedByBytes) {
+  AntiEntropyEngine::Options opts;
+  opts.batch_max = 1000;           // count cap out of the way
+  opts.batch_max_bytes = 4 * 1024; // bytes cap drives the splits
+  MakeEngine(opts);
+  for (int i = 0; i < 16; i++) {
+    WriteRecord w = MakeWrite("big" + std::to_string(i), 10);
+    w.value.assign(1024, 'x');
+    good_.Apply(w);
+  }
+  net::DigestRequest req;  // empty: the peer has nothing
+  engine_->HandleDigest(req, kPeer);
+  auto batches = SentBatches();
+  ASSERT_GE(batches.size(), 4u);
+  size_t total = 0;
+  for (const auto* batch : batches) {
+    EXPECT_LE(net::WireBytes(net::Message{*batch}),
+              opts.batch_max_bytes + 2048)  // one record may overshoot
+        << "reply batches must respect the byte cap";
+    total += batch->writes.size();
+  }
+  EXPECT_EQ(total, 16u);
 }
 
 TEST_F(AntiEntropyTest, ClearDropsOutboxesAndInflight) {

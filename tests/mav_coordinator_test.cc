@@ -26,7 +26,7 @@ class MavCoordinatorTest : public ::testing::Test {
         [this](net::NodeId to, net::Message m) {
           notifies_.emplace_back(to, std::get<net::NotifyRequest>(m));
         },
-        [this](const WriteRecord& w) { gossiped_.push_back(w); },
+        [this](const WriteRecord& w, net::NodeId) { gossiped_.push_back(w); },
         [](const Key&) {});
   }
 

@@ -392,6 +392,65 @@ TEST_F(ServerTest, DigestSyncOnlySendsMissingVersions) {
   EXPECT_EQ(deployment_->TotalServerStats().ae_records_out, 0u);
 }
 
+TEST_F(ServerTest, GossipEchoSuppressedInTwoReplicaCluster) {
+  Build();  // 2 clusters -> every key has exactly 2 replicas
+  net::NodeId r0 = deployment_->ReplicaInCluster("k", 0);
+  ASSERT_TRUE(Put(r0, MakeWrite("k", "v", 10), net::PutMode::kEventual));
+  Settle();
+  // One write, one peer: exactly one record crosses the wire. Before echo
+  // suppression the receiver re-gossiped it back to its sender and
+  // records_out double-counted every write.
+  EXPECT_EQ(deployment_->TotalServerStats().ae_records_out, 1u);
+  net::NodeId r1 = deployment_->ReplicaInCluster("k", 1);
+  EXPECT_TRUE(deployment_->server(r1).good().Contains("k", {10, 7}));
+}
+
+TEST_F(ServerTest, MavGossipEchoSuppressedToo) {
+  Build();
+  net::NodeId r0 = deployment_->ReplicaInCluster("k", 0);
+  ASSERT_TRUE(Put(r0, MakeWrite("k", "v", 10, {"k"}), net::PutMode::kMav));
+  Settle();
+  EXPECT_EQ(deployment_->TotalServerStats().ae_records_out, 1u);
+}
+
+TEST_F(ServerTest, CrashedReplicaReconvergesViaBucketedRepairAlone) {
+  // Push outboxes are disabled, so bucketed digest repair is the only
+  // propagation mechanism: after a crash wipes one replica, periodic ticks
+  // must rebuild identical version sets and folded values from the peer.
+  sim_ = std::make_unique<sim::Simulation>(5);
+  DeploymentOptions opts;
+  opts.clusters = {{net::Region::kVirginia, 0}, {net::Region::kVirginia, 1}};
+  opts.servers_per_cluster = 1;
+  opts.server.durable = false;
+  opts.server.ae_push_enabled = false;
+  opts.server.digest_sync_interval = 200 * sim::kMillisecond;
+  opts.server.max_versions_per_key = 0;  // keep exact version sets comparable
+  deployment_ = std::make_unique<Deployment>(*sim_, opts);
+  net::NodeId r0 = deployment_->ReplicaInCluster("key0", 0);
+  net::NodeId r1 = deployment_->ReplicaInCluster("key0", 1);
+  for (uint64_t i = 0; i < 300; i++) {
+    auto w = MakeWrite("key" + std::to_string(i), "v", 10 + i);
+    deployment_->server(r0).InstallForTest(w);
+    deployment_->server(r1).InstallForTest(w);
+  }
+  deployment_->server(r1).Crash();
+  ASSERT_EQ(deployment_->server(r1).good().VersionCount(), 0u);
+
+  Settle(3 * sim::kSecond);  // a handful of digest ticks
+  const auto& s0 = deployment_->server(r0).good();
+  const auto& s1 = deployment_->server(r1).good();
+  EXPECT_EQ(s1.VersionCount(), s0.VersionCount());
+  EXPECT_EQ(s1.KeyCount(), s0.KeyCount());
+  for (uint64_t i = 0; i < 300; i++) {
+    Key k = "key" + std::to_string(i);
+    EXPECT_EQ(s1.Read(k).value, s0.Read(k).value) << k;
+    EXPECT_EQ(s1.Read(k).ts, s0.Read(k).ts) << k;
+  }
+  // And the repair was digest-driven, not push-driven.
+  EXPECT_EQ(deployment_->TotalServerStats().ae_records_out, 300u);
+  EXPECT_GT(deployment_->TotalServerStats().ae_digest_ticks, 0u);
+}
+
 // ------------------------------ crash/recovery ----------------------------
 
 TEST_F(ServerTest, CrashLosesVolatileState) {

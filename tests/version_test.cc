@@ -277,6 +277,141 @@ TEST(VersionedStoreTest, DropBeforeIsConvergenceSafeWithLateArrivals) {
   EXPECT_EQ(*DecodeInt64Value(a.Read("x").value), 101);
 }
 
+// --------------------------- fold cache ------------------------------------
+
+TEST(FoldCacheTest, WarmCacheTracksColdFoldUnderRandomTraffic) {
+  // Property: a store that is read after every Apply (warm fold cache,
+  // exercising the incremental-append path) must agree with a store that
+  // receives the same writes but is only folded cold at each checkpoint.
+  Rng rng(7);
+  for (int trial = 0; trial < 20; trial++) {
+    VersionedStore warm, cold;
+    std::vector<WriteRecord> writes;
+    for (int i = 1; i <= 40; i++) {
+      // Mix in-order appends with out-of-order (invalidating) inserts and
+      // non-numeric Puts under Deltas.
+      uint64_t logical = rng.NextBool(0.7)
+                             ? static_cast<uint64_t>(100 + i)
+                             : 1 + rng.NextBelow(99);
+      WriteRecord w = rng.NextBool(0.5)
+                          ? Put("k", rng.NextBool(0.8)
+                                         ? EncodeInt64Value(rng.NextInRange(
+                                               -100, 100))
+                                         : Value("not-a-number"),
+                                logical, 1 + i % 3)
+                          : Delta("k", rng.NextInRange(-10, 10), logical,
+                                  1 + i % 3);
+      writes.push_back(w);
+      warm.Apply(w);
+      auto warm_rv = warm.Read("k");  // warms/extends the cache every step
+      VersionedStore fresh;
+      for (const auto& replay : writes) fresh.Apply(replay);
+      auto cold_rv = fresh.Read("k");
+      EXPECT_EQ(warm_rv.value, cold_rv.value) << "trial " << trial
+                                              << " step " << i;
+      EXPECT_EQ(warm_rv.ts, cold_rv.ts);
+    }
+  }
+}
+
+TEST(FoldCacheTest, OutOfOrderDeltaInvalidatesCachedFold) {
+  VersionedStore store;
+  store.Apply(Delta("ctr", 2, 2));
+  store.Apply(Delta("ctr", 4, 4));
+  EXPECT_EQ(DecodeInt64Value(store.Read("ctr").value), 6);  // cache warm
+  store.Apply(Delta("ctr", 3, 3));  // lands in the middle of the chain
+  EXPECT_EQ(DecodeInt64Value(store.Read("ctr").value), 9);
+}
+
+TEST(FoldCacheTest, LatePutBelowCachedDeltasRefoldsCorrectly) {
+  VersionedStore store;
+  store.Apply(Delta("ctr", 5, 4));
+  EXPECT_EQ(DecodeInt64Value(store.Read("ctr").value), 5);
+  store.Apply(Put("ctr", EncodeInt64Value(100), 3));  // late base
+  EXPECT_EQ(DecodeInt64Value(store.Read("ctr").value), 105);
+}
+
+TEST(FoldCacheTest, GcInvalidatesCachedFold) {
+  VersionedStore store;
+  store.Apply(Put("bal", EncodeInt64Value(10), 1));
+  store.Apply(Delta("bal", 5, 2));
+  store.Apply(Delta("bal", 1, 3));
+  int64_t before = *DecodeInt64Value(store.Read("bal").value);  // warm
+  store.GarbageCollect("bal", Timestamp{3, 0});
+  EXPECT_EQ(*DecodeInt64Value(store.Read("bal").value), before);
+  store.Apply(Put("x", EncodeInt64Value(1), 1));
+  store.Apply(Put("x", EncodeInt64Value(2), 2));
+  EXPECT_EQ(store.Read("x").ts, (Timestamp{2, 1}));  // warm
+  store.DropVersionsBefore("x", Timestamp{2, 1});
+  EXPECT_EQ(*DecodeInt64Value(store.Read("x").value), 2);
+}
+
+// ------------------------- bucketed digest ---------------------------------
+
+TEST(BucketDigestTest, HashesAreOrderIndependent) {
+  VersionedStore a, b;
+  std::vector<WriteRecord> writes;
+  for (int i = 0; i < 50; i++) {
+    writes.push_back(Put("key" + std::to_string(i % 17), "v", 1 + i));
+  }
+  for (const auto& w : writes) a.Apply(w);
+  for (auto it = writes.rbegin(); it != writes.rend(); ++it) b.Apply(*it);
+  EXPECT_EQ(a.BucketHashes(), b.BucketHashes());
+}
+
+TEST(BucketDigestTest, DifferingLatestVersionFlipsExactlyItsBucket) {
+  VersionedStore a, b;
+  for (int i = 0; i < 100; i++) {
+    auto w = Put("key" + std::to_string(i), "v", 5);
+    a.Apply(w);
+    b.Apply(w);
+  }
+  EXPECT_EQ(a.BucketHashes(), b.BucketHashes());
+  a.Apply(Put("key42", "newer", 9));
+  auto ha = a.BucketHashes(), hb = b.BucketHashes();
+  size_t diffs = 0;
+  for (size_t i = 0; i < ha.size(); i++) diffs += ha[i] != hb[i];
+  EXPECT_EQ(diffs, 1u);
+  EXPECT_NE(ha[VersionedStore::DigestBucketOf("key42")],
+            hb[VersionedStore::DigestBucketOf("key42")]);
+}
+
+TEST(BucketDigestTest, OlderVersionArrivalLeavesHashUntouched) {
+  VersionedStore a, b;
+  a.Apply(Put("k", "new", 9));
+  b.Apply(Put("k", "new", 9));
+  a.Apply(Put("k", "old", 2));  // does not change k's latest
+  EXPECT_EQ(a.BucketHashes(), b.BucketHashes());
+}
+
+TEST(BucketDigestTest, GcPreservesBucketHashes) {
+  VersionedStore store, fresh;
+  for (int i = 1; i <= 10; i++) {
+    store.Apply(Put("k", "v" + std::to_string(i), i));
+  }
+  fresh.Apply(Put("k", "v10", 10));
+  store.DropVersionsBefore("k", Timestamp{10, 1});
+  EXPECT_EQ(store.BucketHashes(), fresh.BucketHashes());
+}
+
+TEST(BucketDigestTest, ForEachLatestInBucketPartitionsTheKeyspace) {
+  VersionedStore store;
+  for (int i = 0; i < 200; i++) {
+    store.Apply(Put("key" + std::to_string(i), "v", 1 + i));
+  }
+  size_t seen = 0;
+  for (size_t b = 0; b < VersionedStore::kDigestBuckets; b++) {
+    store.ForEachLatestInBucket(
+        b, [&](const Key& key, const Timestamp& ts) {
+          EXPECT_EQ(VersionedStore::DigestBucketOf(key), b);
+          EXPECT_EQ(store.LatestTimestamp(key), ts);
+          seen++;
+        });
+    EXPECT_EQ(store.BucketKeyCount(b) > 0, store.BucketHash(b) != 0);
+  }
+  EXPECT_EQ(seen, store.KeyCount());
+}
+
 // ------------------------------- wire -------------------------------------
 
 TEST(WireTest, WriteRecordRoundTrip) {
