@@ -32,6 +32,11 @@ Deployment::Deployment(sim::Simulation& sim, DeploymentOptions options)
     : sim_(sim), options_(std::move(options)) {
   assert(!options_.clusters.empty());
   assert(options_.servers_per_cluster > 0);
+  assert(options_.server.shards_per_server > 0);
+  // Compose server- and shard-level hash placement (see file comment):
+  // every server routes a key to local shard (Fnv1a64(key) % L) / stride.
+  options_.server.shard_placement_stride =
+      static_cast<size_t>(options_.servers_per_cluster);
 
   net::Topology topology(options_.latency);
   for (const auto& spec : options_.clusters) {
@@ -60,6 +65,11 @@ Deployment::~Deployment() = default;
 int Deployment::ShardOf(const Key& key) const {
   return static_cast<int>(Fnv1a64(key.data(), key.size()) %
                           static_cast<uint64_t>(options_.servers_per_cluster));
+}
+
+int Deployment::LogicalShardOf(const Key& key) const {
+  return static_cast<int>(Fnv1a64(key.data(), key.size()) %
+                          static_cast<uint64_t>(NumLogicalShards()));
 }
 
 net::NodeId Deployment::ServerId(int cluster, int shard) const {

@@ -6,6 +6,16 @@
 // typically one cluster per datacenter. A key's replicas are the servers
 // owning its hash shard, one per cluster; its master is a deterministically
 // "random" cluster's replica.
+//
+// Each cluster's copy is split into L = servers_per_cluster x
+// shards_per_server *logical shards*: a key's logical shard is
+// Fnv1a64(key) % L, the server hosting it is logical_shard %
+// servers_per_cluster (identical to the classic Fnv1a64(key) %
+// servers_per_cluster — raising shards_per_server never moves keys between
+// servers), and the hosting server stores it in local shard
+// logical_shard / servers_per_cluster of its ShardedStore. The deployment
+// wires ServerOptions::shard_placement_stride so every server's local
+// routing agrees with this placement.
 
 #ifndef HAT_CLUSTER_DEPLOYMENT_H_
 #define HAT_CLUSTER_DEPLOYMENT_H_
@@ -61,7 +71,24 @@ class Deployment : public server::Partitioner, public client::Routing {
   sim::Simulation& simulation() { return sim_; }
   net::Network& network() { return *network_; }
   int ServersPerCluster() const { return options_.servers_per_cluster; }
+  int ShardsPerServer() const {
+    return static_cast<int>(options_.server.shards_per_server);
+  }
+  /// Logical shards per cluster copy (servers_per_cluster x
+  /// shards_per_server).
+  int NumLogicalShards() const {
+    return options_.servers_per_cluster * ShardsPerServer();
+  }
+  /// The server-level shard of `key` within a cluster (which server hosts
+  /// it): LogicalShardOf(key) % ServersPerCluster().
   int ShardOf(const Key& key) const;
+  /// The logical shard of `key` within a cluster copy.
+  int LogicalShardOf(const Key& key) const;
+  /// The local shard index `key` occupies inside its hosting server's
+  /// ShardedStore.
+  int LocalShardOf(const Key& key) const {
+    return LogicalShardOf(key) / options_.servers_per_cluster;
+  }
   net::NodeId ServerId(int cluster, int shard) const;
   server::ReplicaServer& server(net::NodeId id) { return *servers_.at(id); }
   const server::ReplicaServer& server(net::NodeId id) const {

@@ -32,10 +32,12 @@ size_t WireBytes(const Message& msg) {
                } else if constexpr (std::is_same_v<T, NotifyRequest>) {
                  return 16;
                } else if constexpr (std::is_same_v<T, DigestRequest>) {
-                 size_t n = 4 + 4 * m.buckets.size();
+                 size_t n = 8 + 4 * m.buckets.size();
                  for (const auto& [k, ts] : m.latest) n += k.size() + 18;
                  return n;
                } else if constexpr (std::is_same_v<T, BucketDigest>) {
+                 return 8 + 8 * m.hashes.size();
+               } else if constexpr (std::is_same_v<T, ShardDigest>) {
                  return 4 + 8 * m.hashes.size();
                } else if constexpr (std::is_same_v<T, AntiEntropyBatch>) {
                  size_t n = 8;

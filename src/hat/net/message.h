@@ -116,18 +116,33 @@ struct DigestRequest {
   /// so repair works in both directions without recursing further.
   bool reply_allowed = true;
   /// Empty: `latest` covers the sender's whole keyspace (flat protocol).
-  /// Non-empty: round 2 of bucketed repair — `latest` covers exactly the
-  /// sender's keys in these digest buckets, and the receiver's answer is
-  /// scoped to them too.
+  /// Non-empty: the bucket-scoped round of sharded digest repair — `latest`
+  /// covers exactly the sender's keys in these digest buckets of `shard`,
+  /// and the receiver's answer is scoped to them too.
   std::vector<uint32_t> buckets;
+  /// Local shard the scoped request refers to. Meaningful only when
+  /// `buckets` is non-empty (flat digests span every shard).
+  uint32_t shard = 0;
 };
 
-/// Round 1 of bucketed digest repair: the sender's per-bucket incremental
-/// hashes over (key, latest-ts) entries (VersionedStore::kDigestBuckets of
-/// them). The receiver compares with its own buckets and answers with a
-/// bucket-scoped DigestRequest for the mismatches only — so a sync tick on
-/// an in-sync store costs B hashes, not one digest entry per key.
+/// Per-bucket round of sharded digest repair: the sender's incremental
+/// bucket hashes over (key, latest-ts) entries for one shard
+/// (VersionedStore::digest_buckets() of them). The receiver compares with
+/// its own buckets for that shard and answers with a bucket-scoped
+/// DigestRequest for the mismatches only — so a shard whose round-0 summary
+/// disagreed costs B hashes, not one digest entry per key.
 struct BucketDigest {
+  std::vector<uint64_t> hashes;
+  /// Local shard these bucket hashes describe.
+  uint32_t shard = 0;
+};
+
+/// Round 0 of sharded digest repair: one roll-up hash per local shard
+/// (ShardedStore::ShardHashes()). The receiver compares with its own shard
+/// summaries and answers with a BucketDigest for each mismatched shard —
+/// an in-sync tick costs S hashes total, and a diff confined to one shard
+/// ships bucket hashes for that shard only.
+struct ShardDigest {
   std::vector<uint64_t> hashes;
 };
 
@@ -152,8 +167,8 @@ using Message =
     std::variant<PingRequest, PingResponse, PutRequest, PutResponse,
                  GetRequest, GetResponse, ScanRequest, ScanResponse,
                  NotifyRequest, AntiEntropyBatch, AntiEntropyAck,
-                 DigestRequest, BucketDigest, LockRequest, LockResponse,
-                 UnlockRequest>;
+                 DigestRequest, BucketDigest, ShardDigest, LockRequest,
+                 LockResponse, UnlockRequest>;
 
 /// A message in flight.
 struct Envelope {

@@ -10,16 +10,24 @@ namespace {
 constexpr size_t kAppliedBatchMemory = 4096;
 constexpr sim::Duration kMaxBackoff = 8 * sim::kSecond;
 
+using version::ShardedStore;
 using version::VersionedStore;
 
-/// Recomputes a peer's bucket hashes from its flat per-key digest. Matches
-/// VersionedStore's incremental maintenance by construction (same entry hash,
-/// same XOR aggregation), so bucket-equal regions can be skipped.
-std::vector<uint64_t> BucketHashesOfDigest(
+/// Recomputes a peer's per-(shard, bucket) hashes from its flat per-key
+/// digest. Matches VersionedStore's incremental maintenance by construction
+/// (same entry hash, same XOR aggregation), so bucket-equal regions can be
+/// skipped. Shard/bucket membership is pure key hashing, so our store's
+/// topology buckets the peer's entries identically.
+std::vector<std::vector<uint64_t>> BucketHashesOfDigest(
+    const ShardedStore& ours,
     const std::vector<std::pair<Key, Timestamp>>& latest) {
-  std::vector<uint64_t> hashes(VersionedStore::kDigestBuckets, 0);
+  std::vector<std::vector<uint64_t>> hashes(ours.shard_count());
+  for (size_t s = 0; s < ours.shard_count(); s++) {
+    hashes[s].assign(ours.shard(s).digest_buckets(), 0);
+  }
   for (const auto& [key, ts] : latest) {
-    hashes[VersionedStore::DigestBucketOf(key)] ^=
+    size_t s = ours.ShardIndexOf(key);
+    hashes[s][ours.shard(s).BucketOf(key)] ^=
         VersionedStore::DigestEntryHash(key, ts);
   }
   return hashes;
@@ -28,7 +36,7 @@ std::vector<uint64_t> BucketHashesOfDigest(
 
 AntiEntropyEngine::AntiEntropyEngine(sim::Simulation& sim, net::NodeId id,
                                      const Partitioner* partitioner,
-                                     const version::VersionedStore& good,
+                                     const version::ShardedStore& good,
                                      Options options, SendFn send,
                                      InstallFn install)
     : sim_(sim),
@@ -129,7 +137,10 @@ void AntiEntropyEngine::DigestSyncTick() {
     net::NodeId peer = peers[rng_.NextBelow(peers.size())];
     stats_.digest_ticks++;
     if (options_.bucketed_digest) {
-      SendDigestMessage(peer, net::BucketDigest{good_.BucketHashes()},
+      // Round 0: one roll-up hash per shard. A fully in-sync peer answers
+      // with silence; a diff confined to one shard pulls bucket hashes for
+      // that shard only.
+      SendDigestMessage(peer, net::ShardDigest{good_.ShardHashes()},
                         /*entries=*/0);
     } else {
       net::DigestRequest digest;
@@ -147,34 +158,53 @@ void AntiEntropyEngine::SendDigestMessage(net::NodeId to, net::Message msg,
   send_(to, std::move(msg));
 }
 
+void AntiEntropyEngine::HandleShardDigest(const net::ShardDigest& digest,
+                                          net::NodeId from) {
+  // Round 0 -> round 1: answer with our bucket hashes for each shard whose
+  // roll-up summary disagrees; matching shards drop out of the protocol
+  // before any of their bucket hashes are even serialized.
+  size_t n = std::min(digest.hashes.size(), good_.shard_count());
+  for (size_t s = 0; s < n; s++) {
+    if (digest.hashes[s] == good_.ShardTopHash(s)) continue;
+    net::BucketDigest bd;
+    bd.shard = static_cast<uint32_t>(s);
+    bd.hashes = good_.shard(s).BucketHashes();
+    SendDigestMessage(from, std::move(bd), /*entries=*/0);
+  }
+}
+
 void AntiEntropyEngine::HandleBucketDigest(const net::BucketDigest& digest,
                                            net::NodeId from) {
   // Round 1 -> round 2: advertise our per-key digests for the buckets whose
   // hashes disagree (either side missing or stale there); matching buckets
   // are in sync and drop out of the protocol entirely.
+  if (digest.shard >= good_.shard_count()) return;  // topology mismatch
+  const VersionedStore& store = good_.shard(digest.shard);
   net::DigestRequest scoped;
-  size_t n = std::min(digest.hashes.size(), VersionedStore::kDigestBuckets);
+  scoped.shard = digest.shard;
+  size_t n = std::min(digest.hashes.size(), store.digest_buckets());
   for (size_t b = 0; b < n; b++) {
-    if (digest.hashes[b] == good_.BucketHash(b)) continue;
+    if (digest.hashes[b] == store.BucketHash(b)) continue;
     scoped.buckets.push_back(static_cast<uint32_t>(b));
-    good_.ForEachLatestInBucket(b, [&](const Key& key, const Timestamp& ts) {
+    store.ForEachLatestInBucket(b, [&](const Key& key, const Timestamp& ts) {
       scoped.latest.emplace_back(key, ts);
     });
   }
-  if (scoped.buckets.empty()) return;  // fully in sync
+  if (scoped.buckets.empty()) return;  // shard fully in sync
   size_t entries = scoped.latest.size();
   SendDigestMessage(from, std::move(scoped), entries);
 }
 
 void AntiEntropyEngine::BackfillBucket(
-    size_t bucket, const std::map<Key, Timestamp>& theirs,
+    size_t shard, size_t bucket, const std::map<Key, Timestamp>& theirs,
     const std::function<void(const WriteRecord&)>& add) const {
-  good_.ForEachLatestInBucket(
+  const VersionedStore& store = good_.shard(shard);
+  store.ForEachLatestInBucket(
       bucket, [&](const Key& key, const Timestamp& ours) {
         auto it = theirs.find(key);
         if (it != theirs.end() && ours <= it->second) return;  // they have it
         Timestamp after = it == theirs.end() ? kInitialVersion : it->second;
-        for (const WriteRecord& w : good_.VersionsAfter(key, after)) add(w);
+        for (const WriteRecord& w : store.VersionsAfter(key, after)) add(w);
       });
 }
 
@@ -183,22 +213,31 @@ void AntiEntropyEngine::HandleDigest(const net::DigestRequest& req,
   // Send back every version the requester is missing, in bounded batches
   // (unacknowledged one-shot batches: the requester's next digest will
   // re-trigger anything lost). Work is confined to the digest's buckets:
-  // req.buckets for a scoped round-2 request; for a flat digest, the
-  // requester's bucket hashes are recomputed from its entries so in-sync
-  // buckets cost one comparison instead of a per-key walk.
+  // (req.shard, req.buckets) for a scoped round-2 request; for a flat
+  // digest, the requester's per-shard bucket hashes are recomputed from its
+  // entries so in-sync buckets cost one comparison instead of a per-key
+  // walk.
   const bool scoped = !req.buckets.empty();
+  if (scoped && req.shard >= good_.shard_count()) return;  // topology mismatch
   std::map<Key, Timestamp> theirs;
   for (const auto& [k, ts] : req.latest) theirs.emplace(k, ts);
 
-  std::vector<size_t> mismatched;
+  std::vector<std::pair<size_t, size_t>> mismatched;  // (shard, bucket)
   if (scoped) {
     for (uint32_t b : req.buckets) {
-      if (b < VersionedStore::kDigestBuckets) mismatched.push_back(b);
+      if (b < good_.shard(req.shard).digest_buckets()) {
+        mismatched.emplace_back(req.shard, b);
+      }
     }
   } else {
-    std::vector<uint64_t> their_hashes = BucketHashesOfDigest(req.latest);
-    for (size_t b = 0; b < VersionedStore::kDigestBuckets; b++) {
-      if (their_hashes[b] != good_.BucketHash(b)) mismatched.push_back(b);
+    std::vector<std::vector<uint64_t>> their_hashes =
+        BucketHashesOfDigest(good_, req.latest);
+    for (size_t s = 0; s < good_.shard_count(); s++) {
+      for (size_t b = 0; b < good_.shard(s).digest_buckets(); b++) {
+        if (their_hashes[s][b] != good_.shard(s).BucketHash(b)) {
+          mismatched.emplace_back(s, b);
+        }
+      }
     }
   }
 
@@ -222,19 +261,29 @@ void AntiEntropyEngine::HandleDigest(const net::DigestRequest& req,
       flush();
     }
   };
-  for (size_t b : mismatched) BackfillBucket(b, theirs, add);
+  for (const auto& [s, b] : mismatched) BackfillBucket(s, b, theirs, add);
   flush();
 
   // Reverse direction: if the requester advertises data we lack, answer
   // with our own digest (one round only) so it pushes the difference back.
   // Only entries in mismatched buckets can differ, so only they are probed.
   if (req.reply_allowed) {
-    std::vector<bool> in_scope(VersionedStore::kDigestBuckets, false);
-    for (size_t b : mismatched) in_scope[b] = true;
+    // Flat-bitmap scope test: the requester's (often large) entry list is
+    // probed once per entry, so the lookup must stay O(1).
+    std::vector<std::vector<char>> in_scope(good_.shard_count());
+    for (const auto& [s, b] : mismatched) {
+      if (in_scope[s].empty()) {
+        in_scope[s].assign(good_.shard(s).digest_buckets(), 0);
+      }
+      in_scope[s][b] = 1;
+    }
     bool missing = false;
     for (const auto& [k, ts] : req.latest) {
-      if (!in_scope[VersionedStore::DigestBucketOf(k)]) continue;
-      auto ours = good_.LatestTimestamp(k);
+      size_t s = good_.ShardIndexOf(k);
+      if (in_scope[s].empty() || !in_scope[s][good_.shard(s).BucketOf(k)]) {
+        continue;
+      }
+      auto ours = good_.shard(s).LatestTimestamp(k);
       if (!ours || *ours < ts) {
         missing = true;
         break;
@@ -244,10 +293,11 @@ void AntiEntropyEngine::HandleDigest(const net::DigestRequest& req,
       net::DigestRequest mine;
       mine.reply_allowed = false;
       if (scoped) {
-        // Stay scoped: our entries for the same buckets.
+        // Stay scoped: our entries for the same (shard, buckets).
+        mine.shard = req.shard;
         mine.buckets = req.buckets;
-        for (size_t b : mismatched) {
-          good_.ForEachLatestInBucket(
+        for (const auto& [s, b] : mismatched) {
+          good_.shard(s).ForEachLatestInBucket(
               b, [&](const Key& key, const Timestamp& ts) {
                 mine.latest.emplace_back(key, ts);
               });

@@ -6,13 +6,17 @@
 //    exponential backoff, so partitions delay but never lose gossip.
 //    Receivers dedupe batches by id (bounded generational memory).
 //  * Digest pull — optionally, the engine periodically syncs with one random
-//    peer. The default protocol is *bucketed*: round 1 ships the store's
-//    B incremental bucket hashes; the receiver answers with per-key digests
-//    for mismatched buckets only; round 2 back-fills just those keys from
-//    VersionsAfter. An in-sync tick therefore costs B hashes instead of one
-//    digest entry per key plus a full-store walk. The flat per-key protocol
-//    remains available (Options::bucketed_digest = false) and its responder
-//    also uses the bucket hashes to skip matching regions of the keyspace.
+//    peer. The default protocol is *sharded + bucketed*, scoped tighter at
+//    each round: round 0 ships one roll-up hash per local shard
+//    (ShardDigest); the receiver answers with that shard's B bucket hashes
+//    for mismatched shards only (BucketDigest); the initiator replies with
+//    per-key digests for mismatched buckets only (scoped DigestRequest);
+//    the receiver back-fills just those keys from VersionsAfter. An in-sync
+//    tick therefore costs S hashes, and a diff confined to one shard never
+//    hashes or walks the cold shards. The flat per-key protocol remains
+//    available (Options::bucketed_digest = false) and its responder also
+//    uses the per-shard bucket hashes to skip matching regions of the
+//    keyspace.
 //
 // The engine owns no sockets and installs nothing itself: messages leave via
 // a SendFn callback and incoming records are handed to an InstallFn, so the
@@ -32,7 +36,7 @@
 #include "hat/net/message.h"
 #include "hat/server/partitioner.h"
 #include "hat/sim/simulation.h"
-#include "hat/version/versioned_store.h"
+#include "hat/version/sharded_store.h"
 
 namespace hat::server {
 
@@ -65,10 +69,11 @@ class AntiEntropyEngine {
     /// Batches flush when either cap is hit, so a repair of few huge values
     /// cannot emit one enormous message.
     size_t batch_max_bytes = 64 * 1024;
-    /// Use the two-round bucketed digest protocol (round 1: bucket hashes;
-    /// round 2: per-key digests for mismatched buckets only). Defaults off
-    /// at the engine layer to preserve the legacy flat wire protocol for
-    /// direct users; ServerOptions turns it on for the replica data plane.
+    /// Use the sharded bucketed digest protocol (round 0: per-shard roll-up
+    /// hashes; round 1: bucket hashes for mismatched shards; round 2:
+    /// per-key digests for mismatched buckets only). Defaults off at the
+    /// engine layer to preserve the legacy flat wire protocol for direct
+    /// users; ServerOptions turns it on for the replica data plane.
     bool bucketed_digest = false;
     /// False disables the push outboxes entirely (Enqueue becomes a no-op
     /// and no flush timer runs) — used to exercise digest repair alone.
@@ -84,7 +89,7 @@ class AntiEntropyEngine {
 
   AntiEntropyEngine(sim::Simulation& sim, net::NodeId id,
                     const Partitioner* partitioner,
-                    const version::VersionedStore& good, Options options,
+                    const version::ShardedStore& good, Options options,
                     SendFn send, InstallFn install);
 
   /// Schedules the flush (and, if enabled, digest) timers, staggered by node
@@ -107,13 +112,19 @@ class AntiEntropyEngine {
   /// Answers a peer's digest with the versions it is missing, and — on the
   /// initiating round — with our own digest when the peer has data we lack.
   /// Scoped requests (req.buckets non-empty) are answered within those
-  /// buckets only; flat requests use the peer's recomputed bucket hashes to
-  /// skip matching regions of the keyspace.
+  /// buckets of req.shard only; flat requests use the peer's recomputed
+  /// per-shard bucket hashes to skip matching regions of the keyspace.
   void HandleDigest(const net::DigestRequest& req, net::NodeId from);
 
-  /// Round 1 of bucketed repair: compare the initiator's bucket hashes with
-  /// ours and reply with a bucket-scoped DigestRequest for mismatches.
+  /// Round 1 of sharded repair: compare the peer's bucket hashes for one
+  /// shard with ours and reply with a bucket-scoped DigestRequest for
+  /// mismatches.
   void HandleBucketDigest(const net::BucketDigest& digest, net::NodeId from);
+
+  /// Round 0 of sharded repair: compare the initiator's per-shard roll-up
+  /// hashes with ours and reply with our BucketDigest for each mismatched
+  /// shard — cold shards drop out before any bucket hash is computed.
+  void HandleShardDigest(const net::ShardDigest& digest, net::NodeId from);
 
   /// Drops all volatile gossip state (crash). Stats survive.
   void Clear();
@@ -125,10 +136,10 @@ class AntiEntropyEngine {
   void DigestSyncTick();
   /// Sends `msg` to `from`, charging its wire size to the digest counters.
   void SendDigestMessage(net::NodeId to, net::Message msg, size_t entries);
-  /// Streams every version the peer is missing within one bucket, given the
-  /// peer's latest-ts entries, into `add`.
+  /// Streams every version the peer is missing within one (shard, bucket),
+  /// given the peer's latest-ts entries, into `add`.
   void BackfillBucket(
-      size_t bucket, const std::map<Key, Timestamp>& theirs,
+      size_t shard, size_t bucket, const std::map<Key, Timestamp>& theirs,
       const std::function<void(const WriteRecord&)>& add) const;
   uint64_t NextBatchId() {
     return (static_cast<uint64_t>(id_) << 40) | next_batch_id_++;
@@ -139,7 +150,7 @@ class AntiEntropyEngine {
   sim::Simulation& sim_;
   net::NodeId id_;
   const Partitioner* partitioner_;
-  const version::VersionedStore& good_;
+  const version::ShardedStore& good_;
   Options options_;
   SendFn send_;
   InstallFn install_;

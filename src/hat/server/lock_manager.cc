@@ -53,9 +53,11 @@ void LockManager::Acquire(const net::Envelope& env,
     return;
   }
 
-  // Wait-die: the requester may wait only if it is older (smaller
-  // timestamp) than every conflicting transaction; otherwise it dies.
-  bool older_than_all = req.txn < *conflicts.begin();
+  // No-wait: any conflict aborts the requester immediately. Wait-die: the
+  // requester may wait only if it is older (smaller timestamp) than every
+  // conflicting transaction; otherwise it dies.
+  bool older_than_all = policy_ != LockPolicy::kNoWait &&
+                        req.txn < *conflicts.begin();
   if (older_than_all) {
     stats_.queued++;
     state.waiters.push_back(Waiter{req.txn, req.exclusive, env});

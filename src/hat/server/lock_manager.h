@@ -1,5 +1,8 @@
 // LockManager: the strict two-phase-locking table of the Section 6.3
-// "locking" baseline, with wait-die deadlock avoidance.
+// "locking" baseline, with a pluggable deadlock-avoidance policy: wait-die
+// (the default; older transactions queue, younger die) or no-wait (every
+// conflicting request aborts immediately — no queue, no hold-and-wait, at
+// the cost of more client retries under contention).
 //
 // The manager is a pure data structure over (key -> lock state): it holds no
 // network or simulation references. Decisions are delivered through a
@@ -24,7 +27,15 @@ namespace hat::server {
 struct LockStats {
   uint64_t granted = 0;
   uint64_t queued = 0;
-  uint64_t deaths = 0;  ///< wait-die aborts issued
+  uint64_t deaths = 0;  ///< wait-die / no-wait aborts issued
+};
+
+/// How a conflicting lock request is resolved.
+enum class LockPolicy : uint8_t {
+  /// Older (smaller-timestamp) requesters queue; younger ones abort.
+  kWaitDie = 0,
+  /// Every conflicting requester aborts immediately; nothing ever queues.
+  kNoWait = 1,
 };
 
 class LockManager {
@@ -32,8 +43,9 @@ class LockManager {
   using Responder =
       std::function<void(const net::Envelope&, const net::LockResponse&)>;
 
-  explicit LockManager(Responder responder)
-      : responder_(std::move(responder)) {}
+  explicit LockManager(Responder responder,
+                       LockPolicy policy = LockPolicy::kWaitDie)
+      : responder_(std::move(responder)), policy_(policy) {}
 
   /// Processes a lock request. Exactly one response is eventually issued per
   /// request: granted / must_abort now, or granted later when a queued
@@ -66,6 +78,7 @@ class LockManager {
   void GrantWaiters(const Key& key);
 
   Responder responder_;
+  LockPolicy policy_;
   LockStats stats_;
   std::map<Key, LockState> locks_;
 };

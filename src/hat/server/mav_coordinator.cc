@@ -12,7 +12,7 @@ constexpr size_t kEarlyAckBackstop = 100000;
 
 MavCoordinator::MavCoordinator(sim::Simulation& sim, net::NodeId id,
                                const Partitioner* partitioner,
-                               version::VersionedStore& good,
+                               version::ShardedStore& good,
                                PersistenceManager& persistence, Options options,
                                SendFn send, GossipFn gossip, GcFn gc_versions)
     : sim_(sim),
@@ -78,7 +78,7 @@ void MavCoordinator::Install(const WriteRecord& w, bool gossip,
     }
   }
   txn.writes.push_back(w);
-  if (!stale) persistence_.PersistPending(w);
+  if (!stale) persistence_.PersistPending(good_.ShardIndexOf(w.key), w);
   if (gossip) gossip_(w, origin);
   MaybeAck(w.ts);
   MaybePromote(w.ts);
@@ -162,9 +162,10 @@ void MavCoordinator::MaybePromote(const Timestamp& ts) {
   }
   // Pending-stable everywhere: reveal.
   for (const auto& w : txn.writes) {
-    if (good_.Apply(w)) persistence_.PersistGood(w);
+    size_t shard = good_.ShardIndexOf(w.key);
+    if (good_.Apply(w)) persistence_.PersistGood(shard, w);
     gc_versions_(w.key);
-    persistence_.ErasePersistedPending(w);
+    persistence_.ErasePersistedPending(shard, w);
     auto by_key = pending_by_key_.find(w.key);
     if (by_key != pending_by_key_.end()) {
       by_key->second.erase(w.ts);

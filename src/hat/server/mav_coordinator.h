@@ -11,8 +11,11 @@
 //
 // The coordinator owns no network or disk: it reaches them through narrow
 // callbacks (send a message, gossip a write, GC a key's versions) plus
-// references to the shared VersionedStore and PersistenceManager, so it can
-// be constructed and driven directly by unit tests.
+// references to the shared ShardedStore and PersistenceManager, so it can
+// be constructed and driven directly by unit tests. All of its good-set
+// bookkeeping (duplicate suppression, pending invalidation, promotion) is
+// per key and therefore shard-local: it consults only the owning shard's
+// latest-timestamp index, never a cross-shard structure.
 
 #ifndef HAT_SERVER_MAV_COORDINATOR_H_
 #define HAT_SERVER_MAV_COORDINATOR_H_
@@ -27,7 +30,7 @@
 #include "hat/server/partitioner.h"
 #include "hat/server/persistence_manager.h"
 #include "hat/sim/simulation.h"
-#include "hat/version/versioned_store.h"
+#include "hat/version/sharded_store.h"
 
 namespace hat::server {
 
@@ -57,7 +60,7 @@ class MavCoordinator {
   using GcFn = std::function<void(const Key&)>;
 
   MavCoordinator(sim::Simulation& sim, net::NodeId id,
-                 const Partitioner* partitioner, version::VersionedStore& good,
+                 const Partitioner* partitioner, version::ShardedStore& good,
                  PersistenceManager& persistence, Options options, SendFn send,
                  GossipFn gossip, GcFn gc_versions);
 
@@ -100,7 +103,7 @@ class MavCoordinator {
   sim::Simulation& sim_;
   net::NodeId id_;
   const Partitioner* partitioner_;
-  version::VersionedStore& good_;
+  version::ShardedStore& good_;
   PersistenceManager& persistence_;
   Options options_;
   SendFn send_;

@@ -2,7 +2,10 @@
 // master. The paper's prototype is "partially replicated (hash-based
 // partitioned)": each *cluster* holds a full copy of the database, sharded
 // across its servers; a key's replicas are the servers holding its shard in
-// every cluster (Section 6.3, "Configuration").
+// every cluster (Section 6.3, "Configuration"). A server may itself host
+// several logical shards (ServerOptions::shards_per_server): placement
+// below the server level is the hosting server's own ShardedStore routing,
+// so this interface stays server-granular.
 
 #ifndef HAT_SERVER_PARTITIONER_H_
 #define HAT_SERVER_PARTITIONER_H_

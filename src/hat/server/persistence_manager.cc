@@ -1,5 +1,6 @@
 #include "hat/server/persistence_manager.h"
 
+#include <cstdio>
 #include <utility>
 #include <vector>
 
@@ -8,11 +9,23 @@
 namespace hat::server {
 
 namespace {
-constexpr std::string_view kGoodPrefix = "g/";
-constexpr std::string_view kPendingPrefix = "p/";
-// Exclusive upper bounds for prefix scans ('/' + 1 == '0').
-constexpr std::string_view kGoodEnd = "g0";
-constexpr std::string_view kPendingEnd = "p0";
+constexpr std::string_view kGoodKind = "g";
+constexpr std::string_view kPendingKind = "p";
+
+/// "g/002a/" — fixed-width hex keeps shard prefixes disjoint and ordered.
+std::string ShardPrefix(std::string_view kind, size_t shard) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%s/%04zx/", std::string(kind).c_str(),
+                shard);
+  return buf;
+}
+
+/// Exclusive upper bound for a shard-prefix scan ('/' + 1 == '0').
+std::string ShardPrefixEnd(std::string_view kind, size_t shard) {
+  std::string end = ShardPrefix(kind, shard);
+  end.back() = '0';
+  return end;
+}
 }  // namespace
 
 PersistenceManager::PersistenceManager(const std::string& dir) {
@@ -21,54 +34,79 @@ PersistenceManager::PersistenceManager(const std::string& dir) {
   if (store.ok()) disk_ = std::move(store).value();
 }
 
-void PersistenceManager::Persist(std::string_view prefix,
-                                 const WriteRecord& w) {
+const std::string& PersistenceManager::CachedPrefix(
+    std::vector<std::string>& prefixes, std::string_view kind, size_t shard) {
+  if (shard >= prefixes.size()) prefixes.resize(shard + 1);
+  if (prefixes[shard].empty()) prefixes[shard] = ShardPrefix(kind, shard);
+  return prefixes[shard];
+}
+
+void PersistenceManager::Persist(std::string_view kind,
+                                 std::vector<std::string>& prefixes,
+                                 size_t shard, const WriteRecord& w) {
   if (!disk_) return;
-  std::string sk(prefix);
+  std::string sk = CachedPrefix(prefixes, kind, shard);
   sk += version::StorageKeyFor(w.key, w.ts);
   (void)disk_->Put(sk, version::EncodeWriteRecord(w));
 }
 
-void PersistenceManager::PersistGood(const WriteRecord& w) {
-  Persist(kGoodPrefix, w);
+void PersistenceManager::PersistGood(size_t shard, const WriteRecord& w) {
+  Persist(kGoodKind, good_prefixes_, shard, w);
 }
 
-void PersistenceManager::PersistPending(const WriteRecord& w) {
-  Persist(kPendingPrefix, w);
+void PersistenceManager::PersistPending(size_t shard, const WriteRecord& w) {
+  Persist(kPendingKind, pending_prefixes_, shard, w);
 }
 
-void PersistenceManager::ErasePersistedPending(const WriteRecord& w) {
+void PersistenceManager::ErasePersistedPending(size_t shard,
+                                               const WriteRecord& w) {
   if (!disk_) return;
-  std::string sk(kPendingPrefix);
+  std::string sk = CachedPrefix(pending_prefixes_, kPendingKind, shard);
   sk += version::StorageKeyFor(w.key, w.ts);
   (void)disk_->Delete(sk);
 }
 
-Status PersistenceManager::Recover(
-    const std::function<void(const WriteRecord&)>& good,
+Status PersistenceManager::RecoverShard(
+    size_t shard, const std::function<void(const WriteRecord&)>& good,
     const std::function<void(const WriteRecord&)>& pending) {
   if (!disk_) return Status::Unsupported("server has no storage directory");
+  const std::string good_prefix = ShardPrefix(kGoodKind, shard);
   HAT_RETURN_IF_ERROR(disk_->Scan(
-      std::string(kGoodPrefix), std::string(kGoodEnd),
-      [&good](std::string_view sk, std::string_view value) {
-        auto parsed = version::ParseStorageKey(sk.substr(kGoodPrefix.size()));
+      good_prefix, ShardPrefixEnd(kGoodKind, shard),
+      [&good, &good_prefix](std::string_view sk, std::string_view value) {
+        auto parsed = version::ParseStorageKey(sk.substr(good_prefix.size()));
         if (!parsed) return;
         auto w = version::DecodeWriteRecord(parsed->first, value);
         if (w) good(*w);
       }));
   // Buffer pending records: the callback typically re-enters the MAV
   // pipeline, which persists (writes to this store) — illegal mid-scan.
+  const std::string pending_prefix = ShardPrefix(kPendingKind, shard);
   std::vector<WriteRecord> buffered;
   HAT_RETURN_IF_ERROR(disk_->Scan(
-      std::string(kPendingPrefix), std::string(kPendingEnd),
-      [&buffered](std::string_view sk, std::string_view value) {
+      pending_prefix, ShardPrefixEnd(kPendingKind, shard),
+      [&buffered, &pending_prefix](std::string_view sk,
+                                   std::string_view value) {
         auto parsed =
-            version::ParseStorageKey(sk.substr(kPendingPrefix.size()));
+            version::ParseStorageKey(sk.substr(pending_prefix.size()));
         if (!parsed) return;
         auto w = version::DecodeWriteRecord(parsed->first, value);
         if (w) buffered.push_back(std::move(*w));
       }));
   for (const auto& w : buffered) pending(w);
+  return Status::Ok();
+}
+
+Status PersistenceManager::Recover(
+    size_t shard_count,
+    const std::function<void(size_t shard, const WriteRecord&)>& good,
+    const std::function<void(size_t shard, const WriteRecord&)>& pending) {
+  if (!disk_) return Status::Unsupported("server has no storage directory");
+  for (size_t s = 0; s < shard_count; s++) {
+    HAT_RETURN_IF_ERROR(RecoverShard(
+        s, [&good, s](const WriteRecord& w) { good(s, w); },
+        [&pending, s](const WriteRecord& w) { pending(s, w); }));
+  }
   return Status::Ok();
 }
 

@@ -1,11 +1,15 @@
 // PersistenceManager: write-through durability for one replica server.
 //
 // Installed (good) and not-yet-stable (MAV pending) versions are persisted
-// under distinct key prefixes in a hat::storage::LocalStore, so a crashed
-// replica can rebuild both its visible state and its in-flight Appendix B
-// pipeline from disk. When constructed without a directory the manager is
-// disabled and every call is a no-op — benchmarks model durability purely as
-// service time (ServiceCosts::wal_sync_us) without doing real IO.
+// under distinct per-shard keyspace prefixes in a hat::storage::LocalStore
+// ("g/<shard>/..." and "p/<shard>/..."), so a crashed replica can rebuild
+// both its visible state and its in-flight Appendix B pipeline from disk —
+// shard by shard, replaying only the shards the server hosts. The shard
+// index is part of the storage keyspace: it must be stable across restarts
+// (reshard by wiping the directory, not by changing shards_per_server over
+// live data). When constructed without a directory the manager is disabled
+// and every call is a no-op — benchmarks model durability purely as service
+// time (ServiceCosts::wal_sync_us) without doing real IO.
 
 #ifndef HAT_SERVER_PERSISTENCE_MANAGER_H_
 #define HAT_SERVER_PERSISTENCE_MANAGER_H_
@@ -14,6 +18,7 @@
 #include <memory>
 #include <string>
 #include <string_view>
+#include <vector>
 
 #include "hat/common/status.h"
 #include "hat/storage/local_store.h"
@@ -30,27 +35,44 @@ class PersistenceManager {
   /// True when writes actually reach disk.
   bool enabled() const { return disk_ != nullptr; }
 
-  /// Persists a revealed (good-set) version.
-  void PersistGood(const WriteRecord& w);
+  /// Persists a revealed (good-set) version under `shard`'s prefix.
+  void PersistGood(size_t shard, const WriteRecord& w);
 
-  /// Persists a pending (MAV, not yet stable) version.
-  void PersistPending(const WriteRecord& w);
+  /// Persists a pending (MAV, not yet stable) version under `shard`'s
+  /// prefix.
+  void PersistPending(size_t shard, const WriteRecord& w);
 
   /// Removes the pending copy of `w` once its transaction promoted.
-  void ErasePersistedPending(const WriteRecord& w);
+  void ErasePersistedPending(size_t shard, const WriteRecord& w);
 
-  /// Replays durable state: every good version is streamed to `good`
-  /// (mid-scan — the good callback must NOT write back to this store), then
-  /// every pending version is streamed to `pending` in storage-key order.
-  /// Pending callbacks run after the scans complete, so they may persist
-  /// again (the MAV pipeline re-persists re-entering writes).
-  Status Recover(const std::function<void(const WriteRecord&)>& good,
-                 const std::function<void(const WriteRecord&)>& pending);
+  /// Replays one shard's durable state: its good versions are streamed to
+  /// `good` (mid-scan — the good callback must NOT write back to this
+  /// store), then its pending versions are streamed to `pending` in
+  /// storage-key order. Pending callbacks run after the scans complete, so
+  /// they may persist again (the MAV pipeline re-persists re-entering
+  /// writes).
+  Status RecoverShard(size_t shard,
+                      const std::function<void(const WriteRecord&)>& good,
+                      const std::function<void(const WriteRecord&)>& pending);
+
+  /// Replays shards [0, shard_count): RecoverShard per shard, callbacks
+  /// receiving the shard index each record was persisted under.
+  Status Recover(
+      size_t shard_count,
+      const std::function<void(size_t shard, const WriteRecord&)>& good,
+      const std::function<void(size_t shard, const WriteRecord&)>& pending);
 
  private:
-  void Persist(std::string_view prefix, const WriteRecord& w);
+  void Persist(std::string_view kind, std::vector<std::string>& prefixes,
+               size_t shard, const WriteRecord& w);
+  /// The cached "<kind>/<shard>/" storage prefix (built once per shard —
+  /// the persist path runs per installed write and must not re-format it).
+  static const std::string& CachedPrefix(std::vector<std::string>& prefixes,
+                                         std::string_view kind, size_t shard);
 
   std::unique_ptr<storage::LocalStore> disk_;
+  std::vector<std::string> good_prefixes_;
+  std::vector<std::string> pending_prefixes_;
 };
 
 }  // namespace hat::server

@@ -17,6 +17,9 @@ ReplicaServer::ReplicaServer(sim::Simulation& sim, net::Network& net,
     : net::RpcNode(sim, net, id),
       options_(std::move(options)),
       partitioner_(partitioner),
+      good_(version::ShardedStore::Options{options_.shards_per_server,
+                                           options_.digest_buckets,
+                                           options_.shard_placement_stride}),
       persistence_(options_.storage_dir),
       mav_(sim_, id, partitioner_, good_, persistence_,
            MavCoordinator::Options{options_.gc_stale_pending,
@@ -37,9 +40,11 @@ ReplicaServer::ReplicaServer(sim::Simulation& sim, net::Network& net,
           [this](const WriteRecord& w, net::PutMode mode, net::NodeId from) {
             InstallFromPeer(w, mode, from);
           }),
-      locks_([this](const Envelope& env, const net::LockResponse& resp) {
-        Reply(env, resp);
-      }) {
+      locks_(
+          [this](const Envelope& env, const net::LockResponse& resp) {
+            Reply(env, resp);
+          },
+          options_.lock_policy) {
   mav_.Start();
   anti_entropy_.Start();
 }
@@ -109,6 +114,8 @@ double ReplicaServer::CostOf(const Message& msg) const {
   } else if (const auto* bd = std::get_if<net::BucketDigest>(&msg)) {
     // Comparing B hashes is far cheaper than per-key digest processing.
     cost += c.ae_batch_us + 0.02 * static_cast<double>(bd->hashes.size());
+  } else if (const auto* sd = std::get_if<net::ShardDigest>(&msg)) {
+    cost += c.ae_batch_us + 0.02 * static_cast<double>(sd->hashes.size());
   } else if (std::holds_alternative<net::LockRequest>(msg) ||
              std::holds_alternative<net::UnlockRequest>(msg)) {
     cost += c.lock_us;
@@ -145,6 +152,8 @@ void ReplicaServer::Process(const Envelope& env) {
     anti_entropy_.HandleDigest(*digest, env.from);
   } else if (const auto* bd = std::get_if<net::BucketDigest>(&env.msg)) {
     anti_entropy_.HandleBucketDigest(*bd, env.from);
+  } else if (const auto* sd = std::get_if<net::ShardDigest>(&env.msg)) {
+    anti_entropy_.HandleShardDigest(*sd, env.from);
   } else if (const auto* lock = std::get_if<net::LockRequest>(&env.msg)) {
     locks_.Acquire(env, *lock);
   } else if (const auto* unlock = std::get_if<net::UnlockRequest>(&env.msg)) {
@@ -239,7 +248,7 @@ void ReplicaServer::InstallEventual(const WriteRecord& w, bool gossip,
                                     net::NodeId origin) {
   bool inserted = good_.Apply(w);
   if (!inserted) return;  // duplicate delivery (anti-entropy redundancy)
-  persistence_.PersistGood(w);
+  persistence_.PersistGood(good_.ShardIndexOf(w.key), w);
   MaybeGcVersions(w.key);
   if (gossip) anti_entropy_.Enqueue(w, net::PutMode::kEventual, origin);
 }
@@ -285,7 +294,9 @@ void ReplicaServer::MaybeGcVersions(const Key& key) {
 // --------------------------------------------------------------------------
 
 void ReplicaServer::Crash() {
-  good_ = version::VersionedStore();
+  good_ = version::ShardedStore(version::ShardedStore::Options{
+      options_.shards_per_server, options_.digest_buckets,
+      options_.shard_placement_stride});
   mav_.Clear();
   anti_entropy_.Clear();
   locks_.Clear();
@@ -293,12 +304,15 @@ void ReplicaServer::Crash() {
 }
 
 Status ReplicaServer::RecoverFromStorage() {
-  // Good (revealed) versions re-enter directly; pending (not yet stable)
-  // versions re-enter the MAV pipeline, whose acks will be re-broadcast by
-  // MaybeAck/RenotifyTick.
+  // Shard-by-shard replay of only the shards this server hosts. Good
+  // (revealed) versions re-enter directly (re-routed by key, so records
+  // land correctly even if the persisted shard tag ever disagrees);
+  // pending (not yet stable) versions re-enter the MAV pipeline, whose
+  // acks will be re-broadcast by MaybeAck/RenotifyTick.
   return persistence_.Recover(
-      [this](const WriteRecord& w) { good_.Apply(w); },
-      [this](const WriteRecord& w) { mav_.Install(w, /*gossip=*/true); });
+      good_.shard_count(),
+      [this](size_t, const WriteRecord& w) { good_.Apply(w); },
+      [this](size_t, const WriteRecord& w) { mav_.Install(w, true); });
 }
 
 }  // namespace hat::server

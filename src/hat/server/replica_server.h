@@ -12,11 +12,16 @@
 //
 // The server itself only routes envelopes, charges service demands
 // (ServiceCosts — producing the saturation/overhead behaviour of
-// Figures 3-6), answers reads from the shared VersionedStore, and installs
-// eventual/Read-Committed writes. Everything protocol-specific lives in the
-// subsystems, which are independently constructible and unit-tested; future
-// scenarios can swap an anti-entropy strategy or lock manager without
-// touching the dispatcher.
+// Figures 3-6), answers reads from the shared data plane, and installs
+// eventual/Read-Committed writes. The data plane is a ShardedStore: N
+// independent VersionedStore shards (ServerOptions::shards_per_server),
+// each with its own fold cache, digest buckets, GC frontier, and
+// persistence keyspace — installs and reads route to the owning shard,
+// anti-entropy digests repair shard by shard, and recovery replays shard
+// by shard. Everything protocol-specific lives in the subsystems, which
+// are independently constructible and unit-tested; future scenarios can
+// swap an anti-entropy strategy or lock manager without touching the
+// dispatcher.
 
 #ifndef HAT_SERVER_REPLICA_SERVER_H_
 #define HAT_SERVER_REPLICA_SERVER_H_
@@ -30,12 +35,25 @@
 #include "hat/server/partitioner.h"
 #include "hat/server/persistence_manager.h"
 #include "hat/server/service_costs.h"
-#include "hat/version/versioned_store.h"
+#include "hat/version/sharded_store.h"
 
 namespace hat::server {
 
 struct ServerOptions {
   ServiceCosts costs;
+  /// Number of local data-plane shards (independent VersionedStore
+  /// instances) this server hosts. Replicas exchanging digests must agree.
+  size_t shards_per_server = 1;
+  /// Digest buckets per shard (VersionedStore's round-1 granularity).
+  /// Shrink for small per-shard stores so a bucket exchange stops paying
+  /// the full default. Replicas exchanging digests must agree.
+  size_t digest_buckets = version::VersionedStore::kDefaultDigestBuckets;
+  /// Shard placement stride (ShardedStore::Options::stride). Deployments
+  /// set this to servers_per_cluster so server- and shard-level hash
+  /// placement compose; standalone servers leave it at 1.
+  size_t shard_placement_stride = 1;
+  /// Conflicting-lock resolution for the locking baseline.
+  LockPolicy lock_policy = LockPolicy::kWaitDie;
   /// Charge WAL-sync service time on installs (the paper's servers write
   /// synchronously to LevelDB before responding).
   bool durable = true;
@@ -114,7 +132,7 @@ class ReplicaServer : public net::RpcNode {
   void Crash();
 
   const ServerStats& stats() const;
-  const version::VersionedStore& good() const { return good_; }
+  const version::ShardedStore& good() const { return good_; }
   size_t PendingCount() const { return mav_.PendingWriteCount(); }
 
   /// Subsystem views, for tests and diagnostics.
@@ -158,7 +176,7 @@ class ReplicaServer : public net::RpcNode {
   mutable ServerStats stats_;  // mutable: stats() assembles subsystem counts
   sim::SimTime busy_until_ = 0;
 
-  version::VersionedStore good_;
+  version::ShardedStore good_;
   PersistenceManager persistence_;
   MavCoordinator mav_;
   AntiEntropyEngine anti_entropy_;

@@ -1,0 +1,126 @@
+#include "hat/version/sharded_store.h"
+
+#include <algorithm>
+
+#include "hat/common/rng.h"
+
+namespace hat::version {
+
+ShardedStore::ShardedStore(Options options)
+    : stride_(options.stride == 0 ? 1 : options.stride),
+      modulus_((options.shards == 0 ? 1 : options.shards) * stride_) {
+  size_t shards = options.shards == 0 ? 1 : options.shards;
+  shards_.reserve(shards);
+  for (size_t i = 0; i < shards; i++) {
+    shards_.emplace_back(options.digest_buckets);
+  }
+}
+
+size_t ShardedStore::ShardIndexOf(const Key& key) const {
+  if (shards_.size() == 1) return 0;  // skip the hash on unsharded stores
+  return static_cast<size_t>(
+      (Fnv1a64(key.data(), key.size()) % modulus_) / stride_);
+}
+
+std::vector<uint64_t> ShardedStore::ShardHashes() const {
+  std::vector<uint64_t> out;
+  out.reserve(shards_.size());
+  for (const VersionedStore& s : shards_) out.push_back(s.TopHash());
+  return out;
+}
+
+void ShardedStore::ScanVisit(
+    const Key& lo, const Key& hi, std::optional<Timestamp> bound,
+    const std::function<void(const Key&, ReadVersion)>& fn) const {
+  if (shards_.size() == 1) {
+    shards_[0].ScanVisit(lo, hi, bound, fn);
+    return;
+  }
+  // Hash partitioning interleaves the key space across shards, so a merged
+  // in-order stream gathers each shard's (already key-ordered) results and
+  // k-way merges them: O(n log k) comparisons, one comparison per emitted
+  // item against the runner-up head. Keys are unique across shards.
+  std::vector<std::vector<std::pair<Key, ReadVersion>>> runs(shards_.size());
+  for (size_t s = 0; s < shards_.size(); s++) {
+    shards_[s].ScanVisit(lo, hi, bound,
+                         [&run = runs[s]](const Key& key, ReadVersion rv) {
+                           run.emplace_back(key, std::move(rv));
+                         });
+  }
+  // Min-heap of (next key, run index) over the non-exhausted runs.
+  std::vector<size_t> pos(runs.size(), 0);
+  auto greater = [&](size_t a, size_t b) {
+    return runs[a][pos[a]].first > runs[b][pos[b]].first;
+  };
+  std::vector<size_t> heap;
+  for (size_t s = 0; s < runs.size(); s++) {
+    if (!runs[s].empty()) heap.push_back(s);
+  }
+  std::make_heap(heap.begin(), heap.end(), greater);
+  while (!heap.empty()) {
+    std::pop_heap(heap.begin(), heap.end(), greater);
+    size_t s = heap.back();
+    auto& [key, rv] = runs[s][pos[s]];
+    fn(key, std::move(rv));
+    if (++pos[s] < runs[s].size()) {
+      std::push_heap(heap.begin(), heap.end(), greater);
+    } else {
+      heap.pop_back();
+    }
+  }
+}
+
+std::vector<std::pair<Key, ReadVersion>> ShardedStore::Scan(
+    const Key& lo, const Key& hi, std::optional<Timestamp> bound) const {
+  std::vector<std::pair<Key, ReadVersion>> out;
+  ScanVisit(lo, hi, bound, [&out](const Key& key, ReadVersion rv) {
+    out.emplace_back(key, std::move(rv));
+  });
+  return out;
+}
+
+std::vector<std::pair<Key, Timestamp>> ShardedStore::Digest() const {
+  std::vector<std::pair<Key, Timestamp>> out;
+  out.reserve(KeyCount());
+  ForEachLatest([&out](const Key& key, const Timestamp& ts) {
+    out.emplace_back(key, ts);
+  });
+  return out;
+}
+
+void ShardedStore::ForEachLatest(
+    const std::function<void(const Key&, const Timestamp&)>& fn) const {
+  for (const VersionedStore& s : shards_) s.ForEachLatest(fn);
+}
+
+void ShardedStore::ForEachVersion(
+    const std::function<void(const WriteRecord&)>& fn) const {
+  for (const VersionedStore& s : shards_) s.ForEachVersion(fn);
+}
+
+const WriteRecord* ShardedStore::AnyRecord() const {
+  for (const VersionedStore& s : shards_) {
+    if (const WriteRecord* w = s.AnyRecord()) return w;
+  }
+  return nullptr;
+}
+
+size_t ShardedStore::KeyCount() const {
+  size_t n = 0;
+  for (const VersionedStore& s : shards_) n += s.KeyCount();
+  return n;
+}
+
+size_t ShardedStore::VersionCount() const {
+  size_t n = 0;
+  for (const VersionedStore& s : shards_) n += s.VersionCount();
+  return n;
+}
+
+size_t ShardedStore::ApproximateBytes() const {
+  size_t n = 0;
+  for (const VersionedStore& s : shards_) n += s.ApproximateBytes();
+  return n;
+}
+
+}  // namespace hat::version

@@ -1,0 +1,158 @@
+// ShardedStore: a server's data plane split into N independent
+// VersionedStore shards.
+//
+// The paper's prototype is hash-partitioned (Section 6.3): each cluster
+// holds a full copy of the database sharded across its servers. This type
+// extends the same hash partitioning *into* a server, so one process can
+// host several logical shards whose bookkeeping never couples: every shard
+// keeps its own fold cache, digest buckets, and GC frontier, and scans,
+// digest repair, and recovery walk only the shards they touch. That
+// independence is what lets anti-entropy repair a hot shard without hashing
+// cold ones, recovery replay shards separately, and (next) shards run
+// concurrently.
+//
+// Shard-of-key uses the same FNV hash the cluster partitioner uses, via a
+// placement stride so server-level and shard-level hashing compose: with
+// L = shards x stride logical shards, a key's logical shard is
+// Fnv1a64(key) % L, and this store holds the local index (l / stride).
+// A cluster::Deployment sets stride = servers_per_cluster, which keeps the
+// *server* owning a key (l % stride == Fnv1a64(key) % stride) independent of
+// the shard count — raising shards_per_server never moves keys between
+// servers, it only splits them locally. Standalone stores use stride = 1
+// (plain Fnv1a64(key) % shards). Replicas of the same keys must agree on
+// both shard count and stride: shard identity is part of the digest-repair
+// wire protocol.
+
+#ifndef HAT_VERSION_SHARDED_STORE_H_
+#define HAT_VERSION_SHARDED_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "hat/version/types.h"
+#include "hat/version/versioned_store.h"
+
+namespace hat::version {
+
+class ShardedStore {
+ public:
+  struct Options {
+    /// Number of local shards this store owns (>= 1).
+    size_t shards = 1;
+    /// Digest buckets *per shard* (see VersionedStore).
+    size_t digest_buckets = VersionedStore::kDefaultDigestBuckets;
+    /// Placement stride (see file comment); 1 for standalone stores,
+    /// servers_per_cluster under a Deployment.
+    size_t stride = 1;
+  };
+
+  ShardedStore() : ShardedStore(Options{}) {}
+  explicit ShardedStore(Options options);
+
+  // ---- shard topology ------------------------------------------------------
+
+  size_t shard_count() const { return shards_.size(); }
+  size_t ShardIndexOf(const Key& key) const;
+  VersionedStore& shard(size_t i) { return shards_[i]; }
+  const VersionedStore& shard(size_t i) const { return shards_[i]; }
+
+  /// One 64-bit roll-up hash per shard — round 0 of sharded digest repair
+  /// compares these S summaries before any bucket hash crosses the wire.
+  std::vector<uint64_t> ShardHashes() const;
+  uint64_t ShardTopHash(size_t i) const { return shards_[i].TopHash(); }
+
+  // ---- per-key operations (routed to the owning shard) ---------------------
+
+  bool Apply(const WriteRecord& w) { return ShardFor(w.key).Apply(w); }
+
+  ReadVersion Read(const Key& key,
+                   std::optional<Timestamp> bound = std::nullopt) const {
+    return ShardFor(key).Read(key, bound);
+  }
+  std::optional<ReadVersion> ReadAtLeast(const Key& key,
+                                         const Timestamp& at_least) const {
+    return ShardFor(key).ReadAtLeast(key, at_least);
+  }
+  std::optional<Timestamp> LatestTimestamp(const Key& key) const {
+    return ShardFor(key).LatestTimestamp(key);
+  }
+  bool Contains(const Key& key, const Timestamp& ts) const {
+    return ShardFor(key).Contains(key, ts);
+  }
+  std::vector<WriteRecord> Versions(const Key& key) const {
+    return ShardFor(key).Versions(key);
+  }
+  std::optional<Timestamp> NthNewestTimestamp(const Key& key, size_t n) const {
+    return ShardFor(key).NthNewestTimestamp(key, n);
+  }
+  std::vector<WriteRecord> VersionsAfter(const Key& key,
+                                         const Timestamp& after) const {
+    return ShardFor(key).VersionsAfter(key, after);
+  }
+  void ForEachVersionOf(
+      const Key& key,
+      const std::function<void(const WriteRecord&)>& fn) const {
+    ShardFor(key).ForEachVersionOf(key, fn);
+  }
+  std::optional<Timestamp> NewestPutTimestamp(const Key& key) const {
+    return ShardFor(key).NewestPutTimestamp(key);
+  }
+  std::optional<Timestamp> NewestPutWithin(const Key& key,
+                                           size_t max_walk) const {
+    return ShardFor(key).NewestPutWithin(key, max_walk);
+  }
+  size_t GarbageCollect(const Key& key, const Timestamp& before) {
+    return ShardFor(key).GarbageCollect(key, before);
+  }
+  size_t DropVersionsBefore(const Key& key, const Timestamp& before) {
+    return ShardFor(key).DropVersionsBefore(key, before);
+  }
+  size_t VersionCountFor(const Key& key) const {
+    return ShardFor(key).VersionCountFor(key);
+  }
+
+  // ---- whole-store operations (fan out shard by shard) ---------------------
+
+  /// Range scan over keys in [lo, hi), streamed in ascending key order
+  /// across all shards (results are merged; per-shard order alone would
+  /// interleave the hash-partitioned keyspaces).
+  void ScanVisit(
+      const Key& lo, const Key& hi, std::optional<Timestamp> bound,
+      const std::function<void(const Key&, ReadVersion)>& fn) const;
+  std::vector<std::pair<Key, ReadVersion>> Scan(
+      const Key& lo, const Key& hi,
+      std::optional<Timestamp> bound = std::nullopt) const;
+
+  /// Flat (key, latest-ts) digest over every shard.
+  std::vector<std::pair<Key, Timestamp>> Digest() const;
+  void ForEachLatest(
+      const std::function<void(const Key&, const Timestamp&)>& fn) const;
+  void ForEachVersion(
+      const std::function<void(const WriteRecord&)>& fn) const;
+
+  /// An arbitrary stored record (first non-empty shard), or nullptr.
+  const WriteRecord* AnyRecord() const;
+
+  size_t KeyCount() const;
+  size_t VersionCount() const;
+  size_t ApproximateBytes() const;
+
+ private:
+  VersionedStore& ShardFor(const Key& key) {
+    return shards_[ShardIndexOf(key)];
+  }
+  const VersionedStore& ShardFor(const Key& key) const {
+    return shards_[ShardIndexOf(key)];
+  }
+
+  uint64_t stride_;
+  uint64_t modulus_;  // shards x stride
+  std::vector<VersionedStore> shards_;
+};
+
+}  // namespace hat::version
+
+#endif  // HAT_VERSION_SHARDED_STORE_H_

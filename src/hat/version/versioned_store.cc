@@ -14,17 +14,20 @@ size_t RecordBytes(const WriteRecord& w) {
 }
 }  // namespace
 
-size_t VersionedStore::DigestBucketOf(const Key& key) {
-  return Fnv1a64(key.data(), key.size()) % kDigestBuckets;
+size_t VersionedStore::DigestBucketOf(const Key& key, size_t buckets) {
+  return Fnv1a64(key.data(), key.size()) % buckets;
 }
 
 uint64_t VersionedStore::DigestEntryHash(const Key& key, const Timestamp& ts) {
-  uint64_t parts[2] = {
-      ts.logical,
+  // Hash the key digest *through* the timestamp words (sequential FNV), not
+  // beside them: an XOR-separable mix like H(key) ^ H(ts) makes the hash
+  // delta of a ts change independent of the key, so two same-bucket keys
+  // bumped between the same timestamps (common under batch preloads) cancel
+  // and the bucket reads as in-sync while both replicas diverge.
+  uint64_t parts[3] = {
+      Fnv1a64(key.data(), key.size()), ts.logical,
       (static_cast<uint64_t>(ts.client_id) << 32) | ts.seq};
-  // Mix the key and timestamp hashes so (k1,t1)^(k2,t2) != (k1,t2)^(k2,t1).
-  uint64_t h = Fnv1a64(key.data(), key.size());
-  return (h * 0x9e3779b97f4a7c15ull) ^ Fnv1a64(parts, sizeof(parts)) ^ h;
+  return Fnv1a64(parts, sizeof(parts));
 }
 
 std::optional<Timestamp> VersionedStore::LatestOf(const VersionMap& versions) {
@@ -36,7 +39,7 @@ void VersionedStore::PatchDigest(const Key& key,
                                  const std::optional<Timestamp>& was,
                                  const std::optional<Timestamp>& now) {
   if (was == now) return;
-  BucketState& bucket = buckets_[DigestBucketOf(key)];
+  BucketState& bucket = buckets_[BucketOf(key)];
   if (was) {
     bucket.hash ^= DigestEntryHash(key, *was);
     if (!now) bucket.latest.erase(key);
@@ -246,9 +249,19 @@ void VersionedStore::ForEachLatest(
 
 std::vector<uint64_t> VersionedStore::BucketHashes() const {
   std::vector<uint64_t> out;
-  out.reserve(kDigestBuckets);
+  out.reserve(buckets_.size());
   for (const BucketState& b : buckets_) out.push_back(b.hash);
   return out;
+}
+
+uint64_t VersionedStore::TopHash() const {
+  // Position-sensitive roll-up (FNV over the hash array, not XOR) so two
+  // stores differing in two buckets cannot cancel out.
+  uint64_t h = 0xcbf29ce484222325ull;
+  for (const BucketState& b : buckets_) {
+    h = (h ^ b.hash) * 0x100000001b3ull;
+  }
+  return h;
 }
 
 void VersionedStore::ForEachLatestInBucket(

@@ -17,13 +17,16 @@
 //    inserts and GC invalidate it. Bound-free Read / ScanVisit / ReadAtLeast
 //    are then O(log keys) instead of O(versions-per-key) delta decoding.
 //
-//  * Bucketed digest — every key hashes into one of kDigestBuckets buckets;
+//  * Bucketed digest — every key hashes into one of digest_buckets() buckets;
 //    each bucket maintains an order-independent XOR hash over its
 //    (key, latest-timestamp) entries, patched incrementally on every
 //    mutation. Anti-entropy can compare B bucket hashes instead of
 //    serializing the whole keyspace, and enumerate only mismatched buckets.
 //    Equal hashes imply equal entry sets up to a 2^-64 collision — the
 //    standard Merkle-style trade, and the periodic re-sync retries anyway.
+//    The bucket count is a construction-time knob: replicas exchanging
+//    digests must agree on it, and small (per-shard) stores shrink it so a
+//    round-1 exchange stops paying the full 1024-hash default.
 
 #ifndef HAT_VERSION_VERSIONED_STORE_H_
 #define HAT_VERSION_VERSIONED_STORE_H_
@@ -42,13 +45,17 @@ namespace hat::version {
 /// Per-key multi-version storage.
 class VersionedStore {
  public:
-  /// Number of digest buckets. Sized so a ~100k-key store keeps bucket
+  /// Default digest bucket count. Sized so a ~100k-key store keeps bucket
   /// populations around 100 keys: a small diff then touches few buckets and
   /// round 2 of digest repair ships ~(diff x bucket-size) entries instead of
   /// the whole keyspace.
-  static constexpr size_t kDigestBuckets = 1024;
+  static constexpr size_t kDefaultDigestBuckets = 1024;
 
-  VersionedStore() : buckets_(kDigestBuckets) {}
+  /// `digest_buckets` must be > 0 and identical on every replica that
+  /// exchanges digests with this store (bucket membership is part of the
+  /// wire protocol).
+  explicit VersionedStore(size_t digest_buckets = kDefaultDigestBuckets)
+      : buckets_(digest_buckets == 0 ? 1 : digest_buckets) {}
 
   /// Inserts a version. Duplicate (key, ts) insertions are idempotent —
   /// required because anti-entropy may deliver a write many times. Returns
@@ -122,16 +129,32 @@ class VersionedStore {
 
   // ---- bucketed digest -----------------------------------------------------
 
-  /// Digest bucket a key belongs to (stable hash of the key bytes).
-  static size_t DigestBucketOf(const Key& key);
+  /// Number of digest buckets this store was constructed with.
+  size_t digest_buckets() const { return buckets_.size(); }
+
+  /// Digest bucket a key belongs to among `buckets` (stable hash of the key
+  /// bytes). Exposed statically so a digest receiver can bucket a *peer's*
+  /// flat digest without owning a store.
+  static size_t DigestBucketOf(const Key& key, size_t buckets);
+
+  /// Digest bucket a key belongs to in this store.
+  size_t BucketOf(const Key& key) const {
+    return DigestBucketOf(key, buckets_.size());
+  }
 
   /// Incremental hash of one bucket: XOR over H(key, latest-ts) of every key
   /// in it. Two stores agree on a bucket's hash iff (modulo 64-bit
   /// collisions) they hold the same latest version for every key in it.
   uint64_t BucketHash(size_t bucket) const { return buckets_[bucket].hash; }
 
-  /// All kDigestBuckets bucket hashes (round 1 of bucketed digest repair).
+  /// All digest_buckets() bucket hashes (round 1 of bucketed digest repair).
   std::vector<uint64_t> BucketHashes() const;
+
+  /// Roll-up hash over all bucket hashes — one 64-bit summary of the store's
+  /// whole latest-version digest. Two stores with equal TopHash() hold the
+  /// same latest version for every key (modulo hash collisions). O(buckets);
+  /// the per-shard round-0 comparison of sharded digest repair.
+  uint64_t TopHash() const;
 
   /// Streams (key, latest-ts) for the keys of one bucket only — round 2 of
   /// digest repair enumerates just the mismatched buckets. O(bucket size).

@@ -54,7 +54,7 @@ class AntiEntropyTest : public ::testing::Test {
 
   sim::Simulation sim_{1};
   FixedPartitioner partitioner_{{kSelf, kPeer, 3}};
-  version::VersionedStore good_;
+  version::ShardedStore good_;  // one shard, default buckets
   std::unique_ptr<AntiEntropyEngine> engine_;
   std::vector<Sent> sent_;
   std::vector<WriteRecord> installed_;
@@ -204,7 +204,7 @@ TEST_F(AntiEntropyTest, DisabledPushNeverFlushes) {
   EXPECT_TRUE(SentBatches().empty());
 }
 
-TEST_F(AntiEntropyTest, BucketedTickSendsHashesNotEntries) {
+TEST_F(AntiEntropyTest, BucketedTickSendsShardHashesNotEntries) {
   AntiEntropyEngine::Options opts;
   opts.digest_sync_interval = 50 * sim::kMillisecond;
   opts.bucketed_digest = true;
@@ -212,26 +212,49 @@ TEST_F(AntiEntropyTest, BucketedTickSendsHashesNotEntries) {
   engine_->Start();
   good_.Apply(MakeWrite("k", 10));
   sim_.RunUntil(200 * sim::kMillisecond);
-  size_t bucket_digests = 0;
+  size_t shard_digests = 0;
   for (const auto& s : sent_) {
     EXPECT_FALSE(std::holds_alternative<net::DigestRequest>(s.msg))
         << "bucketed ticks must not ship per-key digests";
-    if (const auto* bd = std::get_if<net::BucketDigest>(&s.msg)) {
-      EXPECT_EQ(bd->hashes.size(), version::VersionedStore::kDigestBuckets);
-      bucket_digests++;
+    EXPECT_FALSE(std::holds_alternative<net::BucketDigest>(s.msg))
+        << "round 0 ships shard summaries, not bucket hashes";
+    if (const auto* sd = std::get_if<net::ShardDigest>(&s.msg)) {
+      EXPECT_EQ(sd->hashes.size(), good_.shard_count());
+      shard_digests++;
     }
   }
-  EXPECT_GT(bucket_digests, 0u);
+  EXPECT_GT(shard_digests, 0u);
   EXPECT_GT(engine_->stats().digest_ticks, 0u);
   EXPECT_EQ(engine_->stats().digest_entries_out, 0u);
+}
+
+TEST_F(AntiEntropyTest, MatchingShardHashesEndTheProtocol) {
+  MakeEngine();
+  good_.Apply(MakeWrite("k", 10));
+  // A peer with identical state sends identical shard summaries: silence.
+  engine_->HandleShardDigest(net::ShardDigest{good_.ShardHashes()}, kPeer);
+  EXPECT_TRUE(sent_.empty());
 }
 
 TEST_F(AntiEntropyTest, MatchingBucketHashesEndTheProtocol) {
   MakeEngine();
   good_.Apply(MakeWrite("k", 10));
   // A peer with identical state sends identical hashes: no round 2 at all.
-  engine_->HandleBucketDigest(net::BucketDigest{good_.BucketHashes()}, kPeer);
+  engine_->HandleBucketDigest(
+      net::BucketDigest{good_.shard(0).BucketHashes()}, kPeer);
   EXPECT_TRUE(sent_.empty());
+}
+
+TEST_F(AntiEntropyTest, MismatchedShardSummaryPullsItsBucketHashes) {
+  MakeEngine();
+  good_.Apply(MakeWrite("a", 10));
+  version::ShardedStore peer;  // missing "a"
+  engine_->HandleShardDigest(net::ShardDigest{peer.ShardHashes()}, kPeer);
+  ASSERT_EQ(sent_.size(), 1u);
+  const auto* bd = std::get_if<net::BucketDigest>(&sent_[0].msg);
+  ASSERT_NE(bd, nullptr);
+  EXPECT_EQ(bd->shard, 0u);
+  EXPECT_EQ(bd->hashes, good_.shard(0).BucketHashes());
 }
 
 TEST_F(AntiEntropyTest, BucketDigestRepliesScopedToMismatchedBuckets) {
@@ -239,15 +262,16 @@ TEST_F(AntiEntropyTest, BucketDigestRepliesScopedToMismatchedBuckets) {
   good_.Apply(MakeWrite("a", 10));
   good_.Apply(MakeWrite("b", 20));
   // Peer state: missing "b" but otherwise identical.
-  version::VersionedStore peer;
+  version::ShardedStore peer;
   peer.Apply(MakeWrite("a", 10));
-  engine_->HandleBucketDigest(net::BucketDigest{peer.BucketHashes()}, kPeer);
+  engine_->HandleBucketDigest(
+      net::BucketDigest{peer.shard(0).BucketHashes()}, kPeer);
   ASSERT_EQ(sent_.size(), 1u);
   const auto* req = std::get_if<net::DigestRequest>(&sent_[0].msg);
   ASSERT_NE(req, nullptr);
   EXPECT_TRUE(req->reply_allowed);
   ASSERT_FALSE(req->buckets.empty());
-  size_t b_bucket = version::VersionedStore::DigestBucketOf("b");
+  size_t b_bucket = good_.shard(0).BucketOf("b");
   bool covers_b = false;
   for (uint32_t b : req->buckets) {
     if (b == b_bucket) covers_b = true;
@@ -258,7 +282,7 @@ TEST_F(AntiEntropyTest, BucketDigestRepliesScopedToMismatchedBuckets) {
   for (const auto& [k, ts] : req->latest) {
     bool in_scope = false;
     for (uint32_t b : req->buckets) {
-      if (version::VersionedStore::DigestBucketOf(k) == b) in_scope = true;
+      if (good_.shard(0).BucketOf(k) == b) in_scope = true;
     }
     EXPECT_TRUE(in_scope) << k;
   }
@@ -268,17 +292,15 @@ TEST_F(AntiEntropyTest, ScopedDigestBackfillsOnlyThoseBuckets) {
   MakeEngine();
   good_.Apply(MakeWrite("a", 10));
   good_.Apply(MakeWrite("b", 20));
-  // Round-2 request scoped to b's bucket from a peer that has nothing there.
+  // Bucket-scoped request for b's bucket from a peer that has nothing there.
   net::DigestRequest req;
-  req.buckets = {
-      static_cast<uint32_t>(version::VersionedStore::DigestBucketOf("b"))};
+  req.buckets = {static_cast<uint32_t>(good_.shard(0).BucketOf("b"))};
   engine_->HandleDigest(req, kPeer);
   auto batches = SentBatches();
   size_t shipped = 0;
   for (const auto* batch : batches) {
     for (const auto& w : batch->writes) {
-      EXPECT_EQ(version::VersionedStore::DigestBucketOf(w.key),
-                version::VersionedStore::DigestBucketOf("b"));
+      EXPECT_EQ(good_.shard(0).BucketOf(w.key), good_.shard(0).BucketOf("b"));
       shipped++;
     }
   }
@@ -292,7 +314,7 @@ TEST_F(AntiEntropyTest, BucketedSyncTransmitsDiffNotDataset) {
   constexpr size_t kKeys = 100000;
   constexpr size_t kDiff = 50;
   MakeEngine();
-  version::VersionedStore peer;  // the out-of-date replica
+  version::ShardedStore peer;  // the out-of-date replica
   for (size_t i = 0; i < kKeys; i++) {
     auto w = MakeWrite("key" + std::to_string(i), 10);
     good_.Apply(w);
@@ -303,7 +325,8 @@ TEST_F(AntiEntropyTest, BucketedSyncTransmitsDiffNotDataset) {
   }
 
   // Round 1: the peer's hashes arrive; we answer with scoped digests.
-  engine_->HandleBucketDigest(net::BucketDigest{peer.BucketHashes()}, kPeer);
+  engine_->HandleBucketDigest(
+      net::BucketDigest{peer.shard(0).BucketHashes()}, kPeer);
   ASSERT_EQ(sent_.size(), 1u);
   const auto& scoped = std::get<net::DigestRequest>(sent_[0].msg);
   EXPECT_EQ(engine_->stats().digest_entries_out, scoped.latest.size());
@@ -312,7 +335,7 @@ TEST_F(AntiEntropyTest, BucketedSyncTransmitsDiffNotDataset) {
   EXPECT_LE(scoped.latest.size(), kKeys / 10);
   EXPECT_LT(net::WireBytes(net::Message{scoped}) +
                 net::WireBytes(net::Message{net::BucketDigest{
-                    peer.BucketHashes()}}),
+                    peer.shard(0).BucketHashes()}}),
             net::WireBytes(net::Message{net::DigestRequest{good_.Digest()}}));
 
   // Round 2 (as the peer's engine would run it): feed the scoped digest to
@@ -349,7 +372,107 @@ TEST_F(AntiEntropyTest, BucketedSyncTransmitsDiffNotDataset) {
     }
   }
   EXPECT_EQ(peer.VersionCount(), good_.VersionCount());
-  EXPECT_EQ(peer.BucketHashes(), good_.BucketHashes());
+  EXPECT_EQ(peer.shard(0).BucketHashes(), good_.shard(0).BucketHashes());
+}
+
+TEST(ShardedAntiEntropyTest, HotShardRepairShipsThatShardsHashesOnly) {
+  // Acceptance bar for the sharded protocol: with shards_per_server > 1, a
+  // digest-repair round for a diff confined to one shard must ship round-1
+  // bucket hashes for that shard only — cold shards cost one 8-byte summary
+  // each, never a bucket-hash vector or a key walk.
+  constexpr size_t kShards = 8;
+  constexpr size_t kBuckets = 64;
+  constexpr size_t kKeys = 4000;
+  sim::Simulation sim{1};
+  FixedPartitioner partitioner{{1, 2}};
+  version::ShardedStore::Options store_opts{kShards, kBuckets, 1};
+  version::ShardedStore ours(store_opts);  // up to date
+  version::ShardedStore peer(store_opts);  // stale replica
+  for (size_t i = 0; i < kKeys; i++) {
+    WriteRecord w;
+    w.key = "key" + std::to_string(i);
+    w.value = "v";
+    w.ts = {10, 7};
+    ours.Apply(w);
+    peer.Apply(w);
+  }
+  // The diff: 10 newer writes, all landing in one (hot) shard.
+  size_t hot = ours.ShardIndexOf("key0");
+  size_t updated = 0;
+  for (size_t i = 0; i < kKeys && updated < 10; i++) {
+    Key key = "key" + std::to_string(i);
+    if (ours.ShardIndexOf(key) != hot) continue;
+    WriteRecord w;
+    w.key = key;
+    w.value = "newer";
+    w.ts = {77, 7};
+    ours.Apply(w);
+    updated++;
+  }
+  ASSERT_EQ(updated, 10u);
+
+  struct Sent {
+    net::NodeId to;
+    net::Message msg;
+  };
+  std::vector<Sent> ours_sent, peer_sent;
+  AntiEntropyEngine ours_engine(
+      sim, 1, &partitioner, ours, AntiEntropyEngine::Options{},
+      [&ours_sent](net::NodeId to, net::Message m) {
+        ours_sent.push_back(Sent{to, std::move(m)});
+      },
+      [](const WriteRecord&, net::PutMode, net::NodeId) {});
+  AntiEntropyEngine peer_engine(
+      sim, 2, &partitioner, peer, AntiEntropyEngine::Options{},
+      [&peer_sent](net::NodeId to, net::Message m) {
+        peer_sent.push_back(Sent{to, std::move(m)});
+      },
+      [&peer](const WriteRecord& w, net::PutMode, net::NodeId) {
+        peer.Apply(w);
+      });
+
+  // Round 0 (as the peer's tick would run): peer's shard summaries reach us.
+  ours_engine.HandleShardDigest(net::ShardDigest{peer.ShardHashes()}, 2);
+  // Round 1: exactly one BucketDigest — the hot shard's — crosses the wire.
+  ASSERT_EQ(ours_sent.size(), 1u);
+  const auto* bd = std::get_if<net::BucketDigest>(&ours_sent[0].msg);
+  ASSERT_NE(bd, nullptr);
+  EXPECT_EQ(bd->shard, hot);
+  EXPECT_EQ(bd->hashes.size(), kBuckets);
+  // Cold shards never hash: total round-1 digest traffic is one shard's
+  // bucket vector, not kShards of them.
+  EXPECT_LT(ours_engine.stats().digest_bytes_out,
+            (kShards * kBuckets * 8) / 2);
+  EXPECT_EQ(ours_engine.stats().digest_entries_out, 0u);
+
+  // Round 2: the peer advertises per-key digests for mismatched buckets of
+  // the hot shard only.
+  peer_engine.HandleBucketDigest(*bd, 1);
+  ASSERT_EQ(peer_sent.size(), 1u);
+  const auto* scoped = std::get_if<net::DigestRequest>(&peer_sent[0].msg);
+  ASSERT_NE(scoped, nullptr);
+  EXPECT_EQ(scoped->shard, hot);
+  for (const auto& [k, ts] : scoped->latest) {
+    EXPECT_EQ(peer.ShardIndexOf(k), hot) << k;
+  }
+  // Entries shipped ~ mismatched buckets' population, a sliver of the
+  // keyspace (the flat protocol would pay kKeys entries).
+  EXPECT_EQ(peer_engine.stats().digest_entries_out, scoped->latest.size());
+  EXPECT_LT(scoped->latest.size(), kKeys / 4);
+
+  // Round 3: we back-fill exactly the diff; the peer converges.
+  ours_engine.HandleDigest(*scoped, 2);
+  size_t repaired = 0;
+  for (const auto& s : ours_sent) {
+    if (const auto* batch = std::get_if<net::AntiEntropyBatch>(&s.msg)) {
+      for (const auto& w : batch->writes) {
+        peer.Apply(w);
+        repaired++;
+      }
+    }
+  }
+  EXPECT_EQ(repaired, 10u);
+  EXPECT_EQ(peer.ShardHashes(), ours.ShardHashes());
 }
 
 TEST_F(AntiEntropyTest, DigestRepliesCappedByBytes) {

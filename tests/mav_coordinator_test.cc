@@ -42,7 +42,7 @@ class MavCoordinatorTest : public ::testing::Test {
 
   sim::Simulation sim_{1};
   std::unique_ptr<FixedPartitioner> partitioner_;
-  version::VersionedStore good_;
+  version::ShardedStore good_;
   PersistenceManager persistence_{""};  // disabled: pure in-memory protocol
   std::unique_ptr<MavCoordinator> mav_;
   std::vector<std::pair<net::NodeId, net::NotifyRequest>> notifies_;

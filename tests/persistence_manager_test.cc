@@ -39,15 +39,20 @@ WriteRecord MakeWrite(const Key& key, uint64_t logical, const Value& value) {
 }
 
 struct Recovered {
-  std::vector<WriteRecord> good;
-  std::vector<WriteRecord> pending;
+  std::vector<std::pair<size_t, WriteRecord>> good;
+  std::vector<std::pair<size_t, WriteRecord>> pending;
 };
 
-Recovered Recover(PersistenceManager& pm) {
+Recovered Recover(PersistenceManager& pm, size_t shard_count = 1) {
   Recovered out;
-  Status s =
-      pm.Recover([&](const WriteRecord& w) { out.good.push_back(w); },
-                 [&](const WriteRecord& w) { out.pending.push_back(w); });
+  Status s = pm.Recover(
+      shard_count,
+      [&](size_t shard, const WriteRecord& w) {
+        out.good.emplace_back(shard, w);
+      },
+      [&](size_t shard, const WriteRecord& w) {
+        out.pending.emplace_back(shard, w);
+      });
   EXPECT_TRUE(s.ok()) << s.ToString();
   return out;
 }
@@ -55,10 +60,11 @@ Recovered Recover(PersistenceManager& pm) {
 TEST(PersistenceManagerTest, DisabledManagerIsInert) {
   PersistenceManager pm("");
   EXPECT_FALSE(pm.enabled());
-  pm.PersistGood(MakeWrite("k", 1, "v"));   // must not crash
-  pm.PersistPending(MakeWrite("k", 2, "v"));
-  pm.ErasePersistedPending(MakeWrite("k", 2, "v"));
-  Status s = pm.Recover([](const WriteRecord&) {}, [](const WriteRecord&) {});
+  pm.PersistGood(0, MakeWrite("k", 1, "v"));  // must not crash
+  pm.PersistPending(0, MakeWrite("k", 2, "v"));
+  pm.ErasePersistedPending(0, MakeWrite("k", 2, "v"));
+  Status s = pm.Recover(1, [](size_t, const WriteRecord&) {},
+                        [](size_t, const WriteRecord&) {});
   EXPECT_FALSE(s.ok());
 }
 
@@ -67,18 +73,18 @@ TEST(PersistenceManagerTest, GoodAndPendingSurviveReopen) {
   {
     PersistenceManager pm(dir.path());
     ASSERT_TRUE(pm.enabled());
-    pm.PersistGood(MakeWrite("a", 1, "va"));
-    pm.PersistPending(MakeWrite("b", 2, "vb"));
+    pm.PersistGood(0, MakeWrite("a", 1, "va"));
+    pm.PersistPending(0, MakeWrite("b", 2, "vb"));
   }
   PersistenceManager pm(dir.path());
   Recovered r = Recover(pm);
   ASSERT_EQ(r.good.size(), 1u);
-  EXPECT_EQ(r.good[0].key, "a");
-  EXPECT_EQ(r.good[0].value, "va");
-  EXPECT_EQ(r.good[0].ts, (Timestamp{1, 7}));
-  EXPECT_EQ(r.good[0].sibs, (std::vector<Key>{"a", "sibling"}));
+  EXPECT_EQ(r.good[0].second.key, "a");
+  EXPECT_EQ(r.good[0].second.value, "va");
+  EXPECT_EQ(r.good[0].second.ts, (Timestamp{1, 7}));
+  EXPECT_EQ(r.good[0].second.sibs, (std::vector<Key>{"a", "sibling"}));
   ASSERT_EQ(r.pending.size(), 1u);
-  EXPECT_EQ(r.pending[0].key, "b");
+  EXPECT_EQ(r.pending[0].second.key, "b");
 }
 
 TEST(PersistenceManagerTest, ErasePendingRemovesOnlyThatVersion) {
@@ -86,42 +92,85 @@ TEST(PersistenceManagerTest, ErasePendingRemovesOnlyThatVersion) {
   PersistenceManager pm(dir.path());
   WriteRecord keep = MakeWrite("k", 1, "keep");
   WriteRecord gone = MakeWrite("k", 2, "gone");
-  pm.PersistPending(keep);
-  pm.PersistPending(gone);
-  pm.ErasePersistedPending(gone);
+  pm.PersistPending(0, keep);
+  pm.PersistPending(0, gone);
+  pm.ErasePersistedPending(0, gone);
   Recovered r = Recover(pm);
   ASSERT_EQ(r.pending.size(), 1u);
-  EXPECT_EQ(r.pending[0].value, "keep");
+  EXPECT_EQ(r.pending[0].second.value, "keep");
 }
 
 TEST(PersistenceManagerTest, PromotionMovesPendingToGood) {
   TempDir dir("promote");
   PersistenceManager pm(dir.path());
   WriteRecord w = MakeWrite("k", 3, "v");
-  pm.PersistPending(w);
+  pm.PersistPending(0, w);
   // Promotion path: good copy written, pending copy erased.
-  pm.PersistGood(w);
-  pm.ErasePersistedPending(w);
+  pm.PersistGood(0, w);
+  pm.ErasePersistedPending(0, w);
   Recovered r = Recover(pm);
   EXPECT_TRUE(r.pending.empty());
   ASSERT_EQ(r.good.size(), 1u);
-  EXPECT_EQ(r.good[0].ts, (Timestamp{3, 7}));
+  EXPECT_EQ(r.good[0].second.ts, (Timestamp{3, 7}));
 }
 
 TEST(PersistenceManagerTest, RecoveryCallbacksMayPersistAgain) {
   TempDir dir("reentrant");
   PersistenceManager pm(dir.path());
-  pm.PersistPending(MakeWrite("k", 1, "v"));
+  pm.PersistPending(0, MakeWrite("k", 1, "v"));
   // A pending record re-entering the MAV pipeline persists itself again
   // mid-recovery; the scan must not observe its own writes.
   size_t seen = 0;
-  Status s = pm.Recover([](const WriteRecord&) {},
-                        [&](const WriteRecord& w) {
+  Status s = pm.Recover(1, [](size_t, const WriteRecord&) {},
+                        [&](size_t, const WriteRecord& w) {
                           seen++;
-                          pm.PersistPending(w);
+                          pm.PersistPending(0, w);
                         });
   EXPECT_TRUE(s.ok());
   EXPECT_EQ(seen, 1u);
+}
+
+TEST(PersistenceManagerTest, ShardKeyspacesAreDisjoint) {
+  // Records persisted under different shards recover shard by shard: a
+  // RecoverShard replays exactly its shard's records, and the full Recover
+  // tags each record with the shard it was persisted under.
+  TempDir dir("shards");
+  PersistenceManager pm(dir.path());
+  pm.PersistGood(0, MakeWrite("a", 1, "v0"));
+  pm.PersistGood(1, MakeWrite("b", 2, "v1"));
+  pm.PersistGood(2, MakeWrite("c", 3, "v2"));
+  pm.PersistPending(1, MakeWrite("d", 4, "p1"));
+
+  std::vector<Key> shard1_good, shard1_pending;
+  ASSERT_TRUE(pm.RecoverShard(
+                    1,
+                    [&](const WriteRecord& w) {
+                      shard1_good.push_back(w.key);
+                    },
+                    [&](const WriteRecord& w) {
+                      shard1_pending.push_back(w.key);
+                    })
+                  .ok());
+  EXPECT_EQ(shard1_good, (std::vector<Key>{"b"}));
+  EXPECT_EQ(shard1_pending, (std::vector<Key>{"d"}));
+
+  Recovered all = Recover(pm, /*shard_count=*/3);
+  ASSERT_EQ(all.good.size(), 3u);
+  for (const auto& [shard, w] : all.good) {
+    if (w.key == "a") {
+      EXPECT_EQ(shard, 0u);
+    } else if (w.key == "b") {
+      EXPECT_EQ(shard, 1u);
+    } else if (w.key == "c") {
+      EXPECT_EQ(shard, 2u);
+    }
+  }
+  ASSERT_EQ(all.pending.size(), 1u);
+  EXPECT_EQ(all.pending[0].first, 1u);
+  // A Recover scoped to fewer shards replays only those prefixes.
+  Recovered partial = Recover(pm, /*shard_count=*/1);
+  ASSERT_EQ(partial.good.size(), 1u);
+  EXPECT_EQ(partial.good[0].second.key, "a");
 }
 
 }  // namespace

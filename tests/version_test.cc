@@ -7,6 +7,7 @@
 
 #include "hat/common/codec.h"
 #include "hat/common/rng.h"
+#include "hat/version/sharded_store.h"
 #include "hat/version/versioned_store.h"
 #include "hat/version/wire.h"
 
@@ -372,8 +373,7 @@ TEST(BucketDigestTest, DifferingLatestVersionFlipsExactlyItsBucket) {
   size_t diffs = 0;
   for (size_t i = 0; i < ha.size(); i++) diffs += ha[i] != hb[i];
   EXPECT_EQ(diffs, 1u);
-  EXPECT_NE(ha[VersionedStore::DigestBucketOf("key42")],
-            hb[VersionedStore::DigestBucketOf("key42")]);
+  EXPECT_NE(ha[a.BucketOf("key42")], hb[b.BucketOf("key42")]);
 }
 
 TEST(BucketDigestTest, OlderVersionArrivalLeavesHashUntouched) {
@@ -400,16 +400,217 @@ TEST(BucketDigestTest, ForEachLatestInBucketPartitionsTheKeyspace) {
     store.Apply(Put("key" + std::to_string(i), "v", 1 + i));
   }
   size_t seen = 0;
-  for (size_t b = 0; b < VersionedStore::kDigestBuckets; b++) {
+  for (size_t b = 0; b < store.digest_buckets(); b++) {
     store.ForEachLatestInBucket(
         b, [&](const Key& key, const Timestamp& ts) {
-          EXPECT_EQ(VersionedStore::DigestBucketOf(key), b);
+          EXPECT_EQ(store.BucketOf(key), b);
           EXPECT_EQ(store.LatestTimestamp(key), ts);
           seen++;
         });
     EXPECT_EQ(store.BucketKeyCount(b) > 0, store.BucketHash(b) != 0);
   }
   EXPECT_EQ(seen, store.KeyCount());
+}
+
+TEST(BucketDigestTest, SameTimestampBumpsOnTwoKeysDoNotCancel) {
+  // Regression: with an XOR-separable entry hash, updating two same-bucket
+  // keys between the same pair of timestamps cancels (the delta F(old) ^
+  // F(new) is key-independent) and the diverged bucket reads as in-sync.
+  // Force every key into one bucket to make collisions certain.
+  VersionedStore a(1), b(1);
+  for (int i = 0; i < 8; i++) {
+    auto w = Put("key" + std::to_string(i), "v", 10);
+    a.Apply(w);
+    b.Apply(w);
+  }
+  EXPECT_EQ(a.BucketHash(0), b.BucketHash(0));
+  // Exactly two keys move 10 -> 77 on one replica only.
+  a.Apply(Put("key2", "newer", 77));
+  a.Apply(Put("key5", "newer", 77));
+  EXPECT_NE(a.BucketHash(0), b.BucketHash(0))
+      << "two same-ts updates must not cancel out of the bucket hash";
+  EXPECT_NE(a.TopHash(), b.TopHash());
+}
+
+TEST(BucketDigestTest, BucketCountIsARuntimeKnob) {
+  VersionedStore store(8);
+  EXPECT_EQ(store.digest_buckets(), 8u);
+  for (int i = 0; i < 200; i++) {
+    store.Apply(Put("key" + std::to_string(i), "v", 1 + i));
+  }
+  EXPECT_EQ(store.BucketHashes().size(), 8u);
+  size_t seen = 0;
+  for (size_t b = 0; b < store.digest_buckets(); b++) {
+    store.ForEachLatestInBucket(b, [&](const Key& key, const Timestamp&) {
+      EXPECT_EQ(store.BucketOf(key), b);
+      seen++;
+    });
+  }
+  EXPECT_EQ(seen, store.KeyCount());
+  // Same writes, same bucket count: identical hashes regardless of the
+  // default-sized store's view of the world.
+  VersionedStore twin(8);
+  for (int i = 0; i < 200; i++) {
+    twin.Apply(Put("key" + std::to_string(i), "v", 1 + i));
+  }
+  EXPECT_EQ(store.BucketHashes(), twin.BucketHashes());
+}
+
+TEST(BucketDigestTest, TopHashSummarizesTheStore) {
+  VersionedStore a(64), b(64);
+  for (int i = 0; i < 100; i++) {
+    auto w = Put("key" + std::to_string(i), "v", 5);
+    a.Apply(w);
+    b.Apply(w);
+  }
+  EXPECT_EQ(a.TopHash(), b.TopHash());
+  a.Apply(Put("key42", "newer", 9));
+  EXPECT_NE(a.TopHash(), b.TopHash());
+  b.Apply(Put("key42", "newer", 9));
+  EXPECT_EQ(a.TopHash(), b.TopHash());
+  // Old-version arrivals do not move any latest entry, so no change.
+  a.Apply(Put("key42", "stale", 2));
+  EXPECT_EQ(a.TopHash(), b.TopHash());
+}
+
+// ----------------------------- sharded store -------------------------------
+
+TEST(ShardedStoreTest, RoutingPartitionsTheKeyspace) {
+  ShardedStore store(ShardedStore::Options{4, 64, 1});
+  ASSERT_EQ(store.shard_count(), 4u);
+  for (int i = 0; i < 400; i++) {
+    store.Apply(Put("key" + std::to_string(i), "v", 1 + i));
+  }
+  size_t total = 0;
+  bool multiple_used = false;
+  for (size_t s = 0; s < store.shard_count(); s++) {
+    store.shard(s).ForEachLatest([&](const Key& key, const Timestamp&) {
+      EXPECT_EQ(store.ShardIndexOf(key), s);
+    });
+    total += store.shard(s).KeyCount();
+    if (s > 0 && store.shard(s).KeyCount() > 0) multiple_used = true;
+  }
+  EXPECT_EQ(total, 400u);
+  EXPECT_TRUE(multiple_used) << "FNV routing should spread keys";
+}
+
+TEST(ShardedStoreTest, StrideComposesWithServerPlacement) {
+  // stride = servers-per-cluster: the local shard of a key must be
+  // (Fnv1a64 % (shards x stride)) / stride, and the server-level placement
+  // (Fnv1a64 % stride) must be untouched by the shard count.
+  constexpr size_t kStride = 5, kShards = 3;
+  ShardedStore store(ShardedStore::Options{kShards, 64, kStride});
+  for (int i = 0; i < 300; i++) {
+    Key key = "key" + std::to_string(i);
+    uint64_t h = Fnv1a64(key.data(), key.size());
+    EXPECT_EQ(store.ShardIndexOf(key), (h % (kShards * kStride)) / kStride);
+    EXPECT_LT(store.ShardIndexOf(key), kShards);
+  }
+}
+
+TEST(ShardedStoreTest, MatchesFlatStoreOnShuffledWriteStream) {
+  // The sharded data plane is a pure re-partitioning: a ShardedStore and a
+  // flat VersionedStore fed the same shuffled write stream must agree on
+  // every fold, latest timestamp, and scan result.
+  hat::Rng rng(2024);
+  std::vector<WriteRecord> stream;
+  for (int i = 0; i < 60; i++) {
+    Key key = "key" + std::to_string(i % 23);
+    if (rng.NextBool(0.5)) {
+      stream.push_back(Put(key, "v" + std::to_string(i), 1 + i));
+    } else {
+      stream.push_back(Delta(key, rng.NextInRange(-5, 5), 1 + i));
+    }
+  }
+  for (int round = 0; round < 5; round++) {
+    // Fisher-Yates shuffle; deterministic via the fixture Rng.
+    for (size_t i = stream.size() - 1; i > 0; i--) {
+      std::swap(stream[i], stream[rng.NextBelow(i + 1)]);
+    }
+    VersionedStore flat;
+    ShardedStore sharded(ShardedStore::Options{4, 32, 3});
+    for (const auto& w : stream) {
+      flat.Apply(w);
+      sharded.Apply(w);
+    }
+    EXPECT_EQ(sharded.KeyCount(), flat.KeyCount());
+    EXPECT_EQ(sharded.VersionCount(), flat.VersionCount());
+    for (int i = 0; i < 23; i++) {
+      Key key = "key" + std::to_string(i);
+      auto f = flat.Read(key);
+      auto s = sharded.Read(key);
+      EXPECT_EQ(s.found, f.found) << key;
+      EXPECT_EQ(s.value, f.value) << key;
+      EXPECT_EQ(s.ts, f.ts) << key;
+      EXPECT_EQ(sharded.LatestTimestamp(key), flat.LatestTimestamp(key));
+    }
+    auto flat_scan = flat.Scan("", "\xff");
+    auto sharded_scan = sharded.Scan("", "\xff");
+    ASSERT_EQ(sharded_scan.size(), flat_scan.size());
+    for (size_t i = 0; i < flat_scan.size(); i++) {
+      EXPECT_EQ(sharded_scan[i].first, flat_scan[i].first) << i;
+      EXPECT_EQ(sharded_scan[i].second.value, flat_scan[i].second.value);
+      EXPECT_EQ(sharded_scan[i].second.ts, flat_scan[i].second.ts);
+    }
+  }
+}
+
+TEST(ShardedStoreTest, ScanMergesShardsInKeyOrder) {
+  ShardedStore store(ShardedStore::Options{4, 32, 1});
+  for (int i = 0; i < 100; i++) {
+    store.Apply(Put("key" + std::to_string(i), "v", 1 + i));
+  }
+  Key prev;
+  size_t n = 0;
+  store.ScanVisit("", "\xff", std::nullopt,
+                  [&](const Key& key, ReadVersion) {
+                    if (n > 0) EXPECT_LT(prev, key);
+                    prev = key;
+                    n++;
+                  });
+  EXPECT_EQ(n, 100u);
+}
+
+TEST(ShardedStoreTest, ShardHashesLocalizeADiff) {
+  ShardedStore a(ShardedStore::Options{4, 32, 1});
+  ShardedStore b(ShardedStore::Options{4, 32, 1});
+  for (int i = 0; i < 200; i++) {
+    auto w = Put("key" + std::to_string(i), "v", 5);
+    a.Apply(w);
+    b.Apply(w);
+  }
+  EXPECT_EQ(a.ShardHashes(), b.ShardHashes());
+  a.Apply(Put("key7", "newer", 9));
+  auto ha = a.ShardHashes(), hb = b.ShardHashes();
+  size_t diffs = 0;
+  for (size_t s = 0; s < ha.size(); s++) diffs += ha[s] != hb[s];
+  EXPECT_EQ(diffs, 1u);
+  EXPECT_NE(ha[a.ShardIndexOf("key7")], hb[b.ShardIndexOf("key7")]);
+}
+
+TEST(ShardedStoreTest, GcFrontiersAreShardLocal) {
+  // GC on one shard's key must not disturb any other shard's version sets
+  // or digest state.
+  ShardedStore store(ShardedStore::Options{3, 32, 1});
+  for (int i = 0; i < 30; i++) {
+    Key key = "key" + std::to_string(i);
+    for (int v = 1; v <= 4; v++) {
+      store.Apply(Put(key, "v" + std::to_string(v), v));
+    }
+  }
+  Key victim = "key0";
+  size_t victim_shard = store.ShardIndexOf(victim);
+  std::vector<uint64_t> before = store.ShardHashes();
+  EXPECT_EQ(store.DropVersionsBefore(victim, Timestamp{4, 1}), 3u);
+  std::vector<uint64_t> after = store.ShardHashes();
+  // Dropping non-latest versions leaves every latest entry alone — all
+  // shard summaries unchanged — and only the victim's shard lost versions.
+  EXPECT_EQ(after, before);
+  for (size_t s = 0; s < store.shard_count(); s++) {
+    size_t expect = store.shard(s).KeyCount() * 4 -
+                    (s == victim_shard ? 3 : 0);
+    EXPECT_EQ(store.shard(s).VersionCount(), expect) << s;
+  }
 }
 
 // ------------------------------- wire -------------------------------------
