@@ -28,9 +28,11 @@ struct YcsbRun {
   sim::Duration measure = 4 * sim::kSecond;
 
   /// `server_totals`, when non-null, receives the deployment-wide server
-  /// counters at the end of the run (anti-entropy steady-state reporting).
-  harness::WorkloadResult Execute(
-      server::ServerStats* server_totals = nullptr) const {
+  /// counters at the end of the run (anti-entropy steady-state reporting);
+  /// `elapsed_us`, when non-null, the virtual time the whole run spanned
+  /// (preload + warmup + measure) — the denominator for utilization.
+  harness::WorkloadResult Execute(server::ServerStats* server_totals = nullptr,
+                                  sim::SimTime* elapsed_us = nullptr) const {
     sim::Simulation sim(seed);
     cluster::Deployment deployment_instance(sim, deployment);
     harness::YcsbDriver driver(deployment_instance, workload, client,
@@ -38,6 +40,7 @@ struct YcsbRun {
     driver.Preload();
     harness::WorkloadResult result = driver.Run(warmup, measure);
     if (server_totals) *server_totals = deployment_instance.TotalServerStats();
+    if (elapsed_us) *elapsed_us = sim.Now();
     return result;
   }
 };

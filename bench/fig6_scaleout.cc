@@ -11,10 +11,16 @@
 // shards_per_server: each server's data plane splits into independent
 // VersionedStore shards (per-shard fold caches, digest buckets, GC
 // frontiers), the layout Section 6.3 calls hash-partitioned — throughput
-// must hold steady while per-shard state shrinks. The sweep ends with an
-// end-to-end convergence check on a multi-shard deployment (real client
-// commits, push + sharded digest repair, replica-equality assertion); a
-// failure exits nonzero so CI catches it.
+// must hold steady while per-shard state shrinks.
+//
+// A third sweep scales *within* one server: shards = cores = C on a
+// ShardExecutor, offered load growing with C — saturation throughput must
+// scale near-linearly in C (same-shard work serializes, cross-shard work
+// overlaps) and the printed per-lane utilization shows what binds first
+// (cores vs the global lane). The sweeps end with an end-to-end
+// convergence check on a multi-shard deployment (real client commits,
+// push + sharded digest repair, replica-equality assertion); a failure
+// exits nonzero so CI catches it.
 //
 // HAT_BENCH_QUICK=1 runs a reduced sweep; HAT_BENCH_JSON=<path> writes the
 // throughput summary.
@@ -158,6 +164,68 @@ int main() {
   }
   shard_fig.Print(stdout, 2);
 
+  // ---- intra-server cores sweep (C shards x C cores, driven to saturation) --
+
+  hat::harness::Banner(
+      "Figure 6c: cores per server vs throughput (1000 txns/s), "
+      "1 server/cluster, shards = cores = C, clients scale with C");
+  std::vector<int> cores_per_server =
+      QuickBench() ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8};
+  hat::harness::FigureSeries core_fig;
+  core_fig.title = "Total throughput (1000 txns/s)";
+  core_fig.x_label = "cores/server";
+  for (int c : cores_per_server) core_fig.x.push_back(c);
+
+  for (const auto& system : systems) {
+    std::vector<double> thr;
+    for (int c : cores_per_server) {
+      YcsbRun run;
+      run.deployment = hat::cluster::DeploymentOptions::TwoRegions();
+      run.deployment.servers_per_cluster = 1;
+      run.deployment.server.shards_per_server = static_cast<size_t>(c);
+      run.deployment.server.cores_per_server = static_cast<size_t>(c);
+      run.client = system.options;
+      run.workload = PaperYcsb();
+      int sweep_servers = static_cast<int>(run.deployment.clusters.size()) *
+                          run.deployment.servers_per_cluster;
+      // Closed-loop clients bound offered load, so it must grow with
+      // capacity for the sweep to measure saturation throughput, not the
+      // client count.
+      run.num_clients = 30 * c * sweep_servers;
+      run.measure = (QuickBench() ? 1 : 2) * hat::sim::kSecond;
+      hat::server::ServerStats servers;
+      hat::sim::SimTime elapsed = 0;
+      auto result = run.Execute(&servers, &elapsed);
+      thr.push_back(result.TxnsPerSecond() / 1000.0);
+
+      // Saturation signals: capacity-normalized utilization and where the
+      // time went — if the global lane's share grows with C, cross-shard
+      // overhead is what caps the speedup. busy_us is summed over every
+      // server, so the capacity is cores x servers x elapsed.
+      double capacity = static_cast<double>(c) *
+                        static_cast<double>(sweep_servers) *
+                        static_cast<double>(elapsed);
+      double global_share =
+          servers.busy_us > 0 && !servers.lane_busy_us.empty()
+              ? servers.lane_busy_us.back() / servers.busy_us
+              : 0.0;
+      std::printf(
+          "  %-8s C=%d: %7.2f ktxn/s  util %.2f  global-lane share %4.1f%%  "
+          "queue-wait p95 %.0fus\n",
+          system.name.c_str(), c, result.TxnsPerSecond() / 1000.0,
+          servers.busy_us / capacity, 100.0 * global_share,
+          servers.queue_wait_us.Percentile(0.95));
+    }
+    core_fig.series.emplace_back(system.name, thr);
+  }
+  core_fig.Print(stdout, 2);
+
+  for (auto& [name, values] : core_fig.series) {
+    std::printf("%s intra-server speedup C=%d -> C=%d: %.2fx\n", name.c_str(),
+                cores_per_server.front(), cores_per_server.back(),
+                values.back() / values.front());
+  }
+
   int divergent = MultiShardConvergenceCheck();
   std::printf("\nMulti-shard convergence check (4 shards/server): %s\n",
               divergent == 0 ? "PASS" : "FAIL");
@@ -166,6 +234,7 @@ int main() {
   json.Add("fig6_throughput_ktps", fig);
   json.Add("fig6_ae_records_per_txn", gossip);
   json.Add("fig6_shard_scaleout_ktps", shard_fig);
+  json.Add("fig6_core_scaleout_ktps", core_fig);
   if (const char* path = json.Flush()) {
     std::printf("\nWrote JSON throughput summary to %s\n", path);
   }

@@ -1,6 +1,7 @@
 // Google-benchmark microbenchmarks for the core in-memory machinery:
-// multi-version store apply/read/fold, DSG construction + cycle search,
-// history analysis, network latency sampling, zipfian generation.
+// multi-version store apply/read/fold, ShardExecutor scheduling overhead,
+// DSG construction + cycle search, history analysis, network latency
+// sampling, zipfian generation.
 
 #include <benchmark/benchmark.h>
 
@@ -9,6 +10,7 @@
 #include "hat/common/crc32.h"
 #include "hat/common/rng.h"
 #include "hat/net/topology.h"
+#include "hat/server/shard_executor.h"
 #include "hat/version/versioned_store.h"
 
 namespace hat {
@@ -160,6 +162,44 @@ void BM_AnalyzeHistory(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_AnalyzeHistory)->Arg(100)->Arg(500);
+
+/// ShardExecutor scheduling arithmetic alone (no completion events): the
+/// fixed overhead every server message now pays to be placed on a lane and
+/// a core. Arg is the core count (the core scan is the only O(C) part).
+void BM_ShardExecutorBook(benchmark::State& state) {
+  sim::Simulation sim(1);
+  size_t cores = static_cast<size_t>(state.range(0));
+  server::ShardExecutor ex(sim,
+                           server::ShardExecutor::Options{16, cores, 2.0});
+  size_t lane = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ex.Submit(lane, 1.0, nullptr));
+    lane = (lane + 1) & 15;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShardExecutorBook)->Arg(1)->Arg(8)->Arg(64);
+
+/// End-to-end executor hot path: submit with a completion callback and
+/// drain the simulator — scheduling arithmetic + event heap traffic, i.e.
+/// what one HandleMessage costs before any protocol work.
+void BM_ShardExecutorSubmitDrain(benchmark::State& state) {
+  sim::Simulation sim(1);
+  server::ShardExecutor ex(sim, server::ShardExecutor::Options{16, 8, 2.0});
+  size_t lane = 0;
+  size_t pending = 0;
+  for (auto _ : state) {
+    ex.Submit(lane, 1.0, []() {});
+    lane = (lane + 1) & 15;
+    if (++pending == 1024) {  // amortized drain keeps the heap bounded
+      sim.Run();
+      pending = 0;
+    }
+  }
+  sim.Run();
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShardExecutorSubmitDrain);
 
 void BM_LatencySample(benchmark::State& state) {
   net::Topology topo;

@@ -33,6 +33,7 @@ Deployment::Deployment(sim::Simulation& sim, DeploymentOptions options)
   assert(!options_.clusters.empty());
   assert(options_.servers_per_cluster > 0);
   assert(options_.server.shards_per_server > 0);
+  assert(options_.server.cores_per_server > 0);
   // Compose server- and shard-level hash placement (see file comment):
   // every server routes a key to local shard (Fnv1a64(key) % L) / stride.
   options_.server.shard_placement_stride =
@@ -143,6 +144,15 @@ server::ServerStats Deployment::TotalServerStats() const {
     total.locks_queued += st.locks_queued;
     total.lock_deaths += st.lock_deaths;
     total.busy_us += st.busy_us;
+    total.exec_tasks += st.exec_tasks;
+    total.exec_dispatches += st.exec_dispatches;
+    if (total.lane_busy_us.size() < st.lane_busy_us.size()) {
+      total.lane_busy_us.resize(st.lane_busy_us.size(), 0);
+    }
+    for (size_t i = 0; i < st.lane_busy_us.size(); i++) {
+      total.lane_busy_us[i] += st.lane_busy_us[i];
+    }
+    total.queue_wait_us.Merge(st.queue_wait_us);
   }
   return total;
 }

@@ -74,6 +74,9 @@ class Deployment : public server::Partitioner, public client::Routing {
   int ShardsPerServer() const {
     return static_cast<int>(options_.server.shards_per_server);
   }
+  int CoresPerServer() const {
+    return static_cast<int>(options_.server.cores_per_server);
+  }
   /// Logical shards per cluster copy (servers_per_cluster x
   /// shards_per_server).
   int NumLogicalShards() const {

@@ -1,6 +1,7 @@
 #include "hat/server/replica_server.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <utility>
 
@@ -17,6 +18,10 @@ ReplicaServer::ReplicaServer(sim::Simulation& sim, net::Network& net,
     : net::RpcNode(sim, net, id),
       options_(std::move(options)),
       partitioner_(partitioner),
+      executor_(sim_,
+                ShardExecutor::Options{options_.shards_per_server,
+                                       options_.cores_per_server,
+                                       options_.costs.dispatch_us}),
       good_(version::ShardedStore::Options{options_.shards_per_server,
                                            options_.digest_buckets,
                                            options_.shard_placement_stride}),
@@ -66,71 +71,148 @@ const ServerStats& ReplicaServer::stats() const {
   stats_.locks_granted = l.granted;
   stats_.locks_queued = l.queued;
   stats_.lock_deaths = l.deaths;
+  const ShardExecutorStats& ex = executor_.stats();
+  stats_.busy_us = ex.busy_us;
+  stats_.exec_tasks = ex.tasks;
+  stats_.exec_dispatches = ex.dispatches;
+  stats_.lane_busy_us = ex.lane_busy_us;
+  stats_.queue_wait_us = ex.queue_wait_us;
   return stats_;
 }
 
 // --------------------------------------------------------------------------
-// Service-time queueing
+// Service-time classification (the per-message-type ServiceCosts table)
 // --------------------------------------------------------------------------
 
-double ReplicaServer::CostOf(const Message& msg) const {
+namespace {
+/// Exhaustive visitor: every message type must appear here. Adding a type
+/// to net::Message without classifying it is a compile error, not a silent
+/// 1µs default.
+template <class... Ts>
+struct CostTable : Ts... {
+  using Ts::operator()...;
+};
+template <class... Ts>
+CostTable(Ts...) -> CostTable<Ts...>;
+}  // namespace
+
+const std::vector<ShardExecutor::Work>& ReplicaServer::PlanFor(
+    const Message& msg) const {
   const ServiceCosts& c = options_.costs;
-  double bytes_kb = static_cast<double>(net::WireBytes(msg)) / 1024.0;
-  double cost = c.per_kb_us * bytes_kb;
-  if (std::holds_alternative<net::PingRequest>(msg)) {
-    return c.ping_us;  // pings measure the network, not the server
-  } else if (std::holds_alternative<net::GetRequest>(msg)) {
-    cost += c.get_us;
-  } else if (std::holds_alternative<net::ScanRequest>(msg)) {
-    cost += c.scan_base_us;
-  } else if (const auto* put = std::get_if<net::PutRequest>(&msg)) {
-    cost += c.put_us;
-    if (options_.durable) cost += c.wal_sync_us;
-    if (put->mode == net::PutMode::kMav) {
-      cost += c.mav_extra_put_us;
-      cost += c.mav_metadata_per_kb_us *
-              static_cast<double>(put->write.SibBytes()) / 1024.0;
-      if (c.pending_contention_scale > 0) {
-        cost *= 1.0 + static_cast<double>(mav_.PendingWriteCount()) /
-                          c.pending_contention_scale;
-      }
-    }
-  } else if (std::holds_alternative<net::NotifyRequest>(msg)) {
-    cost += c.notify_us;
-  } else if (const auto* ae = std::get_if<net::AntiEntropyBatch>(&msg)) {
-    cost += c.ae_batch_us +
-            c.ae_record_us * static_cast<double>(ae->writes.size());
-    if (options_.durable) cost += c.wal_sync_us;  // group commit per batch
-    if (ae->mode == net::PutMode::kMav) {
-      cost += c.mav_extra_put_us * static_cast<double>(ae->writes.size()) / 2;
-      size_t sib_bytes = 0;
-      for (const auto& w : ae->writes) sib_bytes += w.SibBytes();
-      cost += c.mav_metadata_per_kb_us * static_cast<double>(sib_bytes) /
-              1024.0;
-    }
-  } else if (const auto* digest = std::get_if<net::DigestRequest>(&msg)) {
-    cost += c.ae_batch_us +
-            0.2 * static_cast<double>(digest->latest.size());
-  } else if (const auto* bd = std::get_if<net::BucketDigest>(&msg)) {
-    // Comparing B hashes is far cheaper than per-key digest processing.
-    cost += c.ae_batch_us + 0.02 * static_cast<double>(bd->hashes.size());
-  } else if (const auto* sd = std::get_if<net::ShardDigest>(&msg)) {
-    cost += c.ae_batch_us + 0.02 * static_cast<double>(sd->hashes.size());
-  } else if (std::holds_alternative<net::LockRequest>(msg) ||
-             std::holds_alternative<net::UnlockRequest>(msg)) {
-    cost += c.lock_us;
-  } else {
-    cost += 1;  // acks etc.
-  }
-  return cost;
+  const size_t global = executor_.global_lane();
+  const double kb = static_cast<double>(net::WireBytes(msg)) / 1024.0;
+
+  plan_scratch_.clear();
+  auto add = [this](size_t lane, double cost) {
+    plan_scratch_.push_back({lane, cost});
+  };
+  // Responses are consumed by RpcNode::OnMessage and never dispatched here.
+  auto never = [&](const char* what) {
+    (void)what;
+    assert(!"response message reached the server cost table");
+    add(global, 0);
+  };
+
+  std::visit(
+      CostTable{
+          [&](const net::PingRequest&) {
+            add(global, c.ping_us);  // pings measure the network
+          },
+          [&](const net::GetRequest& get) {
+            add(LaneOf(get.key), c.get_us + c.per_kb_us * kb);
+          },
+          [&](const net::ScanRequest&) {
+            // Fixed cost only: the per-item charge is added by HandleScan,
+            // to each contributing shard's lane, once the result size is
+            // known — so it delays the reply (and large scans cannot hide
+            // behind an already-scheduled response).
+            add(global, c.scan_base_us + c.per_kb_us * kb);
+          },
+          [&](const net::PutRequest& put) {
+            double cost = c.put_us + c.per_kb_us * kb;
+            if (options_.durable) cost += c.wal_sync_us;
+            if (put.mode == net::PutMode::kMav) {
+              // Both backend puts (install into pending, promotion's
+              // pending -> good reveal) touch the same key, so both are
+              // charged here, to the key's shard lane — identical totals
+              // to the single-service-center model, which keeps C = 1
+              // reproducing its numbers exactly.
+              cost += c.mav_extra_put_us;
+              cost += c.mav_metadata_per_kb_us *
+                      static_cast<double>(put.write.SibBytes()) / 1024.0;
+              if (c.pending_contention_scale > 0) {
+                cost *= 1.0 + static_cast<double>(mav_.PendingWriteCount()) /
+                                  c.pending_contention_scale;
+              }
+            }
+            add(LaneOf(put.write.key), cost);
+          },
+          [&](const net::NotifyRequest&) {
+            add(global, c.notify_us + c.per_kb_us * kb);
+          },
+          [&](const net::AntiEntropyBatch& batch) {
+            // Batch overhead (and the group-commit WAL sync) is cross-shard
+            // coordination; record application is charged to each record's
+            // owning shard, so a multi-shard batch overlaps across cores.
+            double overhead = c.ae_batch_us + c.per_kb_us * kb;
+            if (options_.durable) overhead += c.wal_sync_us;
+            add(global, overhead);
+            shard_cost_scratch_.assign(good_.shard_count(), 0);
+            for (const auto& w : batch.writes) {
+              double cost = c.ae_record_us;
+              if (batch.mode == net::PutMode::kMav) {
+                cost += c.mav_extra_put_us / 2;
+                cost += c.mav_metadata_per_kb_us *
+                        static_cast<double>(w.SibBytes()) / 1024.0;
+              }
+              shard_cost_scratch_[LaneOf(w.key)] += cost;
+            }
+            for (size_t s = 0; s < shard_cost_scratch_.size(); s++) {
+              if (shard_cost_scratch_[s] > 0) add(s, shard_cost_scratch_[s]);
+            }
+          },
+          [&](const net::AntiEntropyAck&) {
+            add(global, c.ack_us + c.per_kb_us * kb);
+          },
+          [&](const net::DigestRequest& digest) {
+            double cost = c.ae_batch_us + c.per_kb_us * kb +
+                          0.2 * static_cast<double>(digest.latest.size());
+            // Bucket-scoped requests walk (and back-fill from) one shard;
+            // flat digests span the whole store.
+            size_t lane = !digest.buckets.empty() &&
+                                  digest.shard < good_.shard_count()
+                              ? digest.shard
+                              : global;
+            add(lane, cost);
+          },
+          [&](const net::BucketDigest& bd) {
+            // Comparing B hashes is far cheaper than per-key processing.
+            double cost = c.ae_batch_us + c.per_kb_us * kb +
+                          0.02 * static_cast<double>(bd.hashes.size());
+            add(bd.shard < good_.shard_count() ? bd.shard : global, cost);
+          },
+          [&](const net::ShardDigest& sd) {
+            add(global, c.ae_batch_us + c.per_kb_us * kb +
+                            0.02 * static_cast<double>(sd.hashes.size()));
+          },
+          [&](const net::LockRequest&) {
+            add(global, c.lock_us + c.per_kb_us * kb);
+          },
+          [&](const net::UnlockRequest&) {
+            add(global, c.lock_us + c.per_kb_us * kb);
+          },
+          [&](const net::PingResponse&) { never("PingResponse"); },
+          [&](const net::PutResponse&) { never("PutResponse"); },
+          [&](const net::GetResponse&) { never("GetResponse"); },
+          [&](const net::ScanResponse&) { never("ScanResponse"); },
+          [&](const net::LockResponse&) { never("LockResponse"); },
+      },
+      msg);
+  return plan_scratch_;
 }
 
 void ReplicaServer::HandleMessage(const Envelope& env) {
-  double cost = CostOf(env.msg);
-  stats_.busy_us += cost;
-  sim::SimTime start = std::max(sim_.Now(), busy_until_);
-  busy_until_ = start + static_cast<sim::Duration>(std::llround(cost));
-  sim_.At(busy_until_, [this, env]() { Process(env); });
+  executor_.SubmitAll(PlanFor(env.msg), [this, env]() { Process(env); });
 }
 
 void ReplicaServer::Process(const Envelope& env) {
@@ -211,22 +293,31 @@ void ReplicaServer::HandleScan(const Envelope& env) {
   const auto& req = std::get<net::ScanRequest>(env.msg);
   stats_.scans++;
   net::ScanResponse resp;
-  good_.ScanVisit(req.lo, req.hi, req.bound,
-                  [&resp](const Key& key, ReadVersion rv) {
-                    net::ScanResponse::Item item;
-                    item.key = key;
-                    item.value = std::move(rv.value);
-                    item.ts = rv.ts;
-                    item.sibs = std::move(rv.sibs);
-                    resp.items.push_back(std::move(item));
-                  });
-  // Post-hoc service charge for result size (volume known only now).
-  double extra = options_.costs.scan_item_us *
-                 static_cast<double>(resp.items.size());
-  stats_.busy_us += extra;
-  busy_until_ = std::max(busy_until_, sim_.Now()) +
-                static_cast<sim::Duration>(std::llround(extra));
-  Reply(env, std::move(resp));
+  std::vector<uint64_t> items_per_shard(good_.shard_count(), 0);
+  good_.ScanVisitSharded(req.lo, req.hi, req.bound,
+                         [&](size_t shard, const Key& key, ReadVersion rv) {
+                           items_per_shard[shard]++;
+                           net::ScanResponse::Item item;
+                           item.key = key;
+                           item.value = std::move(rv.value);
+                           item.ts = rv.ts;
+                           item.sibs = std::move(rv.sibs);
+                           resp.items.push_back(std::move(item));
+                         });
+  // The per-item cost is part of the task that produces the reply: each
+  // contributing shard's lane is charged for its items, and the response
+  // leaves only when the last shard finishes — a 1000-item scan replies
+  // later than a 1-item scan (with multiple cores, shards stream in
+  // parallel).
+  std::vector<ShardExecutor::Work> plan;
+  for (size_t s = 0; s < items_per_shard.size(); s++) {
+    if (items_per_shard[s] == 0) continue;
+    plan.push_back({s, options_.costs.scan_item_us *
+                           static_cast<double>(items_per_shard[s])});
+  }
+  executor_.SubmitAll(plan, [this, env, resp = std::move(resp)]() mutable {
+    Reply(env, std::move(resp));
+  });
 }
 
 // --------------------------------------------------------------------------
@@ -300,7 +391,11 @@ void ReplicaServer::Crash() {
   mav_.Clear();
   anti_entropy_.Clear();
   locks_.Clear();
-  busy_until_ = sim_.Now();
+  // Frees the busy frontiers only. Messages already in service keep their
+  // completion events and are processed against the wiped state — the same
+  // semantics the scalar busy_until_ reset had (network-level retransmits,
+  // not the executor, are what re-deliver lost work after a crash).
+  executor_.Reset();
 }
 
 Status ReplicaServer::RecoverFromStorage() {
@@ -309,10 +404,27 @@ Status ReplicaServer::RecoverFromStorage() {
   // land correctly even if the persisted shard tag ever disagrees);
   // pending (not yet stable) versions re-enter the MAV pipeline, whose
   // acks will be re-broadcast by MaybeAck/RenotifyTick.
-  return persistence_.Recover(
+  std::vector<uint64_t> replayed(good_.shard_count(), 0);
+  Status status = persistence_.Recover(
       good_.shard_count(),
-      [this](size_t, const WriteRecord& w) { good_.Apply(w); },
-      [this](size_t, const WriteRecord& w) { mav_.Install(w, true); });
+      [this, &replayed](size_t, const WriteRecord& w) {
+        replayed[LaneOf(w.key)]++;
+        good_.Apply(w);
+      },
+      [this, &replayed](size_t, const WriteRecord& w) {
+        replayed[LaneOf(w.key)]++;
+        mav_.Install(w, true);
+      });
+  if (!status.ok()) return status;
+  // Replay is charged per shard lane: a recovering server is busy applying
+  // its durable state, and with cores > 1 the shards replay in parallel, so
+  // recovery time shrinks with the core count instead of serializing.
+  for (size_t s = 0; s < replayed.size(); s++) {
+    if (replayed[s] == 0) continue;
+    executor_.Submit(
+        s, static_cast<double>(replayed[s]) * options_.costs.put_us, nullptr);
+  }
+  return status;
 }
 
 }  // namespace hat::server

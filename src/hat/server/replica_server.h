@@ -22,12 +22,25 @@
 // are independently constructible and unit-tested; future scenarios can
 // swap an anti-entropy strategy or lock manager without touching the
 // dispatcher.
+//
+// Service time runs on a ShardExecutor: each incoming message is classified
+// into a plan of (lane, cost) units — gets/puts to the owning shard's lane,
+// anti-entropy record application to each touched shard's lane, batch
+// overhead / locks / notifies / round-0 digests to the global lane — and
+// the plan executes on ServerOptions::cores_per_server cores. Same-shard
+// work serializes, cross-shard work overlaps up to the core count, and
+// cores_per_server = 1 reproduces the old single-service-center model
+// exactly (per-message demands are unchanged; only their lane routing is
+// new). Recovery replay is charged shard by shard to the replayed shard's
+// lane, so a multi-core server recovers its shards in parallel.
 
 #ifndef HAT_SERVER_REPLICA_SERVER_H_
 #define HAT_SERVER_REPLICA_SERVER_H_
 
 #include <string>
+#include <vector>
 
+#include "hat/common/histogram.h"
 #include "hat/net/rpc.h"
 #include "hat/server/anti_entropy_engine.h"
 #include "hat/server/lock_manager.h"
@@ -35,6 +48,7 @@
 #include "hat/server/partitioner.h"
 #include "hat/server/persistence_manager.h"
 #include "hat/server/service_costs.h"
+#include "hat/server/shard_executor.h"
 #include "hat/version/sharded_store.h"
 
 namespace hat::server {
@@ -44,6 +58,12 @@ struct ServerOptions {
   /// Number of local data-plane shards (independent VersionedStore
   /// instances) this server hosts. Replicas exchanging digests must agree.
   size_t shards_per_server = 1;
+  /// Execution slots of this server's ShardExecutor: how many lanes can be
+  /// in service simultaneously. 1 (the default) reproduces the old
+  /// single-service-center queueing exactly; C > 1 lets cross-shard work
+  /// overlap, so a server with shards_per_server >= cores_per_server scales
+  /// its saturation throughput near-linearly in C (Figure 6 cores sweep).
+  size_t cores_per_server = 1;
   /// Digest buckets per shard (VersionedStore's round-1 granularity).
   /// Shrink for small per-shard stores so a bucket exchange stops paying
   /// the full default. Replicas exchanging digests must agree.
@@ -115,7 +135,17 @@ struct ServerStats {
   uint64_t locks_granted = 0;
   uint64_t locks_queued = 0;
   uint64_t lock_deaths = 0;  ///< wait-die aborts issued
-  double busy_us = 0;        ///< total service time consumed
+  double busy_us = 0;        ///< total service time consumed, all lanes
+  // ShardExecutor counters (see ShardExecutorStats):
+  uint64_t exec_tasks = 0;       ///< classified tasks submitted
+  uint64_t exec_dispatches = 0;  ///< cross-core shard-lane handoffs charged
+  /// Busy microseconds per lane: [0, shards_per_server) the shard lanes,
+  /// then the global lane. Divide by elapsed time for per-lane utilization
+  /// (the saturation signal — a hot shard or a saturated global lane shows
+  /// up here long before total utilization reaches 1).
+  std::vector<double> lane_busy_us;
+  /// Microseconds each task waited for its lane and a core before service.
+  Histogram queue_wait_us;
 };
 
 class ReplicaServer : public net::RpcNode {
@@ -139,14 +169,21 @@ class ReplicaServer : public net::RpcNode {
   const MavCoordinator& mav() const { return mav_; }
   const AntiEntropyEngine& anti_entropy() const { return anti_entropy_; }
   const LockManager& lock_manager() const { return locks_; }
+  const ShardExecutor& executor() const { return executor_; }
 
   /// Bootstrap/test hook: installs a version directly into the good set with
   /// no gossip, persistence, or service cost (dataset preloading).
   void InstallForTest(const WriteRecord& w) { good_.Apply(w); }
 
-  /// Fraction of time this server was busy over the sim so far (utilization).
+  /// Fraction of this server's capacity (cores_per_server x elapsed)
+  /// consumed so far. A saturated C-core server reads 1.0, not C.
   double UtilizationOver(sim::SimTime elapsed) const {
-    return elapsed == 0 ? 0 : stats_.busy_us / static_cast<double>(elapsed);
+    return executor_.UtilizationOver(elapsed);
+  }
+  /// Fraction of elapsed time one lane (shard index, or shards_per_server
+  /// for the global lane) was busy.
+  double LaneUtilizationOver(size_t lane, sim::SimTime elapsed) const {
+    return executor_.LaneUtilizationOver(lane, elapsed);
   }
 
  protected:
@@ -154,7 +191,13 @@ class ReplicaServer : public net::RpcNode {
 
  private:
   void Process(const net::Envelope& env);
-  double CostOf(const net::Message& msg) const;
+  /// Classifies one message into executor work: which lanes it occupies and
+  /// for how long (the per-message-type ServiceCosts table). Returns a
+  /// reference to `plan_scratch_`, reused per message so the dispatch hot
+  /// path stays allocation-free at steady state.
+  const std::vector<ShardExecutor::Work>& PlanFor(
+      const net::Message& msg) const;
+  size_t LaneOf(const Key& key) const { return good_.ShardIndexOf(key); }
 
   void HandleGet(const net::Envelope& env);
   void HandleScan(const net::Envelope& env);
@@ -174,7 +217,10 @@ class ReplicaServer : public net::RpcNode {
   ServerOptions options_;
   const Partitioner* partitioner_;
   mutable ServerStats stats_;  // mutable: stats() assembles subsystem counts
-  sim::SimTime busy_until_ = 0;
+  ShardExecutor executor_;
+  // PlanFor scratch space (capacity retained across messages).
+  mutable std::vector<ShardExecutor::Work> plan_scratch_;
+  mutable std::vector<double> shard_cost_scratch_;
 
   version::ShardedStore good_;
   PersistenceManager persistence_;

@@ -1,10 +1,14 @@
 // Service-time model for replica servers.
 //
-// Each server is a single service center: requests queue and consume CPU/IO
-// time. These per-operation demands generate the throughput phenomena the
-// paper measures — saturation under client load (Figure 3), MAV's ~75% of
-// eventual throughput in-datacenter, its decay with transaction length
-// (Figure 4) and write fraction (Figure 5), and linear scale-out (Figure 6).
+// Each server is a ShardExecutor: per-shard lanes sharing
+// ServerOptions::cores_per_server cores. Requests are classified per message
+// type, routed to the owning shard's lane (or the global lane for
+// cross-shard work), and consume CPU/IO time there. These per-operation
+// demands generate the throughput phenomena the paper measures — saturation
+// under client load (Figure 3), MAV's ~75% of eventual throughput
+// in-datacenter, its decay with transaction length (Figure 4) and write
+// fraction (Figure 5), and linear scale-out (Figure 6) — now both across
+// servers and across cores within one.
 
 #ifndef HAT_SERVER_SERVICE_COSTS_H_
 #define HAT_SERVER_SERVICE_COSTS_H_
@@ -33,6 +37,12 @@ struct ServiceCosts {
   double scan_base_us = 60;      ///< range read fixed cost
   double scan_item_us = 5;       ///< per item returned by a range read
   double ping_us = 1;
+  double ack_us = 1;             ///< retiring an anti-entropy ack
+  /// Handing one unit of shard work from the receive path to its lane's
+  /// queue on another core (ShardExecutor). Charged only when
+  /// cores_per_server > 1 — a single-core server runs everything inline, so
+  /// C = 1 reproduces the pre-executor single-service-center numbers.
+  double dispatch_us = 2;
 
   /// Models the LevelDB write-amplification / IOPS contention the paper
   /// observed for MAV at scale: put cost inflates with the size of the

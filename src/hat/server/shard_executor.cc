@@ -1,0 +1,87 @@
+#include "hat/server/shard_executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <utility>
+
+namespace hat::server {
+
+ShardExecutor::ShardExecutor(sim::Simulation& sim, Options options)
+    : sim_(sim), options_(options) {
+  assert(options_.shards >= 1);
+  assert(options_.cores >= 1);
+  lane_free_.assign(options_.shards + 1, 0);
+  core_free_.assign(options_.cores, 0);
+  stats_.lane_busy_us.assign(options_.shards + 1, 0);
+}
+
+sim::SimTime ShardExecutor::Book(const Work& work) {
+  assert(work.lane < lane_free_.size());
+  double cost = work.cost_us;
+  // Cross-core dispatch: handing shard work to another core's queue is not
+  // free. A single-core executor runs everything inline (and must reproduce
+  // the old single-service-center numbers exactly), so it pays nothing.
+  if (options_.cores > 1 && work.lane != global_lane()) {
+    cost += options_.dispatch_us;
+    stats_.dispatches++;
+  }
+
+  sim::SimTime now = sim_.Now();
+  sim::SimTime desired = std::max(now, lane_free_[work.lane]);
+
+  // Core choice (deterministic, lowest index on ties): prefer the
+  // *latest*-free core that is still free by `desired` — the task cannot
+  // start before its lane frontier anyway, so taking the tightest-fitting
+  // core fills that core's idle gap and leaves earlier-free cores for
+  // other lanes' tasks arriving in the meantime. Booking the earliest core
+  // instead would strand its whole [free, desired) window behind a deep
+  // lane queue and cap utilization well below the core count. Only when no
+  // core is free by `desired` does the earliest one (and the wait for it)
+  // apply.
+  size_t core = core_free_.size();
+  size_t earliest = 0;
+  for (size_t i = 0; i < core_free_.size(); i++) {
+    if (core_free_[i] <= desired &&
+        (core == core_free_.size() || core_free_[i] > core_free_[core])) {
+      core = i;
+    }
+    if (core_free_[i] < core_free_[earliest]) earliest = i;
+  }
+  if (core == core_free_.size()) core = earliest;
+
+  sim::SimTime start = std::max(desired, core_free_[core]);
+  sim::SimTime end =
+      start + static_cast<sim::Duration>(std::llround(std::max(cost, 0.0)));
+  lane_free_[work.lane] = end;
+  core_free_[core] = end;
+
+  stats_.busy_us += cost;
+  stats_.lane_busy_us[work.lane] += cost;
+  stats_.queue_wait_us.Record(static_cast<double>(start - now));
+  return end;
+}
+
+sim::SimTime ShardExecutor::Submit(size_t lane, double cost_us,
+                                   sim::Simulation::Callback done) {
+  stats_.tasks++;
+  sim::SimTime end = Book(Work{lane, cost_us});
+  if (done) sim_.At(end, std::move(done));
+  return end;
+}
+
+sim::SimTime ShardExecutor::SubmitAll(const std::vector<Work>& plan,
+                                      sim::Simulation::Callback done) {
+  stats_.tasks++;
+  sim::SimTime end = sim_.Now();
+  for (const Work& work : plan) end = std::max(end, Book(work));
+  if (done) sim_.At(end, std::move(done));
+  return end;
+}
+
+void ShardExecutor::Reset() {
+  std::fill(lane_free_.begin(), lane_free_.end(), sim_.Now());
+  std::fill(core_free_.begin(), core_free_.end(), sim_.Now());
+}
+
+}  // namespace hat::server

@@ -1,0 +1,129 @@
+// ShardExecutor: a deterministic multi-lane queueing model for one server's
+// service time, layered on the single-threaded sim::Simulation clock.
+//
+// PR 3 made the data plane's shards fully independent, but every request
+// still serialized through one scalar busy-until frontier — a 16-shard
+// server saturated exactly like a 1-shard one. The executor replaces the
+// single service center with *lanes × cores*:
+//
+//  * one logical lane per local shard plus one global lane (lock table,
+//    batch overhead, MAV notifies, cross-shard coordination);
+//  * a pool of `cores` interchangeable execution slots.
+//
+// A task targeting lane `l` completes at
+//
+//     start = max(now, lane_free[l], earliest_core_free)
+//     end   = start + cost
+//
+// so same-shard work serializes (its lane is a FIFO), cross-shard work
+// overlaps up to the core count, and a single-core executor degenerates to
+// exactly the old single-service-center model (the earliest core IS the old
+// busy_until_). Scheduling is non-preemptive and processes tasks in arrival
+// order with pure arithmetic on the virtual clock — a fixed seed still
+// produces a bit-identical execution, which tests assert.
+//
+// The executor also owns the server's service-time accounting: total and
+// per-lane busy microseconds, task/dispatch counts, and a queue-wait
+// histogram (how long tasks waited for their lane or a core), the
+// saturation signal fig3/fig6 print.
+
+#ifndef HAT_SERVER_SHARD_EXECUTOR_H_
+#define HAT_SERVER_SHARD_EXECUTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hat/common/histogram.h"
+#include "hat/sim/simulation.h"
+
+namespace hat::server {
+
+struct ShardExecutorStats {
+  double busy_us = 0;  ///< total service time consumed, all lanes
+  /// Busy microseconds per lane: [0, shards) the shard lanes, [shards] the
+  /// global lane.
+  std::vector<double> lane_busy_us;
+  uint64_t tasks = 0;       ///< tasks submitted
+  uint64_t dispatches = 0;  ///< shard-lane handoffs that paid dispatch cost
+  /// Microseconds each task spent queued (arrival -> start of service).
+  Histogram queue_wait_us;
+};
+
+class ShardExecutor {
+ public:
+  struct Options {
+    /// Number of shard lanes (>= 1). Lane count is shards + 1 (global).
+    size_t shards = 1;
+    /// Execution slots shared by all lanes (>= 1). One core reproduces the
+    /// single-service-center model exactly.
+    size_t cores = 1;
+    /// Cost of handing a task from the receive path to a shard lane's queue
+    /// on another core (ServiceCosts::dispatch_us). Charged per shard-lane
+    /// unit of work only when cores > 1 — a single-core server runs
+    /// everything inline and pays no cross-core handoff.
+    double dispatch_us = 0;
+  };
+
+  /// One classified unit of work: `cost_us` of service time on `lane`.
+  struct Work {
+    size_t lane = 0;
+    double cost_us = 0;
+  };
+
+  ShardExecutor(sim::Simulation& sim, Options options);
+
+  size_t shard_count() const { return options_.shards; }
+  size_t cores() const { return options_.cores; }
+  size_t lane_count() const { return options_.shards + 1; }
+  /// The lane for work not owned by any single shard.
+  size_t global_lane() const { return options_.shards; }
+
+  /// Runs `cost_us` of service time on `lane`; `done` (may be null) fires
+  /// when it completes. Returns the completion time.
+  sim::SimTime Submit(size_t lane, double cost_us, sim::Simulation::Callback done);
+
+  /// Runs every unit concurrently (each serialized on its own lane, all
+  /// sharing the core pool); `done` (may be null) fires when the last one
+  /// completes. An empty plan completes immediately (at now). Returns the
+  /// completion time.
+  sim::SimTime SubmitAll(const std::vector<Work>& plan,
+                         sim::Simulation::Callback done);
+
+  /// Crash/recovery hook: every lane and core becomes free at the current
+  /// virtual time, so post-crash work is not queued behind pre-crash
+  /// bookings. Completion callbacks already scheduled on the simulator
+  /// still fire (the owner processes in-flight messages against its wiped
+  /// state, exactly as the old single-service-center model did on
+  /// Crash()); only the busy frontiers reset. Stats survive, like every
+  /// subsystem's.
+  void Reset();
+
+  const ShardExecutorStats& stats() const { return stats_; }
+
+  /// Fraction of available capacity (cores x elapsed) consumed so far.
+  double UtilizationOver(sim::SimTime elapsed) const {
+    return elapsed == 0 ? 0
+                        : stats_.busy_us / (static_cast<double>(options_.cores) *
+                                            static_cast<double>(elapsed));
+  }
+  /// Fraction of elapsed time one lane was busy.
+  double LaneUtilizationOver(size_t lane, sim::SimTime elapsed) const {
+    return elapsed == 0 ? 0
+                        : stats_.lane_busy_us[lane] /
+                              static_cast<double>(elapsed);
+  }
+
+ private:
+  /// Books one unit of work and returns its completion time (no callback).
+  sim::SimTime Book(const Work& work);
+
+  sim::Simulation& sim_;
+  Options options_;
+  ShardExecutorStats stats_;
+  std::vector<sim::SimTime> lane_free_;  ///< per-lane FIFO frontier
+  std::vector<sim::SimTime> core_free_;  ///< per-core availability
+};
+
+}  // namespace hat::server
+
+#endif  // HAT_SERVER_SHARD_EXECUTOR_H_

@@ -32,8 +32,21 @@ std::vector<uint64_t> ShardedStore::ShardHashes() const {
 void ShardedStore::ScanVisit(
     const Key& lo, const Key& hi, std::optional<Timestamp> bound,
     const std::function<void(const Key&, ReadVersion)>& fn) const {
+  ScanVisitSharded(lo, hi, bound,
+                   [&fn](size_t, const Key& key, ReadVersion rv) {
+                     fn(key, std::move(rv));
+                   });
+}
+
+void ShardedStore::ScanVisitSharded(
+    const Key& lo, const Key& hi, std::optional<Timestamp> bound,
+    const std::function<void(size_t shard, const Key&, ReadVersion)>& fn)
+    const {
   if (shards_.size() == 1) {
-    shards_[0].ScanVisit(lo, hi, bound, fn);
+    shards_[0].ScanVisit(lo, hi, bound,
+                         [&fn](const Key& key, ReadVersion rv) {
+                           fn(0, key, std::move(rv));
+                         });
     return;
   }
   // Hash partitioning interleaves the key space across shards, so a merged
@@ -61,7 +74,7 @@ void ShardedStore::ScanVisit(
     std::pop_heap(heap.begin(), heap.end(), greater);
     size_t s = heap.back();
     auto& [key, rv] = runs[s][pos[s]];
-    fn(key, std::move(rv));
+    fn(s, key, std::move(rv));
     if (++pos[s] < runs[s].size()) {
       std::push_heap(heap.begin(), heap.end(), greater);
     } else {

@@ -122,6 +122,13 @@ class ShardedStore {
   void ScanVisit(
       const Key& lo, const Key& hi, std::optional<Timestamp> bound,
       const std::function<void(const Key&, ReadVersion)>& fn) const;
+  /// ScanVisit variant that also reports each item's owning shard index —
+  /// the merge knows it anyway, so per-shard attribution (e.g. charging
+  /// scan service time per lane) costs no extra key hashing.
+  void ScanVisitSharded(
+      const Key& lo, const Key& hi, std::optional<Timestamp> bound,
+      const std::function<void(size_t shard, const Key&, ReadVersion)>& fn)
+      const;
   std::vector<std::pair<Key, ReadVersion>> Scan(
       const Key& lo, const Key& hi,
       std::optional<Timestamp> bound = std::nullopt) const;

@@ -253,6 +253,40 @@ TEST_F(ServerTest, ServiceTimeQueuesRequests) {
   EXPECT_GE(stats.busy_us, 50 * 80.0);  // >= 50 puts at base cost
 }
 
+TEST_F(ServerTest, ScanResultSizeDelaysItsOwnReply) {
+  // Regression: the per-item scan charge used to be added to busy_until_
+  // *after* the Reply was already scheduled, so a huge scan never delayed
+  // its own response. The per-item cost is now part of the task producing
+  // the reply: a 1000-item scan must reply measurably later than a 1-item
+  // scan (999 extra items at scan_item_us each).
+  Build(1, 1);
+  net::NodeId r = deployment_->ReplicaInCluster("scan0000", 0);
+  char key[16];
+  for (int i = 0; i < 1000; i++) {
+    std::snprintf(key, sizeof(key), "scan%04d", i);
+    deployment_->server(r).InstallForTest(MakeWrite(key, "v", 10 + i));
+  }
+
+  auto scan = [&](const Key& lo, const Key& hi, size_t expect_items) {
+    net::ScanRequest req;
+    req.lo = lo;
+    req.hi = hi;
+    sim::SimTime start = sim_->Now();
+    auto resp = probe_->CallSync(r, req, 30 * sim::kSecond);
+    EXPECT_TRUE(resp.ok());
+    EXPECT_EQ(std::get<net::ScanResponse>(*resp).items.size(), expect_items);
+    return sim_->Now() - start;
+  };
+
+  sim::Duration small = scan("scan0000", "scan0001", 1);
+  Settle(100 * sim::kMillisecond);  // fully drain before the big scan
+  sim::Duration large = scan("scan0000", "scan9999", 1000);
+  // 999 extra items x 5us = ~5ms of extra service time in the reply path
+  // (network jitter between the two RPCs is far smaller).
+  EXPECT_GT(large, small + 4 * sim::kMillisecond)
+      << "large=" << large << "us small=" << small << "us";
+}
+
 // ------------------------------ lock manager ------------------------------
 
 class LockTest : public ServerTest {
