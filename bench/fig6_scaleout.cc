@@ -22,15 +22,26 @@
 // push + sharded digest repair, replica-equality assertion); a failure
 // exits nonzero so CI catches it.
 //
+// `fig6_scaleout --migrate` runs the live-migration sweep instead: a
+// zipfian workload heats one shard, the RebalanceCoordinator moves the
+// hottest shard of cluster 0 to another server at T/2 while the clients
+// keep committing, and the sweep prints the throughput dip, the p95
+// latency around the cutover window, and the snapshot/catch-up volumes
+// shipped — then verifies replica convergence (nonzero exit on
+// divergence or on a migration that failed to complete).
+//
 // HAT_BENCH_QUICK=1 runs a reduced sweep; HAT_BENCH_JSON=<path> writes the
 // throughput summary.
 
 #include <cstdio>
+#include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
 #include "hat/client/sync_client.h"
+#include "hat/cluster/placement.h"
 
 namespace {
 
@@ -71,9 +82,243 @@ int MultiShardConvergenceCheck() {
   return divergent;
 }
 
+// ---------------------------------------------------------------------------
+// Live-migration sweep (--migrate)
+// ---------------------------------------------------------------------------
+
+/// One closed-loop YCSB client recording commits and latency per 100ms
+/// window (the resolution the migration dip is measured at).
+struct WindowedLoop {
+  hat::client::TxnClient* client = nullptr;
+  hat::workload::YcsbGenerator* gen = nullptr;
+  hat::Rng rng{0};
+  hat::sim::Simulation* sim = nullptr;
+  hat::sim::SimTime start = 0, end = 0;
+  hat::sim::Duration window = 100 * hat::sim::kMillisecond;
+  std::vector<uint64_t>* committed = nullptr;       // per window
+  std::vector<hat::Histogram>* latency = nullptr;   // per window, ms
+  hat::workload::YcsbTxn txn;
+  size_t op_index = 0;
+  hat::sim::SimTime txn_start = 0;
+  uint64_t tag = 0;
+
+  void StartTxn() {
+    if (sim->Now() >= end) return;
+    txn = gen->NextTxn(rng);
+    op_index = 0;
+    txn_start = sim->Now();
+    client->Begin();
+    NextOp();
+  }
+  void NextOp() {
+    if (op_index >= txn.ops.size()) {
+      client->Commit([this](hat::Status s) { OnDone(std::move(s)); });
+      return;
+    }
+    const hat::workload::YcsbOp& op = txn.ops[op_index++];
+    if (op.is_read) {
+      client->Read(op.key, [this](hat::Status s, hat::ReadVersion) {
+        if (!s.ok()) {
+          client->Abort();
+          OnDone(std::move(s));
+          return;
+        }
+        NextOp();
+      });
+    } else {
+      client->Write(op.key, gen->MakeValue(tag++));
+      NextOp();
+    }
+  }
+  void OnDone(hat::Status s) {
+    hat::sim::SimTime now = sim->Now();
+    if (s.ok() && now >= start && now < end) {
+      size_t w = static_cast<size_t>((now - start) / window);
+      if (w < committed->size()) {
+        (*committed)[w]++;
+        (*latency)[w].Record(static_cast<double>(now - txn_start) / 1000.0);
+      }
+    }
+    StartTxn();
+  }
+};
+
+int MigrationSweep() {
+  using namespace hat;
+  using namespace hat::bench;
+  const bool quick = QuickBench();
+  const sim::Duration kWindow = 100 * sim::kMillisecond;
+  const sim::Duration kWarmup = 1 * sim::kSecond;
+  const sim::Duration kMeasure = (quick ? 3 : 6) * sim::kSecond;
+  const int kClients = quick ? 18 : 30;
+
+  sim::Simulation sim(42);
+  auto opts = cluster::DeploymentOptions::TwoRegions();
+  opts.servers_per_cluster = 3;
+  opts.server.shards_per_server = 2;
+  opts.server.digest_sync_interval = 250 * sim::kMillisecond;
+  cluster::Deployment deployment(sim, opts);
+  cluster::RebalanceCoordinator coordinator(deployment);
+
+  workload::YcsbOptions wl = PaperYcsb();
+  wl.num_keys = 5000;
+  wl.value_size = 256;
+  wl.distribution = workload::KeyDistribution::kZipfian;  // heat one shard
+  workload::YcsbGenerator gen(wl);
+  for (uint64_t i = 0; i < wl.num_keys; i++) {
+    WriteRecord w;
+    w.key = workload::YcsbGenerator::KeyFor(i);
+    w.value = gen.MakeValue(i);
+    w.ts = Timestamp{1, 0xfffffffeu};
+    for (net::NodeId r : deployment.ReplicasOf(w.key)) {
+      deployment.server(r).InstallForTest(w);
+    }
+  }
+
+  const sim::SimTime measure_start = kWarmup;
+  const sim::SimTime measure_end = kWarmup + kMeasure;
+  const size_t num_windows = kMeasure / kWindow;
+  std::vector<uint64_t> committed(num_windows, 0);
+  std::vector<Histogram> latency(num_windows);
+
+  client::ClientOptions copts;  // RC over eventual replication
+  copts.isolation = client::IsolationLevel::kReadCommitted;
+  Rng seeder(42 ^ 0x9e37);
+  std::vector<std::unique_ptr<WindowedLoop>> loops;
+  for (int i = 0; i < kClients; i++) {
+    client::ClientOptions per_client = copts;
+    per_client.home_cluster = i % deployment.NumClusters();
+    auto loop = std::make_unique<WindowedLoop>();
+    loop->client = &deployment.AddClient(per_client);
+    loop->gen = &gen;
+    loop->rng = seeder.Fork(i);
+    loop->sim = &sim;
+    loop->start = measure_start;
+    loop->end = measure_end;
+    loop->window = kWindow;
+    loop->committed = &committed;
+    loop->latency = &latency;
+    loops.push_back(std::move(loop));
+  }
+  for (auto& loop : loops) {
+    sim.At(1, [raw = loop.get()]() { raw->StartTxn(); });
+  }
+
+  // At T/2, move the hottest shard of cluster 0 one server over.
+  const sim::SimTime t_migrate = measure_start + kMeasure / 2;
+  uint32_t moved_shard = 0;
+  int from_slot = 0, to_slot = 0;
+  sim.At(t_migrate, [&]() {
+    moved_shard = coordinator.PickHottestShard(0);
+    from_slot = deployment.placement().Owner(0, moved_shard);
+    to_slot = (from_slot + 1) % deployment.ServersPerCluster();
+    coordinator.ScheduleMigration(0, moved_shard, to_slot, sim.Now());
+  });
+
+  sim.RunUntil(measure_end);
+  sim.RunUntil(sim.Now() + 4 * sim::kSecond);  // drain + converge
+
+  // ---- report --------------------------------------------------------------
+  hat::harness::Banner(
+      "Figure 6d: live migration of the hottest shard at T/2 "
+      "(zipfian YCSB, RC, 100ms windows)");
+  const double window_s = static_cast<double>(kWindow) / sim::kSecond;
+  hat::harness::FigureSeries fig;
+  fig.title = "Throughput (1000 txns/s per 100ms window)";
+  fig.x_label = "t (ms, migration at t=" +
+                std::to_string(t_migrate / sim::kMillisecond) + "ms)";
+  std::vector<double> thr;
+  for (size_t w = 0; w < num_windows; w++) {
+    fig.x.push_back(static_cast<double>(measure_start + w * kWindow) /
+                    sim::kMillisecond);
+    thr.push_back(static_cast<double>(committed[w]) / window_s / 1000.0);
+  }
+  fig.series.emplace_back("RC+migration", thr);
+  fig.Print(stdout, 2);
+
+  const size_t mig_window = (t_migrate - measure_start) / kWindow;
+  double before = 0, dip = thr[mig_window];
+  for (size_t w = 0; w < mig_window; w++) before += thr[w];
+  before /= static_cast<double>(mig_window);
+  for (size_t w = mig_window;
+       w < std::min(num_windows, mig_window + 10); w++) {
+    dip = std::min(dip, thr[w]);
+  }
+  Histogram base_lat, cutover_lat;
+  const auto& stats = coordinator.stats();
+  for (size_t w = 0; w < num_windows; w++) {
+    sim::SimTime ws = measure_start + w * kWindow;
+    if (ws < t_migrate) base_lat.Merge(latency[w]);
+    if (stats.cutover_at != 0 && ws + kWindow > stats.cutover_at - kWindow &&
+        ws < stats.cutover_at + 4 * kWindow) {
+      cutover_lat.Merge(latency[w]);
+    }
+  }
+  uint64_t wrong_shard = 0;
+  for (const auto& loop : loops) {
+    wrong_shard += loop->client->stats().wrong_shard_retries;
+  }
+  auto servers = deployment.TotalServerStats();
+  std::printf(
+      "\nmigrated logical shard %u: server slot %d -> %d of cluster 0\n"
+      "  snapshot records shipped:   %llu\n"
+      "  catch-up records shipped:   %llu\n"
+      "  cutover epoch/time:         %llu @ %.0fms (drain done %.0fms)\n"
+      "  throughput before / dip:    %.2f / %.2f ktxn/s (%.1f%% dip)\n"
+      "  p95 latency before / cutover window: %.2f / %.2f ms\n"
+      "  wrong-shard client retries: %llu   forwarded records: %llu\n"
+      "  source lane queue depth now: %zu\n",
+      moved_shard, from_slot, to_slot,
+      static_cast<unsigned long long>(stats.snapshot_records),
+      static_cast<unsigned long long>(stats.catchup_records),
+      static_cast<unsigned long long>(stats.cutover_epoch),
+      static_cast<double>(stats.cutover_at) / sim::kMillisecond,
+      static_cast<double>(stats.finished_at) / sim::kMillisecond,
+      before, dip, before > 0 ? 100.0 * (before - dip) / before : 0.0,
+      base_lat.Percentile(0.95), cutover_lat.Percentile(0.95),
+      static_cast<unsigned long long>(wrong_shard),
+      static_cast<unsigned long long>(servers.forwarded_records),
+      deployment.server(deployment.ServerId(0, from_slot))
+          .ShardLaneQueueDepth(moved_shard));
+
+  // ---- verify --------------------------------------------------------------
+  int failures = 0;
+  if (!coordinator.Done()) {
+    std::fprintf(stderr, "migration did not complete\n");
+    failures++;
+  }
+  // Replica convergence across every preloaded key (folded read equality).
+  int divergent = 0;
+  for (uint64_t i = 0; i < wl.num_keys; i++) {
+    Key key = workload::YcsbGenerator::KeyFor(i);
+    auto replicas = deployment.ReplicasOf(key);
+    auto first = deployment.server(replicas[0]).good().Read(key);
+    for (size_t r = 1; r < replicas.size(); r++) {
+      auto other = deployment.server(replicas[r]).good().Read(key);
+      if (other.ts != first.ts || other.value != first.value) {
+        divergent++;
+        break;
+      }
+    }
+  }
+  std::printf("\nPost-migration convergence check: %s (%d divergent keys)\n",
+              divergent == 0 ? "PASS" : "FAIL", divergent);
+  if (divergent != 0) failures++;
+
+  JsonSummary json;
+  json.Add("fig6_migration_window_ktps", fig);
+  if (const char* path = json.Flush()) {
+    std::printf("Wrote JSON migration summary to %s\n", path);
+  }
+  return failures == 0 ? 0 : 1;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; i++) {
+    if (std::strcmp(argv[i], "--migrate") == 0) return MigrationSweep();
+  }
   using namespace hat::bench;
   std::vector<int> servers_per_cluster =
       QuickBench() ? std::vector<int>{5, 10} : std::vector<int>{5, 10, 15, 25};

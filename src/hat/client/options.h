@@ -111,6 +111,9 @@ struct ClientStats {
   uint64_t writes = 0;
   uint64_t scans = 0;
   uint64_t read_retries = 0;     ///< replica fail-overs and kNotYet retries
+  /// Operations answered kWrongShard by a server whose shard migrated away
+  /// (stale placement epoch); each refreshed its routing and retried.
+  uint64_t wrong_shard_retries = 0;
   uint64_t cache_hits = 0;       ///< cut-isolation reads served locally
   uint64_t metadata_bytes = 0;   ///< sibling/dependency bytes shipped
 };

@@ -258,6 +258,15 @@ void TxnClient::ReadAttempt(Key key, std::vector<net::NodeId> targets,
              FinishRead(key, resp, std::move(cb));
              return;
            }
+           if (resp.code == net::GetCode::kWrongShard) {
+             // Stale placement epoch: the shard migrated away from this
+             // replica. Refresh the target list from live routing and
+             // restart from its head so the retry lands at the new owner
+             // (not the next rotation slot).
+             stats_.wrong_shard_retries++;
+             targets = TargetsFor(key);
+             attempt = static_cast<size_t>(-1);  // next attempt indexes 0
+           }
            // kNotYet: the replica has not seen our required version.
          }
          stats_.read_retries++;
@@ -318,7 +327,8 @@ void TxnClient::QuorumRead(Key key, sim::SimTime deadline, ReadCallback cb) {
          [this, key, deadline, cb, state, epoch, n, majority](
              Status s, const net::Message* m) mutable {
            if (state->done || epoch != txn_epoch_) return;
-           if (s.ok()) {
+           if (s.ok() && std::get<net::GetResponse>(*m).code !=
+                             net::GetCode::kWrongShard) {
              const auto& resp = std::get<net::GetResponse>(*m);
              state->successes++;
              if (resp.found &&
@@ -576,10 +586,20 @@ void TxnClient::PutWithRetry(WriteRecord w, net::PutMode mode,
   Call(target, std::move(req), timeout,
        [this, w = std::move(w), mode, targets = std::move(targets), attempt,
         deadline, done = std::move(done)](Status s,
-                                          const net::Message*) mutable {
+                                          const net::Message* m) mutable {
          if (s.ok()) {
-           done(Status::Ok());
-           return;
+           const auto* resp = std::get_if<net::PutResponse>(m);
+           if (resp == nullptr || resp->ok) {
+             done(Status::Ok());
+             return;
+           }
+           if (resp->wrong_shard) {
+             // Stale placement epoch: refresh routing and retry from the
+             // head of the new target list (the shard's new owner).
+             stats_.wrong_shard_retries++;
+             targets = TargetsFor(w.key);
+             attempt = static_cast<size_t>(-1);  // next attempt indexes 0
+           }
          }
          sim_.After(options_.retry_backoff,
                     [this, w = std::move(w), mode,
@@ -613,9 +633,11 @@ void TxnClient::QuorumPut(WriteRecord w, sim::SimTime deadline,
     req.mode = net::PutMode::kEventual;
     Call(r, std::move(req), timeout,
          [this, state, majority, n, w, deadline, done](
-             Status s, const net::Message*) mutable {
+             Status s, const net::Message* m) mutable {
            if (state->done_flag) return;
-           if (s.ok()) {
+           const auto* resp = s.ok() ? std::get_if<net::PutResponse>(m)
+                                     : nullptr;
+           if (s.ok() && (resp == nullptr || resp->ok)) {
              if (++state->acks >= majority) {
                state->done_flag = true;
                done(Status::Ok());

@@ -29,7 +29,11 @@ DeploymentOptions DeploymentOptions::FiveRegions() {
 }
 
 Deployment::Deployment(sim::Simulation& sim, DeploymentOptions options)
-    : sim_(sim), options_(std::move(options)) {
+    : sim_(sim),
+      options_(std::move(options)),
+      placement_(static_cast<int>(options_.clusters.size()),
+                 options_.servers_per_cluster,
+                 static_cast<int>(options_.server.shards_per_server)) {
   assert(!options_.clusters.empty());
   assert(options_.servers_per_cluster > 0);
   assert(options_.server.shards_per_server > 0);
@@ -52,6 +56,11 @@ Deployment::Deployment(sim::Simulation& sim, DeploymentOptions options)
     for (int s = 0; s < options_.servers_per_cluster; s++) {
       net::NodeId id = ServerId(static_cast<int>(c), s);
       server::ServerOptions server_options = options_.server;
+      // Each server knows exactly which logical shards it hosts (the
+      // epoch-0 placement), enabling kWrongShard detection once shards
+      // start moving.
+      server_options.owned_logical_shards =
+          placement_.OwnedBy(static_cast<int>(c), s);
       if (!server_options.storage_dir.empty()) {
         server_options.storage_dir += "/server-" + std::to_string(id);
       }
@@ -79,15 +88,16 @@ net::NodeId Deployment::ServerId(int cluster, int shard) const {
 }
 
 net::NodeId Deployment::ReplicaInCluster(const Key& key, int cluster) const {
-  return ServerId(cluster, ShardOf(key));
+  return ServerId(cluster, placement_.Owner(cluster, LogicalShardOf(key)));
 }
 
 std::vector<net::NodeId> Deployment::ReplicasOf(const Key& key) const {
   std::vector<net::NodeId> out;
-  int shard = ShardOf(key);
+  int logical = LogicalShardOf(key);
   out.reserve(options_.clusters.size());
   for (size_t c = 0; c < options_.clusters.size(); c++) {
-    out.push_back(ServerId(static_cast<int>(c), shard));
+    int cluster = static_cast<int>(c);
+    out.push_back(ServerId(cluster, placement_.Owner(cluster, logical)));
   }
   return out;
 }
@@ -98,7 +108,7 @@ net::NodeId Deployment::MasterOf(const Key& key) const {
   uint64_t h = Fnv1a64(key.data(), key.size()) * 0x9e3779b97f4a7c15ULL;
   int cluster =
       static_cast<int>((h >> 32) % static_cast<uint64_t>(NumClusters()));
-  return ServerId(cluster, ShardOf(key));
+  return ServerId(cluster, placement_.Owner(cluster, LogicalShardOf(key)));
 }
 
 std::vector<net::NodeId> Deployment::ClusterServers(int cluster) const {
@@ -143,6 +153,11 @@ server::ServerStats Deployment::TotalServerStats() const {
     total.locks_granted += st.locks_granted;
     total.locks_queued += st.locks_queued;
     total.lock_deaths += st.lock_deaths;
+    total.wrong_shard_replies += st.wrong_shard_replies;
+    total.forwarded_records += st.forwarded_records;
+    total.mig_snapshot_records_out += st.mig_snapshot_records_out;
+    total.mig_snapshot_records_in += st.mig_snapshot_records_in;
+    total.mig_catchup_records_in += st.mig_catchup_records_in;
     total.busy_us += st.busy_us;
     total.exec_tasks += st.exec_tasks;
     total.exec_dispatches += st.exec_dispatches;
@@ -151,6 +166,12 @@ server::ServerStats Deployment::TotalServerStats() const {
     }
     for (size_t i = 0; i < st.lane_busy_us.size(); i++) {
       total.lane_busy_us[i] += st.lane_busy_us[i];
+    }
+    if (total.lane_queue_depth.size() < st.lane_queue_depth.size()) {
+      total.lane_queue_depth.resize(st.lane_queue_depth.size(), 0);
+    }
+    for (size_t i = 0; i < st.lane_queue_depth.size(); i++) {
+      total.lane_queue_depth[i] += st.lane_queue_depth[i];
     }
     total.queue_wait_us.Merge(st.queue_wait_us);
   }

@@ -26,6 +26,7 @@
 
 #include "hat/client/routing.h"
 #include "hat/client/txn_client.h"
+#include "hat/cluster/placement.h"
 #include "hat/net/network.h"
 #include "hat/server/replica_server.h"
 #include "hat/sim/simulation.h"
@@ -66,6 +67,13 @@ class Deployment : public server::Partitioner, public client::Routing {
     return static_cast<int>(options_.clusters.size());
   }
   net::NodeId ReplicaInCluster(const Key& key, int cluster) const override;
+  uint64_t PlacementEpoch() const override { return placement_.epoch(); }
+
+  /// Epoch-versioned logical-shard -> server assignment, the routing source
+  /// of truth (epoch 0 reproduces the classic stride arithmetic). The
+  /// mutable accessor is the RebalanceCoordinator's cutover hook.
+  const PlacementMap& placement() const { return placement_; }
+  PlacementMap& placement() { return placement_; }
 
   // --- accessors ------------------------------------------------------------
   sim::Simulation& simulation() { return sim_; }
@@ -82,8 +90,10 @@ class Deployment : public server::Partitioner, public client::Routing {
   int NumLogicalShards() const {
     return options_.servers_per_cluster * ShardsPerServer();
   }
-  /// The server-level shard of `key` within a cluster (which server hosts
-  /// it): LogicalShardOf(key) % ServersPerCluster().
+  /// The epoch-0 server-level shard of `key` within a cluster:
+  /// LogicalShardOf(key) % ServersPerCluster(). Live routing goes through
+  /// the PlacementMap (ReplicaInCluster); this hash slot only diverges from
+  /// it for shards a migration has moved.
   int ShardOf(const Key& key) const;
   /// The logical shard of `key` within a cluster copy.
   int LogicalShardOf(const Key& key) const;
@@ -119,6 +129,7 @@ class Deployment : public server::Partitioner, public client::Routing {
  private:
   sim::Simulation& sim_;
   DeploymentOptions options_;
+  PlacementMap placement_;
   std::unique_ptr<net::Network> network_;
   std::vector<std::unique_ptr<server::ReplicaServer>> servers_;  // by NodeId
   std::vector<std::unique_ptr<client::TxnClient>> clients_;

@@ -1,0 +1,249 @@
+#include "hat/cluster/placement.h"
+
+#include <cassert>
+
+#include "hat/cluster/deployment.h"
+#include "hat/server/replica_server.h"
+
+namespace hat::cluster {
+
+// ---------------------------------------------------------------------------
+// PlacementMap
+// ---------------------------------------------------------------------------
+
+PlacementMap::PlacementMap(int clusters, int servers_per_cluster,
+                           int shards_per_server)
+    : servers_per_cluster_(servers_per_cluster),
+      num_logical_shards_(servers_per_cluster * shards_per_server) {
+  assert(clusters > 0 && servers_per_cluster > 0 && shards_per_server > 0);
+  owner_.resize(clusters);
+  for (auto& cluster : owner_) {
+    cluster.resize(num_logical_shards_);
+    for (int l = 0; l < num_logical_shards_; l++) {
+      cluster[l] = l % servers_per_cluster_;  // the epoch-0 stride layout
+    }
+  }
+}
+
+std::vector<uint32_t> PlacementMap::OwnedBy(int cluster, int slot) const {
+  std::vector<uint32_t> out;
+  for (int l = 0; l < num_logical_shards_; l++) {
+    if (owner_[cluster][l] == slot) out.push_back(static_cast<uint32_t>(l));
+  }
+  return out;
+}
+
+uint64_t PlacementMap::SetOwner(int cluster, int logical_shard, int slot) {
+  assert(slot >= 0 && slot < servers_per_cluster_);
+  if (owner_[cluster][logical_shard] == slot) return epoch_;
+  owner_[cluster][logical_shard] = slot;
+  return ++epoch_;
+}
+
+// ---------------------------------------------------------------------------
+// RebalanceCoordinator
+// ---------------------------------------------------------------------------
+
+namespace {
+/// Declaring a crashed peer: how long a phase may show no session before
+/// the coordinator restarts the stream. Comfortably above an intra-cluster
+/// round trip plus service time, far below any test's settle window.
+constexpr sim::Duration kRestartGrace = 500 * sim::kMillisecond;
+}  // namespace
+
+RebalanceCoordinator::RebalanceCoordinator(Deployment& deployment,
+                                           Options options)
+    : deployment_(deployment), options_(options) {}
+
+void RebalanceCoordinator::ScheduleMigration(int cluster,
+                                             uint32_t logical_shard,
+                                             int to_slot, sim::SimTime at) {
+  assert(phase_ == Phase::kIdle && "one migration per coordinator");
+  cluster_ = cluster;
+  shard_ = logical_shard;
+  to_slot_ = to_slot;
+  deployment_.simulation().At(at, [this]() { Start(); });
+}
+
+uint32_t RebalanceCoordinator::PickHottestShard(int cluster) const {
+  uint32_t best = 0;
+  double best_busy = -1;
+  for (int s = 0; s < deployment_.ServersPerCluster(); s++) {
+    const auto& server = deployment_.server(deployment_.ServerId(cluster, s));
+    const auto& stats = server.stats();
+    for (size_t slot = 0; slot < server.good().shard_count(); slot++) {
+      uint32_t tag = server.good().LogicalTagOfSlot(slot);
+      if (tag == version::ShardedStore::kNoShard) continue;
+      size_t lane = server.LaneOfSlot(slot);
+      double busy =
+          lane < stats.lane_busy_us.size() ? stats.lane_busy_us[lane] : 0;
+      if (busy > best_busy) {
+        best_busy = busy;
+        best = tag;
+      }
+    }
+  }
+  return best;
+}
+
+namespace {
+server::ReplicaServer& ServerAt(Deployment& d, int cluster, int slot) {
+  return d.server(d.ServerId(cluster, slot));
+}
+}  // namespace
+
+void RebalanceCoordinator::Start() {
+  sim::Simulation& sim = deployment_.simulation();
+  stats_.started_at = sim.Now();
+  from_slot_ = deployment_.placement().Owner(cluster_, shard_);
+  if (from_slot_ == to_slot_) {  // nothing to move
+    phase_ = Phase::kDone;
+    stats_.finished_at = sim.Now();
+    return;
+  }
+  migration_id_ = ++next_migration_id_;
+  last_restart_ = sim.Now();
+  ServerAt(deployment_, cluster_, to_slot_)
+      .migrator()
+      .StartPull(migration_id_, shard_,
+                 deployment_.ServerId(cluster_, from_slot_));
+  phase_ = Phase::kSnapshot;
+  sim.After(options_.poll_interval, [this]() { Tick(); });
+}
+
+bool RebalanceCoordinator::SourceSubsetOfDest() const {
+  const auto& src =
+      ServerAt(deployment_, cluster_, from_slot_).good();
+  const auto& dst = ServerAt(deployment_, cluster_, to_slot_).good();
+  auto slot = src.SlotOfLogical(shard_);
+  if (!slot) return true;  // already detached: nothing left to lose
+  auto dst_slot = dst.SlotOfLogical(shard_);
+  if (!dst_slot) return false;  // dest lost its staging copy
+  // Fast path: identical shard roll-up hashes mean identical (key, latest)
+  // sets — the digest protocol's own equality notion — so the per-version
+  // walk is only paid while the two copies actually differ.
+  if (src.ShardTopHash(*slot) == dst.ShardTopHash(*dst_slot)) return true;
+  bool subset = true;
+  src.shard(*slot).ForEachVersion([&](const WriteRecord& w) {
+    if (!subset || dst.Contains(w.key, w.ts)) return;
+    // Version GC makes literal set-equality too strict: the destination may
+    // have dropped versions older than its newest Put for the key — the
+    // convergence-safe rule every replica already applies. A source version
+    // strictly below such a Put is shadowed on every replica and carries no
+    // information; only an unshadowed missing version blocks the handoff.
+    auto newest_put = dst.NewestPutTimestamp(w.key);
+    if (!newest_put || w.ts > *newest_put) subset = false;
+  });
+  return subset;
+}
+
+void RebalanceCoordinator::RestartStream(bool full_snapshot) {
+  auto& src = ServerAt(deployment_, cluster_, from_slot_);
+  auto& dst = ServerAt(deployment_, cluster_, to_slot_);
+  src.migrator().CancelSource(migration_id_);
+  stats_.restarts++;
+  migration_id_ = ++next_migration_id_;
+  last_restart_ = deployment_.simulation().Now();
+  if (full_snapshot) {
+    dst.migrator().StartPull(migration_id_, shard_,
+                             deployment_.ServerId(cluster_, from_slot_));
+    phase_ = Phase::kSnapshot;
+  } else {
+    src.migrator().StartCatchupOnly(migration_id_, shard_,
+                                    deployment_.ServerId(cluster_, to_slot_));
+  }
+}
+
+void RebalanceCoordinator::Tick() {
+  sim::Simulation& sim = deployment_.simulation();
+  auto& src = ServerAt(deployment_, cluster_, from_slot_);
+  auto& dst = ServerAt(deployment_, cluster_, to_slot_);
+
+  switch (phase_) {
+    case Phase::kIdle:
+    case Phase::kDone:
+      return;
+
+    case Phase::kSnapshot: {
+      if (!dst.migrator().HasPullSession(migration_id_)) {
+        // Destination crashed: its staging slot and session are gone.
+        // Restart the stream under a fresh id — chunk application is an
+        // idempotent set-union, so replaying from scratch is safe.
+        RestartStream(/*full_snapshot=*/true);
+      } else if (dst.migrator().PullComplete(migration_id_)) {
+        // Bulk shipped; the source is already running catch-up digests.
+        phase_ = Phase::kCatchup;
+        catchup_started_ = sim.Now();
+      } else if (!src.migrator().HasSourceSession(migration_id_) &&
+                 sim.Now() - last_restart_ > kRestartGrace) {
+        // Source crashed before finishing the stream (its frozen snapshot
+        // is volatile). Re-request: the recovered source re-freezes from
+        // its durable state.
+        RestartStream(/*full_snapshot=*/true);
+      }
+      break;
+    }
+
+    case Phase::kCatchup: {
+      if (!dst.migrator().IsStagingShard(shard_)) {
+        // Pre-cutover the destination must hold the shard as a staging
+        // copy; only a crash (migrator state wiped) clears that. Cutover —
+        // even forced — would flip routing onto a server whose copy is
+        // gone, so restart the stream instead. (Slot presence is not the
+        // signal: Crash() preserves the ownership shape.)
+        RestartStream(/*full_snapshot=*/true);
+        break;
+      }
+      if (!src.migrator().HasSourceSession(migration_id_) &&
+          sim.Now() - last_restart_ > kRestartGrace) {
+        // Source crashed after its snapshot completed: the destination
+        // already holds the bulk, so reconcile the diff only.
+        RestartStream(/*full_snapshot=*/false);
+        break;
+      }
+      // Cutover point: destination holds a superset of the source's shard
+      // AND the source's shard lane has drained (queue depth 0 — no booked
+      // work that could still mutate the shard is in flight on it). Under
+      // sustained traffic that window may never open, so after
+      // max_catchup_wait the flip is forced with bounded lag — the drain
+      // phase's strict subset check before detach is what guarantees no
+      // record is lost either way.
+      bool quiet = SourceSubsetOfDest() && src.ShardLaneQueueDepth(shard_) == 0;
+      bool forced = sim.Now() - catchup_started_ > options_.max_catchup_wait;
+      if (quiet || forced) {
+        dst.migrator().PromoteStaging(shard_);
+        stats_.cutover_epoch =
+            deployment_.placement().SetOwner(cluster_, shard_, to_slot_);
+        stats_.cutover_at = sim.Now();
+        phase_ = Phase::kDrain;
+      }
+      break;
+    }
+
+    case Phase::kDrain: {
+      if (!src.migrator().HasSourceSession(migration_id_) &&
+          sim.Now() - last_restart_ > kRestartGrace) {
+        // Post-cutover source crash: the destination owns and serves the
+        // shard; only the source's straggler reconciliation restarts.
+        RestartStream(/*full_snapshot=*/false);
+        break;
+      }
+      // Stragglers routed before the epoch bump keep applying at the
+      // source; the catch-up digests ship them across. Once the source is
+      // a subset again and its lane has drained, it can let go.
+      if (SourceSubsetOfDest() && src.ShardLaneQueueDepth(shard_) == 0) {
+        src.migrator().FinishDrain(migration_id_);
+        stats_.snapshot_records =
+            dst.migrator().stats().snapshot_records_in;
+        stats_.catchup_records = dst.migrator().stats().catchup_records_in;
+        stats_.finished_at = sim.Now();
+        phase_ = Phase::kDone;
+        return;
+      }
+      break;
+    }
+  }
+  sim.After(options_.poll_interval, [this]() { Tick(); });
+}
+
+}  // namespace hat::cluster

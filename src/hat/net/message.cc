@@ -38,7 +38,15 @@ size_t WireBytes(const Message& msg) {
                } else if constexpr (std::is_same_v<T, BucketDigest>) {
                  return 8 + 8 * m.hashes.size();
                } else if constexpr (std::is_same_v<T, ShardDigest>) {
-                 return 4 + 8 * m.hashes.size();
+                 return 4 + 8 * m.hashes.size() + 4 * m.shards.size();
+               } else if constexpr (std::is_same_v<T, ShardSnapshotRequest>) {
+                 return 12;
+               } else if constexpr (std::is_same_v<T, ShardSnapshotChunk>) {
+                 size_t n = 17;
+                 for (const auto& w : m.writes) n += WriteRecordWireBytes(w);
+                 return n;
+               } else if constexpr (std::is_same_v<T, ShardSnapshotAck>) {
+                 return 13;
                } else if constexpr (std::is_same_v<T, AntiEntropyBatch>) {
                  size_t n = 8;
                  for (const auto& w : m.writes) n += WriteRecordWireBytes(w);

@@ -39,6 +39,10 @@ struct PutRequest {
 };
 struct PutResponse {
   bool ok = false;
+  /// The contacted server no longer hosts the key's logical shard (it
+  /// migrated away under a newer placement epoch). The client should
+  /// refresh its routing and retry at the new owner.
+  bool wrong_shard = false;
 };
 
 /// Result codes for GetResponse.
@@ -50,6 +54,9 @@ enum class GetCode : uint8_t {
   kNotYet = 1,
   /// The contacted server is not the master for the key (master mode only).
   kNotMaster = 2,
+  /// The server no longer hosts the key's logical shard (live migration
+  /// moved it under a newer placement epoch): refresh routing and retry.
+  kWrongShard = 3,
 };
 
 struct GetRequest {
@@ -144,6 +151,47 @@ struct BucketDigest {
 /// ships bucket hashes for that shard only.
 struct ShardDigest {
   std::vector<uint64_t> hashes;
+  /// Shard tags parallel to `hashes`. Empty (the pre-migration wire format):
+  /// hashes[i] describes shard tag i — valid while both peers host the same
+  /// slot layout. Non-empty: hashes[i] describes logical shard shards[i],
+  /// so peers whose slot layouts diverged through live migration still
+  /// compare the right shards.
+  std::vector<uint32_t> shards;
+};
+
+/// Kick-off of a live shard migration's bulk phase: the destination asks
+/// the source for a snapshot of one logical shard's full version set. The
+/// source freezes the shard's current contents and streams them back as
+/// ShardSnapshotChunk requests; writes arriving after the freeze are
+/// reconciled by the (shard, bucket)-scoped digest catch-up rounds.
+struct ShardSnapshotRequest {
+  uint64_t migration_id = 0;
+  /// Logical shard being migrated.
+  uint32_t shard = 0;
+};
+
+/// One bounded slice of a migrating shard's version set (chunked by the
+/// same ae_batch_max / ae_batch_max_bytes discipline as anti-entropy
+/// batches). Sent source -> destination as an RPC request so each chunk's
+/// application is charged to the moving shard's executor lane; the
+/// ShardSnapshotAck response is the flow-control window (stop-and-wait,
+/// resent on timeout — chunk application is idempotent set-union).
+struct ShardSnapshotChunk {
+  uint64_t migration_id = 0;
+  uint32_t shard = 0;
+  uint32_t seq = 0;
+  /// Last chunk of the snapshot: the destination has the full frozen set
+  /// once this is applied.
+  bool done = false;
+  std::vector<WriteRecord> writes;
+};
+
+/// RPC response to a ShardSnapshotChunk. `ok=false` tells the source the
+/// destination no longer runs this migration (crash/restart): stop sending.
+struct ShardSnapshotAck {
+  uint64_t migration_id = 0;
+  uint32_t seq = 0;
+  bool ok = true;
 };
 
 /// Two-phase-locking lock service (locks live at each key's master replica).
@@ -168,7 +216,8 @@ using Message =
                  GetRequest, GetResponse, ScanRequest, ScanResponse,
                  NotifyRequest, AntiEntropyBatch, AntiEntropyAck,
                  DigestRequest, BucketDigest, ShardDigest, LockRequest,
-                 LockResponse, UnlockRequest>;
+                 LockResponse, UnlockRequest, ShardSnapshotRequest,
+                 ShardSnapshotChunk, ShardSnapshotAck>;
 
 /// A message in flight.
 struct Envelope {

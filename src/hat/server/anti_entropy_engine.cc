@@ -17,7 +17,9 @@ using version::VersionedStore;
 /// digest. Matches VersionedStore's incremental maintenance by construction
 /// (same entry hash, same XOR aggregation), so bucket-equal regions can be
 /// skipped. Shard/bucket membership is pure key hashing, so our store's
-/// topology buckets the peer's entries identically.
+/// topology buckets the peer's entries identically. Entries for shards we
+/// do not host (the peer raced a live migration) are skipped — only their
+/// owner can repair them.
 std::vector<std::vector<uint64_t>> BucketHashesOfDigest(
     const ShardedStore& ours,
     const std::vector<std::pair<Key, Timestamp>>& latest) {
@@ -26,8 +28,9 @@ std::vector<std::vector<uint64_t>> BucketHashesOfDigest(
     hashes[s].assign(ours.shard(s).digest_buckets(), 0);
   }
   for (const auto& [key, ts] : latest) {
-    size_t s = ours.ShardIndexOf(key);
-    hashes[s][ours.shard(s).BucketOf(key)] ^=
+    auto s = ours.TrySlotOfKey(key);
+    if (!s) continue;
+    hashes[*s][ours.shard(*s).BucketOf(key)] ^=
         VersionedStore::DigestEntryHash(key, ts);
   }
   return hashes;
@@ -119,13 +122,18 @@ void AntiEntropyEngine::HandleBatch(const net::AntiEntropyBatch& batch,
 }
 
 std::vector<net::NodeId> AntiEntropyEngine::PeerReplicas() const {
-  // Replicas share shards key-wise; with cluster-per-copy sharding, the
-  // peers for every key this server holds are the same set, so any one
-  // stored key determines it.
+  // Replicas share shards key-wise. With untouched cluster-per-copy
+  // sharding every shard's peer set is the same, but once a shard migrated,
+  // its replicas in other clusters differ from its host's other shards' —
+  // so the peer pool is the union of each hosted shard's replica set (one
+  // stored key per shard determines it). Ticks still pick one random peer;
+  // shards it does not replicate simply drop out of that round's exchange.
   std::set<net::NodeId> peers;
-  if (const WriteRecord* w = good_.AnyRecord()) {
-    for (net::NodeId r : partitioner_->ReplicasOf(w->key)) {
-      if (r != id_) peers.insert(r);
+  for (size_t s = 0; s < good_.shard_count(); s++) {
+    if (const WriteRecord* w = good_.shard(s).AnyRecord()) {
+      for (net::NodeId r : partitioner_->ReplicasOf(w->key)) {
+        if (r != id_) peers.insert(r);
+      }
     }
   }
   return std::vector<net::NodeId>(peers.begin(), peers.end());
@@ -139,9 +147,22 @@ void AntiEntropyEngine::DigestSyncTick() {
     if (options_.bucketed_digest) {
       // Round 0: one roll-up hash per shard. A fully in-sync peer answers
       // with silence; a diff confined to one shard pulls bucket hashes for
-      // that shard only.
-      SendDigestMessage(peer, net::ShardDigest{good_.ShardHashes()},
-                        /*entries=*/0);
+      // that shard only. Explicit-placement stores tag each hash with its
+      // logical shard id so peers whose slot layouts diverged through live
+      // migration still compare the right shards (and detached slots drop
+      // out); implicit stores keep the untagged legacy format.
+      net::ShardDigest digest;
+      if (good_.explicit_placement()) {
+        for (size_t s = 0; s < good_.shard_count(); s++) {
+          uint32_t tag = good_.LogicalTagOfSlot(s);
+          if (tag == version::ShardedStore::kNoShard) continue;
+          digest.shards.push_back(tag);
+          digest.hashes.push_back(good_.ShardTopHash(s));
+        }
+      } else {
+        digest.hashes = good_.ShardHashes();
+      }
+      SendDigestMessage(peer, std::move(digest), /*entries=*/0);
     } else {
       net::DigestRequest digest;
       digest.latest = good_.Digest();
@@ -162,13 +183,18 @@ void AntiEntropyEngine::HandleShardDigest(const net::ShardDigest& digest,
                                           net::NodeId from) {
   // Round 0 -> round 1: answer with our bucket hashes for each shard whose
   // roll-up summary disagrees; matching shards drop out of the protocol
-  // before any of their bucket hashes are even serialized.
-  size_t n = std::min(digest.hashes.size(), good_.shard_count());
-  for (size_t s = 0; s < n; s++) {
-    if (digest.hashes[s] == good_.ShardTopHash(s)) continue;
+  // before any of their bucket hashes are even serialized. Shards the
+  // sender advertises but we do not host (live migration moved them) are
+  // skipped — their owner repairs them.
+  for (size_t i = 0; i < digest.hashes.size(); i++) {
+    uint32_t tag = digest.shards.empty() ? static_cast<uint32_t>(i)
+                                         : digest.shards[i];
+    auto slot = good_.SlotOfLogical(tag);
+    if (!slot) continue;
+    if (digest.hashes[i] == good_.ShardTopHash(*slot)) continue;
     net::BucketDigest bd;
-    bd.shard = static_cast<uint32_t>(s);
-    bd.hashes = good_.shard(s).BucketHashes();
+    bd.shard = tag;
+    bd.hashes = good_.shard(*slot).BucketHashes();
     SendDigestMessage(from, std::move(bd), /*entries=*/0);
   }
 }
@@ -178,8 +204,9 @@ void AntiEntropyEngine::HandleBucketDigest(const net::BucketDigest& digest,
   // Round 1 -> round 2: advertise our per-key digests for the buckets whose
   // hashes disagree (either side missing or stale there); matching buckets
   // are in sync and drop out of the protocol entirely.
-  if (digest.shard >= good_.shard_count()) return;  // topology mismatch
-  const VersionedStore& store = good_.shard(digest.shard);
+  auto slot = good_.SlotOfLogical(digest.shard);
+  if (!slot) return;  // not hosted here (topology mismatch or migration)
+  const VersionedStore& store = good_.shard(*slot);
   net::DigestRequest scoped;
   scoped.shard = digest.shard;
   size_t n = std::min(digest.hashes.size(), store.digest_buckets());
@@ -218,15 +245,17 @@ void AntiEntropyEngine::HandleDigest(const net::DigestRequest& req,
   // entries so in-sync buckets cost one comparison instead of a per-key
   // walk.
   const bool scoped = !req.buckets.empty();
-  if (scoped && req.shard >= good_.shard_count()) return;  // topology mismatch
+  std::optional<size_t> scoped_slot =
+      scoped ? good_.SlotOfLogical(req.shard) : std::optional<size_t>();
+  if (scoped && !scoped_slot) return;  // not hosted (topology or migration)
   std::map<Key, Timestamp> theirs;
   for (const auto& [k, ts] : req.latest) theirs.emplace(k, ts);
 
-  std::vector<std::pair<size_t, size_t>> mismatched;  // (shard, bucket)
+  std::vector<std::pair<size_t, size_t>> mismatched;  // (slot, bucket)
   if (scoped) {
     for (uint32_t b : req.buckets) {
-      if (b < good_.shard(req.shard).digest_buckets()) {
-        mismatched.emplace_back(req.shard, b);
+      if (b < good_.shard(*scoped_slot).digest_buckets()) {
+        mismatched.emplace_back(*scoped_slot, b);
       }
     }
   } else {
@@ -279,11 +308,12 @@ void AntiEntropyEngine::HandleDigest(const net::DigestRequest& req,
     }
     bool missing = false;
     for (const auto& [k, ts] : req.latest) {
-      size_t s = good_.ShardIndexOf(k);
-      if (in_scope[s].empty() || !in_scope[s][good_.shard(s).BucketOf(k)]) {
+      auto s = good_.TrySlotOfKey(k);
+      if (!s || in_scope[*s].empty() ||
+          !in_scope[*s][good_.shard(*s).BucketOf(k)]) {
         continue;
       }
-      auto ours = good_.shard(s).LatestTimestamp(k);
+      auto ours = good_.shard(*s).LatestTimestamp(k);
       if (!ours || *ours < ts) {
         missing = true;
         break;

@@ -50,6 +50,9 @@ const WriteRecord* MavCoordinator::PendingVersion(const Key& key,
 
 void MavCoordinator::Install(const WriteRecord& w, bool gossip,
                              net::NodeId origin) {
+  // A write for a shard this server no longer hosts (live migration) has
+  // nothing to install here; the owner's copy runs the MAV protocol.
+  if (!good_.OwnsKey(w.key)) return;
   // Duplicate suppression: already promoted or already pending.
   if (good_.Contains(w.key, w.ts)) return;
   auto& per_key = pending_by_key_[w.key];
@@ -78,7 +81,7 @@ void MavCoordinator::Install(const WriteRecord& w, bool gossip,
     }
   }
   txn.writes.push_back(w);
-  if (!stale) persistence_.PersistPending(good_.ShardIndexOf(w.key), w);
+  if (!stale) persistence_.PersistPending(good_.LogicalShardOfKey(w.key), w);
   if (gossip) gossip_(w, origin);
   MaybeAck(w.ts);
   MaybePromote(w.ts);
@@ -160,9 +163,12 @@ void MavCoordinator::MaybePromote(const Timestamp& ts) {
   for (net::NodeId n : expected) {
     if (!txn.acks.count(n)) return;
   }
-  // Pending-stable everywhere: reveal.
+  // Pending-stable everywhere: reveal. (Keys of a shard detached mid-flight
+  // by live migration have no local copy to reveal into; their pending
+  // entries are dropped with the shard.)
   for (const auto& w : txn.writes) {
-    size_t shard = good_.ShardIndexOf(w.key);
+    if (!good_.OwnsKey(w.key)) continue;
+    size_t shard = good_.LogicalShardOfKey(w.key);
     if (good_.Apply(w)) persistence_.PersistGood(shard, w);
     gc_versions_(w.key);
     persistence_.ErasePersistedPending(shard, w);

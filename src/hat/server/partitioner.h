@@ -27,6 +27,11 @@ class Partitioner {
   /// The (randomly designated, deterministic) master replica for `key` —
   /// the serialization point used by master and locking modes.
   virtual net::NodeId MasterOf(const Key& key) const = 0;
+
+  /// Current placement epoch (bumped by every live shard migration).
+  /// Servers compare it against their durable manifest on recovery; fixed
+  /// partitioners that never rebalance stay at 0.
+  virtual uint64_t PlacementEpoch() const { return 0; }
 };
 
 }  // namespace hat::server

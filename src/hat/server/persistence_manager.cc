@@ -4,6 +4,7 @@
 #include <utility>
 #include <vector>
 
+#include "hat/common/codec.h"
 #include "hat/version/wire.h"
 
 namespace hat::server {
@@ -11,6 +12,9 @@ namespace hat::server {
 namespace {
 constexpr std::string_view kGoodKind = "g";
 constexpr std::string_view kPendingKind = "p";
+// Sorts between the "g/" and "p/" keyspaces, so record scans never see it.
+constexpr std::string_view kManifestKey = "manifest";
+constexpr uint32_t kManifestVersion = 1;
 
 /// "g/002a/" — fixed-width hex keeps shard prefixes disjoint and ordered.
 std::string ShardPrefix(std::string_view kind, size_t shard) {
@@ -66,6 +70,75 @@ void PersistenceManager::ErasePersistedPending(size_t shard,
   (void)disk_->Delete(sk);
 }
 
+Status PersistenceManager::WriteManifest(const PersistenceManifest& m) {
+  if (!disk_) return Status::Ok();
+  std::string encoded;
+  PutFixed32(&encoded, kManifestVersion);
+  PutFixed32(&encoded, m.shards_per_server);
+  PutFixed32(&encoded, m.stride);
+  PutFixed64(&encoded, m.epoch);
+  PutVarint32(&encoded, static_cast<uint32_t>(m.owned.size()));
+  for (uint32_t shard : m.owned) PutFixed32(&encoded, shard);
+  return disk_->Put(kManifestKey, encoded);
+}
+
+Result<PersistenceManifest> PersistenceManager::ReadManifest() const {
+  if (!disk_) return Status::Unsupported("server has no storage directory");
+  auto raw = disk_->Get(kManifestKey);
+  if (!raw.ok()) return raw.status();
+  std::string_view in = raw.value();
+  if (in.size() < 20 || DecodeFixed32(in.data()) != kManifestVersion) {
+    return Status::Corruption("persistence manifest: bad header");
+  }
+  PersistenceManifest m;
+  m.shards_per_server = DecodeFixed32(in.data() + 4);
+  m.stride = DecodeFixed32(in.data() + 8);
+  m.epoch = DecodeFixed64(in.data() + 12);
+  in.remove_prefix(20);
+  auto count = GetVarint32(&in);
+  // Divide rather than multiply: `*count * 4` can wrap in 32 bits and let
+  // a corrupt count through the guard.
+  if (!count || in.size() / 4 < *count) {
+    return Status::Corruption("persistence manifest: truncated owned set");
+  }
+  m.owned.reserve(*count);
+  for (uint32_t i = 0; i < *count; i++) {
+    m.owned.push_back(DecodeFixed32(in.data() + 4 * i));
+  }
+  return m;
+}
+
+bool PersistenceManager::HasShardData() const {
+  if (!disk_) return false;
+  bool found = false;
+  for (std::string_view kind : {kGoodKind, kPendingKind}) {
+    std::string lo(kind);
+    lo += '/';
+    std::string hi(kind);
+    hi += '0';  // '/' + 1: upper bound of every "<kind>/..." key
+    (void)disk_->Scan(lo, hi, [&found](std::string_view, std::string_view) {
+      found = true;  // LocalStore::Scan has no early exit; cheap enough here
+    });
+    if (found) return true;
+  }
+  return false;
+}
+
+Status PersistenceManager::EraseShard(size_t shard) {
+  if (!disk_) return Status::Ok();
+  for (std::string_view kind : {kGoodKind, kPendingKind}) {
+    // Collect first: deleting mutates the memtable mid-scan.
+    std::vector<std::string> doomed;
+    HAT_RETURN_IF_ERROR(disk_->Scan(
+        ShardPrefix(kind, shard), ShardPrefixEnd(kind, shard),
+        [&doomed](std::string_view sk, std::string_view) {
+          doomed.emplace_back(sk);
+        }));
+    for (const auto& sk : doomed) HAT_RETURN_IF_ERROR(disk_->Delete(sk));
+  }
+  return Status::Ok();
+}
+
 Status PersistenceManager::RecoverShard(
     size_t shard, const std::function<void(const WriteRecord&)>& good,
     const std::function<void(const WriteRecord&)>& pending) {
@@ -103,6 +176,19 @@ Status PersistenceManager::Recover(
     const std::function<void(size_t shard, const WriteRecord&)>& pending) {
   if (!disk_) return Status::Unsupported("server has no storage directory");
   for (size_t s = 0; s < shard_count; s++) {
+    HAT_RETURN_IF_ERROR(RecoverShard(
+        s, [&good, s](const WriteRecord& w) { good(s, w); },
+        [&pending, s](const WriteRecord& w) { pending(s, w); }));
+  }
+  return Status::Ok();
+}
+
+Status PersistenceManager::Recover(
+    const std::vector<uint32_t>& shards,
+    const std::function<void(size_t shard, const WriteRecord&)>& good,
+    const std::function<void(size_t shard, const WriteRecord&)>& pending) {
+  if (!disk_) return Status::Unsupported("server has no storage directory");
+  for (uint32_t s : shards) {
     HAT_RETURN_IF_ERROR(RecoverShard(
         s, [&good, s](const WriteRecord& w) { good(s, w); },
         [&pending, s](const WriteRecord& w) { pending(s, w); }));

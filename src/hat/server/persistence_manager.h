@@ -5,26 +5,47 @@
 // ("g/<shard>/..." and "p/<shard>/..."), so a crashed replica can rebuild
 // both its visible state and its in-flight Appendix B pipeline from disk —
 // shard by shard, replaying only the shards the server hosts. The shard
-// index is part of the storage keyspace: it must be stable across restarts
-// (reshard by wiping the directory, not by changing shards_per_server over
-// live data). When constructed without a directory the manager is disabled
-// and every call is a no-op — benchmarks model durability purely as service
-// time (ServiceCosts::wal_sync_us) without doing real IO.
+// component of the keyspace is the *logical* shard id (stable across live
+// migration and independent of local slot numbering), and a manifest
+// records the layout the keyspace was written under
+// ({shards_per_server, placement stride, placement epoch, owned logical
+// shards}): recovery validates the manifest against the server's current
+// configuration and refuses to replay on mismatch instead of silently
+// scrambling records across shards. Live migration reshards the keyspace
+// explicitly — the destination persists the incoming shard under its
+// logical prefix, the source EraseShard-tombstones its copy after cutover.
+// When constructed without a directory the manager is disabled and every
+// call is a no-op — benchmarks model durability purely as service time
+// (ServiceCosts::wal_sync_us) without doing real IO.
 
 #ifndef HAT_SERVER_PERSISTENCE_MANAGER_H_
 #define HAT_SERVER_PERSISTENCE_MANAGER_H_
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "hat/common/result.h"
 #include "hat/common/status.h"
 #include "hat/storage/local_store.h"
 #include "hat/version/types.h"
 
 namespace hat::server {
+
+/// The durable layout descriptor guarding the per-shard keyspace.
+struct PersistenceManifest {
+  uint32_t shards_per_server = 1;
+  uint32_t stride = 1;
+  /// Placement epoch at the last ownership change (informational — a
+  /// recovering server may lag the cluster's epoch, but a manifest from the
+  /// future is refused as corruption).
+  uint64_t epoch = 0;
+  /// Logical shard ids this server's keyspace holds, in slot order.
+  std::vector<uint32_t> owned;
+};
 
 class PersistenceManager {
  public:
@@ -35,7 +56,8 @@ class PersistenceManager {
   /// True when writes actually reach disk.
   bool enabled() const { return disk_ != nullptr; }
 
-  /// Persists a revealed (good-set) version under `shard`'s prefix.
+  /// Persists a revealed (good-set) version under `shard`'s prefix
+  /// (`shard` is the key's logical shard id).
   void PersistGood(size_t shard, const WriteRecord& w);
 
   /// Persists a pending (MAV, not yet stable) version under `shard`'s
@@ -44,6 +66,25 @@ class PersistenceManager {
 
   /// Removes the pending copy of `w` once its transaction promoted.
   void ErasePersistedPending(size_t shard, const WriteRecord& w);
+
+  // ---- layout manifest -----------------------------------------------------
+
+  /// Writes (or rewrites) the layout manifest.
+  Status WriteManifest(const PersistenceManifest& m);
+
+  /// Reads the layout manifest; kNotFound when none was ever written.
+  Result<PersistenceManifest> ReadManifest() const;
+
+  /// True when any shard record (good or pending) exists on disk — the
+  /// guard distinguishing "reshaping an empty store" (safe, manifest is
+  /// rewritten) from "reshaping live data" (refused).
+  bool HasShardData() const;
+
+  /// Deletes every persisted record (good and pending) of one logical
+  /// shard's keyspace — the source-side tombstone after migration cutover.
+  Status EraseShard(size_t shard);
+
+  // ---- recovery ------------------------------------------------------------
 
   /// Replays one shard's durable state: its good versions are streamed to
   /// `good` (mid-scan — the good callback must NOT write back to this
@@ -59,6 +100,12 @@ class PersistenceManager {
   /// receiving the shard index each record was persisted under.
   Status Recover(
       size_t shard_count,
+      const std::function<void(size_t shard, const WriteRecord&)>& good,
+      const std::function<void(size_t shard, const WriteRecord&)>& pending);
+
+  /// Replays exactly the listed logical shards (the manifest's owned set).
+  Status Recover(
+      const std::vector<uint32_t>& shards,
       const std::function<void(size_t shard, const WriteRecord&)>& good,
       const std::function<void(size_t shard, const WriteRecord&)>& pending);
 

@@ -12,6 +12,20 @@ namespace hat::server {
 using net::Envelope;
 using net::Message;
 
+version::ShardedStore::Options ReplicaServer::StoreOptions(
+    std::vector<uint32_t> owned) const {
+  version::ShardedStore::Options store;
+  store.shards = owned.empty() ? options_.shards_per_server : owned.size();
+  store.digest_buckets = options_.digest_buckets;
+  store.stride = options_.shard_placement_stride;
+  // The modulus is the cluster-wide L, not a function of how many slots
+  // this server holds (a post-migration shape can own more or fewer).
+  store.num_logical_shards =
+      options_.shards_per_server * options_.shard_placement_stride;
+  store.logical_shards = std::move(owned);
+  return store;
+}
+
 ReplicaServer::ReplicaServer(sim::Simulation& sim, net::Network& net,
                              net::NodeId id, ServerOptions options,
                              const Partitioner* partitioner)
@@ -22,9 +36,7 @@ ReplicaServer::ReplicaServer(sim::Simulation& sim, net::Network& net,
                 ShardExecutor::Options{options_.shards_per_server,
                                        options_.cores_per_server,
                                        options_.costs.dispatch_us}),
-      good_(version::ShardedStore::Options{options_.shards_per_server,
-                                           options_.digest_buckets,
-                                           options_.shard_placement_stride}),
+      good_(StoreOptions(options_.owned_logical_shards)),
       persistence_(options_.storage_dir),
       mav_(sim_, id, partitioner_, good_, persistence_,
            MavCoordinator::Options{options_.gc_stale_pending,
@@ -49,9 +61,81 @@ ReplicaServer::ReplicaServer(sim::Simulation& sim, net::Network& net,
           [this](const Envelope& env, const net::LockResponse& resp) {
             Reply(env, resp);
           },
-          options_.lock_policy) {
+          options_.lock_policy),
+      migrator_(
+          sim_, good_,
+          ShardMigrator::Options{options_.ae_batch_max,
+                                 options_.ae_batch_max_bytes,
+                                 options_.migration_chunk_timeout,
+                                 options_.migration_catchup_interval},
+          [this](net::NodeId to, Message m) { SendOneWay(to, std::move(m)); },
+          [this](net::NodeId to, Message m, sim::Duration timeout,
+                 ShardMigrator::RpcCallback cb) {
+            Call(to, std::move(m), timeout, std::move(cb));
+          },
+          [this](const WriteRecord& w) {
+            // Snapshot-chunk install: set-union into the staged shard plus
+            // persistence, with no gossip (the records are replicated
+            // state the other clusters already hold).
+            if (!good_.OwnsKey(w.key)) return false;
+            if (!good_.Apply(w)) return false;
+            persistence_.PersistGood(good_.LogicalShardOfKey(w.key), w);
+            return true;
+          },
+          [this](size_t slot) { EnsureLaneForSlot(slot); },
+          [this]() { WriteManifestFromState(); },
+          [this](uint32_t shard) { (void)persistence_.EraseShard(shard); }) {
+  assert(options_.owned_logical_shards.empty() ||
+         options_.owned_logical_shards.size() == options_.shards_per_server);
+  if (persistence_.enabled()) {
+    // Fail-fast layout guard: adopt a matching manifest's owned set (a
+    // restart after migrations). An absent manifest is written fresh; a
+    // mismatched or unreadable one is rewritten only while the keyspace is
+    // empty — over live data it is left in place so recovery refuses
+    // instead of replaying under the wrong layout.
+    auto manifest = persistence_.ReadManifest();
+    if (manifest.ok() &&
+        manifest->shards_per_server == options_.shards_per_server &&
+        manifest->stride == options_.shard_placement_stride) {
+      if (!options_.owned_logical_shards.empty() &&
+          manifest->owned != options_.owned_logical_shards) {
+        good_ = version::ShardedStore(StoreOptions(manifest->owned));
+        for (size_t s = options_.shards_per_server;
+             s < good_.shard_count(); s++) {
+          EnsureLaneForSlot(s);
+        }
+      }
+    } else if (manifest.status().IsNotFound() ||
+               !persistence_.HasShardData()) {
+      WriteManifestFromState();
+    }
+  }
   mav_.Start();
   anti_entropy_.Start();
+}
+
+void ReplicaServer::EnsureLaneForSlot(size_t slot) {
+  while (executor_.lane_count() <= LaneOfSlot(slot)) executor_.AddLane();
+}
+
+std::vector<uint32_t> ReplicaServer::CurrentOwned() const {
+  std::vector<uint32_t> owned;
+  if (!good_.explicit_placement()) return owned;
+  for (size_t s = 0; s < good_.shard_count(); s++) {
+    uint32_t tag = good_.LogicalTagOfSlot(s);
+    if (tag != version::ShardedStore::kNoShard) owned.push_back(tag);
+  }
+  return owned;
+}
+
+void ReplicaServer::WriteManifestFromState() {
+  if (!persistence_.enabled()) return;
+  PersistenceManifest m;
+  m.shards_per_server = static_cast<uint32_t>(options_.shards_per_server);
+  m.stride = static_cast<uint32_t>(options_.shard_placement_stride);
+  m.epoch = partitioner_ ? partitioner_->PlacementEpoch() : 0;
+  m.owned = CurrentOwned();
+  (void)persistence_.WriteManifest(m);
 }
 
 const ServerStats& ReplicaServer::stats() const {
@@ -71,11 +155,19 @@ const ServerStats& ReplicaServer::stats() const {
   stats_.locks_granted = l.granted;
   stats_.locks_queued = l.queued;
   stats_.lock_deaths = l.deaths;
+  const MigratorStats& mig = migrator_.stats();
+  stats_.mig_snapshot_records_out = mig.snapshot_records_out;
+  stats_.mig_snapshot_records_in = mig.snapshot_records_in;
+  stats_.mig_catchup_records_in = mig.catchup_records_in;
   const ShardExecutorStats& ex = executor_.stats();
   stats_.busy_us = ex.busy_us;
   stats_.exec_tasks = ex.tasks;
   stats_.exec_dispatches = ex.dispatches;
   stats_.lane_busy_us = ex.lane_busy_us;
+  stats_.lane_queue_depth.resize(executor_.lane_count());
+  for (size_t lane = 0; lane < executor_.lane_count(); lane++) {
+    stats_.lane_queue_depth[lane] = executor_.QueueDepth(lane);
+  }
   stats_.queue_wait_us = ex.queue_wait_us;
   return stats_;
 }
@@ -154,10 +246,12 @@ const std::vector<ShardExecutor::Work>& ReplicaServer::PlanFor(
             // Batch overhead (and the group-commit WAL sync) is cross-shard
             // coordination; record application is charged to each record's
             // owning shard, so a multi-shard batch overlaps across cores.
+            // Accumulation is per *lane* (records of a shard this server no
+            // longer hosts are forwarding work on the global lane).
             double overhead = c.ae_batch_us + c.per_kb_us * kb;
             if (options_.durable) overhead += c.wal_sync_us;
             add(global, overhead);
-            shard_cost_scratch_.assign(good_.shard_count(), 0);
+            shard_cost_scratch_.assign(executor_.lane_count(), 0);
             for (const auto& w : batch.writes) {
               double cost = c.ae_record_us;
               if (batch.mode == net::PutMode::kMav) {
@@ -167,8 +261,10 @@ const std::vector<ShardExecutor::Work>& ReplicaServer::PlanFor(
               }
               shard_cost_scratch_[LaneOf(w.key)] += cost;
             }
-            for (size_t s = 0; s < shard_cost_scratch_.size(); s++) {
-              if (shard_cost_scratch_[s] > 0) add(s, shard_cost_scratch_[s]);
+            for (size_t lane = 0; lane < shard_cost_scratch_.size(); lane++) {
+              if (shard_cost_scratch_[lane] > 0) {
+                add(lane, shard_cost_scratch_[lane]);
+              }
             }
           },
           [&](const net::AntiEntropyAck&) {
@@ -178,22 +274,50 @@ const std::vector<ShardExecutor::Work>& ReplicaServer::PlanFor(
             double cost = c.ae_batch_us + c.per_kb_us * kb +
                           0.2 * static_cast<double>(digest.latest.size());
             // Bucket-scoped requests walk (and back-fill from) one shard;
-            // flat digests span the whole store.
-            size_t lane = !digest.buckets.empty() &&
-                                  digest.shard < good_.shard_count()
-                              ? digest.shard
-                              : global;
-            add(lane, cost);
+            // flat digests span the whole store. digest.shard is a logical
+            // shard tag — resolve it to the hosting slot's lane.
+            std::optional<size_t> slot =
+                digest.buckets.empty() ? std::optional<size_t>()
+                                       : good_.SlotOfLogical(digest.shard);
+            add(slot ? LaneOfSlot(*slot) : global, cost);
           },
           [&](const net::BucketDigest& bd) {
             // Comparing B hashes is far cheaper than per-key processing.
             double cost = c.ae_batch_us + c.per_kb_us * kb +
                           0.02 * static_cast<double>(bd.hashes.size());
-            add(bd.shard < good_.shard_count() ? bd.shard : global, cost);
+            auto slot = good_.SlotOfLogical(bd.shard);
+            add(slot ? LaneOfSlot(*slot) : global, cost);
           },
           [&](const net::ShardDigest& sd) {
             add(global, c.ae_batch_us + c.per_kb_us * kb +
                             0.02 * static_cast<double>(sd.hashes.size()));
+          },
+          [&](const net::ShardSnapshotRequest& req) {
+            // Freezing the outgoing shard's version set is a full shard
+            // scan, charged to that shard's lane.
+            auto slot = good_.SlotOfLogical(req.shard);
+            double cost = c.ae_batch_us + c.per_kb_us * kb;
+            if (slot) {
+              cost += c.scan_item_us *
+                      static_cast<double>(good_.shard(*slot).VersionCount());
+              add(LaneOfSlot(*slot), cost);
+            } else {
+              add(global, cost);
+            }
+          },
+          [&](const net::ShardSnapshotChunk& chunk) {
+            // Chunk overhead like an anti-entropy batch; record application
+            // charged to the staged (moving) shard's lane, so migration
+            // work queues behind — and is queued behind by — that shard's
+            // regular traffic instead of stalling the whole server.
+            double overhead = c.ae_batch_us + c.per_kb_us * kb;
+            if (options_.durable) overhead += c.wal_sync_us;
+            add(global, overhead);
+            if (!chunk.writes.empty()) {
+              auto slot = good_.SlotOfLogical(chunk.shard);
+              add(slot ? LaneOfSlot(*slot) : global,
+                  c.ae_record_us * static_cast<double>(chunk.writes.size()));
+            }
           },
           [&](const net::LockRequest&) {
             add(global, c.lock_us + c.per_kb_us * kb);
@@ -206,6 +330,7 @@ const std::vector<ShardExecutor::Work>& ReplicaServer::PlanFor(
           [&](const net::GetResponse&) { never("GetResponse"); },
           [&](const net::ScanResponse&) { never("ScanResponse"); },
           [&](const net::LockResponse&) { never("LockResponse"); },
+          [&](const net::ShardSnapshotAck&) { never("ShardSnapshotAck"); },
       },
       msg);
   return plan_scratch_;
@@ -240,6 +365,12 @@ void ReplicaServer::Process(const Envelope& env) {
     locks_.Acquire(env, *lock);
   } else if (const auto* unlock = std::get_if<net::UnlockRequest>(&env.msg)) {
     locks_.Release(*unlock);
+  } else if (const auto* sreq =
+                 std::get_if<net::ShardSnapshotRequest>(&env.msg)) {
+    migrator_.HandleSnapshotRequest(*sreq, env.from);
+  } else if (const auto* chunk =
+                 std::get_if<net::ShardSnapshotChunk>(&env.msg)) {
+    Reply(env, migrator_.HandleChunk(*chunk));
   }
 }
 
@@ -251,6 +382,15 @@ void ReplicaServer::HandleGet(const Envelope& env) {
   const auto& req = std::get<net::GetRequest>(env.msg);
   stats_.gets++;
   net::GetResponse resp;
+
+  if (!ServesKey(req.key)) {
+    // The key's shard migrated away (or is still staging here): a
+    // stale-epoch client must refresh its routing and retry at the owner.
+    stats_.wrong_shard_replies++;
+    resp.code = net::GetCode::kWrongShard;
+    Reply(env, std::move(resp));
+    return;
+  }
 
   auto fill = [&resp](const ReadVersion& rv) {
     resp.found = rv.found;
@@ -293,9 +433,29 @@ void ReplicaServer::HandleScan(const Envelope& env) {
   const auto& req = std::get<net::ScanRequest>(env.msg);
   stats_.scans++;
   net::ScanResponse resp;
+  // Scatter-gather scans take each server's owned slots; a migrating shard
+  // must be served by exactly one side or the merged result double-counts
+  // its keys. Pre-cutover that is the source (the destination's copy is
+  // staging); post-cutover it is the destination (the source still holds
+  // the shard until the drain detaches it, but is no longer its replica
+  // under the live placement).
+  std::vector<char> skip(good_.shard_count(), 0);
+  for (size_t s = 0; s < good_.shard_count(); s++) {
+    if (migrator_.IsStagingSlot(s)) {
+      skip[s] = 1;
+      continue;
+    }
+    const WriteRecord* w = good_.shard(s).AnyRecord();
+    if (w == nullptr || partitioner_ == nullptr) continue;
+    auto replicas = partitioner_->ReplicasOf(w->key);
+    if (std::find(replicas.begin(), replicas.end(), id()) == replicas.end()) {
+      skip[s] = 1;  // draining: the shard's new owner serves it now
+    }
+  }
   std::vector<uint64_t> items_per_shard(good_.shard_count(), 0);
   good_.ScanVisitSharded(req.lo, req.hi, req.bound,
                          [&](size_t shard, const Key& key, ReadVersion rv) {
+                           if (skip[shard]) return;
                            items_per_shard[shard]++;
                            net::ScanResponse::Item item;
                            item.key = key;
@@ -312,8 +472,8 @@ void ReplicaServer::HandleScan(const Envelope& env) {
   std::vector<ShardExecutor::Work> plan;
   for (size_t s = 0; s < items_per_shard.size(); s++) {
     if (items_per_shard[s] == 0) continue;
-    plan.push_back({s, options_.costs.scan_item_us *
-                           static_cast<double>(items_per_shard[s])});
+    plan.push_back({LaneOfSlot(s), options_.costs.scan_item_us *
+                                       static_cast<double>(items_per_shard[s])});
   }
   executor_.SubmitAll(plan, [this, env, resp = std::move(resp)]() mutable {
     Reply(env, std::move(resp));
@@ -327,6 +487,11 @@ void ReplicaServer::HandleScan(const Envelope& env) {
 void ReplicaServer::HandlePut(const Envelope& env) {
   const auto& req = std::get<net::PutRequest>(env.msg);
   stats_.puts++;
+  if (!ServesKey(req.write.key)) {
+    stats_.wrong_shard_replies++;
+    Reply(env, net::PutResponse{false, /*wrong_shard=*/true});
+    return;
+  }
   if (req.mode == net::PutMode::kEventual) {
     InstallEventual(req.write, /*gossip=*/true);
   } else {
@@ -335,21 +500,37 @@ void ReplicaServer::HandlePut(const Envelope& env) {
   Reply(env, net::PutResponse{true});
 }
 
-void ReplicaServer::InstallEventual(const WriteRecord& w, bool gossip,
+bool ReplicaServer::InstallEventual(const WriteRecord& w, bool gossip,
                                     net::NodeId origin) {
   bool inserted = good_.Apply(w);
-  if (!inserted) return;  // duplicate delivery (anti-entropy redundancy)
-  persistence_.PersistGood(good_.ShardIndexOf(w.key), w);
+  if (!inserted) return false;  // duplicate delivery (anti-entropy redundancy)
+  persistence_.PersistGood(good_.LogicalShardOfKey(w.key), w);
   MaybeGcVersions(w.key);
   if (gossip) anti_entropy_.Enqueue(w, net::PutMode::kEventual, origin);
+  return true;
 }
 
 void ReplicaServer::InstallFromPeer(const WriteRecord& w, net::PutMode mode,
                                     net::NodeId from) {
   // `from` threads through to Enqueue's `except`: the sender already has the
   // write, so re-gossiping it back would only double anti-entropy traffic.
+  auto slot = good_.TrySlotOfKey(w.key);
+  if (!slot) {
+    // Late gossip for a shard that migrated away: forward it to the new
+    // owner through the placement-aware outbox (the current epoch's
+    // ReplicasOf already routes to the destination) instead of dropping a
+    // record the sender considers delivered.
+    stats_.forwarded_records++;
+    anti_entropy_.Enqueue(w, mode, from);
+    return;
+  }
   if (mode == net::PutMode::kEventual) {
-    InstallEventual(w, /*gossip=*/true, from);
+    // Records filling a staging (pre-cutover) copy are replicated state the
+    // rest of the cluster already propagates — installing without re-gossip
+    // avoids spraying the whole shard back out.
+    bool staging = migrator_.IsStagingSlot(*slot);
+    bool inserted = InstallEventual(w, /*gossip=*/!staging, from);
+    if (staging && inserted) migrator_.NoteStagingInstall();
   } else {
     mav_.Install(w, /*gossip=*/true, from);
   }
@@ -385,12 +566,18 @@ void ReplicaServer::MaybeGcVersions(const Key& key) {
 // --------------------------------------------------------------------------
 
 void ReplicaServer::Crash() {
-  good_ = version::ShardedStore(version::ShardedStore::Options{
-      options_.shards_per_server, options_.digest_buckets,
-      options_.shard_placement_stride});
+  // Ownership shape survives the crash — it is configuration, not data: a
+  // migrated-in shard keeps its (now empty) slot so digest repair can
+  // refill it even on a server with no durable storage, and routing (which
+  // still points here) never strands the shard. The data itself is
+  // restored by RecoverFromStorage or by anti-entropy.
+  std::vector<uint32_t> owned = CurrentOwned();
+  if (owned.empty()) owned = options_.owned_logical_shards;
+  good_ = version::ShardedStore(StoreOptions(std::move(owned)));
   mav_.Clear();
   anti_entropy_.Clear();
   locks_.Clear();
+  migrator_.Clear();
   // Frees the busy frontiers only. Messages already in service keep their
   // completion events and are processed against the wiped state — the same
   // semantics the scalar busy_until_ reset had (network-level retransmits,
@@ -399,19 +586,62 @@ void ReplicaServer::Crash() {
 }
 
 Status ReplicaServer::RecoverFromStorage() {
+  if (!persistence_.enabled()) {
+    return Status::Unsupported("server has no storage directory");
+  }
+  // Fail-fast layout guard: the manifest records the layout the keyspace
+  // was written under. Replaying under a different shards_per_server or
+  // stride would scramble records across shards, so recovery refuses
+  // instead (reshard by wiping the directory, not by reinterpreting live
+  // data). The owned set, however, is *adopted*: a server that migrated
+  // shards in or out before the crash recovers at its post-migration
+  // shape.
+  auto manifest = persistence_.ReadManifest();
+  std::vector<uint32_t> owned;
+  if (manifest.ok()) {
+    if (manifest->shards_per_server != options_.shards_per_server ||
+        manifest->stride != options_.shard_placement_stride) {
+      return Status::Corruption(
+          "persistence manifest mismatch: keyspace written under " +
+          std::to_string(manifest->shards_per_server) + " shards/server, " +
+          "stride " + std::to_string(manifest->stride) + "; server runs " +
+          std::to_string(options_.shards_per_server) + "/" +
+          std::to_string(options_.shard_placement_stride));
+    }
+    // (manifest->epoch is informational: a recovering server may lag or —
+    // across full-deployment restarts, where the in-memory PlacementMap is
+    // reborn at 0 — lead the cluster's epoch; neither blocks replaying
+    // data whose layout matches.)
+    owned = manifest->owned;
+    if (!options_.owned_logical_shards.empty() && owned != CurrentOwned()) {
+      good_ = version::ShardedStore(StoreOptions(owned));
+      for (size_t s = 0; s < good_.shard_count(); s++) EnsureLaneForSlot(s);
+    }
+  } else if (manifest.status().IsNotFound()) {
+    // Pre-manifest directory: its records were keyed by *local slot index*
+    // (the historical keyspace), so replay those prefixes; records re-route
+    // by key below.
+    for (size_t s = 0; s < good_.shard_count(); s++) {
+      owned.push_back(static_cast<uint32_t>(s));
+    }
+  } else {
+    return manifest.status();  // unreadable manifest over live data: refuse
+  }
   // Shard-by-shard replay of only the shards this server hosts. Good
   // (revealed) versions re-enter directly (re-routed by key, so records
   // land correctly even if the persisted shard tag ever disagrees);
   // pending (not yet stable) versions re-enter the MAV pipeline, whose
   // acks will be re-broadcast by MaybeAck/RenotifyTick.
-  std::vector<uint64_t> replayed(good_.shard_count(), 0);
+  std::vector<uint64_t> replayed(executor_.lane_count(), 0);
   Status status = persistence_.Recover(
-      good_.shard_count(),
+      owned,
       [this, &replayed](size_t, const WriteRecord& w) {
+        if (!good_.OwnsKey(w.key)) return;  // stale record of a moved shard
         replayed[LaneOf(w.key)]++;
         good_.Apply(w);
       },
       [this, &replayed](size_t, const WriteRecord& w) {
+        if (!good_.OwnsKey(w.key)) return;
         replayed[LaneOf(w.key)]++;
         mav_.Install(w, true);
       });
@@ -419,10 +649,11 @@ Status ReplicaServer::RecoverFromStorage() {
   // Replay is charged per shard lane: a recovering server is busy applying
   // its durable state, and with cores > 1 the shards replay in parallel, so
   // recovery time shrinks with the core count instead of serializing.
-  for (size_t s = 0; s < replayed.size(); s++) {
-    if (replayed[s] == 0) continue;
-    executor_.Submit(
-        s, static_cast<double>(replayed[s]) * options_.costs.put_us, nullptr);
+  for (size_t lane = 0; lane < replayed.size(); lane++) {
+    if (replayed[lane] == 0) continue;
+    executor_.Submit(lane,
+                     static_cast<double>(replayed[lane]) * options_.costs.put_us,
+                     nullptr);
   }
   return status;
 }

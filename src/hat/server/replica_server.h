@@ -8,7 +8,18 @@
 //  * LockManager        — strict two-phase locking with wait-die (the
 //                         "locking" baseline of Section 6.3),
 //  * PersistenceManager — optional real durability via storage::LocalStore
-//                         (replicas can be crashed and recovered in tests).
+//                         (replicas can be crashed and recovered in tests),
+//  * ShardMigrator      — live logical-shard migration mechanics (snapshot
+//                         streaming, digest catch-up, staging/promotion,
+//                         detach + tombstone), driven by the cluster-level
+//                         RebalanceCoordinator.
+//
+// Placement-aware serving: when ServerOptions::owned_logical_shards is set
+// (deployments), the server knows exactly which logical shards it hosts.
+// An operation for a shard that migrated away is answered kWrongShard so a
+// stale-epoch client refreshes its routing and retries at the new owner;
+// late anti-entropy records for such a shard are re-pushed ("forwarded")
+// through the placement-aware outbox instead of being dropped.
 //
 // The server itself only routes envelopes, charges service demands
 // (ServiceCosts — producing the saturation/overhead behaviour of
@@ -49,6 +60,7 @@
 #include "hat/server/persistence_manager.h"
 #include "hat/server/service_costs.h"
 #include "hat/server/shard_executor.h"
+#include "hat/server/shard_migrator.h"
 #include "hat/version/sharded_store.h"
 
 namespace hat::server {
@@ -72,6 +84,16 @@ struct ServerOptions {
   /// set this to servers_per_cluster so server- and shard-level hash
   /// placement compose; standalone servers leave it at 1.
   size_t shard_placement_stride = 1;
+  /// Explicit logical-shard ownership (size shards_per_server, one logical
+  /// shard id per local slot). Deployments fill it from the PlacementMap so
+  /// servers can detect keys they do not own (kWrongShard after a live
+  /// migration); empty keeps the historical implicit stride arithmetic,
+  /// under which every key is owned.
+  std::vector<uint32_t> owned_logical_shards;
+  /// Stop-and-wait resend timeout for migration snapshot chunks.
+  sim::Duration migration_chunk_timeout = 500 * sim::kMillisecond;
+  /// Cadence of source-side migration catch-up digest rounds.
+  sim::Duration migration_catchup_interval = 50 * sim::kMillisecond;
   /// Conflicting-lock resolution for the locking baseline.
   LockPolicy lock_policy = LockPolicy::kWaitDie;
   /// Charge WAL-sync service time on installs (the paper's servers write
@@ -135,15 +157,29 @@ struct ServerStats {
   uint64_t locks_granted = 0;
   uint64_t locks_queued = 0;
   uint64_t lock_deaths = 0;  ///< wait-die aborts issued
+  /// Placement-epoch routing corrections and late-gossip handling:
+  uint64_t wrong_shard_replies = 0;   ///< client ops answered kWrongShard
+  uint64_t forwarded_records = 0;     ///< unowned gossip re-pushed to owner
+  // Live-migration counters (see MigratorStats):
+  uint64_t mig_snapshot_records_out = 0;
+  uint64_t mig_snapshot_records_in = 0;
+  uint64_t mig_catchup_records_in = 0;
   double busy_us = 0;        ///< total service time consumed, all lanes
   // ShardExecutor counters (see ShardExecutorStats):
   uint64_t exec_tasks = 0;       ///< classified tasks submitted
   uint64_t exec_dispatches = 0;  ///< cross-core shard-lane handoffs charged
-  /// Busy microseconds per lane: [0, shards_per_server) the shard lanes,
-  /// then the global lane. Divide by elapsed time for per-lane utilization
-  /// (the saturation signal — a hot shard or a saturated global lane shows
-  /// up here long before total utilization reaches 1).
+  /// Busy microseconds per lane: [0, shards_per_server) the construction-
+  /// time shard lanes, [shards_per_server] the global lane, then one lane
+  /// per shard attached by live migration. Divide by elapsed time for
+  /// per-lane utilization (the saturation signal — a hot shard or a
+  /// saturated global lane shows up here long before total utilization
+  /// reaches 1).
   std::vector<double> lane_busy_us;
+  /// Point-in-time booked backlog per lane (same indexing as
+  /// lane_busy_us): tasks whose service has not completed yet. The
+  /// migration coordinator treats depth 0 on the moving shard's lane as
+  /// its drain point; benches print it as the queueing signal.
+  std::vector<uint64_t> lane_queue_depth;
   /// Microseconds each task waited for its lane and a core before service.
   Histogram queue_wait_us;
 };
@@ -170,6 +206,22 @@ class ReplicaServer : public net::RpcNode {
   const AntiEntropyEngine& anti_entropy() const { return anti_entropy_; }
   const LockManager& lock_manager() const { return locks_; }
   const ShardExecutor& executor() const { return executor_; }
+  /// Live-migration mechanics; the RebalanceCoordinator's control surface.
+  ShardMigrator& migrator() { return migrator_; }
+  const ShardMigrator& migrator() const { return migrator_; }
+
+  /// Executor lane of local slot `slot` (slots beyond the construction-time
+  /// shard count skip over the global lane, which is pinned at index
+  /// shards_per_server).
+  size_t LaneOfSlot(size_t slot) const {
+    return slot < options_.shards_per_server ? slot : slot + 1;
+  }
+  /// Booked backlog on the lane of logical shard `shard` (0 if not hosted)
+  /// — the coordinator's drain-point probe.
+  size_t ShardLaneQueueDepth(uint32_t shard) const {
+    auto slot = good_.SlotOfLogical(shard);
+    return slot ? executor_.QueueDepth(LaneOfSlot(*slot)) : 0;
+  }
 
   /// Bootstrap/test hook: installs a version directly into the good set with
   /// no gossip, persistence, or service cost (dataset preloading).
@@ -197,17 +249,45 @@ class ReplicaServer : public net::RpcNode {
   /// path stays allocation-free at steady state.
   const std::vector<ShardExecutor::Work>& PlanFor(
       const net::Message& msg) const;
-  size_t LaneOf(const Key& key) const { return good_.ShardIndexOf(key); }
+  /// Executor lane of `key`'s shard; the global lane for keys whose shard
+  /// this server no longer hosts (their handling is a routing correction,
+  /// not shard work).
+  size_t LaneOf(const Key& key) const {
+    auto slot = good_.TrySlotOfKey(key);
+    return slot ? LaneOfSlot(*slot) : executor_.global_lane();
+  }
 
   void HandleGet(const net::Envelope& env);
   void HandleScan(const net::Envelope& env);
   void HandlePut(const net::Envelope& env);
 
+  /// True when this server currently serves client operations on `key`: it
+  /// owns the key's logical shard and the shard is not a migration staging
+  /// copy. Implicit-placement servers serve every key.
+  bool ServesKey(const Key& key) const {
+    auto slot = good_.TrySlotOfKey(key);
+    return slot.has_value() && !migrator_.IsStagingSlot(*slot);
+  }
+  /// Grows the executor so `slot` (a freshly attached staging shard) has a
+  /// lane.
+  void EnsureLaneForSlot(size_t slot);
+  /// The logical shard tags the store currently hosts, in slot order
+  /// (empty for implicit-placement stores).
+  std::vector<uint32_t> CurrentOwned() const;
+  /// Rewrites the durable placement manifest from the store's current
+  /// ownership (no-op without a storage directory).
+  void WriteManifestFromState();
+  /// Builds the ShardedStore options for this server's configuration, with
+  /// `owned` as the explicit slot layout (empty = implicit).
+  version::ShardedStore::Options StoreOptions(
+      std::vector<uint32_t> owned) const;
+
   /// Installs into the good set (eventual / Read Committed path). `origin`
   /// is the peer the write arrived from (net::kNoPeer for client writes);
   /// re-gossip excludes it so a 2-replica exchange does not echo every write
-  /// straight back to its sender.
-  void InstallEventual(const WriteRecord& w, bool gossip,
+  /// straight back to its sender. Returns true if the version was new
+  /// (duplicate anti-entropy deliveries return false and do nothing).
+  bool InstallEventual(const WriteRecord& w, bool gossip,
                        net::NodeId origin = net::kNoPeer);
   /// Routes a record received via anti-entropy to the right install path.
   void InstallFromPeer(const WriteRecord& w, net::PutMode mode,
@@ -227,6 +307,7 @@ class ReplicaServer : public net::RpcNode {
   MavCoordinator mav_;
   AntiEntropyEngine anti_entropy_;
   LockManager locks_;
+  ShardMigrator migrator_;
 };
 
 }  // namespace hat::server

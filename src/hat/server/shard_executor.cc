@@ -14,6 +14,21 @@ ShardExecutor::ShardExecutor(sim::Simulation& sim, Options options)
   lane_free_.assign(options_.shards + 1, 0);
   core_free_.assign(options_.cores, 0);
   stats_.lane_busy_us.assign(options_.shards + 1, 0);
+  lane_inflight_.resize(options_.shards + 1);
+}
+
+size_t ShardExecutor::AddLane() {
+  lane_free_.push_back(0);
+  stats_.lane_busy_us.push_back(0);
+  lane_inflight_.emplace_back();
+  return lane_free_.size() - 1;
+}
+
+size_t ShardExecutor::QueueDepth(size_t lane) const {
+  std::deque<sim::SimTime>& q = lane_inflight_[lane];
+  sim::SimTime now = sim_.Now();
+  while (!q.empty() && q.front() <= now) q.pop_front();
+  return q.size();
 }
 
 sim::SimTime ShardExecutor::Book(const Work& work) {
@@ -56,6 +71,13 @@ sim::SimTime ShardExecutor::Book(const Work& work) {
   lane_free_[work.lane] = end;
   core_free_[core] = end;
 
+  // Queue-depth bookkeeping: completions are nondecreasing per lane (end ==
+  // the new lane frontier), so the deque stays sorted; prune what already
+  // finished to bound it by the in-flight count.
+  std::deque<sim::SimTime>& q = lane_inflight_[work.lane];
+  while (!q.empty() && q.front() <= now) q.pop_front();
+  q.push_back(end);
+
   stats_.busy_us += cost;
   stats_.lane_busy_us[work.lane] += cost;
   stats_.queue_wait_us.Record(static_cast<double>(start - now));
@@ -82,6 +104,7 @@ sim::SimTime ShardExecutor::SubmitAll(const std::vector<Work>& plan,
 void ShardExecutor::Reset() {
   std::fill(lane_free_.begin(), lane_free_.end(), sim_.Now());
   std::fill(core_free_.begin(), core_free_.end(), sim_.Now());
+  for (auto& q : lane_inflight_) q.clear();
 }
 
 }  // namespace hat::server

@@ -31,6 +31,7 @@
 #define HAT_SERVER_SHARD_EXECUTOR_H_
 
 #include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "hat/common/histogram.h"
@@ -74,9 +75,23 @@ class ShardExecutor {
 
   size_t shard_count() const { return options_.shards; }
   size_t cores() const { return options_.cores; }
-  size_t lane_count() const { return options_.shards + 1; }
-  /// The lane for work not owned by any single shard.
+  size_t lane_count() const { return lane_free_.size(); }
+  /// The lane for work not owned by any single shard. Fixed at index
+  /// `shards`; lanes added later (migrated-in shards) append after it.
   size_t global_lane() const { return options_.shards; }
+
+  /// Adds one shard lane (live migration attaching a staged shard) and
+  /// returns its index. Added lanes behave exactly like construction-time
+  /// shard lanes (FIFO, dispatch-charged); they are never removed — a
+  /// detached shard's lane simply goes idle, keeping indices stable.
+  size_t AddLane();
+
+  /// Number of booked tasks on `lane` whose service has not completed by
+  /// the current virtual time — the lane's queue depth. O(1) amortized
+  /// (lane bookings complete in FIFO order, so expired entries pop from the
+  /// front). The migration coordinator uses depth 0 as a shard's drain
+  /// point; benches print it as the backlog signal.
+  size_t QueueDepth(size_t lane) const;
 
   /// Runs `cost_us` of service time on `lane`; `done` (may be null) fires
   /// when it completes. Returns the completion time.
@@ -122,6 +137,11 @@ class ShardExecutor {
   ShardExecutorStats stats_;
   std::vector<sim::SimTime> lane_free_;  ///< per-lane FIFO frontier
   std::vector<sim::SimTime> core_free_;  ///< per-core availability
+  /// Completion times of in-flight bookings per lane, in booking order
+  /// (nondecreasing — a lane is a FIFO). Mutable: QueueDepth prunes expired
+  /// entries lazily; no simulation events are involved, so adding this
+  /// bookkeeping cannot perturb event ordering.
+  mutable std::vector<std::deque<sim::SimTime>> lane_inflight_;
 };
 
 }  // namespace hat::server

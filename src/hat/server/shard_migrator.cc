@@ -1,0 +1,201 @@
+#include "hat/server/shard_migrator.h"
+
+#include <utility>
+
+namespace hat::server {
+
+ShardMigrator::ShardMigrator(sim::Simulation& sim, version::ShardedStore& good,
+                             Options options, SendFn send, CallFn call,
+                             InstallFn install, AttachHook on_attach,
+                             ManifestHook on_ownership_change,
+                             TombstoneFn tombstone)
+    : sim_(sim),
+      good_(good),
+      options_(options),
+      send_(std::move(send)),
+      call_(std::move(call)),
+      install_(std::move(install)),
+      on_attach_(std::move(on_attach)),
+      on_ownership_change_(std::move(on_ownership_change)),
+      tombstone_(std::move(tombstone)) {}
+
+// ---------------------------------------------------------------------------
+// Destination role
+// ---------------------------------------------------------------------------
+
+void ShardMigrator::StartPull(uint64_t migration_id, uint32_t shard,
+                              net::NodeId source) {
+  // A restarted migration supersedes any stale session for the same shard.
+  for (auto it = dests_.begin(); it != dests_.end();) {
+    it = it->second.shard == shard ? dests_.erase(it) : std::next(it);
+  }
+  size_t slot = good_.AttachShard(shard);
+  if (on_attach_) on_attach_(slot);
+  staging_.insert(shard);
+  dests_.emplace(migration_id, DestSession{shard, source, false});
+  send_(source, net::ShardSnapshotRequest{migration_id, shard});
+}
+
+bool ShardMigrator::PullComplete(uint64_t migration_id) const {
+  auto it = dests_.find(migration_id);
+  return it != dests_.end() && it->second.done;
+}
+
+net::ShardSnapshotAck ShardMigrator::HandleChunk(
+    const net::ShardSnapshotChunk& chunk) {
+  auto it = dests_.find(chunk.migration_id);
+  if (it == dests_.end()) {
+    // No such session (crash + restart): tell the source to stop streaming.
+    return net::ShardSnapshotAck{chunk.migration_id, chunk.seq, false};
+  }
+  stats_.snapshot_chunks_in++;
+  for (const WriteRecord& w : chunk.writes) {
+    if (install_(w)) stats_.snapshot_records_in++;
+  }
+  if (chunk.done) it->second.done = true;
+  return net::ShardSnapshotAck{chunk.migration_id, chunk.seq, true};
+}
+
+void ShardMigrator::PromoteStaging(uint32_t shard) {
+  staging_.erase(shard);
+  for (auto it = dests_.begin(); it != dests_.end();) {
+    it = it->second.shard == shard ? dests_.erase(it) : std::next(it);
+  }
+  if (on_ownership_change_) on_ownership_change_();
+}
+
+// ---------------------------------------------------------------------------
+// Source role
+// ---------------------------------------------------------------------------
+
+void ShardMigrator::HandleSnapshotRequest(const net::ShardSnapshotRequest& req,
+                                          net::NodeId from) {
+  auto slot = good_.SlotOfLogical(req.shard);
+  if (!slot) return;  // we no longer host it; the coordinator will restart
+  // A re-request under the same id (destination restarted before any chunk
+  // arrived) re-freezes from scratch — chunk application is idempotent.
+  SourceSession session;
+  session.shard = req.shard;
+  session.dest = from;
+  good_.shard(*slot).ForEachVersion(
+      [&session](const WriteRecord& w) { session.frozen.push_back(w); });
+  sources_[req.migration_id] = std::move(session);
+  SendNextChunk(req.migration_id);
+}
+
+void ShardMigrator::SendNextChunk(uint64_t migration_id) {
+  auto it = sources_.find(migration_id);
+  if (it == sources_.end()) return;
+  SourceSession& s = it->second;
+  net::ShardSnapshotChunk chunk;
+  chunk.migration_id = migration_id;
+  chunk.shard = s.shard;
+  chunk.seq = s.seq;
+  size_t bytes = 0;
+  while (s.next_record < s.frozen.size() &&
+         chunk.writes.size() < options_.chunk_max_records &&
+         (chunk.writes.empty() || options_.chunk_max_bytes == 0 ||
+          bytes < options_.chunk_max_bytes)) {
+    bytes += net::WriteRecordWireBytes(s.frozen[s.next_record]);
+    chunk.writes.push_back(s.frozen[s.next_record++]);
+  }
+  chunk.done = s.next_record >= s.frozen.size();
+  s.inflight = std::move(chunk);
+  SendInflight(migration_id);
+}
+
+void ShardMigrator::SendInflight(uint64_t migration_id) {
+  auto it = sources_.find(migration_id);
+  if (it == sources_.end()) return;
+  SourceSession& s = it->second;
+  stats_.snapshot_chunks_out++;
+  uint32_t seq = s.seq;
+  call_(s.dest, s.inflight, options_.chunk_timeout,
+        [this, migration_id, seq](Status status, const net::Message* m) {
+          auto it = sources_.find(migration_id);
+          if (it == sources_.end()) return;  // cancelled / crashed
+          SourceSession& s = it->second;
+          if (s.seq != seq) return;  // stale callback of a superseded chunk
+          if (!status.ok()) {
+            // Timeout: stop-and-wait resend (application is idempotent).
+            SendInflight(migration_id);
+            return;
+          }
+          const auto* ack = std::get_if<net::ShardSnapshotAck>(m);
+          if (ack == nullptr || !ack->ok) {
+            // The destination no longer runs this migration; stop. The
+            // coordinator restarts under a fresh id if still wanted.
+            sources_.erase(it);
+            return;
+          }
+          stats_.snapshot_records_out += s.inflight.writes.size();
+          bool done = s.inflight.done;
+          s.seq++;
+          if (done) {
+            s.fully_sent = true;
+            s.frozen.clear();  // bulk shipped; free the frozen copy
+            s.inflight = net::ShardSnapshotChunk{};
+            StartCatchup(migration_id);
+          } else {
+            SendNextChunk(migration_id);
+          }
+        });
+}
+
+bool ShardMigrator::SnapshotFullySent(uint64_t migration_id) const {
+  auto it = sources_.find(migration_id);
+  return it != sources_.end() && it->second.fully_sent;
+}
+
+void ShardMigrator::StartCatchup(uint64_t migration_id) {
+  sim_.After(options_.catchup_interval,
+             [this, migration_id]() { CatchupTick(migration_id); });
+}
+
+void ShardMigrator::StartCatchupOnly(uint64_t migration_id, uint32_t shard,
+                                     net::NodeId dest) {
+  SourceSession session;
+  session.shard = shard;
+  session.dest = dest;
+  session.fully_sent = true;
+  sources_[migration_id] = std::move(session);
+  StartCatchup(migration_id);
+}
+
+void ShardMigrator::CatchupTick(uint64_t migration_id) {
+  auto it = sources_.find(migration_id);
+  if (it == sources_.end()) return;  // drained or cancelled
+  SourceSession& s = it->second;
+  auto slot = good_.SlotOfLogical(s.shard);
+  if (!slot) {
+    sources_.erase(it);  // detached underneath us
+    return;
+  }
+  // One (shard, bucket)-scoped digest round against the destination: it
+  // answers with a bucket-scoped DigestRequest for mismatches and we
+  // back-fill — the regular anti-entropy handlers do all the work.
+  stats_.catchup_digests_out++;
+  net::BucketDigest digest;
+  digest.shard = s.shard;
+  digest.hashes = good_.shard(*slot).BucketHashes();
+  send_(s.dest, std::move(digest));
+  StartCatchup(migration_id);
+}
+
+void ShardMigrator::FinishDrain(uint64_t migration_id) {
+  auto it = sources_.find(migration_id);
+  if (it == sources_.end()) return;
+  uint32_t shard = it->second.shard;
+  sources_.erase(it);
+  good_.DetachShard(shard);
+  if (tombstone_) tombstone_(shard);
+  if (on_ownership_change_) on_ownership_change_();
+}
+
+void ShardMigrator::Clear() {
+  sources_.clear();
+  dests_.clear();
+  staging_.clear();
+}
+
+}  // namespace hat::server

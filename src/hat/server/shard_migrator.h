@@ -1,0 +1,202 @@
+// ShardMigrator: one server's mechanics for live logical-shard migration.
+//
+// A migration has a source role and a destination role, both hosted here
+// (a server can be the source of one migration and the destination of
+// another). The control plane (cluster::RebalanceCoordinator) starts and
+// finishes phases through direct in-process calls — the moral equivalent
+// of an operator's configuration service — while all bulk data moves as
+// real network messages:
+//
+//  * Destination: StartPull attaches a *staging* slot for the incoming
+//    shard (served to anti-entropy but not to clients) and asks the source
+//    for a snapshot (ShardSnapshotRequest). Incoming ShardSnapshotChunk
+//    requests are applied idempotently (version sets are unions, so a
+//    crashed-and-restarted stream just re-applies) and acknowledged;
+//    PromoteStaging flips the slot to serving at cutover.
+//  * Source: on the snapshot request it freezes the shard's current
+//    version set and streams it in bounded chunks, stop-and-wait through
+//    the RPC layer (timeouts resend; an ok=false ack means the destination
+//    restarted and this stream is dead). Once the frozen set is fully
+//    acknowledged the source switches to catch-up: periodic
+//    (shard, bucket)-scoped digest rounds against the destination — the
+//    exact protocol anti-entropy already speaks — ship whatever arrived
+//    after the freeze. FinishDrain (post-cutover, once the destination
+//    holds a superset) detaches the slot, tombstones the shard's on-disk
+//    keyspace, and leaves late gossip to the owner's forwarding path.
+//
+// The migrator owns no sockets: messages leave through SendFn/CallFn and
+// records install through InstallFn, so it is constructible and fully
+// drivable from a unit test without a ReplicaServer.
+
+#ifndef HAT_SERVER_SHARD_MIGRATOR_H_
+#define HAT_SERVER_SHARD_MIGRATOR_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "hat/common/status.h"
+#include "hat/net/message.h"
+#include "hat/sim/simulation.h"
+#include "hat/version/sharded_store.h"
+
+namespace hat::server {
+
+struct MigratorStats {
+  uint64_t snapshot_records_out = 0;  ///< frozen records acknowledged by dest
+  uint64_t snapshot_records_in = 0;   ///< chunk records newly applied
+  uint64_t snapshot_chunks_out = 0;   ///< chunk sends (including resends)
+  uint64_t snapshot_chunks_in = 0;
+  uint64_t catchup_digests_out = 0;   ///< catch-up digest rounds initiated
+  uint64_t catchup_records_in = 0;    ///< records applied into staging slots
+                                      ///< outside the snapshot stream
+};
+
+class ShardMigrator {
+ public:
+  struct Options {
+    /// Chunking discipline, normally ServerOptions::ae_batch_max{,_bytes}.
+    size_t chunk_max_records = 64;
+    size_t chunk_max_bytes = 64 * 1024;
+    /// Stop-and-wait resend timeout for a snapshot chunk.
+    sim::Duration chunk_timeout = 500 * sim::kMillisecond;
+    /// Cadence of source-side catch-up digest rounds after the snapshot.
+    sim::Duration catchup_interval = 50 * sim::kMillisecond;
+  };
+  /// Delivers a one-way message to a peer.
+  using SendFn = std::function<void(net::NodeId, net::Message)>;
+  /// Issues a request/response RPC (ReplicaServer::Call).
+  using RpcCallback = std::function<void(Status, const net::Message*)>;
+  using CallFn = std::function<void(net::NodeId, net::Message, sim::Duration,
+                                    RpcCallback)>;
+  /// Installs one snapshot record into the (already attached) staging
+  /// shard: apply + persist, no gossip. Returns true if the version was
+  /// new (dedupe keeps resent chunks out of the counters).
+  using InstallFn = std::function<bool(const WriteRecord&)>;
+  /// Owner hook after AttachShard returned `slot` (ensure an executor lane
+  /// exists for it).
+  using AttachHook = std::function<void(size_t slot)>;
+  /// Owner hook after an ownership change (promote/detach): rewrite the
+  /// durable placement manifest.
+  using ManifestHook = std::function<void()>;
+  /// Erases one logical shard's persisted keyspace (source tombstone).
+  using TombstoneFn = std::function<void(uint32_t shard)>;
+
+  ShardMigrator(sim::Simulation& sim, version::ShardedStore& good,
+                Options options, SendFn send, CallFn call, InstallFn install,
+                AttachHook on_attach, ManifestHook on_ownership_change,
+                TombstoneFn tombstone);
+
+  // ---- destination role ----------------------------------------------------
+
+  /// Attaches a staging slot for `shard` and requests the snapshot from
+  /// `source`. Restart-safe: a pull for the same shard under a new
+  /// migration id supersedes the old session and re-applies idempotently.
+  void StartPull(uint64_t migration_id, uint32_t shard, net::NodeId source);
+
+  bool HasPullSession(uint64_t migration_id) const {
+    return dests_.count(migration_id) > 0;
+  }
+  /// The snapshot stream's final chunk has been applied.
+  bool PullComplete(uint64_t migration_id) const;
+
+  /// Cutover: the staged shard starts serving clients; sessions for it are
+  /// retired and the durable manifest is rewritten.
+  void PromoteStaging(uint32_t shard);
+
+  /// True while `shard` is attached but not yet serving (clients are
+  /// answered kWrongShard; scans skip it; anti-entropy still fills it).
+  bool IsStagingShard(uint32_t shard) const {
+    return staging_.count(shard) > 0;
+  }
+  bool IsStagingSlot(size_t slot) const {
+    return IsStagingShard(good_.LogicalTagOfSlot(slot));
+  }
+
+  /// Counts one record applied into a staging shard outside the snapshot
+  /// stream (the catch-up volume the fig6 --migrate sweep reports).
+  void NoteStagingInstall() { stats_.catchup_records_in++; }
+
+  // ---- source role ---------------------------------------------------------
+
+  /// Freezes the requested shard and starts streaming chunks to `from`.
+  void HandleSnapshotRequest(const net::ShardSnapshotRequest& req,
+                             net::NodeId from);
+
+  /// Applies one snapshot chunk (destination side) and returns the ack to
+  /// send back.
+  net::ShardSnapshotAck HandleChunk(const net::ShardSnapshotChunk& chunk);
+
+  bool HasSourceSession(uint64_t migration_id) const {
+    return sources_.count(migration_id) > 0;
+  }
+  /// Every frozen record has been acknowledged (catch-up phase running).
+  bool SnapshotFullySent(uint64_t migration_id) const;
+
+  /// Starts catch-up digest rounds without a snapshot stream — the
+  /// coordinator's restart path when a source crashed after its snapshot
+  /// already completed (the destination holds the bulk; only the diff needs
+  /// reconciling).
+  void StartCatchupOnly(uint64_t migration_id, uint32_t shard,
+                        net::NodeId dest);
+
+  /// Post-cutover, destination confirmed superset: detach the slot,
+  /// tombstone the on-disk keyspace, rewrite the manifest, retire the
+  /// session.
+  void FinishDrain(uint64_t migration_id);
+
+  /// Abandons a source session (coordinator restarting under a new id).
+  void CancelSource(uint64_t migration_id) { sources_.erase(migration_id); }
+
+  // ---- shared --------------------------------------------------------------
+
+  /// Drops all volatile migration state (crash). Stats survive. Staged
+  /// slots are implicitly dropped with the owner's store rebuild; the
+  /// coordinator restarts the affected migration.
+  void Clear();
+
+  const MigratorStats& stats() const { return stats_; }
+
+ private:
+  struct SourceSession {
+    uint32_t shard = 0;
+    net::NodeId dest = 0;
+    std::vector<WriteRecord> frozen;
+    size_t next_record = 0;
+    uint32_t seq = 0;
+    net::ShardSnapshotChunk inflight;
+    bool fully_sent = false;
+  };
+  struct DestSession {
+    uint32_t shard = 0;
+    net::NodeId source = 0;
+    bool done = false;
+  };
+
+  void SendNextChunk(uint64_t migration_id);
+  void SendInflight(uint64_t migration_id);
+  void StartCatchup(uint64_t migration_id);
+  void CatchupTick(uint64_t migration_id);
+
+  sim::Simulation& sim_;
+  version::ShardedStore& good_;
+  Options options_;
+  SendFn send_;
+  CallFn call_;
+  InstallFn install_;
+  AttachHook on_attach_;
+  ManifestHook on_ownership_change_;
+  TombstoneFn tombstone_;
+  MigratorStats stats_;
+
+  std::map<uint64_t, SourceSession> sources_;
+  std::map<uint64_t, DestSession> dests_;
+  std::set<uint32_t> staging_;  // logical shards attached but not serving
+};
+
+}  // namespace hat::server
+
+#endif  // HAT_SERVER_SHARD_MIGRATOR_H_

@@ -22,6 +22,23 @@
 // (plain Fnv1a64(key) % shards). Replicas of the same keys must agree on
 // both shard count and stride: shard identity is part of the digest-repair
 // wire protocol.
+//
+// Two addressing modes:
+//
+//  * Implicit (Options::logical_shards empty, the historical behaviour):
+//    local slot of a key is (Fnv1a64(key) % L) / stride; every key is
+//    "owned". Attach/Detach are unavailable.
+//  * Explicit (logical_shards lists the logical shard id each slot hosts,
+//    the mode cluster::Deployment uses): slot-of-key is a lookup through
+//    the owned-logical-shard table, unowned keys are detectable
+//    (TrySlotOfKey/OwnsKey), and live shard migration can AttachShard a
+//    logical shard this server is receiving or DetachShard one it handed
+//    away. Slots are never renumbered: a detached slot stays as an empty
+//    placeholder so slot indices (and the executor lanes derived from
+//    them) remain stable for the server's lifetime. When the slot layout
+//    matches the epoch-0 stride pattern, slot-of-key resolves with the
+//    same arithmetic as implicit mode (one vector probe to confirm), so
+//    the non-migrated hot path stays O(1) with no hash-map lookup.
 
 #ifndef HAT_VERSION_SHARDED_STORE_H_
 #define HAT_VERSION_SHARDED_STORE_H_
@@ -29,6 +46,7 @@
 #include <cstdint>
 #include <functional>
 #include <optional>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -47,7 +65,20 @@ class ShardedStore {
     /// Placement stride (see file comment); 1 for standalone stores,
     /// servers_per_cluster under a Deployment.
     size_t stride = 1;
+    /// Explicit mode: the logical shard id each local slot hosts (size must
+    /// equal `shards`). Empty selects implicit stride arithmetic.
+    std::vector<uint32_t> logical_shards;
+    /// Logical shards per cluster copy (the key-hash modulus). 0 derives
+    /// shards x stride — correct for the epoch-0 layout, but a server
+    /// reopening at a post-migration shape (owned count != configured
+    /// shards_per_server) must pass the configured L explicitly: the
+    /// modulus is a cluster-wide constant, never a function of how many
+    /// slots one server happens to host.
+    size_t num_logical_shards = 0;
   };
+
+  /// Tag of a detached (migrated-away) slot; never a valid logical shard.
+  static constexpr uint32_t kNoShard = static_cast<uint32_t>(-1);
 
   ShardedStore() : ShardedStore(Options{}) {}
   explicit ShardedStore(Options options);
@@ -58,6 +89,38 @@ class ShardedStore {
   size_t ShardIndexOf(const Key& key) const;
   VersionedStore& shard(size_t i) { return shards_[i]; }
   const VersionedStore& shard(size_t i) const { return shards_[i]; }
+
+  /// True when constructed with an explicit logical slot layout (the mode
+  /// deployments use; enables migration and unowned-key detection).
+  bool explicit_placement() const { return explicit_; }
+
+  /// Logical shards per cluster copy this store partitions against
+  /// (shards x stride at construction; fixed across Attach/Detach).
+  uint64_t num_logical_shards() const { return modulus_; }
+  /// The logical shard `key` hashes to: Fnv1a64(key) % num_logical_shards().
+  /// Defined for every key, owned or not.
+  uint32_t LogicalShardOfKey(const Key& key) const;
+
+  /// Slot hosting `key`, or nullopt when this store does not own the key's
+  /// logical shard (explicit mode only; implicit stores own every key).
+  std::optional<size_t> TrySlotOfKey(const Key& key) const;
+  bool OwnsKey(const Key& key) const { return TrySlotOfKey(key).has_value(); }
+
+  /// Logical shard id slot `i` hosts — kNoShard for a detached slot. In
+  /// implicit mode the slot index doubles as the tag (replicas configured
+  /// identically agree on it, which is all the digest protocol needs).
+  uint32_t LogicalTagOfSlot(size_t i) const;
+  /// Slot hosting logical shard (or tag) `logical`, if any.
+  std::optional<size_t> SlotOfLogical(uint32_t logical) const;
+
+  /// Explicit mode only: adds (or finds) a slot for `logical` and returns
+  /// its index. Used by shard migration to stage an incoming shard; the new
+  /// slot appends after all existing slots.
+  size_t AttachShard(uint32_t logical);
+  /// Explicit mode only: empties `logical`'s slot and unmaps it. The slot
+  /// itself remains (indices are stable); keys of that shard become
+  /// unowned. No-op if the shard is not hosted.
+  void DetachShard(uint32_t logical);
 
   /// One 64-bit roll-up hash per shard — round 0 of sharded digest repair
   /// compares these S summaries before any bucket hash crosses the wire.
@@ -154,10 +217,18 @@ class ShardedStore {
   const VersionedStore& ShardFor(const Key& key) const {
     return shards_[ShardIndexOf(key)];
   }
+  /// True while the explicit slot layout still matches the epoch-0 stride
+  /// pattern, enabling arithmetic slot-of-key with one confirming probe.
+  bool StridePatternIntact() const { return stride_pattern_; }
 
   uint64_t stride_;
-  uint64_t modulus_;  // shards x stride
+  uint64_t modulus_;  // logical shards (shards x stride at construction)
+  size_t digest_buckets_;
+  bool explicit_ = false;
+  bool stride_pattern_ = false;  // explicit layout == {base + i*stride}
   std::vector<VersionedStore> shards_;
+  std::vector<uint32_t> slot_logical_;  // explicit: tag per slot (kNoShard ok)
+  std::unordered_map<uint32_t, size_t> slot_of_logical_;  // explicit only
 };
 
 }  // namespace hat::version

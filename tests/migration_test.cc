@@ -1,0 +1,423 @@
+// Live shard migration tests: a logical shard moved between servers of a
+// cluster mid-workload must conserve data (version sets and folds equal to
+// a never-migrated control), lose or duplicate zero client operations
+// (counter sums), stay bit-reproducible under a fixed seed, survive
+// crashes of either end of the transfer, and leave a tombstoned keyspace
+// plus an updated manifest behind. The manifest fail-fast guard
+// (refusing recovery under a reshaped keyspace) is covered here too.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <memory>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "hat/client/sync_client.h"
+#include "hat/cluster/deployment.h"
+#include "hat/cluster/placement.h"
+#include "hat/common/codec.h"
+
+namespace hat::cluster {
+namespace {
+
+namespace fs = std::filesystem;
+using client::ClientOptions;
+using client::SyncClient;
+
+constexpr int kSpc = 3;          // servers per cluster
+constexpr int kSps = 2;          // shards per server
+constexpr int kLogical = kSpc * kSps;
+constexpr uint32_t kShard = 1;   // the shard every test migrates
+constexpr int kFromSlot = 1;     // kShard % kSpc
+constexpr int kToSlot = 2;
+
+/// A key landing in logical shard `want` (of kLogical), distinct per salt.
+Key KeyInShard(uint32_t want, const std::string& salt, int n) {
+  for (int i = 0;; i++) {
+    Key k = salt + "-" + std::to_string(n) + "-" + std::to_string(i);
+    if (Fnv1a64(k.data(), k.size()) % kLogical == want) return k;
+  }
+}
+
+class MigrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("hatkv_migration_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    fs::remove_all(dir_);
+  }
+  void TearDown() override {
+    deployment_.reset();
+    coordinator_.reset();
+    fs::remove_all(dir_);
+  }
+
+  void Build(uint64_t seed, bool durable, const std::string& subdir) {
+    deployment_.reset();
+    coordinator_.reset();
+    sim_ = std::make_unique<sim::Simulation>(seed);
+    auto opts = DeploymentOptions::TwoRegions();
+    opts.servers_per_cluster = kSpc;
+    opts.server.shards_per_server = kSps;
+    opts.server.digest_buckets = 32;
+    opts.server.digest_sync_interval = 250 * sim::kMillisecond;
+    opts.server.max_versions_per_key = 0;  // exact version-set comparison
+    opts.server.ae_batch_max = 16;  // many snapshot chunks -> crashable mid-stream
+    if (durable) {
+      opts.server.durable = true;
+      opts.server.storage_dir = (dir_ / subdir).string();
+    }
+    deployment_ = std::make_unique<Deployment>(*sim_, opts);
+    coordinator_ = std::make_unique<RebalanceCoordinator>(*deployment_);
+  }
+
+  server::ReplicaServer& ServerAt(int cluster, int slot) {
+    return deployment_->server(deployment_->ServerId(cluster, slot));
+  }
+
+  /// `rounds` transactions from one cluster-0 client: a fresh put into the
+  /// migrating shard, a rewrite of a rotating key in it, an increment of a
+  /// rotating counter in it, and a put into some other shard. Every commit
+  /// must succeed (zero lost operations is part of the bar).
+  void RunWorkload(int rounds) {
+    SyncClient client(*sim_, deployment_->AddClient({}));
+    for (int r = 0; r < rounds; r++) {
+      client.Begin();
+      client.Write(KeyInShard(kShard, "fresh", r), "f" + std::to_string(r));
+      client.Write(KeyInShard(kShard, "hot", r % 5),
+                   "h" + std::to_string(r));
+      client.Increment(KeyInShard(kShard, "ctr", r % 3), 1);
+      client.Write(KeyInShard((kShard + 2) % kLogical, "other", r),
+                   "o" + std::to_string(r));
+      ASSERT_TRUE(client.Commit().ok()) << "round " << r;
+    }
+  }
+
+  void Settle(sim::Duration d = 8 * sim::kSecond) {
+    sim_->RunUntil(sim_->Now() + d);
+  }
+
+  /// Full observable state of the migrating shard plus a workload-wide
+  /// fold fingerprint. Cross-run comparison is modulo timestamps: a
+  /// migration overlapping the workload legitimately perturbs operation
+  /// timing and hence commit timestamps, so conservation means the same
+  /// (kind, value) version sequences, folds, and counter sums — while
+  /// *within* one run every replica must agree timestamp-exactly, which
+  /// Capture asserts directly.
+  struct Snapshot {
+    // key -> per-cluster (kind/value version list, in timestamp order).
+    std::map<Key, std::vector<std::vector<std::string>>> versions;
+    std::map<Key, Value> folds;  // folded read at the cluster-0 owner
+    std::map<Key, int64_t> counters;
+    bool operator==(const Snapshot&) const = default;
+  };
+
+  Snapshot Capture(int rounds) {
+    Snapshot out;
+    std::vector<Key> keys;
+    for (int r = 0; r < rounds; r++) {
+      keys.push_back(KeyInShard(kShard, "fresh", r));
+      keys.push_back(KeyInShard((kShard + 2) % kLogical, "other", r));
+    }
+    for (int i = 0; i < 5; i++) keys.push_back(KeyInShard(kShard, "hot", i));
+    std::vector<Key> counters;
+    for (int i = 0; i < 3; i++) {
+      counters.push_back(KeyInShard(kShard, "ctr", i));
+    }
+    for (const Key& key : keys) {
+      auto& per_cluster = out.versions[key];
+      std::vector<std::string> exact_per_cluster;  // with timestamps
+      for (int c = 0; c < deployment_->NumClusters(); c++) {
+        const auto& store =
+            deployment_->server(deployment_->ReplicaInCluster(key, c)).good();
+        std::vector<std::string> versions;
+        std::string exact;
+        for (const WriteRecord& w : store.Versions(key)) {
+          versions.push_back(std::to_string(static_cast<int>(w.kind)) + "/" +
+                             w.value);
+          exact += w.ts.ToString() + "/" + w.value + ";";
+        }
+        per_cluster.push_back(std::move(versions));
+        exact_per_cluster.push_back(std::move(exact));
+      }
+      // Replica agreement within this run is timestamp-exact.
+      for (size_t c = 1; c < exact_per_cluster.size(); c++) {
+        EXPECT_EQ(exact_per_cluster[c], exact_per_cluster[0])
+            << key << " diverged between clusters 0 and " << c;
+      }
+      auto rv =
+          deployment_->server(deployment_->ReplicaInCluster(key, 0)).good()
+              .Read(key);
+      out.folds[key] = rv.value;
+    }
+    for (const Key& key : counters) {
+      auto rv =
+          deployment_->server(deployment_->ReplicaInCluster(key, 0)).good()
+              .Read(key);
+      out.counters[key] = DecodeInt64Value(rv.value).value_or(-1);
+    }
+    return out;
+  }
+
+  static int counter_;
+  fs::path dir_;
+  std::unique_ptr<sim::Simulation> sim_;
+  std::unique_ptr<Deployment> deployment_;
+  std::unique_ptr<RebalanceCoordinator> coordinator_;
+};
+
+int MigrationTest::counter_ = 0;
+
+TEST_F(MigrationTest, MigrationConservesDataUnderConcurrentWorkload) {
+  constexpr int kRounds = 120;
+  constexpr uint64_t kSeed = 1234;
+
+  // Control: same seed, same workload, no migration.
+  Build(kSeed, /*durable=*/false, "control");
+  RunWorkload(kRounds);
+  Settle();
+  Snapshot control = Capture(kRounds);
+
+  // Migrated run: move kShard from slot 1 to slot 2 of cluster 0 while the
+  // workload runs (100ms lands well inside the workload's span).
+  Build(kSeed, /*durable=*/false, "migrated");
+  coordinator_->ScheduleMigration(0, kShard, kToSlot,
+                                  100 * sim::kMillisecond);
+  RunWorkload(kRounds);
+  sim::SimTime workload_end = sim_->Now();
+  Settle();
+  EXPECT_LT(coordinator_->stats().started_at, workload_end)
+      << "migration must overlap the workload";
+  ASSERT_TRUE(coordinator_->Done()) << "migration must complete mid-workload";
+  Snapshot migrated = Capture(kRounds);
+
+  // Routing flipped: cluster 0 now serves the shard from the destination.
+  Key probe = KeyInShard(kShard, "fresh", 0);
+  EXPECT_EQ(deployment_->ReplicaInCluster(probe, 0),
+            deployment_->ServerId(0, kToSlot));
+  EXPECT_GE(deployment_->PlacementEpoch(), 1u);
+  EXPECT_EQ(coordinator_->stats().cutover_epoch,
+            deployment_->PlacementEpoch());
+  EXPECT_GT(coordinator_->stats().snapshot_records, 0u);
+
+  // Conservation: identical version sets at every replica, identical folds,
+  // exact counter sums (no lost or duplicated increments).
+  EXPECT_EQ(migrated.versions, control.versions);
+  EXPECT_EQ(migrated.folds, control.folds);
+  EXPECT_EQ(migrated.counters, control.counters);
+  for (const auto& [key, sum] : migrated.counters) {
+    EXPECT_EQ(sum, kRounds / 3) << key;  // 120 rounds over 3 counters
+  }
+
+  // Source let go: the shard is detached there, and stale-epoch client
+  // retries were actually exercised somewhere along the way.
+  EXPECT_FALSE(ServerAt(0, kFromSlot).good().SlotOfLogical(kShard));
+  EXPECT_TRUE(ServerAt(0, kToSlot).good().SlotOfLogical(kShard).has_value());
+}
+
+TEST_F(MigrationTest, FixedSeedIsBitReproducibleWithMigrationEnabled) {
+  constexpr int kRounds = 60;
+  auto run = [this]() {
+    Build(99, /*durable=*/false, "repro");
+    coordinator_->ScheduleMigration(0, kShard, kToSlot,
+                                    250 * sim::kMillisecond);
+    RunWorkload(kRounds);
+    Settle();
+    EXPECT_TRUE(coordinator_->Done());
+    return std::tuple(Capture(kRounds), sim_->events_processed(),
+                      coordinator_->stats().cutover_at,
+                      deployment_->TotalServerStats().ae_records_out);
+  };
+  auto first = run();
+  auto second = run();
+  EXPECT_EQ(std::get<0>(first), std::get<0>(second));
+  EXPECT_EQ(std::get<1>(first), std::get<1>(second)) << "event count drifted";
+  EXPECT_EQ(std::get<2>(first), std::get<2>(second)) << "cutover time drifted";
+  EXPECT_EQ(std::get<3>(first), std::get<3>(second));
+}
+
+TEST_F(MigrationTest, SourceCrashMidSnapshotRestartsAndCompletes) {
+  Build(7, /*durable=*/true, "srccrash");
+  // Preload enough shard-kShard data that the snapshot stream spans many
+  // chunks, then crash the source mid-stream.
+  {
+    SyncClient client(*sim_, deployment_->AddClient({}));
+    for (int r = 0; r < 40; r++) {
+      client.Begin();
+      for (int j = 0; j < 5; j++) {
+        client.Write(KeyInShard(kShard, "bulk", r * 5 + j), "v");
+      }
+      ASSERT_TRUE(client.Commit().ok());
+    }
+  }
+  Settle(2 * sim::kSecond);
+
+  sim::SimTime start = sim_->Now() + 100 * sim::kMillisecond;
+  coordinator_->ScheduleMigration(0, kShard, kToSlot, start);
+  sim_->RunUntil(start + 2 * sim::kMillisecond);  // a few chunks in
+  ASSERT_FALSE(coordinator_->Done());
+
+  auto& source = ServerAt(0, kFromSlot);
+  source.Crash();
+  ASSERT_TRUE(source.RecoverFromStorage().ok());
+  Settle();
+
+  EXPECT_TRUE(coordinator_->Done());
+  EXPECT_GE(coordinator_->stats().restarts, 1u);
+  const auto& dest = ServerAt(0, kToSlot).good();
+  auto slot = dest.SlotOfLogical(kShard);
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(dest.shard(*slot).VersionCount(), 200u) << "all bulk records";
+  EXPECT_FALSE(ServerAt(0, kFromSlot).good().SlotOfLogical(kShard));
+}
+
+TEST_F(MigrationTest, DestinationCrashMidSnapshotRestartsAndCompletes) {
+  Build(8, /*durable=*/true, "dstcrash");
+  {
+    SyncClient client(*sim_, deployment_->AddClient({}));
+    for (int r = 0; r < 40; r++) {
+      client.Begin();
+      for (int j = 0; j < 5; j++) {
+        client.Write(KeyInShard(kShard, "bulk", r * 5 + j), "v");
+      }
+      ASSERT_TRUE(client.Commit().ok());
+    }
+  }
+  Settle(2 * sim::kSecond);
+
+  sim::SimTime start = sim_->Now() + 100 * sim::kMillisecond;
+  coordinator_->ScheduleMigration(0, kShard, kToSlot, start);
+  sim_->RunUntil(start + 2 * sim::kMillisecond);
+  ASSERT_FALSE(coordinator_->Done());
+
+  auto& dest_server = ServerAt(0, kToSlot);
+  dest_server.Crash();
+  ASSERT_TRUE(dest_server.RecoverFromStorage().ok());
+  Settle();
+
+  EXPECT_TRUE(coordinator_->Done());
+  EXPECT_GE(coordinator_->stats().restarts, 1u);
+  auto slot = dest_server.good().SlotOfLogical(kShard);
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(dest_server.good().shard(*slot).VersionCount(), 200u);
+}
+
+TEST_F(MigrationTest, DestinationCrashDuringCatchupRestartsStream) {
+  // Losing the destination *after* the snapshot completed must restart the
+  // stream, never cut routing over onto a server whose staged copy is gone.
+  Build(11, /*durable=*/true, "dstcatchup");
+  {
+    SyncClient client(*sim_, deployment_->AddClient({}));
+    for (int r = 0; r < 40; r++) {
+      client.Begin();
+      for (int j = 0; j < 5; j++) {
+        client.Write(KeyInShard(kShard, "bulk", r * 5 + j), "v");
+      }
+      ASSERT_TRUE(client.Commit().ok());
+    }
+  }
+  Settle(2 * sim::kSecond);
+
+  coordinator_->ScheduleMigration(0, kShard, kToSlot,
+                                  sim_->Now() + 50 * sim::kMillisecond);
+  while (coordinator_->phase() != RebalanceCoordinator::Phase::kCatchup) {
+    ASSERT_TRUE(sim_->Step()) << "never reached the catch-up phase";
+  }
+  auto& dest_server = ServerAt(0, kToSlot);
+  dest_server.Crash();
+  ASSERT_TRUE(dest_server.RecoverFromStorage().ok());
+  Settle();
+
+  EXPECT_TRUE(coordinator_->Done());
+  EXPECT_GE(coordinator_->stats().restarts, 1u);
+  auto slot = dest_server.good().SlotOfLogical(kShard);
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(dest_server.good().shard(*slot).VersionCount(), 200u);
+  EXPECT_FALSE(ServerAt(0, kFromSlot).good().SlotOfLogical(kShard));
+}
+
+TEST_F(MigrationTest, DestinationRecoversMigratedShardFromManifest) {
+  // After cutover the destination's manifest includes the migrated shard;
+  // a later crash + recovery must rebuild it (data included), while the
+  // source's tombstoned keyspace stays gone.
+  Build(9, /*durable=*/true, "manifest");
+  {
+    SyncClient client(*sim_, deployment_->AddClient({}));
+    for (int r = 0; r < 30; r++) {
+      client.Begin();
+      client.Write(KeyInShard(kShard, "persist", r), "p" + std::to_string(r));
+      ASSERT_TRUE(client.Commit().ok());
+    }
+  }
+  Settle(2 * sim::kSecond);
+  coordinator_->ScheduleMigration(0, kShard, kToSlot, sim_->Now());
+  Settle();
+  ASSERT_TRUE(coordinator_->Done());
+
+  auto& dest_server = ServerAt(0, kToSlot);
+  dest_server.Crash();
+  {
+    // Ownership shape survives the crash; the data does not.
+    auto slot = dest_server.good().SlotOfLogical(kShard);
+    ASSERT_TRUE(slot.has_value());
+    EXPECT_EQ(dest_server.good().shard(*slot).VersionCount(), 0u);
+  }
+  ASSERT_TRUE(dest_server.RecoverFromStorage().ok());
+  auto slot = dest_server.good().SlotOfLogical(kShard);
+  ASSERT_TRUE(slot.has_value()) << "manifest restores migrated ownership";
+  EXPECT_EQ(dest_server.good().shard(*slot).VersionCount(), 30u);
+  for (int r = 0; r < 30; r++) {
+    Key key = KeyInShard(kShard, "persist", r);
+    EXPECT_EQ(dest_server.good().Read(key).value, "p" + std::to_string(r));
+  }
+
+  // Source: crash + recovery must NOT resurrect the tombstoned shard.
+  auto& source = ServerAt(0, kFromSlot);
+  source.Crash();
+  ASSERT_TRUE(source.RecoverFromStorage().ok());
+  EXPECT_FALSE(source.good().SlotOfLogical(kShard));
+  for (int r = 0; r < 30; r++) {
+    EXPECT_FALSE(source.good().OwnsKey(KeyInShard(kShard, "persist", r)));
+  }
+}
+
+TEST_F(MigrationTest, RecoveryRefusesReshapedKeyspace) {
+  // The fail-fast manifest guard: a keyspace written under one
+  // {shards_per_server, stride} must not silently replay under another.
+  Build(10, /*durable=*/true, "guard");
+  {
+    SyncClient client(*sim_, deployment_->AddClient({}));
+    client.Begin();
+    client.Write("guard-key", "guard-value");
+    ASSERT_TRUE(client.Commit().ok());
+  }
+  Settle(2 * sim::kSecond);
+
+  // Reopen the same directories with a different shards_per_server.
+  deployment_.reset();
+  coordinator_.reset();
+  sim_ = std::make_unique<sim::Simulation>(10);
+  auto opts = DeploymentOptions::TwoRegions();
+  opts.servers_per_cluster = kSpc;
+  opts.server.shards_per_server = kSps + 2;  // reshaped!
+  opts.server.durable = true;
+  opts.server.storage_dir = (dir_ / "guard").string();
+  deployment_ = std::make_unique<Deployment>(*sim_, opts);
+
+  // The server holding the data is the one the *old* shape routed to (the
+  // new shape may route the key elsewhere — exactly the scrambling hazard).
+  Key key = "guard-key";
+  int old_slot =
+      static_cast<int>(Fnv1a64(key.data(), key.size()) % kLogical) % kSpc;
+  Status s =
+      deployment_->server(deployment_->ServerId(0, old_slot))
+          .RecoverFromStorage();
+  EXPECT_EQ(s.code(), StatusCode::kCorruption) << s.ToString();
+}
+
+}  // namespace
+}  // namespace hat::cluster

@@ -115,6 +115,46 @@ TEST_F(ShardExecutorTest, UtilizationNormalizesByCoreCount) {
   EXPECT_DOUBLE_EQ(ex.LaneUtilizationOver(ex.global_lane(), 100), 0.0);
 }
 
+TEST_F(ShardExecutorTest, QueueDepthTracksBookedBacklogPerLane) {
+  auto ex = Make(2, 1);
+  EXPECT_EQ(ex.QueueDepth(0), 0u);
+  ex.Submit(0, 100, nullptr);   // completes at t=100
+  ex.Submit(0, 50, nullptr);    // completes at t=150
+  ex.Submit(1, 50, nullptr);    // queued behind the core, completes at t=200
+  EXPECT_EQ(ex.QueueDepth(0), 2u);
+  EXPECT_EQ(ex.QueueDepth(1), 1u);
+  EXPECT_EQ(ex.QueueDepth(ex.global_lane()), 0u);
+  sim_.RunUntil(120);
+  EXPECT_EQ(ex.QueueDepth(0), 1u) << "the 100us task has completed";
+  sim_.RunUntil(200);
+  EXPECT_EQ(ex.QueueDepth(0), 0u) << "drained lane reads depth 0";
+  EXPECT_EQ(ex.QueueDepth(1), 0u);
+}
+
+TEST_F(ShardExecutorTest, QueueDepthSurvivesResetAndDepthSurfacesInStats) {
+  auto ex = Make(1, 1);
+  ex.Submit(0, 1000, nullptr);
+  EXPECT_EQ(ex.QueueDepth(0), 1u);
+  ex.Reset();  // crash: the booked backlog is gone with the frontiers
+  EXPECT_EQ(ex.QueueDepth(0), 0u);
+}
+
+TEST_F(ShardExecutorTest, AddLaneAppendsAfterGlobalLane) {
+  auto ex = Make(2, 2);
+  ASSERT_EQ(ex.lane_count(), 3u);
+  size_t added = ex.AddLane();  // a migrated-in shard's lane
+  EXPECT_EQ(added, 3u) << "the global lane stays pinned at index shards";
+  EXPECT_EQ(ex.global_lane(), 2u);
+  EXPECT_EQ(ex.lane_count(), 4u);
+  // The added lane behaves like any shard lane: FIFO and dispatch-charged.
+  EXPECT_EQ(ex.Submit(added, 100, nullptr), 100u);
+  EXPECT_EQ(ex.Submit(added, 100, nullptr), 200u);
+  EXPECT_EQ(ex.QueueDepth(added), 2u);
+  const auto& stats = ex.stats();
+  ASSERT_EQ(stats.lane_busy_us.size(), 4u);
+  EXPECT_DOUBLE_EQ(stats.lane_busy_us[added], 200);
+}
+
 TEST_F(ShardExecutorTest, MakespanShrinksLinearlyWithCores) {
   // The tentpole property, asserted at the model level: M tasks spread
   // evenly over C lanes on C cores finish in 1/C of the single-core
