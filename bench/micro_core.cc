@@ -50,6 +50,80 @@ void BM_VersionedStoreRead(benchmark::State& state) {
 }
 BENCHMARK(BM_VersionedStoreRead)->Arg(1)->Arg(8)->Arg(64);
 
+/// Workload-shape overhead shared by the apply/read benches above: key
+/// construction + RNG, no store call. Subtract this from
+/// BM_VersionedStoreApply / BM_VersionedStoreRead to isolate the
+/// store-side cost when comparing across revisions.
+void BM_KeyConstructionBaseline(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    std::string key = "key" + std::to_string(rng.NextBelow(1000));
+    benchmark::DoNotOptimize(key);
+  }
+}
+BENCHMARK(BM_KeyConstructionBaseline);
+
+/// Apply over a large keyspace (100k distinct keys, single version each):
+/// the interned-key hot path — one FNV probe + vector append — under real
+/// cache pressure, vs BM_VersionedStoreApply's 1k-key working set.
+void BM_VersionedStoreApplyLarge(benchmark::State& state) {
+  version::VersionedStore store;
+  Rng rng(1);
+  uint64_t logical = 1;
+  for (auto _ : state) {
+    WriteRecord w;
+    w.key = "key" + std::to_string(rng.NextBelow(100000));
+    w.value = "value";
+    w.ts = {logical++, 1};
+    benchmark::DoNotOptimize(store.Apply(w));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VersionedStoreApplyLarge);
+
+/// Bound-free reads over a large keyspace — the interner probe + cached
+/// fold, with the 100k-key working set defeating the L2.
+void BM_VersionedStoreReadLarge(benchmark::State& state) {
+  version::VersionedStore store;
+  for (uint64_t i = 0; i < 100000; i++) {
+    WriteRecord w;
+    w.key = "key" + std::to_string(i);
+    w.value = "value";
+    w.ts = {i + 1, 1};
+    store.Apply(w);
+  }
+  Rng rng(2);
+  for (auto _ : state) {
+    auto rv = store.Read("key" + std::to_string(rng.NextBelow(100000)));
+    benchmark::DoNotOptimize(rv);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_VersionedStoreReadLarge);
+
+/// Full-range streamed scan: per-item cost of the ordered-id index walk +
+/// cached folds (the server-side predicate-read hot path).
+void BM_VersionedStoreScanVisit(benchmark::State& state) {
+  version::VersionedStore store;
+  uint64_t n = static_cast<uint64_t>(state.range(0));
+  for (uint64_t i = 0; i < n; i++) {
+    WriteRecord w;
+    w.key = "key" + std::to_string(i);
+    w.value = "value";
+    w.ts = {i + 1, 1};
+    store.Apply(w);
+  }
+  size_t seen = 0;
+  for (auto _ : state) {
+    seen = 0;
+    store.ScanVisit("", "~", std::nullopt,
+                    [&seen](const Key&, ReadVersion) { seen++; });
+    benchmark::DoNotOptimize(seen);
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(n));
+}
+BENCHMARK(BM_VersionedStoreScanVisit)->Arg(1000)->Arg(100000);
+
 version::VersionedStore MakeDeltaChain(uint64_t deltas) {
   version::VersionedStore store;
   WriteRecord base;

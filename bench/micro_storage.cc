@@ -6,6 +6,7 @@
 #include <filesystem>
 
 #include "hat/common/rng.h"
+#include "hat/server/persistence_manager.h"
 #include "hat/storage/local_store.h"
 #include "hat/storage/wal.h"
 
@@ -122,6 +123,83 @@ void BM_LocalStoreScan(benchmark::State& state) {
   fs::remove_all(dir);
 }
 BENCHMARK(BM_LocalStoreScan);
+
+// --- Recovery replay: full history vs checkpoint + tail ------------------
+//
+// Both benches persist the same write history (range(0) total good records
+// spread over 100 keys), then measure a full PersistenceManager::Recover.
+// The checkpointed variant snapshots the live set (newest version per key)
+// and truncates the good log first, so its replay cost is proportional to
+// live + tail instead of the whole history. Their ratio is the recovery
+// speedup a checkpoint buys at that history depth.
+
+server::PersistenceManager MakeHistory(const std::string& dir,
+                                       int64_t records) {
+  server::PersistenceManager pm(dir);
+  for (int64_t i = 0; i < records; i++) {
+    WriteRecord w;
+    w.key = "key" + std::to_string(i % 100);
+    w.value = "value" + std::to_string(i);
+    w.ts = {static_cast<uint64_t>(i / 100 + 1), 1};
+    pm.PersistGood(0, w);
+  }
+  return pm;
+}
+
+void BM_RecoverFullHistory(benchmark::State& state) {
+  std::string dir = BenchDir("recover_full");
+  auto pm = MakeHistory(dir, state.range(0));
+  size_t replayed = 0;
+  for (auto _ : state) {
+    replayed = 0;
+    auto s = pm.Recover(
+        1, [&replayed](size_t, const WriteRecord&) { replayed++; },
+        [](size_t, const WriteRecord&) {});
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(replayed));
+  state.counters["replayed"] = static_cast<double>(replayed);
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_RecoverFullHistory)->Arg(1000)->Arg(10000);
+
+void BM_RecoverCheckpointTail(benchmark::State& state) {
+  std::string dir = BenchDir("recover_ckpt");
+  auto pm = MakeHistory(dir, state.range(0));
+  // Checkpoint the live set (newest version per key), then write a short
+  // tail the way a server would keep accepting writes after checkpointing.
+  uint64_t newest = static_cast<uint64_t>(state.range(0)) / 100;
+  (void)pm.CheckpointShard(0, /*epoch=*/0, [&](const auto& sink) {
+    for (int k = 0; k < 100; k++) {
+      WriteRecord w;
+      w.key = "key" + std::to_string(k);
+      w.value = "live";
+      w.ts = {newest, 1};
+      sink(w);
+    }
+  });
+  for (int i = 0; i < 100; i++) {
+    WriteRecord w;
+    w.key = "key" + std::to_string(i);
+    w.value = "tail";
+    w.ts = {newest + 1, 1};
+    pm.PersistGood(0, w);
+  }
+  size_t replayed = 0;
+  for (auto _ : state) {
+    replayed = 0;
+    auto s = pm.Recover(
+        1, [&replayed](size_t, const WriteRecord&) { replayed++; },
+        [](size_t, const WriteRecord&) {});
+    benchmark::DoNotOptimize(s);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(replayed));
+  state.counters["replayed"] = static_cast<double>(replayed);
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_RecoverCheckpointTail)->Arg(1000)->Arg(10000);
 
 }  // namespace
 }  // namespace hat::storage

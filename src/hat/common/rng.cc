@@ -114,14 +114,4 @@ uint64_t ZipfianGenerator::Next(Rng& rng) {
   return v >= n_ ? n_ - 1 : v;
 }
 
-uint64_t Fnv1a64(const void* data, size_t len) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  uint64_t h = 0xcbf29ce484222325ULL;
-  for (size_t i = 0; i < len; i++) {
-    h ^= p[i];
-    h *= 0x100000001b3ULL;
-  }
-  return h;
-}
-
 }  // namespace hat

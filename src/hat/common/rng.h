@@ -77,7 +77,17 @@ class ZipfianGenerator {
 };
 
 /// FNV-1a 64-bit hash; used to scramble zipfian ranks and to shard keys.
-uint64_t Fnv1a64(const void* data, size_t len);
+/// Inline: keys are short (tens of bytes) and this sits on the storage hot
+/// path, where the call overhead rivals the hash itself.
+inline uint64_t Fnv1a64(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < len; i++) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
 inline uint64_t Fnv1a64(uint64_t v) { return Fnv1a64(&v, sizeof(v)); }
 
 }  // namespace hat

@@ -1,5 +1,6 @@
 #include "hat/server/persistence_manager.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <utility>
 #include <vector>
@@ -10,11 +11,21 @@
 namespace hat::server {
 
 namespace {
+constexpr std::string_view kCheckpointKind = "c";
 constexpr std::string_view kGoodKind = "g";
 constexpr std::string_view kPendingKind = "p";
 // Sorts between the "g/" and "p/" keyspaces, so record scans never see it.
 constexpr std::string_view kManifestKey = "manifest";
 constexpr uint32_t kManifestVersion = 1;
+constexpr uint32_t kCheckpointMarkerVersion = 1;
+
+/// "k/002a" — the marker committing shard 0x2a's checkpoint. The "k" kind
+/// holds no records, so record scans never see markers.
+std::string CheckpointMarkerKey(size_t shard) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "k/%04zx", shard);
+  return buf;
+}
 
 /// "g/002a/" — fixed-width hex keeps shard prefixes disjoint and ordered.
 std::string ShardPrefix(std::string_view kind, size_t shard) {
@@ -111,7 +122,7 @@ Result<PersistenceManifest> PersistenceManager::ReadManifest() const {
 bool PersistenceManager::HasShardData() const {
   if (!disk_) return false;
   bool found = false;
-  for (std::string_view kind : {kGoodKind, kPendingKind}) {
+  for (std::string_view kind : {kCheckpointKind, kGoodKind, kPendingKind}) {
     std::string lo(kind);
     lo += '/';
     std::string hi(kind);
@@ -126,7 +137,7 @@ bool PersistenceManager::HasShardData() const {
 
 Status PersistenceManager::EraseShard(size_t shard) {
   if (!disk_) return Status::Ok();
-  for (std::string_view kind : {kGoodKind, kPendingKind}) {
+  for (std::string_view kind : {kCheckpointKind, kGoodKind, kPendingKind}) {
     // Collect first: deleting mutates the memtable mid-scan.
     std::vector<std::string> doomed;
     HAT_RETURN_IF_ERROR(disk_->Scan(
@@ -136,21 +147,113 @@ Status PersistenceManager::EraseShard(size_t shard) {
         }));
     for (const auto& sk : doomed) HAT_RETURN_IF_ERROR(disk_->Delete(sk));
   }
-  return Status::Ok();
+  return disk_->Delete(CheckpointMarkerKey(shard));
+}
+
+Status PersistenceManager::CheckpointShard(
+    size_t shard, uint64_t epoch,
+    const std::function<void(const std::function<void(const WriteRecord&)>&)>&
+        for_each_live) {
+  if (!disk_) return Status::Ok();
+  // (0) Remember the previous checkpoint's keys; any not re-written below
+  // belongs to a version that has since been GC'd and must go.
+  std::vector<std::string> stale;
+  const std::string cp_prefix = ShardPrefix(kCheckpointKind, shard);
+  HAT_RETURN_IF_ERROR(disk_->Scan(
+      cp_prefix, ShardPrefixEnd(kCheckpointKind, shard),
+      [&stale](std::string_view sk, std::string_view) {
+        stale.emplace_back(sk);
+      }));
+  std::sort(stale.begin(), stale.end());
+  // (1) Write the snapshot. Keys are deterministic per (key, ts), so
+  // re-writing a surviving version overwrites its previous checkpoint copy
+  // in place.
+  uint64_t records = 0;
+  Status write_status = Status::Ok();
+  std::vector<std::string> survived;  // stale keys re-written by this snapshot
+  for_each_live([&](const WriteRecord& w) {
+    if (!write_status.ok()) return;
+    std::string sk = cp_prefix;
+    sk += version::StorageKeyFor(w.key, w.ts);
+    if (std::binary_search(stale.begin(), stale.end(), sk)) {
+      survived.push_back(sk);
+    }
+    write_status = disk_->Put(sk, version::EncodeWriteRecord(w));
+    records++;
+  });
+  HAT_RETURN_IF_ERROR(write_status);
+  // (2) Drop checkpoint records whose versions died since the last one.
+  std::sort(survived.begin(), survived.end());
+  for (const std::string& sk : stale) {
+    if (!std::binary_search(survived.begin(), survived.end(), sk)) {
+      HAT_RETURN_IF_ERROR(disk_->Delete(sk));
+    }
+  }
+  // (3) Commit: the marker is the only record recovery trusts to mean "the
+  // snapshot under c/ is complete".
+  std::string marker;
+  PutFixed32(&marker, kCheckpointMarkerVersion);
+  PutFixed64(&marker, epoch);
+  PutFixed64(&marker, records);
+  HAT_RETURN_IF_ERROR(disk_->Put(CheckpointMarkerKey(shard), marker));
+  // (4) Truncate the good-version history the snapshot supersedes.
+  std::vector<std::string> doomed;
+  HAT_RETURN_IF_ERROR(disk_->Scan(
+      ShardPrefix(kGoodKind, shard), ShardPrefixEnd(kGoodKind, shard),
+      [&doomed](std::string_view sk, std::string_view) {
+        doomed.emplace_back(sk);
+      }));
+  for (const auto& sk : doomed) HAT_RETURN_IF_ERROR(disk_->Delete(sk));
+  // (5) Fold the deletes into the backing store's sorted runs so its own
+  // recovery WAL truncates too — the on-disk footprint and the replay cost
+  // both shrink to live data, not history.
+  return disk_->Flush();
+}
+
+Result<CheckpointInfo> PersistenceManager::ReadCheckpointMarker(
+    size_t shard) const {
+  if (!disk_) return Status::Unsupported("server has no storage directory");
+  auto raw = disk_->Get(CheckpointMarkerKey(shard));
+  if (!raw.ok()) return raw.status();
+  std::string_view in = raw.value();
+  if (in.size() < 20 || DecodeFixed32(in.data()) != kCheckpointMarkerVersion) {
+    return Status::Corruption("checkpoint marker: bad header");
+  }
+  CheckpointInfo info;
+  info.epoch = DecodeFixed64(in.data() + 4);
+  info.records = DecodeFixed64(in.data() + 12);
+  return info;
 }
 
 Status PersistenceManager::RecoverShard(
     size_t shard, const std::function<void(const WriteRecord&)>& good,
     const std::function<void(const WriteRecord&)>& pending) {
   if (!disk_) return Status::Unsupported("server has no storage directory");
+  // Checkpoint snapshot first, then the good tail written since it. Both
+  // feed the same `good` sink: version insertion is idempotent per
+  // (key, ts), so overlap from a crash mid-checkpoint is harmless.
+  const std::string cp_prefix = ShardPrefix(kCheckpointKind, shard);
+  HAT_RETURN_IF_ERROR(disk_->Scan(
+      cp_prefix, ShardPrefixEnd(kCheckpointKind, shard),
+      [this, &good, &cp_prefix](std::string_view sk, std::string_view value) {
+        auto parsed = version::ParseStorageKey(sk.substr(cp_prefix.size()));
+        if (!parsed) return;
+        auto w = version::DecodeWriteRecord(parsed->first, value);
+        if (!w) return;
+        stats_.checkpoint_records++;
+        good(*w);
+      }));
   const std::string good_prefix = ShardPrefix(kGoodKind, shard);
   HAT_RETURN_IF_ERROR(disk_->Scan(
       good_prefix, ShardPrefixEnd(kGoodKind, shard),
-      [&good, &good_prefix](std::string_view sk, std::string_view value) {
+      [this, &good, &good_prefix](std::string_view sk,
+                                  std::string_view value) {
         auto parsed = version::ParseStorageKey(sk.substr(good_prefix.size()));
         if (!parsed) return;
         auto w = version::DecodeWriteRecord(parsed->first, value);
-        if (w) good(*w);
+        if (!w) return;
+        stats_.tail_records++;
+        good(*w);
       }));
   // Buffer pending records: the callback typically re-enters the MAV
   // pipeline, which persists (writes to this store) — illegal mid-scan.
@@ -166,6 +269,7 @@ Status PersistenceManager::RecoverShard(
         auto w = version::DecodeWriteRecord(parsed->first, value);
         if (w) buffered.push_back(std::move(*w));
       }));
+  stats_.pending_records += buffered.size();
   for (const auto& w : buffered) pending(w);
   return Status::Ok();
 }
@@ -175,6 +279,7 @@ Status PersistenceManager::Recover(
     const std::function<void(size_t shard, const WriteRecord&)>& good,
     const std::function<void(size_t shard, const WriteRecord&)>& pending) {
   if (!disk_) return Status::Unsupported("server has no storage directory");
+  stats_ = {};  // recover_stats() describes the most recent full recovery
   for (size_t s = 0; s < shard_count; s++) {
     HAT_RETURN_IF_ERROR(RecoverShard(
         s, [&good, s](const WriteRecord& w) { good(s, w); },
@@ -188,6 +293,7 @@ Status PersistenceManager::Recover(
     const std::function<void(size_t shard, const WriteRecord&)>& good,
     const std::function<void(size_t shard, const WriteRecord&)>& pending) {
   if (!disk_) return Status::Unsupported("server has no storage directory");
+  stats_ = {};  // recover_stats() describes the most recent full recovery
   for (uint32_t s : shards) {
     HAT_RETURN_IF_ERROR(RecoverShard(
         s, [&good, s](const WriteRecord& w) { good(s, w); },

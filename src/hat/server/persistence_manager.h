@@ -35,6 +35,22 @@
 
 namespace hat::server {
 
+/// Where a recovery's records came from — checkpoint vs WAL-tail vs pending.
+/// Monotonic across RecoverShard calls; the recovery-time tests assert the
+/// tail component stays proportional to writes-since-checkpoint, not total
+/// history.
+struct RecoverStats {
+  uint64_t checkpoint_records = 0;
+  uint64_t tail_records = 0;
+  uint64_t pending_records = 0;
+};
+
+/// The durable marker a completed checkpoint leaves behind.
+struct CheckpointInfo {
+  uint64_t epoch = 0;    ///< placement epoch the snapshot was taken under
+  uint64_t records = 0;  ///< live versions written into the checkpoint
+};
+
 /// The durable layout descriptor guarding the per-shard keyspace.
 struct PersistenceManifest {
   uint32_t shards_per_server = 1;
@@ -80,18 +96,49 @@ class PersistenceManager {
   /// rewritten) from "reshaping live data" (refused).
   bool HasShardData() const;
 
-  /// Deletes every persisted record (good and pending) of one logical
-  /// shard's keyspace — the source-side tombstone after migration cutover.
+  /// Deletes every persisted record (good, pending, checkpoint, and the
+  /// checkpoint marker) of one logical shard's keyspace — the source-side
+  /// tombstone after migration cutover.
   Status EraseShard(size_t shard);
+
+  // ---- checkpoints ---------------------------------------------------------
+
+  /// Replaces `shard`'s good-version history with a snapshot of its live
+  /// versions, bounding recovery replay to checkpoint + tail instead of
+  /// every version ever installed. `for_each_live` is called once with a
+  /// sink and must stream every live version of the shard into it (it runs
+  /// before any delete, so the callback may read but not write this store).
+  ///
+  /// Crash-safe by write ordering: (1) snapshot records land under the
+  /// checkpoint prefix, (2) stale checkpoint records from the previous
+  /// checkpoint are deleted, (3) the marker commits the checkpoint, (4) the
+  /// good-history prefix is truncated, (5) the backing store flushes so its
+  /// own WAL truncates. A crash between any two steps recovers correctly
+  /// because replay applies checkpoint records *then* the good tail, and
+  /// version insertion is idempotent per (key, ts): a half-written snapshot
+  /// alongside the untruncated history folds to the same state — a GC-folded
+  /// synthetic Put shares its timestamp with the newest version it folded,
+  /// so whichever copy replays first shadows the other identically.
+  Status CheckpointShard(
+      size_t shard, uint64_t epoch,
+      const std::function<
+          void(const std::function<void(const WriteRecord&)>&)>& for_each_live);
+
+  /// Reads `shard`'s checkpoint marker; kNotFound when the shard was never
+  /// checkpointed.
+  Result<CheckpointInfo> ReadCheckpointMarker(size_t shard) const;
+
+  /// Source breakdown of everything replayed so far (see RecoverStats).
+  const RecoverStats& recover_stats() const { return stats_; }
 
   // ---- recovery ------------------------------------------------------------
 
-  /// Replays one shard's durable state: its good versions are streamed to
-  /// `good` (mid-scan — the good callback must NOT write back to this
-  /// store), then its pending versions are streamed to `pending` in
-  /// storage-key order. Pending callbacks run after the scans complete, so
-  /// they may persist again (the MAV pipeline re-persists re-entering
-  /// writes).
+  /// Replays one shard's durable state: its checkpoint snapshot (if any) and
+  /// then its good-version tail are streamed to `good` (mid-scan — the good
+  /// callback must NOT write back to this store), then its pending versions
+  /// are streamed to `pending` in storage-key order. Pending callbacks run
+  /// after the scans complete, so they may persist again (the MAV pipeline
+  /// re-persists re-entering writes).
   Status RecoverShard(size_t shard,
                       const std::function<void(const WriteRecord&)>& good,
                       const std::function<void(const WriteRecord&)>& pending);
@@ -120,6 +167,7 @@ class PersistenceManager {
   std::unique_ptr<storage::LocalStore> disk_;
   std::vector<std::string> good_prefixes_;
   std::vector<std::string> pending_prefixes_;
+  RecoverStats stats_;
 };
 
 }  // namespace hat::server

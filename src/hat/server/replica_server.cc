@@ -505,6 +505,11 @@ bool ReplicaServer::InstallEventual(const WriteRecord& w, bool gossip,
   bool inserted = good_.Apply(w);
   if (!inserted) return false;  // duplicate delivery (anti-entropy redundancy)
   persistence_.PersistGood(good_.LogicalShardOfKey(w.key), w);
+  if (options_.checkpoint_every_writes != 0 && persistence_.enabled() &&
+      ++writes_since_checkpoint_ >= options_.checkpoint_every_writes) {
+    writes_since_checkpoint_ = 0;
+    (void)CheckpointStorage();
+  }
   MaybeGcVersions(w.key);
   if (gossip) anti_entropy_.Enqueue(w, net::PutMode::kEventual, origin);
   return true;
@@ -583,6 +588,47 @@ void ReplicaServer::Crash() {
   // semantics the scalar busy_until_ reset had (network-level retransmits,
   // not the executor, are what re-deliver lost work after a crash).
   executor_.Reset();
+}
+
+Status ReplicaServer::CheckpointStorage() {
+  if (!persistence_.enabled()) {
+    return Status::Unsupported("server has no storage directory");
+  }
+  uint64_t epoch = partitioner_ ? partitioner_->PlacementEpoch() : 0;
+  // Checkpoints are keyed by *logical* shard id, matching PersistGood's
+  // keyspace. Explicit placement checkpoints the hosted tags; implicit
+  // placement hosts every logical shard, stride of them per slot.
+  std::vector<uint32_t> owned = CurrentOwned();
+  if (owned.empty()) {
+    owned.reserve(good_.num_logical_shards());
+    for (uint64_t l = 0; l < good_.num_logical_shards(); l++) {
+      owned.push_back(static_cast<uint32_t>(l));
+    }
+  }
+  size_t stride = good_.num_logical_shards() / good_.shard_count();
+  for (uint32_t shard : owned) {
+    size_t slot;
+    if (good_.explicit_placement()) {
+      auto s = good_.SlotOfLogical(shard);
+      if (!s) continue;
+      slot = *s;
+    } else {
+      slot = stride == 0 ? 0 : shard / stride;
+    }
+    Status status = persistence_.CheckpointShard(
+        shard, epoch,
+        [this, shard, slot](const std::function<void(const WriteRecord&)>&
+                                sink) {
+          // In explicit mode a slot holds exactly one logical shard and the
+          // filter never rejects; in implicit mode the slot interleaves
+          // `stride` logical shards and the filter splits them.
+          good_.shard(slot).ForEachVersion([&](const WriteRecord& w) {
+            if (good_.LogicalShardOfKey(w.key) == shard) sink(w);
+          });
+        });
+    if (!status.ok()) return status;
+  }
+  return Status::Ok();
 }
 
 Status ReplicaServer::RecoverFromStorage() {

@@ -134,6 +134,10 @@ struct ServerOptions {
   /// (Section 5.1.2: "older versions can be asynchronously garbage
   /// collected").
   size_t max_versions_per_key = 8;
+  /// Checkpoint durable storage after this many eventual-path installs
+  /// (0 = checkpoints are taken only via explicit CheckpointStorage()
+  /// calls). Bounds crash-recovery replay to checkpoint + tail.
+  size_t checkpoint_every_writes = 0;
 };
 
 /// Aggregate view over the dispatcher's own counters and every subsystem's
@@ -197,11 +201,18 @@ class ReplicaServer : public net::RpcNode {
   /// outboxes). Durable state on disk survives for RecoverFromStorage().
   void Crash();
 
+  /// Snapshots every hosted shard's live versions into its durable
+  /// checkpoint and truncates the superseded good-version history, so the
+  /// next RecoverFromStorage replays checkpoint + tail instead of every
+  /// version ever installed. No-op without a storage directory.
+  Status CheckpointStorage();
+
   const ServerStats& stats() const;
   const version::ShardedStore& good() const { return good_; }
   size_t PendingCount() const { return mav_.PendingWriteCount(); }
 
   /// Subsystem views, for tests and diagnostics.
+  const PersistenceManager& persistence() const { return persistence_; }
   const MavCoordinator& mav() const { return mav_; }
   const AntiEntropyEngine& anti_entropy() const { return anti_entropy_; }
   const LockManager& lock_manager() const { return locks_; }
@@ -304,6 +315,7 @@ class ReplicaServer : public net::RpcNode {
 
   version::ShardedStore good_;
   PersistenceManager persistence_;
+  size_t writes_since_checkpoint_ = 0;
   MavCoordinator mav_;
   AntiEntropyEngine anti_entropy_;
   LockManager locks_;

@@ -1,0 +1,156 @@
+// KeyInterner: string -> dense KeyId mapping for the storage hot path.
+//
+// VersionedStore used to key every structure (version chains, digest-bucket
+// membership, scans) by std::string inside std::maps, so each operation paid
+// O(log n) string comparisons over pointer-chased tree nodes. The interner
+// pays the string cost exactly once per distinct key: an open-addressing
+// hash table resolves key bytes to a dense uint32 id, the bytes live in an
+// append-only chunked arena (string_views stay stable forever), and every
+// hot-path structure then indexes by id — vector lookups, integer compares.
+//
+// Ids are dense and never recycled: the id handed out for the n-th distinct
+// key is n-1, which lets the store keep per-key state in a plain vector
+// indexed by id.
+//
+// The table is keyed by the same FNV-1a hash the digest layer buckets and
+// wires by (so it cannot change without changing digest bytes): one hash per
+// operation serves both the table probe and, via HashOf(), the digest patch.
+// A word-at-a-time probe hash was tried and measured slower in aggregate —
+// FNV over typical short keys costs less than the fatter 32-byte entries it
+// required.
+
+#ifndef HAT_VERSION_KEY_INTERNER_H_
+#define HAT_VERSION_KEY_INTERNER_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "hat/common/rng.h"
+
+namespace hat::version {
+
+class KeyInterner {
+ public:
+  using KeyId = uint32_t;
+  static constexpr KeyId kNotFound = static_cast<KeyId>(-1);
+
+  /// Number of distinct keys interned (== the smallest id not yet issued).
+  size_t size() const { return entries_.size(); }
+
+  /// The key bytes of `id`. Stable for the interner's lifetime.
+  std::string_view KeyOf(KeyId id) const {
+    const Entry& e = entries_[id];
+    return {e.data, e.len};
+  }
+
+  /// The FNV-1a hash of `id`'s key bytes (the digest-layer hash).
+  uint64_t HashOf(KeyId id) const { return entries_[id].hash; }
+
+  /// Id of `key` if interned, else kNotFound.
+  KeyId Find(std::string_view key) const {
+    if (entries_.empty()) return kNotFound;
+    uint64_t hash = Fnv1a64(key.data(), key.size());
+    size_t idx = hash & mask_;
+    while (true) {
+      uint32_t slot = table_[idx];
+      if (slot == 0) return kNotFound;
+      const Entry& e = entries_[slot - 1];
+      if (e.hash == hash && e.len == key.size() &&
+          std::memcmp(e.data, key.data(), key.size()) == 0) {
+        return slot - 1;
+      }
+      idx = (idx + 1) & mask_;
+    }
+  }
+
+  /// Finds or adds `key`. A new key gets id size()-1; callers detect "new"
+  /// by comparing against their own per-id state length.
+  KeyId Intern(std::string_view key) {
+    uint64_t hash = Fnv1a64(key.data(), key.size());
+    if (!entries_.empty()) {
+      size_t idx = hash & mask_;
+      while (true) {
+        uint32_t slot = table_[idx];
+        if (slot == 0) break;
+        const Entry& e = entries_[slot - 1];
+        if (e.hash == hash && e.len == key.size() &&
+            std::memcmp(e.data, key.data(), key.size()) == 0) {
+          return slot - 1;
+        }
+        idx = (idx + 1) & mask_;
+      }
+    }
+    // Keep load factor under 0.7 (linear probing degrades past that).
+    if ((entries_.size() + 1) * 10 >= table_.size() * 7) Grow();
+    Entry e;
+    e.data = StoreBytes(key);
+    e.len = static_cast<uint32_t>(key.size());
+    e.hash = hash;
+    entries_.push_back(e);
+    KeyId id = static_cast<KeyId>(entries_.size() - 1);
+    size_t idx = hash & mask_;
+    while (table_[idx] != 0) idx = (idx + 1) & mask_;
+    table_[idx] = id + 1;
+    return id;
+  }
+
+  /// Bytes held by the arena, table, and entry index (memory accounting).
+  size_t MemoryBytes() const {
+    return arena_bytes_ + table_.size() * sizeof(uint32_t) +
+           entries_.capacity() * sizeof(Entry);
+  }
+
+ private:
+  struct Entry {
+    const char* data;
+    uint32_t len;
+    uint64_t hash;  // FNV-1a of the key bytes
+  };
+
+  static constexpr size_t kChunkBytes = 16 << 10;
+
+  const char* StoreBytes(std::string_view key) {
+    if (key.empty()) return "";  // avoid memcpy(null) on the empty key
+    if (key.size() > bump_left_) NewChunk(key.size());
+    char* dst = bump_;
+    std::memcpy(dst, key.data(), key.size());
+    bump_ += key.size();
+    bump_left_ -= key.size();
+    return dst;
+  }
+
+  void NewChunk(size_t at_least) {
+    size_t cap = std::max(at_least, kChunkBytes);
+    chunks_.push_back(std::make_unique<char[]>(cap));
+    bump_ = chunks_.back().get();
+    bump_left_ = cap;
+    arena_bytes_ += cap;
+  }
+
+  void Grow() {
+    size_t cap = table_.empty() ? 16 : table_.size() * 2;
+    table_.assign(cap, 0);
+    mask_ = cap - 1;
+    for (size_t i = 0; i < entries_.size(); i++) {
+      size_t idx = entries_[i].hash & mask_;
+      while (table_[idx] != 0) idx = (idx + 1) & mask_;
+      table_[idx] = static_cast<uint32_t>(i) + 1;
+    }
+  }
+
+  std::vector<Entry> entries_;   // indexed by id
+  std::vector<uint32_t> table_;  // entry id + 1; 0 = empty slot
+  size_t mask_ = 0;
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  char* bump_ = nullptr;
+  size_t bump_left_ = 0;
+  size_t arena_bytes_ = 0;
+};
+
+}  // namespace hat::version
+
+#endif  // HAT_VERSION_KEY_INTERNER_H_

@@ -1,0 +1,82 @@
+// RecordArena: bump allocator for version-record payloads.
+//
+// Version chains used to hold full WriteRecord objects, so every stored
+// version carried its own std::string (key, value) and std::vector (sibs,
+// deps) heap blocks — five allocations and five pointer chases per record.
+// The arena replaces all of that with one contiguous payload blob per
+// record (value bytes plus, when present, encoded sibling/dependency
+// metadata), appended into fixed-size chunks. Chunks never move, so payload
+// pointers stay valid until the owner explicitly compacts.
+//
+// The arena itself is append-only; garbage collection marks payload bytes
+// dead via NoteDead and the owning store rewrites live payloads into a
+// fresh arena (Compact-by-copy) once the dead fraction crosses
+// ShouldCompact()'s threshold. That keeps the steady-state cost of GC at
+// O(1) accounting per dropped version, with the O(live) copy amortized over
+// at least as many dropped bytes.
+
+#ifndef HAT_VERSION_RECORD_ARENA_H_
+#define HAT_VERSION_RECORD_ARENA_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+namespace hat::version {
+
+class RecordArena {
+ public:
+  /// Copies `bytes` into the arena and returns a stable pointer to them.
+  const char* Store(std::string_view bytes) {
+    if (bytes.empty()) return "";
+    if (bytes.size() > bump_left_) NewChunk(bytes.size());
+    char* dst = bump_;
+    std::memcpy(dst, bytes.data(), bytes.size());
+    bump_ += bytes.size();
+    bump_left_ -= bytes.size();
+    stored_bytes_ += bytes.size();
+    return dst;
+  }
+
+  /// Marks `len` previously stored bytes as dead (their record was erased).
+  void NoteDead(size_t len) { dead_bytes_ += len; }
+
+  size_t stored_bytes() const { return stored_bytes_; }
+  size_t dead_bytes() const { return dead_bytes_; }
+  size_t live_bytes() const { return stored_bytes_ - dead_bytes_; }
+  /// Bytes actually reserved from the allocator (chunk granularity).
+  size_t reserved_bytes() const { return reserved_bytes_; }
+
+  /// True when enough garbage accumulated that the owner should rewrite
+  /// live payloads into a fresh arena: majority-dead and past a floor that
+  /// keeps small stores from churning.
+  bool ShouldCompact() const {
+    return dead_bytes_ > kCompactFloorBytes && dead_bytes_ * 2 > stored_bytes_;
+  }
+
+ private:
+  static constexpr size_t kChunkBytes = 64 << 10;
+  static constexpr size_t kCompactFloorBytes = 256 << 10;
+
+  void NewChunk(size_t at_least) {
+    size_t cap = std::max(at_least, kChunkBytes);
+    chunks_.push_back(std::make_unique<char[]>(cap));
+    bump_ = chunks_.back().get();
+    bump_left_ = cap;
+    reserved_bytes_ += cap;
+  }
+
+  std::vector<std::unique_ptr<char[]>> chunks_;
+  char* bump_ = nullptr;
+  size_t bump_left_ = 0;
+  size_t stored_bytes_ = 0;
+  size_t dead_bytes_ = 0;
+  size_t reserved_bytes_ = 0;
+};
+
+}  // namespace hat::version
+
+#endif  // HAT_VERSION_RECORD_ARENA_H_

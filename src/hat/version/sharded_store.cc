@@ -119,55 +119,17 @@ std::vector<uint64_t> ShardedStore::ShardHashes() const {
 void ShardedStore::ScanVisit(
     const Key& lo, const Key& hi, std::optional<Timestamp> bound,
     const std::function<void(const Key&, ReadVersion)>& fn) const {
-  ScanVisitSharded(lo, hi, bound,
-                   [&fn](size_t, const Key& key, ReadVersion rv) {
-                     fn(key, std::move(rv));
-                   });
+  ScanVisitShardedImpl(lo, hi, bound,
+                       [&fn](size_t, const Key& key, ReadVersion rv) {
+                         fn(key, std::move(rv));
+                       });
 }
 
 void ShardedStore::ScanVisitSharded(
     const Key& lo, const Key& hi, std::optional<Timestamp> bound,
     const std::function<void(size_t shard, const Key&, ReadVersion)>& fn)
     const {
-  if (shards_.size() == 1) {
-    shards_[0].ScanVisit(lo, hi, bound,
-                         [&fn](const Key& key, ReadVersion rv) {
-                           fn(0, key, std::move(rv));
-                         });
-    return;
-  }
-  // Hash partitioning interleaves the key space across shards, so a merged
-  // in-order stream gathers each shard's (already key-ordered) results and
-  // k-way merges them: O(n log k) comparisons, one comparison per emitted
-  // item against the runner-up head. Keys are unique across shards.
-  std::vector<std::vector<std::pair<Key, ReadVersion>>> runs(shards_.size());
-  for (size_t s = 0; s < shards_.size(); s++) {
-    shards_[s].ScanVisit(lo, hi, bound,
-                         [&run = runs[s]](const Key& key, ReadVersion rv) {
-                           run.emplace_back(key, std::move(rv));
-                         });
-  }
-  // Min-heap of (next key, run index) over the non-exhausted runs.
-  std::vector<size_t> pos(runs.size(), 0);
-  auto greater = [&](size_t a, size_t b) {
-    return runs[a][pos[a]].first > runs[b][pos[b]].first;
-  };
-  std::vector<size_t> heap;
-  for (size_t s = 0; s < runs.size(); s++) {
-    if (!runs[s].empty()) heap.push_back(s);
-  }
-  std::make_heap(heap.begin(), heap.end(), greater);
-  while (!heap.empty()) {
-    std::pop_heap(heap.begin(), heap.end(), greater);
-    size_t s = heap.back();
-    auto& [key, rv] = runs[s][pos[s]];
-    fn(s, key, std::move(rv));
-    if (++pos[s] < runs[s].size()) {
-      std::push_heap(heap.begin(), heap.end(), greater);
-    } else {
-      heap.pop_back();
-    }
-  }
+  ScanVisitShardedImpl(lo, hi, bound, fn);
 }
 
 std::vector<std::pair<Key, ReadVersion>> ShardedStore::Scan(

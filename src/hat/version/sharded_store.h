@@ -43,6 +43,7 @@
 #ifndef HAT_VERSION_SHARDED_STORE_H_
 #define HAT_VERSION_SHARDED_STORE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <optional>
@@ -155,6 +156,10 @@ class ShardedStore {
                                          const Timestamp& after) const {
     return ShardFor(key).VersionsAfter(key, after);
   }
+  template <class Fn>
+  void ForEachVersionOf(const Key& key, Fn&& fn) const {
+    ShardFor(key).ForEachVersionOf(key, std::forward<Fn>(fn));
+  }
   void ForEachVersionOf(
       const Key& key,
       const std::function<void(const WriteRecord&)>& fn) const {
@@ -181,13 +186,27 @@ class ShardedStore {
 
   /// Range scan over keys in [lo, hi), streamed in ascending key order
   /// across all shards (results are merged; per-shard order alone would
-  /// interleave the hash-partitioned keyspaces).
+  /// interleave the hash-partitioned keyspaces). Template-callable hot path
+  /// with a std::function overload for fixed-signature callers.
+  template <class Fn>
+  void ScanVisit(const Key& lo, const Key& hi, std::optional<Timestamp> bound,
+                 Fn&& fn) const {
+    ScanVisitShardedImpl(lo, hi, bound,
+                         [&fn](size_t, const Key& key, ReadVersion rv) {
+                           fn(key, std::move(rv));
+                         });
+  }
   void ScanVisit(
       const Key& lo, const Key& hi, std::optional<Timestamp> bound,
       const std::function<void(const Key&, ReadVersion)>& fn) const;
   /// ScanVisit variant that also reports each item's owning shard index —
   /// the merge knows it anyway, so per-shard attribution (e.g. charging
   /// scan service time per lane) costs no extra key hashing.
+  template <class Fn>
+  void ScanVisitSharded(const Key& lo, const Key& hi,
+                        std::optional<Timestamp> bound, Fn&& fn) const {
+    ScanVisitShardedImpl(lo, hi, bound, fn);
+  }
   void ScanVisitSharded(
       const Key& lo, const Key& hi, std::optional<Timestamp> bound,
       const std::function<void(size_t shard, const Key&, ReadVersion)>& fn)
@@ -198,8 +217,16 @@ class ShardedStore {
 
   /// Flat (key, latest-ts) digest over every shard.
   std::vector<std::pair<Key, Timestamp>> Digest() const;
+  template <class Fn>
+  void ForEachLatest(Fn&& fn) const {
+    for (const VersionedStore& s : shards_) s.ForEachLatest(fn);
+  }
   void ForEachLatest(
       const std::function<void(const Key&, const Timestamp&)>& fn) const;
+  template <class Fn>
+  void ForEachVersion(Fn&& fn) const {
+    for (const VersionedStore& s : shards_) s.ForEachVersion(fn);
+  }
   void ForEachVersion(
       const std::function<void(const WriteRecord&)>& fn) const;
 
@@ -220,6 +247,51 @@ class ShardedStore {
   /// True while the explicit slot layout still matches the epoch-0 stride
   /// pattern, enabling arithmetic slot-of-key with one confirming probe.
   bool StridePatternIntact() const { return stride_pattern_; }
+
+  template <class Fn>
+  void ScanVisitShardedImpl(const Key& lo, const Key& hi,
+                            const std::optional<Timestamp>& bound,
+                            Fn&& fn) const {
+    if (shards_.size() == 1) {
+      shards_[0].ScanVisit(lo, hi, bound,
+                           [&fn](const Key& key, ReadVersion rv) {
+                             fn(size_t{0}, key, std::move(rv));
+                           });
+      return;
+    }
+    // Hash partitioning interleaves the key space across shards, so a merged
+    // in-order stream gathers each shard's (already key-ordered) results and
+    // k-way merges them: O(n log k) comparisons, one comparison per emitted
+    // item against the runner-up head. Keys are unique across shards.
+    std::vector<std::vector<std::pair<Key, ReadVersion>>> runs(shards_.size());
+    for (size_t s = 0; s < shards_.size(); s++) {
+      shards_[s].ScanVisit(lo, hi, bound,
+                           [&run = runs[s]](const Key& key, ReadVersion rv) {
+                             run.emplace_back(key, std::move(rv));
+                           });
+    }
+    // Min-heap of (next key, run index) over the non-exhausted runs.
+    std::vector<size_t> pos(runs.size(), 0);
+    auto greater = [&](size_t a, size_t b) {
+      return runs[a][pos[a]].first > runs[b][pos[b]].first;
+    };
+    std::vector<size_t> heap;
+    for (size_t s = 0; s < runs.size(); s++) {
+      if (!runs[s].empty()) heap.push_back(s);
+    }
+    std::make_heap(heap.begin(), heap.end(), greater);
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), greater);
+      size_t s = heap.back();
+      auto& [key, rv] = runs[s][pos[s]];
+      fn(s, key, std::move(rv));
+      if (++pos[s] < runs[s].size()) {
+        std::push_heap(heap.begin(), heap.end(), greater);
+      } else {
+        heap.pop_back();
+      }
+    }
+  }
 
   uint64_t stride_;
   uint64_t modulus_;  // logical shards (shards x stride at construction)

@@ -18,97 +18,217 @@ size_t VersionedStore::DigestBucketOf(const Key& key, size_t buckets) {
   return Fnv1a64(key.data(), key.size()) % buckets;
 }
 
-uint64_t VersionedStore::DigestEntryHash(const Key& key, const Timestamp& ts) {
+uint64_t VersionedStore::DigestEntryHashParts(uint64_t key_hash,
+                                              const Timestamp& ts) {
   // Hash the key digest *through* the timestamp words (sequential FNV), not
   // beside them: an XOR-separable mix like H(key) ^ H(ts) makes the hash
   // delta of a ts change independent of the key, so two same-bucket keys
   // bumped between the same timestamps (common under batch preloads) cancel
   // and the bucket reads as in-sync while both replicas diverge.
-  uint64_t parts[3] = {
-      Fnv1a64(key.data(), key.size()), ts.logical,
-      (static_cast<uint64_t>(ts.client_id) << 32) | ts.seq};
+  uint64_t parts[3] = {key_hash, ts.logical,
+                       (static_cast<uint64_t>(ts.client_id) << 32) | ts.seq};
   return Fnv1a64(parts, sizeof(parts));
 }
 
-std::optional<Timestamp> VersionedStore::LatestOf(const VersionMap& versions) {
-  if (versions.empty()) return std::nullopt;
-  return versions.rbegin()->first;
+uint64_t VersionedStore::DigestEntryHash(const Key& key, const Timestamp& ts) {
+  return DigestEntryHashParts(Fnv1a64(key.data(), key.size()), ts);
 }
 
-void VersionedStore::PatchDigest(const Key& key,
+size_t VersionedStore::LowerBoundIdx(const KeyState& st, const Timestamp& ts) {
+  auto it = std::lower_bound(
+      st.versions.begin(), st.versions.end(), ts,
+      [](const VersionRec& r, const Timestamp& t) { return r.ts < t; });
+  return static_cast<size_t>(it - st.versions.begin());
+}
+
+size_t VersionedStore::UpperBoundIdx(const KeyState& st, const Timestamp& ts) {
+  auto it = std::upper_bound(
+      st.versions.begin(), st.versions.end(), ts,
+      [](const Timestamp& t, const VersionRec& r) { return t < r.ts; });
+  return static_cast<size_t>(it - st.versions.begin());
+}
+
+VersionedStore::VersionRec VersionedStore::MakeRec(const WriteRecord& w) {
+  VersionRec r;
+  r.ts = w.ts;
+  r.kind = w.kind;
+  r.charged = static_cast<uint32_t>(RecordBytes(w));
+  if (w.sibs.empty() && w.deps.empty()) {
+    // Hot path: the payload is exactly the value bytes, no temp buffer.
+    r.value_off = 0;
+    r.payload_len = static_cast<uint32_t>(w.value.size());
+    r.payload = arena_.Store(w.value);
+    return r;
+  }
+  std::string payload;
+  PutVarint32(&payload, static_cast<uint32_t>(w.sibs.size()));
+  for (const Key& s : w.sibs) PutLengthPrefixed(&payload, s);
+  PutVarint32(&payload, static_cast<uint32_t>(w.deps.size()));
+  for (const Dependency& d : w.deps) {
+    PutLengthPrefixed(&payload, d.key);
+    PutFixed64(&payload, d.ts.logical);
+    PutFixed32(&payload, d.ts.client_id);
+    PutFixed32(&payload, d.ts.seq);
+  }
+  r.value_off = static_cast<uint32_t>(payload.size());
+  payload.append(w.value);
+  r.payload_len = static_cast<uint32_t>(payload.size());
+  r.payload = arena_.Store(payload);
+  return r;
+}
+
+void VersionedStore::DecodeMeta(const VersionRec& r, std::vector<Key>& sibs,
+                                std::vector<Dependency>& deps) {
+  sibs.clear();
+  deps.clear();
+  if (r.value_off == 0) return;
+  std::string_view in(r.payload, r.value_off);
+  auto nsibs = GetVarint32(&in);
+  if (!nsibs) return;
+  sibs.reserve(*nsibs);
+  for (uint32_t i = 0; i < *nsibs; i++) {
+    auto s = GetLengthPrefixed(&in);
+    if (!s) return;
+    sibs.emplace_back(*s);
+  }
+  auto ndeps = GetVarint32(&in);
+  if (!ndeps) return;
+  deps.reserve(*ndeps);
+  for (uint32_t i = 0; i < *ndeps; i++) {
+    auto k = GetLengthPrefixed(&in);
+    if (!k || in.size() < 16) return;
+    Dependency d;
+    d.key.assign(*k);
+    d.ts.logical = DecodeFixed64(in.data());
+    d.ts.client_id = DecodeFixed32(in.data() + 8);
+    d.ts.seq = DecodeFixed32(in.data() + 12);
+    in.remove_prefix(16);
+    deps.push_back(std::move(d));
+  }
+}
+
+void VersionedStore::MaterializeInto(std::string_view key, const VersionRec& r,
+                                     WriteRecord& out) {
+  out.key.assign(key);
+  std::string_view v = ValueOf(r);
+  out.value.assign(v);
+  out.ts = r.ts;
+  out.kind = r.kind;
+  DecodeMeta(r, out.sibs, out.deps);
+}
+
+size_t VersionedStore::FoldBytes(const ReadVersion& rv) {
+  // Mirrors WriteRecord::SibBytes weighting so cached-fold copies are charged
+  // comparably to the records they shadow.
+  size_t n = rv.value.size();
+  for (const Key& s : rv.sibs) n += s.size() + 2;
+  for (const Dependency& d : rv.deps) n += d.key.size() + 14;
+  return n;
+}
+
+void VersionedStore::SetFold(const KeyState& st, ReadVersion rv) const {
+  if (st.fold_valid) fold_bytes_ -= std::min(fold_bytes_, FoldBytes(st.fold));
+  st.fold = std::move(rv);
+  st.fold_valid = true;
+  fold_bytes_ += FoldBytes(st.fold);
+}
+
+void VersionedStore::InvalidateFold(const KeyState& st) const {
+  if (!st.fold_valid) return;
+  fold_bytes_ -= std::min(fold_bytes_, FoldBytes(st.fold));
+  st.fold_valid = false;
+}
+
+void VersionedStore::PatchDigest(uint32_t id, uint64_t key_hash,
                                  const std::optional<Timestamp>& was,
                                  const std::optional<Timestamp>& now) {
   if (was == now) return;
-  BucketState& bucket = buckets_[BucketOf(key)];
+  BucketState& bucket = buckets_[key_hash % buckets_.size()];
   if (was) {
-    bucket.hash ^= DigestEntryHash(key, *was);
-    if (!now) bucket.latest.erase(key);
+    bucket.hash ^= DigestEntryHashParts(key_hash, *was);
+    if (!now) {
+      auto it = std::lower_bound(
+          bucket.members.begin(), bucket.members.end(), keys_.KeyOf(id),
+          [this](uint32_t m, std::string_view k) { return keys_.KeyOf(m) < k; });
+      if (it != bucket.members.end() && *it == id) bucket.members.erase(it);
+    }
   }
   if (now) {
-    bucket.hash ^= DigestEntryHash(key, *now);
-    bucket.latest.insert_or_assign(key, *now);
+    bucket.hash ^= DigestEntryHashParts(key_hash, *now);
+    if (!was) {
+      auto it = std::lower_bound(
+          bucket.members.begin(), bucket.members.end(), keys_.KeyOf(id),
+          [this](uint32_t m, std::string_view k) { return keys_.KeyOf(m) < k; });
+      bucket.members.insert(it, id);
+    }
   }
 }
 
 bool VersionedStore::Apply(const WriteRecord& w) {
-  KeyState& st = data_[w.key];
-  std::optional<Timestamp> was = LatestOf(st.versions);
-  auto [it, inserted] = st.versions.emplace(w.ts, w);
-  if (!inserted) return false;
-  approx_bytes_ += RecordBytes(w);
-  PatchDigest(w.key, was, st.versions.rbegin()->first);
+  uint32_t id = keys_.Intern(w.key);
+  uint64_t h = keys_.HashOf(id);
+  if (id >= states_.size()) {
+    states_.emplace_back();
+    ordered_.push_back(id);  // unsorted tail; EnsureOrdered merges lazily
+  }
+  KeyState& st = states_[id];
+  // In-timestamp-order append is the common case; only fall back to a binary
+  // search (and possible mid-chain insert) when the new ts is not the max.
+  size_t pos = st.versions.size();
+  if (!st.versions.empty() && !(st.versions.back().ts < w.ts)) {
+    pos = LowerBoundIdx(st, w.ts);
+    if (pos < st.versions.size() && st.versions[pos].ts == w.ts) return false;
+  }
+  std::optional<Timestamp> was = LatestOf(st);
+  // Dedup is decided above, so the arena write happens exactly once per
+  // accepted version (anti-entropy redelivery stores nothing).
+  VersionRec rec = MakeRec(w);
+  approx_bytes_ += rec.charged;
+  st.versions.insert(st.versions.begin() + pos, rec);
+  PatchDigest(id, h, was, st.versions.back().ts);
   // Fold-cache maintenance: an append (the common, in-timestamp-order case)
   // extends the memoized fold in O(1); an out-of-order insert can change any
   // part of the fold, so it invalidates.
   if (st.fold_valid) {
-    if (std::next(it) != st.versions.end()) {
-      st.fold_valid = false;
+    if (pos + 1 != st.versions.size()) {
+      InvalidateFold(st);
     } else if (w.kind == WriteKind::kPut) {
-      st.fold = ReadVersion{w.ts, w.value, true, w.sibs, w.deps};
+      SetFold(st, ReadVersion{w.ts, w.value, true, w.sibs, w.deps});
     } else {
       // Delta onto the cached fold. DecodeInt64Value mirrors FoldUpTo: a
       // non-numeric base (or none at all) contributes 0 to the sum.
       int64_t base =
           st.fold.found ? DecodeInt64Value(st.fold.value).value_or(0) : 0;
       int64_t delta = DecodeInt64Value(w.value).value_or(0);
-      st.fold = ReadVersion{w.ts, EncodeInt64Value(base + delta), true, w.sibs,
-                            w.deps};
+      SetFold(st, ReadVersion{w.ts, EncodeInt64Value(base + delta), true,
+                              w.sibs, w.deps});
     }
   }
   return true;
 }
 
-ReadVersion VersionedStore::FoldUpTo(const VersionMap& versions,
-                                     VersionMap::const_iterator end) {
-  // Find the newest Put in [begin, end); deltas after it are summed.
+ReadVersion VersionedStore::FoldUpTo(const KeyState& st, size_t end) const {
+  // Find the newest Put in [0, end); deltas after it are summed.
   ReadVersion out;
-  if (versions.begin() == end) return out;  // initial state
-  auto it = end;
-  // Walk backwards to the newest Put (or the beginning).
-  auto base = versions.begin();
-  bool have_base_put = false;
-  while (it != versions.begin()) {
-    --it;
-    if (it->second.kind == WriteKind::kPut) {
-      base = it;
-      have_base_put = true;
+  if (end == 0) return out;  // initial state
+  const std::vector<VersionRec>& v = st.versions;
+  size_t base = end;  // sentinel: no Put found
+  for (size_t i = end; i-- > 0;) {
+    if (v[i].kind == WriteKind::kPut) {
+      base = i;
       break;
     }
   }
   out.found = true;
+  bool have_base_put = base != end;
   int64_t acc = 0;
-  Value base_value;
-  auto fold_from = versions.begin();
-  if (have_base_put) {
-    base_value = base->second.value;
-    out.ts = base->first;
-    out.sibs = base->second.sibs;
-    out.deps = base->second.deps;
-    fold_from = std::next(base);
-  }
+  std::string_view base_value;
+  size_t fold_from = 0;
   bool numeric = true;
   int64_t base_num = 0;
   if (have_base_put) {
+    base_value = ValueOf(v[base]);
+    fold_from = base + 1;
     auto decoded = DecodeInt64Value(base_value);
     if (decoded) {
       base_num = *decoded;
@@ -117,13 +237,9 @@ ReadVersion VersionedStore::FoldUpTo(const VersionMap& versions,
     }
   }
   bool any_delta = false;
-  for (auto d = fold_from; d != end; ++d) {
+  for (size_t i = fold_from; i < end; i++) {
     // Everything after the newest Put is a Delta by construction.
-    auto decoded = DecodeInt64Value(d->second.value);
-    acc += decoded.value_or(0);
-    out.ts = d->first;
-    out.sibs = d->second.sibs;
-    out.deps = d->second.deps;
+    acc += DecodeInt64Value(ValueOf(v[i])).value_or(0);
     any_delta = true;
   }
   if (any_delta) {
@@ -131,76 +247,75 @@ ReadVersion VersionedStore::FoldUpTo(const VersionMap& versions,
     // (deltas on string registers are a caller bug but must not corrupt).
     out.value = EncodeInt64Value((numeric ? base_num : 0) + acc);
   } else {
-    out.value = base_value;
+    out.value.assign(base_value);
   }
+  // The fold carries the newest contributing record's ts and metadata — with
+  // a base Put and no deltas that record *is* v[end-1]; with deltas it is the
+  // last delta, also v[end-1].
+  out.ts = v[end - 1].ts;
+  DecodeMeta(v[end - 1], out.sibs, out.deps);
   return out;
 }
 
-const ReadVersion& VersionedStore::CachedFold(const KeyState& st) {
-  if (!st.fold_valid) {
-    st.fold = FoldUpTo(st.versions, st.versions.end());
-    st.fold_valid = true;
-  }
-  return st.fold;
-}
-
-ReadVersion VersionedStore::Read(const Key& key,
-                                 std::optional<Timestamp> bound) const {
-  auto it = data_.find(key);
-  if (it == data_.end()) return ReadVersion{};
-  const KeyState& st = it->second;
-  auto end = bound ? st.versions.upper_bound(*bound) : st.versions.end();
-  if (end == st.versions.end()) return CachedFold(st);
-  return FoldUpTo(st.versions, end);
+ReadVersion VersionedStore::FoldVisible(
+    const KeyState& st, const std::optional<Timestamp>& bound) const {
+  if (!bound) return CachedFold(st);
+  size_t end = UpperBoundIdx(st, *bound);
+  if (end == st.versions.size()) return CachedFold(st);
+  return FoldUpTo(st, end);
 }
 
 std::optional<ReadVersion> VersionedStore::ReadAtLeast(
     const Key& key, const Timestamp& at_least) const {
-  auto it = data_.find(key);
-  if (it == data_.end()) return std::nullopt;
-  const KeyState& st = it->second;
-  // Need at least one version with ts >= at_least.
-  auto ge = st.versions.lower_bound(at_least);
-  if (ge == st.versions.end()) return std::nullopt;
+  const KeyState* st = StateOf(key);
+  if (!st) return std::nullopt;
+  // Need at least one version with ts >= at_least; the chain is sorted so the
+  // newest version decides.
+  if (st->versions.empty() || st->versions.back().ts < at_least) {
+    return std::nullopt;
+  }
   // Fold everything (the newest state) — a pending read serves the newest
   // version that covers the requirement.
-  return CachedFold(st);
+  return CachedFold(*st);
 }
 
 bool VersionedStore::Contains(const Key& key, const Timestamp& ts) const {
-  auto it = data_.find(key);
-  return it != data_.end() && it->second.versions.count(ts) > 0;
+  const KeyState* st = StateOf(key);
+  if (!st) return false;
+  size_t i = LowerBoundIdx(*st, ts);
+  return i < st->versions.size() && st->versions[i].ts == ts;
 }
 
 std::optional<Timestamp> VersionedStore::LatestTimestamp(
     const Key& key) const {
-  auto it = data_.find(key);
-  if (it == data_.end()) return std::nullopt;
-  return LatestOf(it->second.versions);
+  const KeyState* st = StateOf(key);
+  if (!st) return std::nullopt;
+  return LatestOf(*st);
 }
 
 std::optional<Timestamp> VersionedStore::NthNewestTimestamp(const Key& key,
                                                             size_t n) const {
-  auto it = data_.find(key);
-  if (it == data_.end() || it->second.versions.size() <= n) return std::nullopt;
-  auto v = it->second.versions.rbegin();
-  std::advance(v, n);
-  return v->first;
+  const KeyState* st = StateOf(key);
+  if (!st || st->versions.size() <= n) return std::nullopt;
+  return st->versions[st->versions.size() - 1 - n].ts;
 }
 
 std::vector<WriteRecord> VersionedStore::Versions(const Key& key) const {
   std::vector<WriteRecord> out;
-  auto it = data_.find(key);
-  if (it == data_.end()) return out;
-  out.reserve(it->second.versions.size());
-  for (const auto& [ts, w] : it->second.versions) out.push_back(w);
+  const KeyState* st = StateOf(key);
+  if (!st) return out;
+  out.reserve(st->versions.size());
+  for (const VersionRec& r : st->versions) {
+    WriteRecord& w = out.emplace_back();
+    MaterializeInto(key, r, w);
+  }
   return out;
 }
 
 std::vector<std::pair<Key, ReadVersion>> VersionedStore::Scan(
     const Key& lo, const Key& hi, std::optional<Timestamp> bound) const {
   std::vector<std::pair<Key, ReadVersion>> out;
-  ScanVisit(lo, hi, bound, [&out](const Key& key, ReadVersion rv) {
+  ScanVisitImpl(lo, hi, bound, [&out](const Key& key, ReadVersion rv) {
     out.emplace_back(key, std::move(rv));
   });
   return out;
@@ -209,32 +324,25 @@ std::vector<std::pair<Key, ReadVersion>> VersionedStore::Scan(
 void VersionedStore::ScanVisit(
     const Key& lo, const Key& hi, std::optional<Timestamp> bound,
     const std::function<void(const Key&, ReadVersion)>& fn) const {
-  for (auto it = data_.lower_bound(lo); it != data_.end() && it->first < hi;
-       ++it) {
-    const KeyState& st = it->second;
-    auto end = bound ? st.versions.upper_bound(*bound) : st.versions.end();
-    ReadVersion rv = end == st.versions.end() ? CachedFold(st)
-                                              : FoldUpTo(st.versions, end);
-    if (rv.found) fn(it->first, std::move(rv));
-  }
+  ScanVisitImpl(lo, hi, bound, fn);
 }
 
 std::vector<WriteRecord> VersionedStore::VersionsAfter(
     const Key& key, const Timestamp& after) const {
   std::vector<WriteRecord> out;
-  auto it = data_.find(key);
-  if (it == data_.end()) return out;
-  const VersionMap& versions = it->second.versions;
-  for (auto v = versions.upper_bound(after); v != versions.end(); ++v) {
-    out.push_back(v->second);
+  const KeyState* st = StateOf(key);
+  if (!st) return out;
+  for (size_t i = UpperBoundIdx(*st, after); i < st->versions.size(); i++) {
+    WriteRecord& w = out.emplace_back();
+    MaterializeInto(key, st->versions[i], w);
   }
   return out;
 }
 
 std::vector<std::pair<Key, Timestamp>> VersionedStore::Digest() const {
   std::vector<std::pair<Key, Timestamp>> out;
-  out.reserve(data_.size());
-  ForEachLatest([&out](const Key& key, const Timestamp& ts) {
+  out.reserve(states_.size());
+  ForEachLatestImpl([&out](const Key& key, const Timestamp& ts) {
     out.emplace_back(key, ts);
   });
   return out;
@@ -242,9 +350,7 @@ std::vector<std::pair<Key, Timestamp>> VersionedStore::Digest() const {
 
 void VersionedStore::ForEachLatest(
     const std::function<void(const Key&, const Timestamp&)>& fn) const {
-  for (const auto& [key, st] : data_) {
-    if (!st.versions.empty()) fn(key, st.versions.rbegin()->first);
-  }
+  ForEachLatestImpl(fn);
 }
 
 std::vector<uint64_t> VersionedStore::BucketHashes() const {
@@ -267,57 +373,80 @@ uint64_t VersionedStore::TopHash() const {
 void VersionedStore::ForEachLatestInBucket(
     size_t bucket,
     const std::function<void(const Key&, const Timestamp&)>& fn) const {
-  for (const auto& [key, ts] : buckets_[bucket].latest) fn(key, ts);
+  ForEachLatestInBucketImpl(bucket, fn);
 }
 
 void VersionedStore::ForEachVersion(
     const std::function<void(const WriteRecord&)>& fn) const {
-  for (const auto& [key, st] : data_) {
-    for (const auto& [ts, w] : st.versions) fn(w);
-  }
+  ForEachVersionImpl(fn);
 }
 
 void VersionedStore::ForEachVersionOf(
     const Key& key, const std::function<void(const WriteRecord&)>& fn) const {
-  auto it = data_.find(key);
-  if (it == data_.end()) return;
-  for (const auto& [ts, w] : it->second.versions) fn(w);
+  ForEachVersionOfImpl(key, fn);
 }
 
 const WriteRecord* VersionedStore::AnyRecord() const {
-  for (const auto& [key, st] : data_) {
-    if (!st.versions.empty()) return &st.versions.begin()->second;
+  EnsureOrdered();
+  for (uint32_t id : ordered_) {
+    const KeyState& st = states_[id];
+    if (st.versions.empty()) continue;
+    MaterializeInto(keys_.KeyOf(id), st.versions.front(), any_scratch_);
+    return &any_scratch_;
   }
   return nullptr;
 }
 
-size_t VersionedStore::EraseAccounted(VersionMap& versions,
-                                      VersionMap::iterator first,
-                                      VersionMap::iterator last) {
-  size_t dropped = 0;
-  for (auto v = first; v != last;) {
-    approx_bytes_ -= std::min(approx_bytes_, RecordBytes(v->second));
-    v = versions.erase(v);
-    dropped++;
+size_t VersionedStore::EraseRange(KeyState& st, size_t first, size_t last) {
+  for (size_t i = first; i < last; i++) {
+    const VersionRec& r = st.versions[i];
+    approx_bytes_ -= std::min(approx_bytes_, static_cast<size_t>(r.charged));
+    arena_.NoteDead(r.payload_len);
   }
-  return dropped;
+  st.versions.erase(st.versions.begin() + first, st.versions.begin() + last);
+  return last - first;
+}
+
+void VersionedStore::MaybeCompactArena() {
+  if (!arena_.ShouldCompact()) return;
+  // Rewrite every live payload into a fresh arena and drop the old chunks.
+  // O(live bytes), amortized against at least as many dead bytes.
+  RecordArena fresh;
+  for (KeyState& st : states_) {
+    for (VersionRec& r : st.versions) {
+      r.payload = fresh.Store({r.payload, r.payload_len});
+    }
+  }
+  arena_ = std::move(fresh);
+}
+
+void VersionedStore::EnsureOrdered() const {
+  if (ordered_sorted_ == ordered_.size()) return;
+  auto by_key = [this](uint32_t a, uint32_t b) {
+    return keys_.KeyOf(a) < keys_.KeyOf(b);
+  };
+  auto mid = ordered_.begin() + static_cast<ptrdiff_t>(ordered_sorted_);
+  std::sort(mid, ordered_.end(), by_key);
+  std::inplace_merge(ordered_.begin(), mid, ordered_.end(), by_key);
+  ordered_sorted_ = ordered_.size();
 }
 
 size_t VersionedStore::GarbageCollect(const Key& key,
                                       const Timestamp& before) {
-  auto it = data_.find(key);
-  if (it == data_.end()) return 0;
-  KeyState& st = it->second;
-  auto horizon = st.versions.lower_bound(before);
-  if (horizon == st.versions.begin()) return 0;
-  // Fold [begin, horizon) into a single Put that preserves the visible value
-  // at `before`, then drop the prefix.
-  ReadVersion folded = FoldUpTo(st.versions, horizon);
-  Timestamp fold_ts = std::prev(horizon)->first;
-  std::optional<Timestamp> was = LatestOf(st.versions);
-  size_t dropped = EraseAccounted(st.versions, st.versions.begin(), horizon);
-  st.fold_valid = false;
-  PatchDigest(key, was, LatestOf(st.versions));
+  uint32_t id = keys_.Find(key);
+  if (id == KeyInterner::kNotFound) return 0;
+  uint64_t h = keys_.HashOf(id);
+  KeyState& st = states_[id];
+  size_t horizon = LowerBoundIdx(st, before);
+  if (horizon == 0) return 0;
+  // Fold [0, horizon) into a single Put that preserves the visible value at
+  // `before`, then drop the prefix.
+  ReadVersion folded = FoldUpTo(st, horizon);
+  Timestamp fold_ts = st.versions[horizon - 1].ts;
+  std::optional<Timestamp> was = LatestOf(st);
+  size_t dropped = EraseRange(st, 0, horizon);
+  InvalidateFold(st);
+  PatchDigest(id, h, was, LatestOf(st));
   if (folded.found) {
     WriteRecord base;
     base.key = key;
@@ -327,51 +456,57 @@ size_t VersionedStore::GarbageCollect(const Key& key,
     Apply(base);
     dropped--;  // one version re-inserted
   }
+  MaybeCompactArena();
   return dropped;
 }
 
 std::optional<Timestamp> VersionedStore::NewestPutTimestamp(
     const Key& key) const {
-  auto it = data_.find(key);
-  if (it == data_.end()) return std::nullopt;
-  const VersionMap& versions = it->second.versions;
-  for (auto v = versions.rbegin(); v != versions.rend(); ++v) {
-    if (v->second.kind == WriteKind::kPut) return v->first;
+  const KeyState* st = StateOf(key);
+  if (!st) return std::nullopt;
+  for (size_t i = st->versions.size(); i-- > 0;) {
+    if (st->versions[i].kind == WriteKind::kPut) return st->versions[i].ts;
   }
   return std::nullopt;
 }
 
 std::optional<Timestamp> VersionedStore::NewestPutWithin(
     const Key& key, size_t max_walk) const {
-  auto it = data_.find(key);
-  if (it == data_.end()) return std::nullopt;
-  const VersionMap& versions = it->second.versions;
+  const KeyState* st = StateOf(key);
+  if (!st) return std::nullopt;
   size_t walked = 0;
-  for (auto v = versions.rbegin(); v != versions.rend() && walked < max_walk;
-       ++v, ++walked) {
-    if (v->second.kind == WriteKind::kPut) return v->first;
+  for (size_t i = st->versions.size(); i-- > 0 && walked < max_walk;
+       walked++) {
+    if (st->versions[i].kind == WriteKind::kPut) return st->versions[i].ts;
   }
   return std::nullopt;
 }
 
 size_t VersionedStore::DropVersionsBefore(const Key& key,
                                           const Timestamp& before) {
-  auto it = data_.find(key);
-  if (it == data_.end()) return 0;
-  KeyState& st = it->second;
-  auto last = st.versions.lower_bound(before);
-  if (last == st.versions.begin()) return 0;
-  std::optional<Timestamp> was = LatestOf(st.versions);
-  size_t dropped = EraseAccounted(st.versions, st.versions.begin(), last);
-  st.fold_valid = false;
-  PatchDigest(key, was, LatestOf(st.versions));
+  uint32_t id = keys_.Find(key);
+  if (id == KeyInterner::kNotFound) return 0;
+  uint64_t h = keys_.HashOf(id);
+  KeyState& st = states_[id];
+  size_t last = LowerBoundIdx(st, before);
+  if (last == 0) return 0;
+  std::optional<Timestamp> was = LatestOf(st);
+  size_t dropped = EraseRange(st, 0, last);
+  InvalidateFold(st);
+  PatchDigest(id, h, was, LatestOf(st));
+  MaybeCompactArena();
   return dropped;
 }
 
 size_t VersionedStore::VersionCount() const {
   size_t n = 0;
-  for (const auto& [key, st] : data_) n += st.versions.size();
+  for (const KeyState& st : states_) n += st.versions.size();
   return n;
+}
+
+size_t VersionedStore::VersionCountFor(const Key& key) const {
+  const KeyState* st = StateOf(key);
+  return st ? st->versions.size() : 0;
 }
 
 }  // namespace hat::version

@@ -173,5 +173,81 @@ TEST(PersistenceManagerTest, ShardKeyspacesAreDisjoint) {
   EXPECT_EQ(partial.good[0].second.key, "a");
 }
 
+TEST(PersistenceManagerTest, CheckpointBoundsRecoveryToTail) {
+  TempDir dir("checkpoint");
+  PersistenceManager pm(dir.path());
+  // A long good history for one key plus a survivor for another.
+  std::vector<WriteRecord> live;
+  for (uint64_t t = 1; t <= 20; t++) pm.PersistGood(0, MakeWrite("a", t, "v"));
+  pm.PersistGood(0, MakeWrite("b", 1, "vb"));
+  // In-memory GC kept only the newest version of "a"; checkpoint snapshots
+  // exactly the live set.
+  live.push_back(MakeWrite("a", 20, "v"));
+  live.push_back(MakeWrite("b", 1, "vb"));
+  ASSERT_TRUE(pm.CheckpointShard(0, /*epoch=*/3,
+                                 [&](const auto& sink) {
+                                   for (const auto& w : live) sink(w);
+                                 })
+                  .ok());
+  auto marker = pm.ReadCheckpointMarker(0);
+  ASSERT_TRUE(marker.ok());
+  EXPECT_EQ(marker->epoch, 3u);
+  EXPECT_EQ(marker->records, 2u);
+
+  // Tail written after the checkpoint.
+  pm.PersistGood(0, MakeWrite("a", 21, "v21"));
+
+  Recovered r = Recover(pm);
+  // 2 checkpoint records + 1 tail record — not the 21-version history.
+  ASSERT_EQ(r.good.size(), 3u);
+  EXPECT_EQ(pm.recover_stats().checkpoint_records, 2u);
+  EXPECT_EQ(pm.recover_stats().tail_records, 1u);
+}
+
+TEST(PersistenceManagerTest, RecheckpointDropsDeadVersions) {
+  TempDir dir("recheckpoint");
+  PersistenceManager pm(dir.path());
+  auto checkpoint = [&](std::vector<WriteRecord> live) {
+    ASSERT_TRUE(pm.CheckpointShard(0, 0,
+                                   [&](const auto& sink) {
+                                     for (const auto& w : live) sink(w);
+                                   })
+                    .ok());
+  };
+  checkpoint({MakeWrite("a", 1, "v1"), MakeWrite("a", 2, "v2")});
+  // Version (a, 1) died (GC) before the second checkpoint: its old
+  // checkpoint record must not resurface on recovery.
+  checkpoint({MakeWrite("a", 2, "v2"), MakeWrite("c", 5, "vc")});
+  Recovered r = Recover(pm);
+  ASSERT_EQ(r.good.size(), 2u);
+  EXPECT_EQ(r.good[0].second.key, "a");
+  EXPECT_EQ(r.good[0].second.ts, (Timestamp{2, 7}));
+  EXPECT_EQ(r.good[1].second.key, "c");
+}
+
+TEST(PersistenceManagerTest, CheckpointSurvivesReopenAndErase) {
+  TempDir dir("checkpoint_reopen");
+  {
+    PersistenceManager pm(dir.path());
+    pm.PersistGood(0, MakeWrite("a", 1, "va"));
+    ASSERT_TRUE(pm.CheckpointShard(0, 1,
+                                   [&](const auto& sink) {
+                                     sink(MakeWrite("a", 1, "va"));
+                                   })
+                    .ok());
+    EXPECT_TRUE(pm.HasShardData());  // checkpoint records count as data
+  }
+  PersistenceManager pm(dir.path());
+  Recovered r = Recover(pm);
+  ASSERT_EQ(r.good.size(), 1u);
+  EXPECT_EQ(r.good[0].second.value, "va");
+  // EraseShard tombstones the checkpoint keyspace and its marker too.
+  ASSERT_TRUE(pm.EraseShard(0).ok());
+  EXPECT_FALSE(pm.HasShardData());
+  EXPECT_FALSE(pm.ReadCheckpointMarker(0).ok());
+  Recovered empty = Recover(pm);
+  EXPECT_TRUE(empty.good.empty());
+}
+
 }  // namespace
 }  // namespace hat::server

@@ -208,6 +208,70 @@ TEST_F(RecoveryTest, MultiShardServerRecoversPerShardState) {
   }
 }
 
+TEST_F(RecoveryTest, CheckpointBoundsReplayToTailAndPreservesState) {
+  // A key overwritten 20 times leaves a 20-version good history on disk
+  // while in-memory GC keeps only the newest max_versions_per_key. After a
+  // checkpoint, recovery must replay the live snapshot plus the writes that
+  // landed since — proportional to the tail, not the 20-version history —
+  // and rebuild state identical to the pre-crash store.
+  auto c = Client();
+  for (int i = 0; i < 20; i++) {
+    c.Begin();
+    c.Write("hot", "v" + std::to_string(i));
+    ASSERT_TRUE(c.Commit().ok());
+  }
+  Settle();
+
+  net::NodeId id = deployment_->ReplicaInCluster("hot", 0);
+  auto& server = deployment_->server(id);
+  size_t live_at_checkpoint = server.good().VersionCountFor("hot");
+  ASSERT_GT(live_at_checkpoint, 0u);
+  ASSERT_LT(live_at_checkpoint, 20u) << "GC should have pruned the history";
+  ASSERT_TRUE(server.CheckpointStorage().ok());
+
+  // Post-checkpoint tail: a few writes to fresh keys.
+  for (int i = 0; i < 3; i++) {
+    c.Begin();
+    c.Write("tail" + std::to_string(i), "t" + std::to_string(i));
+    ASSERT_TRUE(c.Commit().ok());
+  }
+  Settle();
+
+  // Capture the pre-crash state of every shard.
+  std::vector<std::vector<WriteRecord>> before(server.good().shard_count());
+  std::vector<std::vector<uint64_t>> hashes_before;
+  for (size_t s = 0; s < server.good().shard_count(); s++) {
+    server.good().shard(s).ForEachVersion(
+        [&](const WriteRecord& w) { before[s].push_back(w); });
+    hashes_before.push_back(server.good().shard(s).BucketHashes());
+  }
+  std::string hot_before = server.good().Read("hot").value;
+
+  server.Crash();
+  ASSERT_TRUE(server.RecoverFromStorage().ok());
+
+  // Bit-identical per-shard state: every version back, same digests, same
+  // folds.
+  for (size_t s = 0; s < server.good().shard_count(); s++) {
+    const auto& shard = server.good().shard(s);
+    EXPECT_EQ(shard.VersionCount(), before[s].size()) << "shard " << s;
+    EXPECT_EQ(shard.BucketHashes(), hashes_before[s]) << "shard " << s;
+    for (const WriteRecord& w : before[s]) {
+      EXPECT_TRUE(shard.Contains(w.key, w.ts)) << w.key;
+    }
+  }
+  EXPECT_EQ(server.good().Read("hot").value, hot_before);
+  EXPECT_EQ(server.good().Read("hot").value, "v19");
+
+  // Bounded replay: the snapshot covers the GC'd live set and the tail is
+  // the post-checkpoint writes — far less than the 20-version history a
+  // full replay would walk.
+  const RecoverStats& stats = server.persistence().recover_stats();
+  EXPECT_EQ(stats.checkpoint_records, live_at_checkpoint);
+  EXPECT_LE(stats.tail_records, 3u);
+  EXPECT_LT(stats.checkpoint_records + stats.tail_records, 20u);
+}
+
 TEST_F(RecoveryTest, RecoveryIsIdempotent) {
   auto c = Client();
   c.Begin();
