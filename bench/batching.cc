@@ -1,0 +1,194 @@
+// Batched wire path: prices the two batching layers against their
+// defaults-off twins on otherwise identical deployments.
+//
+//   A) Shard-lane anti-entropy batching (ServerOptions::
+//      ae_shard_lane_batching): per-(peer, shard) outboxes make every push
+//      batch shard-homogeneous, so the receiver charges the batch header
+//      and WAL group commit to the owning shard's executor lane instead of
+//      the global lane. Reported: global-lane share of server busy time,
+//      saturation throughput, and gossip records per committed txn across
+//      the Figure 6c cores sweep.
+//
+//   B) Client group commit (ClientOptions::batch_max): a commit's parallel
+//      puts bound for the same server coalesce into one ClientBatchRequest
+//      — one wire header and one WAL sync for the whole envelope. Reported:
+//      saturation throughput versus closed-loop clients, plus the achieved
+//      ops-per-batch amortization.
+//
+// CI regression gate: batching-on must not ship >5% more anti-entropy
+// records per committed txn than batching-off (the re-keyed outboxes remap
+// batch boundaries, never the records themselves) — exits nonzero on
+// violation, as it does if batching-on loses saturation throughput.
+//
+// HAT_BENCH_QUICK=1 runs a reduced sweep; HAT_BENCH_JSON=<path> writes the
+// machine-readable summary (BENCH_batching.json in CI).
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace hat::bench;
+  const bool quick = QuickBench();
+  const hat::sim::Duration measure = (quick ? 1 : 2) * hat::sim::kSecond;
+  JsonSummary json;
+  int failures = 0;
+
+  // ---- A: shard-lane anti-entropy batching (Figure 6c topology) -----------
+  hat::harness::Banner(
+      "Batched wire path A: shard-lane anti-entropy batching, "
+      "1 server/cluster, shards = cores = C, RC");
+  std::vector<int> cores = quick ? std::vector<int>{2, 4}
+                                 : std::vector<int>{2, 4, 8};
+  hat::harness::FigureSeries share_fig;
+  share_fig.title = "Global-lane share of server busy time (%)";
+  share_fig.x_label = "cores/server";
+  hat::harness::FigureSeries ae_thr_fig;
+  ae_thr_fig.title = "Total throughput (1000 txns/s)";
+  ae_thr_fig.x_label = "cores/server";
+  for (int c : cores) {
+    share_fig.x.push_back(c);
+    ae_thr_fig.x.push_back(c);
+  }
+
+  // records-per-txn at the largest C, the regression gate's operands.
+  double ae_per_txn[2] = {0, 0};
+  double top_ktps[2] = {0, 0};
+  double top_share[2] = {0, 0};
+  double records_per_batch[2] = {0, 0};
+  for (int on = 0; on <= 1; on++) {
+    std::vector<double> shares, thrs;
+    for (int c : cores) {
+      YcsbRun run;
+      run.deployment = hat::cluster::DeploymentOptions::TwoRegions();
+      run.deployment.servers_per_cluster = 1;
+      run.deployment.server.shards_per_server = static_cast<size_t>(c);
+      run.deployment.server.cores_per_server = static_cast<size_t>(c);
+      run.deployment.server.ae_shard_lane_batching = (on != 0);
+      run.client.isolation = hat::client::IsolationLevel::kReadCommitted;
+      run.workload = PaperYcsb();
+      run.num_clients = 30 * c * 2;
+      run.measure = measure;
+      hat::server::ServerStats servers;
+      auto result = run.Execute(&servers);
+      double share = servers.busy_us > 0 && !servers.lane_busy_us.empty()
+                         ? 100.0 * servers.lane_busy_us.back() /
+                               servers.busy_us
+                         : 0.0;
+      shares.push_back(share);
+      thrs.push_back(result.TxnsPerSecond() / 1000.0);
+      if (c == cores.back()) {
+        ae_per_txn[on] =
+            result.committed > 0
+                ? static_cast<double>(servers.ae_records_out) /
+                      static_cast<double>(result.committed)
+                : 0.0;
+        top_ktps[on] = result.TxnsPerSecond() / 1000.0;
+        top_share[on] = share;
+        records_per_batch[on] =
+            servers.ae_batches_out > 0
+                ? static_cast<double>(servers.ae_records_out) /
+                      static_cast<double>(servers.ae_batches_out)
+                : 0.0;
+      }
+      std::printf(
+          "  shard-lane %-3s C=%d: %7.2f ktxn/s  global-lane share %5.1f%%  "
+          "ae %.2f rec/txn  %.1f rec/batch\n",
+          on ? "ON" : "off", c, result.TxnsPerSecond() / 1000.0, share,
+          result.committed > 0
+              ? static_cast<double>(servers.ae_records_out) /
+                    static_cast<double>(result.committed)
+              : 0.0,
+          servers.ae_batches_out > 0
+              ? static_cast<double>(servers.ae_records_out) /
+                    static_cast<double>(servers.ae_batches_out)
+              : 0.0);
+    }
+    share_fig.series.emplace_back(on ? "RC+shard-lane" : "RC", shares);
+    ae_thr_fig.series.emplace_back(on ? "RC+shard-lane" : "RC", thrs);
+  }
+  std::printf(
+      "\nC=%d: global-lane share %.1f%% -> %.1f%%, %.2f -> %.2f ktxn/s, "
+      "ae %.2f -> %.2f rec/txn (%.1f -> %.1f rec/batch)\n",
+      cores.back(), top_share[0], top_share[1], top_ktps[0], top_ktps[1],
+      ae_per_txn[0], ae_per_txn[1], records_per_batch[0],
+      records_per_batch[1]);
+  json.Add("batching_global_lane_share_pct", share_fig);
+  json.Add("batching_ae_ktps", ae_thr_fig);
+
+  if (ae_per_txn[1] > ae_per_txn[0] * 1.05) {
+    std::fprintf(stderr,
+                 "REGRESSION: shard-lane batching ships %.2f ae records/txn "
+                 "vs %.2f off (>5%%)\n",
+                 ae_per_txn[1], ae_per_txn[0]);
+    failures++;
+  }
+  if (top_share[1] >= top_share[0]) {
+    std::fprintf(stderr,
+                 "REGRESSION: shard-lane batching did not reduce the "
+                 "global-lane share (%.1f%% -> %.1f%%)\n",
+                 top_share[0], top_share[1]);
+    failures++;
+  }
+
+  // ---- B: client group commit saturation ----------------------------------
+  hat::harness::Banner(
+      "Batched wire path B: client group commit (batch_max=8), "
+      "single datacenter, 1 server/cluster, RC");
+  std::vector<int> clients = quick ? std::vector<int>{16, 64}
+                                   : std::vector<int>{16, 64, 256};
+  hat::harness::FigureSeries sat_fig;
+  sat_fig.title = "Total throughput (1000 txns/s)";
+  sat_fig.x_label = "clients";
+  for (int n : clients) sat_fig.x.push_back(n);
+
+  double sat_ktps[2] = {0, 0};
+  for (int on = 0; on <= 1; on++) {
+    std::vector<double> thrs;
+    for (int n : clients) {
+      YcsbRun run;
+      run.deployment = hat::cluster::DeploymentOptions::SingleDatacenter();
+      run.deployment.servers_per_cluster = 1;
+      run.client.isolation = hat::client::IsolationLevel::kReadCommitted;
+      if (on) {
+        run.client.batch_max = 8;
+        run.deployment.server.ae_shard_lane_batching = true;
+      }
+      run.workload = PaperYcsb();
+      run.num_clients = n;
+      run.measure = measure;
+      hat::server::ServerStats servers;
+      auto result = run.Execute(&servers);
+      thrs.push_back(result.TxnsPerSecond() / 1000.0);
+      if (n == clients.back()) sat_ktps[on] = result.TxnsPerSecond() / 1000.0;
+      std::printf(
+          "  group-commit %-3s clients=%-4d: %7.2f ktxn/s  "
+          "%llu client batches (%.1f ops/batch)\n",
+          on ? "ON" : "off", n, result.TxnsPerSecond() / 1000.0,
+          static_cast<unsigned long long>(servers.client_batches),
+          servers.client_batches > 0
+              ? static_cast<double>(servers.client_batch_ops) /
+                    static_cast<double>(servers.client_batches)
+              : 0.0);
+    }
+    sat_fig.series.emplace_back(on ? "RC+batch" : "RC", thrs);
+  }
+  std::printf("\nsaturation at %d clients: %.2f -> %.2f ktxn/s (%.2fx)\n",
+              clients.back(), sat_ktps[0], sat_ktps[1],
+              sat_ktps[0] > 0 ? sat_ktps[1] / sat_ktps[0] : 0.0);
+  json.Add("batching_client_saturation_ktps", sat_fig);
+
+  if (sat_ktps[1] < sat_ktps[0]) {
+    std::fprintf(stderr,
+                 "REGRESSION: client group commit lost saturation "
+                 "throughput (%.2f -> %.2f ktxn/s)\n",
+                 sat_ktps[0], sat_ktps[1]);
+    failures++;
+  }
+
+  if (const char* path = json.Flush()) {
+    std::printf("\nWrote JSON batching summary to %s\n", path);
+  }
+  return failures == 0 ? 0 : 1;
+}

@@ -83,6 +83,21 @@ struct ClientOptions {
   /// transaction duration so overlapping re-scans agree (no PMP/phantoms).
   bool predicate_cut = false;
 
+  // --- envelope batching --------------------------------------------------
+  /// Coalesce up to this many consecutive same-server get/put operations
+  /// into one ClientBatchRequest envelope: one wire header and (at the
+  /// server) one WAL group commit for the whole batch, with per-op reply
+  /// semantics preserved by demultiplexing. 1 (the default) disables
+  /// batching — every operation is its own envelope, byte-identical to the
+  /// unbatched client.
+  size_t batch_max = 1;
+  /// How long an operation may wait in the batcher for companions before
+  /// its envelope flushes. 0 still coalesces operations issued in the same
+  /// simulation instant (a commit's parallel puts, a Read Uncommitted write
+  /// burst): the flush fires after the current event's synchronous burst,
+  /// adding no latency.
+  sim::Duration batch_max_wait_us = 0;
+
   // --- timeouts / retries -------------------------------------------------
   sim::Duration rpc_timeout = 2 * sim::kSecond;
   sim::Duration op_timeout = 10 * sim::kSecond;
@@ -116,6 +131,11 @@ struct ClientStats {
   uint64_t wrong_shard_retries = 0;
   uint64_t cache_hits = 0;       ///< cut-isolation reads served locally
   uint64_t metadata_bytes = 0;   ///< sibling/dependency bytes shipped
+  /// Envelope batching: multi-op ClientBatchRequests sent, and the ops they
+  /// carried (batched_ops / batches_sent = achieved amortization factor).
+  /// Singleton flushes go out as plain ops and count in neither.
+  uint64_t batches_sent = 0;
+  uint64_t batched_ops = 0;
 };
 
 }  // namespace hat::client

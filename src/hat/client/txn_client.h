@@ -106,6 +106,17 @@ class TxnClient : public net::RpcNode {
   /// Candidate servers for an operation on `key`, in attempt order.
   std::vector<net::NodeId> TargetsFor(const Key& key) const;
 
+  // --- envelope batching ---------------------------------------------------
+  /// Issues one get/put RPC through the envelope batcher: with batching off
+  /// (batch_max <= 1) this is exactly Call; with it on, consecutive ops
+  /// bound for the same server coalesce into one ClientBatchRequest whose
+  /// reply is demultiplexed back to each op's callback — so the retry /
+  /// wrong-shard / session logic above the batcher is identical either way.
+  void CallOp(net::NodeId target, net::Message msg, sim::Duration timeout,
+              RpcCallback cb);
+  /// Sends `target`'s queued ops now (size cap hit or wait timer fired).
+  void FlushBatch(net::NodeId target);
+
   // --- read paths ----------------------------------------------------------
   void ReadAttempt(Key key, std::vector<net::NodeId> targets, size_t attempt,
                    sim::SimTime deadline, ReadCallback cb);
@@ -167,6 +178,22 @@ class TxnClient : public net::RpcNode {
   uint32_t outstanding_dirty_ = 0;
   uint32_t dirty_seq_ = 0;  // per-txn ordinal for RU same-key rewrites
   uint64_t txn_epoch_ = 0;  // invalidates in-flight callbacks of older txns
+
+  // envelope batcher state (per target server)
+  struct PendingOp {
+    net::Message msg;  // PutRequest or GetRequest
+    sim::Duration timeout;
+    RpcCallback cb;
+  };
+  struct TargetBatch {
+    std::vector<PendingOp> ops;
+    /// Bumped at each flush; a scheduled wait timer only flushes the batch
+    /// generation it was armed for (a size-cap flush in between starts a
+    /// fresh generation the timer must not cut short).
+    uint64_t gen = 0;
+    bool flush_scheduled = false;
+  };
+  std::map<net::NodeId, TargetBatch> batcher_;
 };
 
 }  // namespace hat::client

@@ -145,6 +145,13 @@ server::ServerStats Deployment::TotalServerStats() const {
     total.ae_batches_in += st.ae_batches_in;
     total.ae_records_in += st.ae_records_in;
     total.ae_records_out += st.ae_records_out;
+    total.ae_batches_out += st.ae_batches_out;
+    total.ae_retransmits += st.ae_retransmits;
+    total.ae_dupes_suppressed += st.ae_dupes_suppressed;
+    total.ae_dedupe_rotations += st.ae_dedupe_rotations;
+    total.ae_shard_lane_batches += st.ae_shard_lane_batches;
+    total.client_batches += st.client_batches;
+    total.client_batch_ops += st.client_batch_ops;
     total.ae_digest_ticks += st.ae_digest_ticks;
     total.ae_digest_entries_out += st.ae_digest_entries_out;
     total.ae_digest_bytes_out += st.ae_digest_bytes_out;

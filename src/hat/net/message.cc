@@ -48,8 +48,42 @@ size_t WireBytes(const Message& msg) {
                } else if constexpr (std::is_same_v<T, ShardSnapshotAck>) {
                  return 13;
                } else if constexpr (std::is_same_v<T, AntiEntropyBatch>) {
-                 size_t n = 8;
+                 // The shard tag costs bytes only when set, keeping the
+                 // legacy (untagged) wire format byte-identical.
+                 size_t n = 8 + (m.shard == kNoShardTag ? 0 : 4);
                  for (const auto& w : m.writes) n += WriteRecordWireBytes(w);
+                 return n;
+               } else if constexpr (std::is_same_v<T, ClientBatchRequest>) {
+                 size_t n = 4;
+                 for (const auto& op : m.ops) {
+                   n += std::visit(
+                       [](const auto& o) -> size_t {
+                         using O = std::decay_t<decltype(o)>;
+                         if constexpr (std::is_same_v<O, PutRequest>) {
+                           return WriteRecordWireBytes(o.write) + 1;
+                         } else {
+                           return o.key.size() + 15;
+                         }
+                       },
+                       op);
+                 }
+                 return n;
+               } else if constexpr (std::is_same_v<T, ClientBatchResponse>) {
+                 size_t n = 4;
+                 for (const auto& r : m.replies) {
+                   n += std::visit(
+                       [](const auto& o) -> size_t {
+                         using O = std::decay_t<decltype(o)>;
+                         if constexpr (std::is_same_v<O, PutResponse>) {
+                           return 3;
+                         } else {
+                           size_t sibs = 0;
+                           for (const auto& s : o.sibs) sibs += s.size() + 2;
+                           return o.value.size() + sibs + 17;
+                         }
+                       },
+                       r);
+                 }
                  return n;
                } else if constexpr (std::is_same_v<T, LockRequest>) {
                  return m.key.size() + 16;

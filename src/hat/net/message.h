@@ -101,12 +101,22 @@ struct NotifyRequest {
   NodeId sender = 0;
 };
 
+/// Sentinel for AntiEntropyBatch::shard: the batch is not shard-homogeneous
+/// (legacy per-peer outboxes) and its header/group-commit costs are charged
+/// to the global executor lane.
+inline constexpr uint32_t kNoShardTag = 0xffffffffu;
+
 /// Anti-entropy push of committed versions between replicas. Reliable via
 /// sender-side outbox retransmission until acked.
 struct AntiEntropyBatch {
   uint64_t batch_id = 0;
   std::vector<WriteRecord> writes;
   PutMode mode = PutMode::kEventual;
+  /// Logical shard every record in this batch belongs to, or kNoShardTag
+  /// when the batch is mixed (shard-lane batching off). Shard-homogeneous
+  /// batches let the receiver charge the batch header and the persistence
+  /// group commit to the owning shard's lane instead of the global lane.
+  uint32_t shard = kNoShardTag;
 };
 struct AntiEntropyAck {
   uint64_t batch_id = 0;
@@ -194,6 +204,19 @@ struct ShardSnapshotAck {
   bool ok = true;
 };
 
+/// Client-side envelope batching: several consecutive operations bound for
+/// the same server coalesced into one wire envelope. The server executes the
+/// ops in order, pays one header charge and (for durable puts) one WAL group
+/// commit, and answers with a ClientBatchResponse whose replies parallel
+/// `ops` — per-op reply semantics (retries, wrong-shard redirects, session
+/// guarantees) are preserved by demuxing at the client.
+struct ClientBatchRequest {
+  std::vector<std::variant<PutRequest, GetRequest>> ops;
+};
+struct ClientBatchResponse {
+  std::vector<std::variant<PutResponse, GetResponse>> replies;
+};
+
 /// Two-phase-locking lock service (locks live at each key's master replica).
 struct LockRequest {
   Key key;
@@ -217,7 +240,8 @@ using Message =
                  NotifyRequest, AntiEntropyBatch, AntiEntropyAck,
                  DigestRequest, BucketDigest, ShardDigest, LockRequest,
                  LockResponse, UnlockRequest, ShardSnapshotRequest,
-                 ShardSnapshotChunk, ShardSnapshotAck>;
+                 ShardSnapshotChunk, ShardSnapshotAck, ClientBatchRequest,
+                 ClientBatchResponse>;
 
 /// A message in flight.
 struct Envelope {

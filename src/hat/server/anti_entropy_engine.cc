@@ -67,24 +67,33 @@ void AntiEntropyEngine::Start() {
 void AntiEntropyEngine::Enqueue(const WriteRecord& w, net::PutMode mode,
                                 net::NodeId except) {
   if (!options_.push_enabled) return;
+  // Shard-lane batching splits each peer's outbox by the key's logical
+  // shard so every flushed batch is shard-homogeneous (and tagged); with it
+  // off, every key lands in the peer's single (peer, kNoShardTag) outbox —
+  // the legacy topology, byte- and order-identical on the wire.
+  uint32_t tag = options_.shard_lane_batching ? good_.LogicalShardOfKey(w.key)
+                                              : net::kNoShardTag;
   for (net::NodeId peer : partitioner_->ReplicasOf(w.key)) {
     if (peer == id_ || peer == except) continue;
-    outbox_[peer].push_back(OutboxItem{w, mode});
+    outbox_[OutboxKey{peer, tag}].push_back(OutboxItem{w, mode});
   }
 }
 
 void AntiEntropyEngine::FlushTick() {
-  for (auto& [peer, queue] : outbox_) {
+  for (auto& [key, queue] : outbox_) {
+    const auto& [peer, tag] = key;
     while (!queue.empty()) {
       net::AntiEntropyBatch batch;
       batch.batch_id = NextBatchId();
       batch.mode = queue.front().mode;
+      batch.shard = tag;
       while (!queue.empty() && queue.front().mode == batch.mode &&
              batch.writes.size() < options_.batch_max) {
         batch.writes.push_back(std::move(queue.front().write));
         queue.pop_front();
       }
       stats_.records_out += batch.writes.size();
+      stats_.batches_out++;
       inflight_.emplace(batch.batch_id,
                         InFlightBatch{peer, batch, sim_.Now(),
                                       options_.retry_interval});
@@ -92,10 +101,13 @@ void AntiEntropyEngine::FlushTick() {
     }
   }
   // Retransmit stragglers (lost to partitions) with exponential backoff.
+  // The retransmitted batch is the stored original — same id, same shard
+  // tag — so a retry lands on the same executor lane as the first attempt.
   for (auto& [batch_id, flight] : inflight_) {
     if (sim_.Now() - flight.sent_at >= flight.backoff) {
       flight.sent_at = sim_.Now();
       flight.backoff = std::min(flight.backoff * 2, kMaxBackoff);
+      stats_.retransmits++;
       send_(flight.peer, flight.batch);
     }
   }
@@ -108,12 +120,14 @@ void AntiEntropyEngine::HandleBatch(const net::AntiEntropyBatch& batch,
   send_(from, net::AntiEntropyAck{batch.batch_id});
   if (applied_batches_.count(batch.batch_id) ||
       applied_batches_prev_.count(batch.batch_id)) {
+    stats_.dupes_suppressed++;
     return;  // retransmit dupe
   }
   applied_batches_.insert(batch.batch_id);
   if (applied_batches_.size() >= kAppliedBatchMemory) {
     applied_batches_prev_ = std::move(applied_batches_);
     applied_batches_.clear();
+    stats_.dedupe_rotations++;
   }
   for (const auto& w : batch.writes) {
     stats_.records_in++;
@@ -276,9 +290,12 @@ void AntiEntropyEngine::HandleDigest(const net::DigestRequest& req,
   auto flush = [this, from, &batch, &batch_bytes]() {
     if (batch.writes.empty()) return;
     stats_.records_out += batch.writes.size();
+    stats_.batches_out++;
+    uint32_t tag = batch.shard;
     send_(from, std::move(batch));
     batch = net::AntiEntropyBatch();
     batch.batch_id = NextBatchId();
+    batch.shard = tag;
     batch_bytes = 0;
   };
   auto add = [this, &batch, &batch_bytes, &flush](const WriteRecord& w) {
@@ -290,7 +307,19 @@ void AntiEntropyEngine::HandleDigest(const net::DigestRequest& req,
       flush();
     }
   };
-  for (const auto& [s, b] : mismatched) BackfillBucket(s, b, theirs, add);
+  // Repair batches stay shard-homogeneous too when shard-lane batching is
+  // on: a scoped request already covers one shard; a flat walk flushes at
+  // each slot boundary so each batch carries one shard's tag.
+  if (options_.shard_lane_batching && scoped) batch.shard = req.shard;
+  std::optional<size_t> tag_slot;
+  for (const auto& [s, b] : mismatched) {
+    if (options_.shard_lane_batching && !scoped && tag_slot != s) {
+      flush();
+      tag_slot = s;
+      batch.shard = good_.LogicalTagOfSlot(s);
+    }
+    BackfillBucket(s, b, theirs, add);
+  }
   flush();
 
   // Reverse direction: if the requester advertises data we lack, answer

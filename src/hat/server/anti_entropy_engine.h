@@ -44,6 +44,15 @@ struct AntiEntropyStats {
   uint64_t batches_in = 0;
   uint64_t records_in = 0;
   uint64_t records_out = 0;
+  /// Push batches sent (first transmissions, not retries) — records_out /
+  /// batches_out is the achieved amortization factor.
+  uint64_t batches_out = 0;
+  /// Unacked inflight batches retransmitted (backoff expiries).
+  uint64_t retransmits = 0;
+  /// Incoming batches dropped as already-applied retransmit duplicates.
+  uint64_t dupes_suppressed = 0;
+  /// Times the applied-batch dedupe set filled and rotated generations.
+  uint64_t dedupe_rotations = 0;
   /// Digest-sync rounds initiated.
   uint64_t digest_ticks = 0;
   /// Per-key digest entries shipped (both directions we sent). The bucketed
@@ -78,6 +87,12 @@ class AntiEntropyEngine {
     /// False disables the push outboxes entirely (Enqueue becomes a no-op
     /// and no flush timer runs) — used to exercise digest repair alone.
     bool push_enabled = true;
+    /// Key push outboxes by (peer, logical shard) instead of peer alone, so
+    /// every batch is shard-homogeneous and carries its shard tag — letting
+    /// the receiver charge the batch header and persistence group commit to
+    /// the owning shard's executor lane instead of the global lane. Off by
+    /// default: untagged batches keep the legacy wire format byte-identical.
+    bool shard_lane_batching = false;
   };
   /// Delivers a one-way message to a peer.
   using SendFn = std::function<void(net::NodeId, net::Message)>;
@@ -131,6 +146,10 @@ class AntiEntropyEngine {
 
   const AntiEntropyStats& stats() const { return stats_; }
 
+  /// Test hook: position the batch-id counter (e.g. just below the 2^40
+  /// wrap) to exercise id-composition edge cases without 2^40 flushes.
+  void SetNextBatchIdForTest(uint64_t v) { next_batch_id_ = v; }
+
  private:
   void FlushTick();
   void DigestSyncTick();
@@ -141,8 +160,17 @@ class AntiEntropyEngine {
   void BackfillBucket(
       size_t shard, size_t bucket, const std::map<Key, Timestamp>& theirs,
       const std::function<void(const WriteRecord&)>& add) const;
+  /// Batch ids are (node id << 40) | counter. The counter is masked to its
+  /// 40-bit field: an unmasked increment past 2^40 would bleed into the
+  /// node-id bits and collide with ANOTHER node's id space in the
+  /// receivers' dedupe sets (silently dropping that node's fresh batches).
+  /// Wrapping within our own field is harmless — a reused id only collides
+  /// with one issued 2^40 batches ago, far outside the bounded generational
+  /// dedupe memory (2 * kAppliedBatchMemory ids).
+  static constexpr uint64_t kBatchCounterMask = (uint64_t{1} << 40) - 1;
   uint64_t NextBatchId() {
-    return (static_cast<uint64_t>(id_) << 40) | next_batch_id_++;
+    return (static_cast<uint64_t>(id_) << 40) |
+           (next_batch_id_++ & kBatchCounterMask);
   }
   /// All peer replicas this server shares any shard with.
   std::vector<net::NodeId> PeerReplicas() const;
@@ -164,7 +192,13 @@ class AntiEntropyEngine {
     WriteRecord write;
     net::PutMode mode;
   };
-  std::map<net::NodeId, std::deque<OutboxItem>> outbox_;
+  /// Outboxes are keyed (peer, logical shard tag). With shard_lane_batching
+  /// off every key maps to (peer, kNoShardTag) — one outbox per peer, the
+  /// legacy topology — so flush order, batch boundaries, and batch ids are
+  /// identical to the pre-tagging engine. With it on, each (peer, shard)
+  /// pair drains independently into shard-homogeneous tagged batches.
+  using OutboxKey = std::pair<net::NodeId, uint32_t>;
+  std::map<OutboxKey, std::deque<OutboxItem>> outbox_;
   struct InFlightBatch {
     net::NodeId peer;
     net::AntiEntropyBatch batch;

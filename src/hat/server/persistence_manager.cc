@@ -73,6 +73,21 @@ void PersistenceManager::PersistPending(size_t shard, const WriteRecord& w) {
   Persist(kPendingKind, pending_prefixes_, shard, w);
 }
 
+void PersistenceManager::GroupCommit(const std::function<void()>& fn) {
+  if (!disk_) {
+    fn();
+    return;
+  }
+  (void)disk_->GroupCommit([&fn]() {
+    fn();
+    return Status::Ok();
+  });
+}
+
+uint64_t PersistenceManager::group_commits() const {
+  return disk_ ? disk_->stats().group_commits : 0;
+}
+
 void PersistenceManager::ErasePersistedPending(size_t shard,
                                                const WriteRecord& w) {
   if (!disk_) return;

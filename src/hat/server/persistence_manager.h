@@ -80,6 +80,16 @@ class PersistenceManager {
   /// prefix.
   void PersistPending(size_t shard, const WriteRecord& w);
 
+  /// Runs `fn` under a single WAL group commit: every record persisted
+  /// inside pays one shared durability point instead of one sync each —
+  /// the batched wire path's discipline for shard-homogeneous anti-entropy
+  /// batches and client envelope batches. A no-op wrapper (fn still runs)
+  /// when persistence is disabled.
+  void GroupCommit(const std::function<void()>& fn);
+
+  /// GroupCommit scopes completed so far (0 when persistence is disabled).
+  uint64_t group_commits() const;
+
   /// Removes the pending copy of `w` once its transaction promoted.
   void ErasePersistedPending(size_t shard, const WriteRecord& w);
 

@@ -52,7 +52,7 @@ ReplicaServer::ReplicaServer(sim::Simulation& sim, net::Network& net,
               options_.ae_flush_interval, options_.ae_retry_interval,
               options_.digest_sync_interval, options_.ae_batch_max,
               options_.ae_batch_max_bytes, options_.ae_bucketed_digest,
-              options_.ae_push_enabled},
+              options_.ae_push_enabled, options_.ae_shard_lane_batching},
           [this](net::NodeId to, Message m) { SendOneWay(to, std::move(m)); },
           [this](const WriteRecord& w, net::PutMode mode, net::NodeId from) {
             InstallFromPeer(w, mode, from);
@@ -148,6 +148,10 @@ const ServerStats& ReplicaServer::stats() const {
   stats_.ae_batches_in = ae.batches_in;
   stats_.ae_records_in = ae.records_in;
   stats_.ae_records_out = ae.records_out;
+  stats_.ae_batches_out = ae.batches_out;
+  stats_.ae_retransmits = ae.retransmits;
+  stats_.ae_dupes_suppressed = ae.dupes_suppressed;
+  stats_.ae_dedupe_rotations = ae.dedupe_rotations;
   stats_.ae_digest_ticks = ae.digest_ticks;
   stats_.ae_digest_entries_out = ae.digest_entries_out;
   stats_.ae_digest_bytes_out = ae.digest_bytes_out;
@@ -243,14 +247,24 @@ const std::vector<ShardExecutor::Work>& ReplicaServer::PlanFor(
             add(global, c.notify_us + c.per_kb_us * kb);
           },
           [&](const net::AntiEntropyBatch& batch) {
-            // Batch overhead (and the group-commit WAL sync) is cross-shard
-            // coordination; record application is charged to each record's
-            // owning shard, so a multi-shard batch overlaps across cores.
-            // Accumulation is per *lane* (records of a shard this server no
+            // Batch overhead (and the group-commit WAL sync) lands on the
+            // owning shard's lane when the batch is shard-tagged (shard-lane
+            // batching: the whole batch IS that shard's work), and on the
+            // global lane otherwise — untagged batches can span shards, so
+            // their header is cross-shard coordination. Record application
+            // is charged to each record's owning shard either way; the
+            // accumulation is per *lane* (records of a shard this server no
             // longer hosts are forwarding work on the global lane).
             double overhead = c.ae_batch_us + c.per_kb_us * kb;
             if (options_.durable) overhead += c.wal_sync_us;
-            add(global, overhead);
+            size_t overhead_lane = global;
+            if (batch.shard != net::kNoShardTag) {
+              if (auto slot = good_.SlotOfLogical(batch.shard)) {
+                overhead_lane = LaneOfSlot(*slot);
+                stats_.ae_shard_lane_batches++;
+              }
+            }
+            add(overhead_lane, overhead);
             shard_cost_scratch_.assign(executor_.lane_count(), 0);
             for (const auto& w : batch.writes) {
               double cost = c.ae_record_us;
@@ -319,6 +333,48 @@ const std::vector<ShardExecutor::Work>& ReplicaServer::PlanFor(
                   c.ae_record_us * static_cast<double>(chunk.writes.size()));
             }
           },
+          [&](const net::ClientBatchRequest& batch) {
+            // One envelope header + (for durable installs) ONE WAL group
+            // commit for the whole batch — the client-side amortization win.
+            // Each op still pays its full get/put cost on its key's shard
+            // lane, so batching shrinks per-op overhead, not per-op work.
+            double overhead = c.client_batch_us + c.per_kb_us * kb;
+            bool any_put = false;
+            shard_cost_scratch_.assign(executor_.lane_count(), 0);
+            for (const auto& op : batch.ops) {
+              std::visit(
+                  [&](const auto& o) {
+                    using O = std::decay_t<decltype(o)>;
+                    if constexpr (std::is_same_v<O, net::PutRequest>) {
+                      any_put = true;
+                      double cost = c.put_us;
+                      if (o.mode == net::PutMode::kMav) {
+                        cost += c.mav_extra_put_us;
+                        cost += c.mav_metadata_per_kb_us *
+                                static_cast<double>(o.write.SibBytes()) /
+                                1024.0;
+                        if (c.pending_contention_scale > 0) {
+                          cost *= 1.0 +
+                                  static_cast<double>(
+                                      mav_.PendingWriteCount()) /
+                                      c.pending_contention_scale;
+                        }
+                      }
+                      shard_cost_scratch_[LaneOf(o.write.key)] += cost;
+                    } else {
+                      shard_cost_scratch_[LaneOf(o.key)] += c.get_us;
+                    }
+                  },
+                  op);
+            }
+            if (options_.durable && any_put) overhead += c.wal_sync_us;
+            add(global, overhead);
+            for (size_t lane = 0; lane < shard_cost_scratch_.size(); lane++) {
+              if (shard_cost_scratch_[lane] > 0) {
+                add(lane, shard_cost_scratch_[lane]);
+              }
+            }
+          },
           [&](const net::LockRequest&) {
             add(global, c.lock_us + c.per_kb_us * kb);
           },
@@ -331,6 +387,9 @@ const std::vector<ShardExecutor::Work>& ReplicaServer::PlanFor(
           [&](const net::ScanResponse&) { never("ScanResponse"); },
           [&](const net::LockResponse&) { never("LockResponse"); },
           [&](const net::ShardSnapshotAck&) { never("ShardSnapshotAck"); },
+          [&](const net::ClientBatchResponse&) {
+            never("ClientBatchResponse");
+          },
       },
       msg);
   return plan_scratch_;
@@ -349,10 +408,15 @@ void ReplicaServer::Process(const Envelope& env) {
     HandleScan(env);
   } else if (std::holds_alternative<net::PutRequest>(env.msg)) {
     HandlePut(env);
+  } else if (std::holds_alternative<net::ClientBatchRequest>(env.msg)) {
+    HandleClientBatch(env);
   } else if (const auto* notify = std::get_if<net::NotifyRequest>(&env.msg)) {
     mav_.HandleNotify(*notify);
   } else if (const auto* batch = std::get_if<net::AntiEntropyBatch>(&env.msg)) {
-    anti_entropy_.HandleBatch(*batch, env.from);
+    // All of a batch's installs share one durable group commit (matching
+    // the single wal_sync_us the cost table charges the batch).
+    persistence_.GroupCommit(
+        [&]() { anti_entropy_.HandleBatch(*batch, env.from); });
   } else if (const auto* ack = std::get_if<net::AntiEntropyAck>(&env.msg)) {
     anti_entropy_.HandleAck(*ack);
   } else if (const auto* digest = std::get_if<net::DigestRequest>(&env.msg)) {
@@ -378,8 +442,7 @@ void ReplicaServer::Process(const Envelope& env) {
 // Reads
 // --------------------------------------------------------------------------
 
-void ReplicaServer::HandleGet(const Envelope& env) {
-  const auto& req = std::get<net::GetRequest>(env.msg);
+net::GetResponse ReplicaServer::DoGet(const net::GetRequest& req) {
   stats_.gets++;
   net::GetResponse resp;
 
@@ -388,8 +451,7 @@ void ReplicaServer::HandleGet(const Envelope& env) {
     // stale-epoch client must refresh its routing and retry at the owner.
     stats_.wrong_shard_replies++;
     resp.code = net::GetCode::kWrongShard;
-    Reply(env, std::move(resp));
-    return;
+    return resp;
   }
 
   auto fill = [&resp](const ReadVersion& rv) {
@@ -402,8 +464,7 @@ void ReplicaServer::HandleGet(const Envelope& env) {
 
   if (!req.required) {
     fill(good_.Read(req.key, req.bound));
-    Reply(env, std::move(resp));
-    return;
+    return resp;
   }
 
   // Appendix B GET(k, ts_required): prefer a good version at or above the
@@ -412,8 +473,7 @@ void ReplicaServer::HandleGet(const Envelope& env) {
   auto latest_good = good_.LatestTimestamp(req.key);
   if (latest_good && *latest_good >= *req.required) {
     fill(good_.Read(req.key, req.bound));
-    Reply(env, std::move(resp));
-    return;
+    return resp;
   }
   if (const WriteRecord* w = mav_.PendingVersion(req.key, *req.required)) {
     resp.found = true;
@@ -421,12 +481,15 @@ void ReplicaServer::HandleGet(const Envelope& env) {
     resp.ts = w->ts;
     resp.sibs = w->sibs;
     resp.deps = w->deps;
-    Reply(env, std::move(resp));
-    return;
+    return resp;
   }
   stats_.gets_not_yet++;
   resp.code = net::GetCode::kNotYet;
-  Reply(env, std::move(resp));
+  return resp;
+}
+
+void ReplicaServer::HandleGet(const Envelope& env) {
+  Reply(env, DoGet(std::get<net::GetRequest>(env.msg)));
 }
 
 void ReplicaServer::HandleScan(const Envelope& env) {
@@ -484,20 +547,51 @@ void ReplicaServer::HandleScan(const Envelope& env) {
 // Writes
 // --------------------------------------------------------------------------
 
-void ReplicaServer::HandlePut(const Envelope& env) {
-  const auto& req = std::get<net::PutRequest>(env.msg);
+net::PutResponse ReplicaServer::DoPut(const net::PutRequest& req) {
   stats_.puts++;
   if (!ServesKey(req.write.key)) {
     stats_.wrong_shard_replies++;
-    Reply(env, net::PutResponse{false, /*wrong_shard=*/true});
-    return;
+    return net::PutResponse{false, /*wrong_shard=*/true};
   }
   if (req.mode == net::PutMode::kEventual) {
     InstallEventual(req.write, /*gossip=*/true);
   } else {
     mav_.Install(req.write, /*gossip=*/true);
   }
-  Reply(env, net::PutResponse{true});
+  return net::PutResponse{true};
+}
+
+void ReplicaServer::HandlePut(const Envelope& env) {
+  Reply(env, DoPut(std::get<net::PutRequest>(env.msg)));
+}
+
+void ReplicaServer::HandleClientBatch(const Envelope& env) {
+  // Ops execute in arrival order through the same DoGet/DoPut paths as
+  // plain RPCs (stats, wrong-shard detection, gossip, session guarantees
+  // all identical); one reply carries every op's response, parallel to the
+  // request's op list, and the client demuxes back to per-op callbacks.
+  const auto& req = std::get<net::ClientBatchRequest>(env.msg);
+  stats_.client_batches++;
+  stats_.client_batch_ops += req.ops.size();
+  net::ClientBatchResponse resp;
+  resp.replies.reserve(req.ops.size());
+  // One durable group commit spans every install in the envelope (matching
+  // the single wal_sync_us the cost table charges the batch).
+  persistence_.GroupCommit([&]() {
+    for (const auto& op : req.ops) {
+      std::visit(
+          [&](const auto& o) {
+            using O = std::decay_t<decltype(o)>;
+            if constexpr (std::is_same_v<O, net::PutRequest>) {
+              resp.replies.emplace_back(DoPut(o));
+            } else {
+              resp.replies.emplace_back(DoGet(o));
+            }
+          },
+          op);
+    }
+  });
+  Reply(env, std::move(resp));
 }
 
 bool ReplicaServer::InstallEventual(const WriteRecord& w, bool gossip,

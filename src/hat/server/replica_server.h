@@ -129,6 +129,14 @@ struct ServerOptions {
   bool gc_stale_pending = true;
   /// Max writes per anti-entropy batch.
   size_t ae_batch_max = 64;
+  /// Key anti-entropy outboxes by (peer, logical shard): batches become
+  /// shard-homogeneous and carry a shard tag, so the receiving server
+  /// charges the batch header and the persistence group commit to the
+  /// owning shard's executor lane instead of the global lane — only
+  /// cross-shard control traffic (round-0 digests, locks, MAV notifies)
+  /// stays global. Off by default: untagged batches keep the legacy wire
+  /// format and lane charging byte-identical.
+  bool ae_shard_lane_batching = false;
   /// Garbage-collect old versions beyond this many per key (0 = unlimited).
   /// Old versions fold into a single base Put, preserving visible values
   /// (Section 5.1.2: "older versions can be asynchronously garbage
@@ -153,6 +161,18 @@ struct ServerStats {
   uint64_t ae_batches_in = 0;
   uint64_t ae_records_in = 0;
   uint64_t ae_records_out = 0;
+  uint64_t ae_batches_out = 0;      ///< push batches sent (first sends)
+  uint64_t ae_retransmits = 0;      ///< unacked batches re-sent (backoff)
+  uint64_t ae_dupes_suppressed = 0; ///< retransmit dupes dropped by dedupe
+  uint64_t ae_dedupe_rotations = 0; ///< applied-batch set generation flips
+  /// Shard-tagged anti-entropy batches whose header + group commit were
+  /// charged to the owning shard's lane (vs. the global lane) — the
+  /// amortization signal of shard-lane batching.
+  uint64_t ae_shard_lane_batches = 0;
+  /// Client envelope batches executed, and the operations they carried
+  /// (client_batch_ops / client_batches = achieved group-commit factor).
+  uint64_t client_batches = 0;
+  uint64_t client_batch_ops = 0;
   uint64_t ae_digest_ticks = 0;
   uint64_t ae_digest_entries_out = 0;  ///< per-key digest entries shipped
   uint64_t ae_digest_bytes_out = 0;    ///< digest-protocol wire bytes sent
@@ -271,6 +291,12 @@ class ReplicaServer : public net::RpcNode {
   void HandleGet(const net::Envelope& env);
   void HandleScan(const net::Envelope& env);
   void HandlePut(const net::Envelope& env);
+  void HandleClientBatch(const net::Envelope& env);
+
+  /// Single-operation execution, shared by the plain RPC handlers and the
+  /// batched envelope path so both count stats and route identically.
+  net::GetResponse DoGet(const net::GetRequest& req);
+  net::PutResponse DoPut(const net::PutRequest& req);
 
   /// True when this server currently serves client operations on `key`: it
   /// owns the key's logical shard and the shard is not a migration staging

@@ -31,6 +31,10 @@ struct ServiceCosts {
   /// network bandwidth", Section 6.3). Drives Figure 4's MAV decay.
   double mav_metadata_per_kb_us = 60;
   double notify_us = 2;          ///< MAV pending-stable ack (batched)
+  /// Per-envelope overhead of a batched client request (parse + demux).
+  /// Each op inside still pays its full get/put cost; the batch amortizes
+  /// this header and the WAL group commit across its ops.
+  double client_batch_us = 10;
   double ae_record_us = 20;      ///< applying one anti-entropy record
   double ae_batch_us = 15;       ///< per-batch overhead (amortized by batching)
   double lock_us = 10;           ///< lock table operation

@@ -95,7 +95,9 @@ Result<std::unique_ptr<LocalStore>> LocalStore::Open(
 Status LocalStore::Write(std::string_view key,
                          std::optional<std::string_view> value) {
   HAT_RETURN_IF_ERROR(wal_->Append(EncodeWalRecord(key, value)));
-  if (options_.sync_writes) HAT_RETURN_IF_ERROR(wal_->Sync());
+  if (options_.sync_writes && group_depth_ == 0) {
+    HAT_RETURN_IF_ERROR(wal_->Sync());
+  }
   if (value) {
     memtable_[std::string(key)] = std::string(*value);
     memtable_bytes_ += key.size() + value->size();
@@ -109,6 +111,21 @@ Status LocalStore::Write(std::string_view key,
 Status LocalStore::Put(std::string_view key, std::string_view value) {
   stats_.puts++;
   return Write(key, value);
+}
+
+Status LocalStore::GroupCommit(const std::function<Status()>& fn) {
+  group_depth_++;
+  Status status = fn();
+  group_depth_--;
+  // One trailing durability point for the whole scope; the outermost scope
+  // syncs even after a failed body so whatever prefix was appended is
+  // durable (matching the per-write discipline's partial-failure state).
+  if (group_depth_ == 0 && options_.sync_writes) {
+    Status sync = wal_->Sync();
+    if (status.ok()) status = sync;
+    stats_.group_commits++;
+  }
+  return status;
 }
 
 Status LocalStore::Delete(std::string_view key) {

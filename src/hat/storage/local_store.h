@@ -41,6 +41,9 @@ struct LocalStoreStats {
   uint64_t flushes = 0;
   uint64_t compactions = 0;
   uint64_t wal_records_replayed = 0;
+  /// GroupCommit scopes completed (each replaced its writes' individual
+  /// WAL syncs with one trailing sync).
+  uint64_t group_commits = 0;
 };
 
 class LocalStore {
@@ -62,6 +65,14 @@ class LocalStore {
   /// Forces the memtable to a sorted run.
   Status Flush();
 
+  /// Runs `fn` with per-write WAL syncs suppressed, then syncs the WAL once
+  /// — the group-commit discipline: a batch of writes pays one durability
+  /// point instead of one per record. Crash semantics are those of one
+  /// atomic-prefix append: a crash mid-scope loses a suffix of the batch
+  /// (torn-record replay), exactly as individual syncs could lose unsynced
+  /// writes. Nestable (inner scopes defer to the outermost sync).
+  Status GroupCommit(const std::function<Status()>& fn);
+
   /// Merges all runs (and drops tombstones shadowing nothing).
   Status Compact();
 
@@ -82,6 +93,8 @@ class LocalStore {
   // memtable: nullopt value = tombstone.
   std::map<std::string, std::optional<std::string>, std::less<>> memtable_;
   size_t memtable_bytes_ = 0;
+  /// Nesting depth of active GroupCommit scopes (0 = sync per write).
+  size_t group_depth_ = 0;
   std::vector<TableReader> runs_;  // oldest first
   uint64_t next_run_number_ = 1;
   mutable LocalStoreStats stats_;  // gets counted from const reads

@@ -375,5 +375,70 @@ TEST_F(ClientTest, StickyClientBlocksRatherThanFailOver) {
   c.Abort();
 }
 
+TEST_F(ClientTest, BatchedCommitCoalescesPutsAndPreservesReplies) {
+  Build();
+  ClientOptions opts;
+  opts.batch_max = 8;
+  auto writer = Client(opts);
+  auto reader = Client();
+  writer.Begin();
+  // 16 keys across 5 servers: the commit's parallel puts must coalesce at
+  // least one multi-op envelope per server.
+  for (int i = 0; i < 16; i++) {
+    writer.Write("bk" + std::to_string(i), "v" + std::to_string(i));
+  }
+  ASSERT_TRUE(writer.Commit().ok());
+  const auto& cs = writer.underlying().stats();
+  EXPECT_GT(cs.batches_sent, 0u);
+  EXPECT_GT(cs.batched_ops, cs.batches_sent)
+      << "a batch is only counted when it carries more than one op";
+  EXPECT_GT(deployment_->TotalServerStats().client_batches, 0u);
+  Settle();
+  // Per-op reply semantics survived the demux: every write is durable and
+  // readable with its own value.
+  reader.Begin();
+  for (int i = 0; i < 16; i++) {
+    auto rv = reader.Read("bk" + std::to_string(i));
+    ASSERT_TRUE(rv.ok());
+    ASSERT_TRUE(rv->found) << "bk" << i;
+    EXPECT_EQ(rv->value, "v" + std::to_string(i));
+  }
+  ASSERT_TRUE(reader.Commit().ok());
+}
+
+TEST_F(ClientTest, BatchingDisabledByDefaultSendsPlainOps) {
+  Build();
+  auto c = Client();  // batch_max = 1
+  c.Begin();
+  for (int i = 0; i < 8; i++) {
+    c.Write("k" + std::to_string(i), "v");
+  }
+  ASSERT_TRUE(c.Commit().ok());
+  EXPECT_EQ(c.underlying().stats().batches_sent, 0u);
+  EXPECT_EQ(deployment_->TotalServerStats().client_batches, 0u);
+}
+
+TEST_F(ClientTest, BatchedQuorumCommitStillReachesAllReplicas) {
+  Build();
+  ClientOptions opts;
+  opts.mode = SystemMode::kQuorum;
+  opts.batch_max = 8;
+  auto writer = Client(opts);
+  writer.Begin();
+  for (int i = 0; i < 8; i++) {
+    writer.Write("qk" + std::to_string(i), "qv" + std::to_string(i));
+  }
+  ASSERT_TRUE(writer.Commit().ok());
+  auto reader = Client(opts);
+  reader.Begin();
+  for (int i = 0; i < 8; i++) {
+    auto rv = reader.Read("qk" + std::to_string(i));
+    ASSERT_TRUE(rv.ok());
+    ASSERT_TRUE(rv->found) << "qk" << i;
+    EXPECT_EQ(rv->value, "qv" + std::to_string(i));
+  }
+  ASSERT_TRUE(reader.Commit().ok());
+}
+
 }  // namespace
 }  // namespace hat::client

@@ -559,5 +559,76 @@ TEST_F(ServerTest, CrashLosesVolatileState) {
   EXPECT_TRUE(deployment_->server(r1).good().Contains("k", {80, 7}));
 }
 
+// ------------------------------ batched wire path -------------------------
+
+TEST_F(ServerTest, ClientBatchAnswersEachOpInOrder) {
+  Build();
+  net::NodeId replica = deployment_->ReplicaInCluster("k", 0);
+  net::ClientBatchRequest batch;
+  net::PutRequest put;
+  put.write = MakeWrite("k", "v", 10);
+  put.mode = net::PutMode::kEventual;
+  batch.ops.push_back(put);
+  net::GetRequest get;
+  get.key = "k";
+  batch.ops.push_back(get);
+  net::GetRequest miss;
+  miss.key = "k";  // same key, but requiring a version the put didn't install
+  miss.required = Timestamp{99, 7};
+  batch.ops.push_back(miss);
+  auto resp = probe_->CallSync(replica, batch);
+  ASSERT_TRUE(resp.ok());
+  const auto& r = std::get<net::ClientBatchResponse>(*resp);
+  ASSERT_EQ(r.replies.size(), 3u);
+  // Replies are positional and ops apply in order: the get observes the
+  // batch's own preceding put.
+  EXPECT_TRUE(std::get<net::PutResponse>(r.replies[0]).ok);
+  const auto& g = std::get<net::GetResponse>(r.replies[1]);
+  EXPECT_TRUE(g.found);
+  EXPECT_EQ(g.value, "v");
+  EXPECT_EQ(std::get<net::GetResponse>(r.replies[2]).code,
+            net::GetCode::kNotYet);
+  const auto& stats = deployment_->server(replica).stats();
+  EXPECT_EQ(stats.client_batches, 1u);
+  EXPECT_EQ(stats.client_batch_ops, 3u);
+  EXPECT_EQ(stats.puts, 1u);
+  EXPECT_EQ(stats.gets, 2u);
+}
+
+TEST_F(ServerTest, ShardLaneBatchingChargesAeBatchesToShardLanes) {
+  sim_ = std::make_unique<sim::Simulation>(3);
+  DeploymentOptions opts;
+  opts.clusters = {{net::Region::kVirginia, 0}, {net::Region::kVirginia, 1}};
+  opts.servers_per_cluster = 2;
+  opts.server.durable = false;
+  opts.server.shards_per_server = 4;
+  opts.server.ae_shard_lane_batching = true;
+  deployment_ = std::make_unique<Deployment>(*sim_, opts);
+  net::NodeId probe_id = deployment_->network().topology().AddNode(
+      {net::Region::kVirginia, 0, 999});
+  probe_ = std::make_unique<Probe>(*sim_, deployment_->network(), probe_id);
+  for (int i = 0; i < 16; i++) {
+    Key key = "k" + std::to_string(i);
+    ASSERT_TRUE(Put(deployment_->ReplicaInCluster(key, 0),
+                    MakeWrite(key, "v", static_cast<uint64_t>(10 + i)),
+                    net::PutMode::kEventual));
+  }
+  Settle();
+  // Every push batch is shard-tagged and its receiver hosts the shard, so
+  // all of them were charged to shard lanes instead of the global lane.
+  const auto total = deployment_->TotalServerStats();
+  EXPECT_GT(total.ae_batches_in, 0u);
+  EXPECT_EQ(total.ae_shard_lane_batches, total.ae_batches_in);
+  // And the writes still converged.
+  for (int i = 0; i < 16; i++) {
+    Key key = "k" + std::to_string(i);
+    for (net::NodeId r : deployment_->ReplicasOf(key)) {
+      EXPECT_TRUE(deployment_->server(r).good().Contains(
+          key, {static_cast<uint64_t>(10 + i), 7}))
+          << key << " replica " << r;
+    }
+  }
+}
+
 }  // namespace
 }  // namespace hat::server
