@@ -121,19 +121,45 @@ int main() {
   hat::harness::Banner(
       "Figure 3D: client group commit (batch_max=8) vs unbatched, "
       "single datacenter, 1 server/cluster, RC");
+  // Four points on the batching/latency trade-off. A 200us wait window
+  // harvests more companions per envelope but, held unconditionally, adds
+  // its full length to every op issued against an idle server — the
+  // adaptive variant closes the envelope at instant-end whenever nothing is
+  // in flight to the target, so low-load latency must track the wait-0
+  // batcher while the wait-window coalescing survives under load.
+  struct Fig3dConfig {
+    const char* name;
+    bool batch;
+    hat::sim::Duration wait_us;
+    bool adaptive;
+  };
+  const Fig3dConfig configs[] = {
+      {"RC", false, 0, false},
+      {"RC+batch", true, 0, false},
+      {"RC+batch+wait", true, 200, false},
+      {"RC+batch+adaptive", true, 200, true},
+  };
   hat::harness::FigureSeries batched;
   batched.title = "Total throughput (1000 txns/s)";
   batched.x_label = "clients";
-  for (int n : clients) batched.x.push_back(n);
-  for (int on = 0; on <= 1; on++) {
-    std::vector<double> thr;
+  hat::harness::FigureSeries batched_lat;
+  batched_lat.title = "Average transaction latency (ms)";
+  batched_lat.x_label = "clients";
+  for (int n : clients) {
+    batched.x.push_back(n);
+    batched_lat.x.push_back(n);
+  }
+  for (const Fig3dConfig& cfg : configs) {
+    std::vector<double> thr, lat;
     for (int n : clients) {
       YcsbRun run;
       run.deployment = hat::cluster::DeploymentOptions::SingleDatacenter();
       run.deployment.servers_per_cluster = 1;
       run.client.isolation = hat::client::IsolationLevel::kReadCommitted;
-      if (on) {
+      if (cfg.batch) {
         run.client.batch_max = 8;
+        run.client.batch_max_wait_us = cfg.wait_us;
+        run.client.adaptive_batch_wait = cfg.adaptive;
         run.deployment.server.ae_shard_lane_batching = true;
       }
       run.workload = PaperYcsb();
@@ -141,12 +167,16 @@ int main() {
       run.measure = measure;
       auto result = run.Execute();
       thr.push_back(result.TxnsPerSecond() / 1000.0);
+      lat.push_back(result.txn_latency_ms.Mean());
       std::fflush(stdout);
     }
-    batched.series.emplace_back(on ? "RC+batch" : "RC", thr);
+    batched.series.emplace_back(cfg.name, thr);
+    batched_lat.series.emplace_back(cfg.name, lat);
   }
   batched.Print(stdout, 2);
+  batched_lat.Print(stdout, 3);
   json.Add("fig3d_batched_saturation_ktps", batched);
+  json.Add("fig3d_batched_latency_ms", batched_lat);
 
   if (const char* path = json.Flush()) {
     std::printf("\nWrote JSON throughput summary to %s\n", path);

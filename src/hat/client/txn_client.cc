@@ -208,13 +208,22 @@ void TxnClient::CallOp(net::NodeId target, net::Message msg,
     // events run in insertion order, so the flush fires after every op the
     // current synchronous burst enqueues (a commit's put loop, a quorum
     // fan-out) — batching them with zero added latency.
-    sim_.After(options_.batch_max_wait_us,
-               [this, target, gen = tb.gen]() {
-                 auto it = batcher_.find(target);
-                 if (it != batcher_.end() && it->second.gen == gen) {
-                   FlushBatch(target);
-                 }
-               });
+    sim::Duration wait = options_.batch_max_wait_us;
+    if (wait > 0 && options_.adaptive_batch_wait &&
+        inflight_envelopes_.find(target) == inflight_envelopes_.end()) {
+      // Idle lane: this client has nothing outstanding at the target, so no
+      // reply is due whose round-trip the wait could hide behind — holding
+      // the envelope would convert the wait window straight into latency.
+      // Close at instant-end (the synchronous burst still coalesces).
+      wait = 0;
+      stats_.adaptive_early_closes++;
+    }
+    sim_.After(wait, [this, target, gen = tb.gen]() {
+      auto it = batcher_.find(target);
+      if (it != batcher_.end() && it->second.gen == gen) {
+        FlushBatch(target);
+      }
+    });
   }
 }
 
@@ -227,11 +236,17 @@ void TxnClient::FlushBatch(net::NodeId target) {
   tb.gen++;
   tb.flush_scheduled = false;
 
+  inflight_envelopes_[target]++;
+
   if (ops.size() == 1) {
     // A lone op gains nothing from the envelope; send it plain (and skip
     // the server's batch-header charge).
     Call(target, std::move(ops.front().msg), ops.front().timeout,
-         std::move(ops.front().cb));
+         [this, target, cb = std::move(ops.front().cb)](
+             Status s, const net::Message* m) {
+           EnvelopeDone(target);
+           cb(s, m);
+         });
     return;
   }
 
@@ -252,7 +267,8 @@ void TxnClient::FlushBatch(net::NodeId target) {
   stats_.batches_sent++;
   stats_.batched_ops += ops.size();
   Call(target, std::move(req), timeout,
-       [cbs](Status s, const net::Message* m) {
+       [this, target, cbs](Status s, const net::Message* m) {
+         EnvelopeDone(target);
          // Demux: reply i belongs to op i. Each saved callback sees exactly
          // the (Status, Message*) a plain Call would have produced, so the
          // per-op retry and session logic upstream is unchanged.

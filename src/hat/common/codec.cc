@@ -21,19 +21,30 @@ void PutVarint64(std::string* dst, uint64_t v) {
 namespace {
 template <typename T, int kMaxBytes>
 std::optional<T> GetVarintImpl(std::string_view* input) {
+  constexpr int kBits = static_cast<int>(sizeof(T)) * 8;
   T result = 0;
   int shift = 0;
-  size_t i = 0;
-  for (; i < input->size() && i < kMaxBytes; i++) {
-    unsigned char byte = static_cast<unsigned char>((*input)[i]);
-    result |= static_cast<T>(byte & 0x7f) << shift;
+  const size_t limit =
+      input->size() < static_cast<size_t>(kMaxBytes) ? input->size()
+                                                     : kMaxBytes;
+  for (size_t i = 0; i < limit; i++) {
+    const unsigned char byte = static_cast<unsigned char>((*input)[i]);
     if (!(byte & 0x80)) {
+      // Final byte. Strict decoding: reject overlong encodings — trailing
+      // zero padding (a canonical encoding never ends in a 0x00 group) and
+      // final-byte bits past the integer width (they would be shifted out
+      // silently, aliasing distinct inputs onto one value).
+      if (i > 0 && byte == 0) return std::nullopt;
+      if (kBits - shift < 7 && (byte >> (kBits - shift)) != 0) {
+        return std::nullopt;
+      }
       input->remove_prefix(i + 1);
-      return result;
+      return result | static_cast<T>(byte & 0x7f) << shift;
     }
+    result |= static_cast<T>(byte & 0x7f) << shift;
     shift += 7;
   }
-  return std::nullopt;  // truncated or overlong
+  return std::nullopt;  // truncated, or more continuation bytes than fit
 }
 }  // namespace
 
@@ -56,6 +67,39 @@ std::optional<std::string_view> GetLengthPrefixed(std::string_view* input) {
   std::string_view out = input->substr(0, *len);
   input->remove_prefix(*len);
   return out;
+}
+
+void PutVarint32Array(std::string* dst, const uint32_t* v, size_t n) {
+  PutVarint32(dst, static_cast<uint32_t>(n));
+  for (size_t i = 0; i < n; i++) PutVarint32(dst, v[i]);
+}
+
+bool GetVarint32Array(std::string_view* input, std::vector<uint32_t>* out) {
+  auto n = GetVarint32(input);
+  if (!n || *n > input->size()) return false;  // each element is >= 1 byte
+  out->reserve(out->size() + *n);
+  for (uint32_t i = 0; i < *n; i++) {
+    auto v = GetVarint32(input);
+    if (!v) return false;
+    out->push_back(*v);
+  }
+  return true;
+}
+
+void PutFixed64Array(std::string* dst, const uint64_t* v, size_t n) {
+  PutVarint32(dst, static_cast<uint32_t>(n));
+  for (size_t i = 0; i < n; i++) PutFixed64(dst, v[i]);
+}
+
+bool GetFixed64Array(std::string_view* input, std::vector<uint64_t>* out) {
+  auto n = GetVarint32(input);
+  if (!n || *n > input->size() / 8) return false;
+  out->reserve(out->size() + *n);
+  for (uint32_t i = 0; i < *n; i++) {
+    out->push_back(DecodeFixed64(input->data()));
+    input->remove_prefix(8);
+  }
+  return true;
 }
 
 std::string EncodeInt64Value(int64_t v) {

@@ -9,6 +9,7 @@
 #include <optional>
 #include <string>
 #include <string_view>
+#include <vector>
 
 namespace hat {
 
@@ -41,13 +42,38 @@ void PutVarint32(std::string* dst, uint32_t v);
 void PutVarint64(std::string* dst, uint64_t v);
 
 /// Parses a varint from the front of *input, advancing it. Returns
-/// std::nullopt on truncated/overlong input.
+/// std::nullopt on truncated or overlong input. These primitives are
+/// wire-facing (net::Codec frames cross trust boundaries), so decoding is
+/// strict: encodings longer than the value needs (trailing zero padding such
+/// as 80 00 for 0), encodings whose final byte carries bits beyond the
+/// integer width, and runs of more than 5 (32-bit) / 10 (64-bit) bytes are
+/// all rejected — every value has exactly one accepted encoding, the one
+/// PutVarint produces.
 std::optional<uint32_t> GetVarint32(std::string_view* input);
 std::optional<uint64_t> GetVarint64(std::string_view* input);
+
+/// Encoded length of a varint64 (varint32 embeds identically).
+inline constexpr size_t VarintLength(uint64_t v) {
+  size_t n = 1;
+  while (v >= 0x80) {
+    v >>= 7;
+    n++;
+  }
+  return n;
+}
 
 /// Length-prefixed string (varint32 length + bytes).
 void PutLengthPrefixed(std::string* dst, std::string_view s);
 std::optional<std::string_view> GetLengthPrefixed(std::string_view* input);
+
+/// Varint-count-prefixed arrays, the aggregate primitives of the wire codec:
+/// small integers (shard ids, digest bucket indices) as varints, full-entropy
+/// 64-bit words (digest hashes) as fixed64. Get* appends onto *out and
+/// rejects counts larger than the remaining input could possibly hold.
+void PutVarint32Array(std::string* dst, const uint32_t* v, size_t n);
+bool GetVarint32Array(std::string_view* input, std::vector<uint32_t>* out);
+void PutFixed64Array(std::string* dst, const uint64_t* v, size_t n);
+bool GetFixed64Array(std::string_view* input, std::vector<uint64_t>* out);
 
 /// Encodes an int64 counter value as an 8-byte string (used for Delta
 /// writes); DecodeInt64Value tolerates non-numeric payloads by returning

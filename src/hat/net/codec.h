@@ -1,0 +1,244 @@
+// net::codec — the binary wire format for Envelope and every Message
+// alternative: the byte layer under the (future) socket transport, and the
+// single source of truth for WireBytes() byte accounting today.
+//
+// Frame layout (all integers little-endian):
+//
+//   offset  size  field
+//   0       4     fixed32  payload length N (everything after the CRC)
+//   4       4     fixed32  masked CRC-32C over the payload
+//   8       1     u8       message type tag (one per Message alternative)
+//   9       1     u8       flags (bit 0: is_response; other bits reserved,
+//                          rejected on decode)
+//   10      4     fixed32  from (NodeId)
+//   14      4     fixed32  to (NodeId)
+//   18      8     fixed64  rpc_id
+//   26      N-18  body     per-alternative field encoding
+//
+// Body encodings use the common/codec primitives: length-prefixed byte
+// strings for keys/values, varints for counts/ids/timestamps, fixed64 for
+// full-entropy digest hashes. Each alternative's field list is written once
+// (VisitFields in codec.cc); the size-only pass, the encoder, and the
+// owning decoder interpret the same list, so the three cannot drift — and
+// dispatch is an exhaustive std::visit, so adding a Message alternative
+// without a codec entry fails the build.
+//
+// Encode appends complete frames into a caller-owned buffer that is reused
+// across a batch: the hot path performs no allocation beyond the buffer's
+// amortized growth (asserted by bench_codec's allocation counter).
+//
+// Decode never trusts the input: truncated frames, bad CRCs, unknown tags,
+// out-of-range enum bytes, overlong varints, and trailing garbage are all
+// rejected (never a crash, never a partially-applied message). Two decode
+// flavours exist:
+//   - owning: DecodeEnvelope / DecodePayload materialize a full Envelope
+//     (strings copied) for handlers that outlive the receive buffer;
+//   - zero-copy: the *View structs slice string_views directly out of the
+//     frame for the record-carrying hot-path messages (anti-entropy batches,
+//     snapshot chunks), so applying a batch touches each key/value byte
+//     range in place without materializing std::strings.
+
+#ifndef HAT_NET_CODEC_H_
+#define HAT_NET_CODEC_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "hat/common/codec.h"
+#include "hat/net/message.h"
+#include "hat/version/types.h"
+
+namespace hat::net::codec {
+
+/// Frame header: length + masked CRC.
+inline constexpr size_t kFrameHeaderBytes = 8;
+/// Envelope header inside the payload: tag, flags, from, to, rpc_id.
+inline constexpr size_t kEnvelopeHeaderBytes = 18;
+/// Fixed per-message overhead: frame header + envelope header.
+inline constexpr size_t kFrameOverheadBytes =
+    kFrameHeaderBytes + kEnvelopeHeaderBytes;
+/// Upper bound on the payload length field; larger values are rejected
+/// before any allocation (a corrupt length must not OOM the receiver).
+inline constexpr size_t kMaxFramePayloadBytes = size_t{1} << 30;
+
+// --------------------------------------------------------------------------
+// Encode
+// --------------------------------------------------------------------------
+
+/// Size-only pass over the body field list: the exact number of body bytes
+/// EncodeEnvelope will produce for `msg`. WireBytes() = this + overhead.
+size_t EncodedBodySize(const Message& msg);
+
+/// Exact encoded size of one WriteRecord as embedded in a batch body —
+/// WriteRecordWireBytes() without constructing a Message (batch builders
+/// call this per candidate record while packing against a byte cap).
+size_t EncodedWriteRecordSize(const WriteRecord& w);
+
+/// Exact total frame size EncodeEnvelope appends for `env`.
+inline size_t EncodedFrameSize(const Envelope& env) {
+  return kFrameOverheadBytes + EncodedBodySize(env.msg);
+}
+
+/// Appends one complete frame to *buf. The buffer is caller-owned and meant
+/// to be reused across a batch of messages (clear() keeps capacity), so the
+/// steady-state encode path allocates nothing.
+void EncodeEnvelope(const Envelope& env, std::string* buf);
+
+/// Wire type tag of the active alternative (for logging/tests).
+uint8_t MessageTag(const Message& msg);
+
+// --------------------------------------------------------------------------
+// Frame extraction (stream reassembly)
+// --------------------------------------------------------------------------
+
+enum class FrameStatus : uint8_t {
+  kOk = 0,
+  /// The stream does not yet hold a complete frame; read more bytes.
+  kNeedMore = 1,
+  /// Corrupt framing (impossible length or CRC mismatch); the connection
+  /// cannot be resynchronized and should be dropped.
+  kBad = 2,
+};
+
+/// Peels one frame off the front of *stream (as a TCP reader would): on kOk,
+/// *payload references the CRC-verified payload (tag..body) inside the
+/// stream's buffer and *stream advances past the frame. On kNeedMore /
+/// kBad, *stream is unchanged.
+FrameStatus ExtractFrame(std::string_view* stream, std::string_view* payload);
+
+/// Decoded envelope header of a payload.
+struct PayloadHeader {
+  uint8_t tag = 0;
+  bool is_response = false;
+  NodeId from = 0;
+  NodeId to = 0;
+  uint64_t rpc_id = 0;
+};
+
+/// Reads the envelope header off the front of *payload, advancing it to the
+/// body. False on truncation or reserved flag bits.
+bool GetPayloadHeader(std::string_view* payload, PayloadHeader* out);
+
+// --------------------------------------------------------------------------
+// Owning decode
+// --------------------------------------------------------------------------
+
+/// Decodes a CRC-verified payload (from ExtractFrame) into an owning
+/// Envelope. False on any malformation, including body bytes left over
+/// after the last field (overlong frames are rejected, not ignored).
+bool DecodePayload(std::string_view payload, Envelope* out);
+
+/// Convenience: `frame` holds exactly one complete frame (header + payload,
+/// no trailing bytes). The inverse of EncodeEnvelope on an empty buffer.
+bool DecodeEnvelope(std::string_view frame, Envelope* out);
+
+// --------------------------------------------------------------------------
+// Zero-copy decode views
+// --------------------------------------------------------------------------
+
+/// A replicated write decoded in place: key/value/metadata are string_view
+/// slices of the frame buffer, valid only while that buffer lives. ToOwned()
+/// is the materializing fallback for handlers that outlive the buffer.
+struct WriteRecordView {
+  std::string_view key;
+  std::string_view value;
+  WriteKind kind = WriteKind::kPut;
+  Timestamp ts;
+  uint32_t nsibs = 0;
+  uint32_t ndeps = 0;
+  /// Raw encoded sibling-key / dependency regions; iterate via ForEach*.
+  std::string_view sibs_raw;
+  std::string_view deps_raw;
+
+  /// f(std::string_view sib_key); false only on a corrupt region (already
+  /// length-checked by GetWriteRecordView, so false is unreachable for
+  /// views it produced).
+  template <typename F>
+  bool ForEachSib(F&& f) const {
+    std::string_view in = sibs_raw;
+    for (uint32_t i = 0; i < nsibs; i++) {
+      auto s = GetLengthPrefixed(&in);
+      if (!s) return false;
+      f(*s);
+    }
+    return true;
+  }
+
+  /// f(std::string_view dep_key, const Timestamp& floor).
+  template <typename F>
+  bool ForEachDep(F&& f) const {
+    std::string_view in = deps_raw;
+    for (uint32_t i = 0; i < ndeps; i++) {
+      auto k = GetLengthPrefixed(&in);
+      Timestamp ts_i;
+      if (!k || !GetTimestampWire(&in, &ts_i)) return false;
+      f(*k, ts_i);
+    }
+    return true;
+  }
+
+  WriteRecord ToOwned() const;
+
+  /// Parses one Timestamp in body encoding (exposed for ForEachDep).
+  static bool GetTimestampWire(std::string_view* in, Timestamp* out);
+};
+
+/// Parses one encoded WriteRecord off the front of *in without copying.
+bool GetWriteRecordView(std::string_view* in, WriteRecordView* out);
+
+/// Zero-copy AntiEntropyBatch: header fields decoded, records left as a raw
+/// slice iterated record-by-record.
+struct AntiEntropyBatchView {
+  uint64_t batch_id = 0;
+  PutMode mode = PutMode::kEventual;
+  uint32_t shard = kNoShardTag;
+  uint32_t nwrites = 0;
+  std::string_view writes_raw;
+
+  /// f(const WriteRecordView&). False if the record region is corrupt or
+  /// holds trailing bytes past the last record.
+  template <typename F>
+  bool ForEachWrite(F&& f) const {
+    std::string_view in = writes_raw;
+    WriteRecordView w;
+    for (uint32_t i = 0; i < nwrites; i++) {
+      if (!GetWriteRecordView(&in, &w)) return false;
+      f(w);
+    }
+    return in.empty();
+  }
+};
+
+/// Decodes a payload known (or hoped) to carry an AntiEntropyBatch. False
+/// if the tag names another alternative or the batch header is malformed.
+bool GetAntiEntropyBatchView(std::string_view payload, PayloadHeader* hdr,
+                             AntiEntropyBatchView* out);
+
+/// Zero-copy ShardSnapshotChunk (the bulk-migration stream).
+struct ShardSnapshotChunkView {
+  uint64_t migration_id = 0;
+  uint32_t shard = 0;
+  uint32_t seq = 0;
+  bool done = false;
+  uint32_t nwrites = 0;
+  std::string_view writes_raw;
+
+  template <typename F>
+  bool ForEachWrite(F&& f) const {
+    std::string_view in = writes_raw;
+    WriteRecordView w;
+    for (uint32_t i = 0; i < nwrites; i++) {
+      if (!GetWriteRecordView(&in, &w)) return false;
+      f(w);
+    }
+    return in.empty();
+  }
+};
+
+bool GetShardSnapshotChunkView(std::string_view payload, PayloadHeader* hdr,
+                               ShardSnapshotChunkView* out);
+
+}  // namespace hat::net::codec
+
+#endif  // HAT_NET_CODEC_H_

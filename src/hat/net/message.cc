@@ -1,101 +1,21 @@
 #include "hat/net/message.h"
 
+#include "hat/net/codec.h"
+
 namespace hat::net {
 
+// Both byte counts are single-sourced from the wire codec's size-only pass,
+// so service-cost accounting, batch byte caps (ae_batch_max_bytes), and the
+// bench byte series report exactly what EncodeEnvelope would put on a
+// socket — codec_test asserts WireBytes == encoded frame size for every
+// Message alternative.
+
 size_t WriteRecordWireBytes(const WriteRecord& w) {
-  return w.key.size() + w.value.size() + w.SibBytes() + 14;
+  return codec::EncodedWriteRecordSize(w);
 }
 
 size_t WireBytes(const Message& msg) {
-  constexpr size_t kHeader = 24;
-  return kHeader +
-         std::visit(
-             [](const auto& m) -> size_t {
-               using T = std::decay_t<decltype(m)>;
-               if constexpr (std::is_same_v<T, PutRequest>) {
-                 return WriteRecordWireBytes(m.write);
-               } else if constexpr (std::is_same_v<T, GetRequest>) {
-                 return m.key.size() + 14;
-               } else if constexpr (std::is_same_v<T, GetResponse>) {
-                 size_t sibs = 0;
-                 for (const auto& s : m.sibs) sibs += s.size() + 2;
-                 return m.value.size() + sibs + 16;
-               } else if constexpr (std::is_same_v<T, ScanRequest>) {
-                 return m.lo.size() + m.hi.size() + 14;
-               } else if constexpr (std::is_same_v<T, ScanResponse>) {
-                 size_t n = 0;
-                 for (const auto& it : m.items) {
-                   n += it.key.size() + it.value.size() + 16;
-                   for (const auto& s : it.sibs) n += s.size() + 2;
-                 }
-                 return n;
-               } else if constexpr (std::is_same_v<T, NotifyRequest>) {
-                 return 16;
-               } else if constexpr (std::is_same_v<T, DigestRequest>) {
-                 size_t n = 8 + 4 * m.buckets.size();
-                 for (const auto& [k, ts] : m.latest) n += k.size() + 18;
-                 return n;
-               } else if constexpr (std::is_same_v<T, BucketDigest>) {
-                 return 8 + 8 * m.hashes.size();
-               } else if constexpr (std::is_same_v<T, ShardDigest>) {
-                 return 4 + 8 * m.hashes.size() + 4 * m.shards.size();
-               } else if constexpr (std::is_same_v<T, ShardSnapshotRequest>) {
-                 return 12;
-               } else if constexpr (std::is_same_v<T, ShardSnapshotChunk>) {
-                 size_t n = 17;
-                 for (const auto& w : m.writes) n += WriteRecordWireBytes(w);
-                 return n;
-               } else if constexpr (std::is_same_v<T, ShardSnapshotAck>) {
-                 return 13;
-               } else if constexpr (std::is_same_v<T, AntiEntropyBatch>) {
-                 // The shard tag costs bytes only when set, keeping the
-                 // legacy (untagged) wire format byte-identical.
-                 size_t n = 8 + (m.shard == kNoShardTag ? 0 : 4);
-                 for (const auto& w : m.writes) n += WriteRecordWireBytes(w);
-                 return n;
-               } else if constexpr (std::is_same_v<T, ClientBatchRequest>) {
-                 size_t n = 4;
-                 for (const auto& op : m.ops) {
-                   n += std::visit(
-                       [](const auto& o) -> size_t {
-                         using O = std::decay_t<decltype(o)>;
-                         if constexpr (std::is_same_v<O, PutRequest>) {
-                           return WriteRecordWireBytes(o.write) + 1;
-                         } else {
-                           return o.key.size() + 15;
-                         }
-                       },
-                       op);
-                 }
-                 return n;
-               } else if constexpr (std::is_same_v<T, ClientBatchResponse>) {
-                 size_t n = 4;
-                 for (const auto& r : m.replies) {
-                   n += std::visit(
-                       [](const auto& o) -> size_t {
-                         using O = std::decay_t<decltype(o)>;
-                         if constexpr (std::is_same_v<O, PutResponse>) {
-                           return 3;
-                         } else {
-                           size_t sibs = 0;
-                           for (const auto& s : o.sibs) sibs += s.size() + 2;
-                           return o.value.size() + sibs + 17;
-                         }
-                       },
-                       r);
-                 }
-                 return n;
-               } else if constexpr (std::is_same_v<T, LockRequest>) {
-                 return m.key.size() + 16;
-               } else if constexpr (std::is_same_v<T, UnlockRequest>) {
-                 size_t n = 12;
-                 for (const auto& k : m.keys) n += k.size() + 2;
-                 return n;
-               } else {
-                 return 4;
-               }
-             },
-             msg);
+  return codec::kFrameOverheadBytes + codec::EncodedBodySize(msg);
 }
 
 }  // namespace hat::net

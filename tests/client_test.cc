@@ -418,6 +418,63 @@ TEST_F(ClientTest, BatchingDisabledByDefaultSendsPlainOps) {
   EXPECT_EQ(deployment_->TotalServerStats().client_batches, 0u);
 }
 
+TEST_F(ClientTest, AdaptiveBatchWaitClosesEnvelopeWhenLaneIdle) {
+  Build();
+  const sim::Duration kWait = 50 * sim::kMillisecond;
+
+  // Fixed wait window, idle server: a lone read eats the whole window.
+  ClientOptions fixed;
+  fixed.batch_max = 8;
+  fixed.batch_max_wait_us = kWait;
+  auto slow = Client(fixed);
+  slow.Begin();
+  sim::SimTime t0 = sim_->Now();
+  ASSERT_TRUE(slow.Read("k").ok());
+  EXPECT_GE(sim_->Now() - t0, kWait) << "fixed window adds its full length";
+  slow.Abort();
+
+  // Adaptive: nothing in flight to the target, so the envelope closes at
+  // instant-end and the read costs only the round trip.
+  ClientOptions adaptive = fixed;
+  adaptive.adaptive_batch_wait = true;
+  auto fast = Client(adaptive);
+  fast.Begin();
+  t0 = sim_->Now();
+  ASSERT_TRUE(fast.Read("k").ok());
+  EXPECT_LT(sim_->Now() - t0, kWait / 2) << "idle lane must not wait";
+  EXPECT_GT(fast.underlying().stats().adaptive_early_closes, 0u);
+  fast.Abort();
+}
+
+TEST_F(ClientTest, AdaptiveBatchWaitPreservesBatchedCommitSemantics) {
+  Build();
+  ClientOptions opts;
+  opts.batch_max = 8;
+  opts.batch_max_wait_us = 200;
+  opts.adaptive_batch_wait = true;
+  auto writer = Client(opts);
+  writer.Begin();
+  for (int i = 0; i < 16; i++) {
+    writer.Write("ak" + std::to_string(i), "av" + std::to_string(i));
+  }
+  ASSERT_TRUE(writer.Commit().ok());
+  // A commit's parallel puts are issued in one simulation instant, so the
+  // instant-end early close still coalesces them into multi-op envelopes.
+  const auto& cs = writer.underlying().stats();
+  EXPECT_GT(cs.batches_sent, 0u);
+  EXPECT_GT(cs.batched_ops, cs.batches_sent);
+  Settle();
+  auto reader = Client();
+  reader.Begin();
+  for (int i = 0; i < 16; i++) {
+    auto rv = reader.Read("ak" + std::to_string(i));
+    ASSERT_TRUE(rv.ok());
+    ASSERT_TRUE(rv->found) << "ak" << i;
+    EXPECT_EQ(rv->value, "av" + std::to_string(i));
+  }
+  ASSERT_TRUE(reader.Commit().ok());
+}
+
 TEST_F(ClientTest, BatchedQuorumCommitStillReachesAllReplicas) {
   Build();
   ClientOptions opts;

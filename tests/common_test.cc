@@ -340,6 +340,138 @@ TEST(CodecTest, Int64ValueRoundTrip) {
   }
 }
 
+// Wire-facing varint bounds: every 7-bit-group boundary (2^7k - 1, 2^7k)
+// round-trips with the expected canonical length, and the strict decoders
+// reject overlong (padded or out-of-width) and truncated encodings.
+
+TEST(CodecTest, Varint64AllGroupBoundaries) {
+  for (int k = 1; k <= 9; k++) {
+    const uint64_t edge = uint64_t{1} << (7 * k);
+    for (uint64_t v : {edge - 1, edge}) {
+      std::string s;
+      PutVarint64(&s, v);
+      EXPECT_EQ(s.size(), static_cast<size_t>(v < edge ? k : k + 1)) << v;
+      EXPECT_EQ(s.size(), VarintLength(v)) << v;
+      std::string_view in(s);
+      auto d = GetVarint64(&in);
+      ASSERT_TRUE(d.has_value()) << v;
+      EXPECT_EQ(*d, v);
+      EXPECT_TRUE(in.empty());
+    }
+  }
+  std::string s;
+  PutVarint64(&s, ~0ULL);
+  EXPECT_EQ(s.size(), 10u);
+  std::string_view in(s);
+  EXPECT_EQ(GetVarint64(&in), ~0ULL);
+}
+
+TEST(CodecTest, Varint32AllGroupBoundaries) {
+  for (int k = 1; k <= 4; k++) {
+    const uint64_t edge = uint64_t{1} << (7 * k);
+    for (uint64_t v64 : {edge - 1, edge}) {
+      const uint32_t v = static_cast<uint32_t>(v64);
+      std::string s;
+      PutVarint32(&s, v);
+      EXPECT_EQ(s.size(), VarintLength(v)) << v;
+      std::string_view in(s);
+      auto d = GetVarint32(&in);
+      ASSERT_TRUE(d.has_value()) << v;
+      EXPECT_EQ(*d, v);
+      EXPECT_TRUE(in.empty());
+    }
+  }
+  std::string s;
+  PutVarint32(&s, ~0u);
+  EXPECT_EQ(s.size(), 5u);
+  std::string_view in(s);
+  EXPECT_EQ(GetVarint32(&in), ~0u);
+}
+
+TEST(CodecTest, VarintRejectsOverlongPadding) {
+  // 0 encoded in two bytes (80 00), 1 in three (81 80 00): decodable values
+  // with non-canonical trailing zero groups must be rejected.
+  for (const std::string s :
+       {std::string("\x80\x00", 2), std::string("\x81\x80\x00", 3),
+        std::string("\xff\x00", 2)}) {
+    std::string_view in32(s), in64(s);
+    EXPECT_FALSE(GetVarint32(&in32).has_value());
+    EXPECT_FALSE(GetVarint64(&in64).has_value());
+  }
+}
+
+TEST(CodecTest, VarintRejectsOutOfWidthBits) {
+  // 5-byte 32-bit varint whose final byte sets bits 32+ (max legal is 0x0f).
+  std::string s("\xff\xff\xff\xff\x1f", 5);
+  std::string_view in(s);
+  EXPECT_FALSE(GetVarint32(&in).has_value());
+  std::string ok("\xff\xff\xff\xff\x0f", 5);
+  std::string_view in_ok(ok);
+  EXPECT_EQ(GetVarint32(&in_ok), ~0u);
+
+  // 10-byte 64-bit varint whose final byte sets bits 64+ (max legal 0x01).
+  std::string s64(10, '\xff');
+  s64[9] = '\x02';
+  std::string_view in64(s64);
+  EXPECT_FALSE(GetVarint64(&in64).has_value());
+  s64[9] = '\x01';
+  std::string_view in64_ok(s64);
+  EXPECT_EQ(GetVarint64(&in64_ok), ~0ULL);
+}
+
+TEST(CodecTest, VarintRejectsTruncationAtEveryLength) {
+  for (uint64_t v : {uint64_t{300}, uint64_t{1} << 21, uint64_t{1} << 42,
+                     ~uint64_t{0}}) {
+    std::string s;
+    PutVarint64(&s, v);
+    for (size_t cut = 0; cut < s.size(); cut++) {
+      std::string_view in(s.data(), cut);
+      EXPECT_FALSE(GetVarint64(&in).has_value()) << v << " cut " << cut;
+    }
+  }
+}
+
+TEST(CodecTest, VarintRejectsTooManyContinuations) {
+  std::string s(11, '\x80');  // 11 continuation bytes, never terminates
+  std::string_view in32(s), in64(s);
+  EXPECT_FALSE(GetVarint32(&in32).has_value());
+  EXPECT_FALSE(GetVarint64(&in64).has_value());
+}
+
+TEST(CodecTest, Varint32ArrayRoundTrip) {
+  std::vector<uint32_t> v = {0, 1, 127, 128, 1u << 20, ~0u};
+  std::string s;
+  PutVarint32Array(&s, v.data(), v.size());
+  std::string_view in(s);
+  std::vector<uint32_t> out;
+  ASSERT_TRUE(GetVarint32Array(&in, &out));
+  EXPECT_EQ(out, v);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodecTest, Fixed64ArrayRoundTrip) {
+  std::vector<uint64_t> v = {0, ~0ULL, 0x0123456789abcdefULL};
+  std::string s;
+  PutFixed64Array(&s, v.data(), v.size());
+  std::string_view in(s);
+  std::vector<uint64_t> out;
+  ASSERT_TRUE(GetFixed64Array(&in, &out));
+  EXPECT_EQ(out, v);
+  EXPECT_TRUE(in.empty());
+}
+
+TEST(CodecTest, ArraysRejectHostileCounts) {
+  std::string s;
+  PutVarint32(&s, 1000000);  // claims a million elements, provides none
+  std::string_view in32(s), in64(s);
+  std::vector<uint32_t> out32;
+  std::vector<uint64_t> out64;
+  EXPECT_FALSE(GetVarint32Array(&in32, &out32));
+  EXPECT_FALSE(GetFixed64Array(&in64, &out64));
+  EXPECT_TRUE(out32.empty());
+  EXPECT_TRUE(out64.empty());
+}
+
 TEST(CodecTest, Int64ValueRejectsWrongSize) {
   EXPECT_FALSE(DecodeInt64Value("short").has_value());
   EXPECT_FALSE(DecodeInt64Value("123456789").has_value());
