@@ -13,8 +13,53 @@
 #include "hat/cluster/deployment.h"
 #include "hat/harness/driver.h"
 #include "hat/harness/table.h"
+#include "hat/obs/export.h"
 
 namespace hat::bench {
+
+/// Observability knobs shared by the bench binaries. HAT_TRACE_OUT=<path>
+/// samples transactions and writes a Chrome trace-event JSON (load it at
+/// ui.perfetto.dev) at the end of the run; HAT_METRICS_OUT=<path> starts
+/// the registry sampler and writes its time series. Both default off — the
+/// default runs stay figure-identical to an uninstrumented build.
+inline const char* TraceOutPath() { return std::getenv("HAT_TRACE_OUT"); }
+inline const char* MetricsOutPath() { return std::getenv("HAT_METRICS_OUT"); }
+
+/// Applies the env knobs to a deployment; call before the run starts.
+/// `trace_sample_every` trades trace size for coverage (1 = every txn).
+inline void EnableObsFromEnv(cluster::Deployment& deployment,
+                             uint64_t trace_sample_every = 1) {
+  cluster::ObsConfig config;
+  config.tracing = TraceOutPath() != nullptr;
+  config.trace_sample_every = trace_sample_every;
+  config.sampling = MetricsOutPath() != nullptr;
+  if (config.tracing || config.sampling) {
+    deployment.EnableObservability(config);
+  }
+}
+
+/// Exports whatever the env knobs asked for; call after the run. `extra`
+/// carries bench-synthesized instant spans (e.g. the migration cutover).
+inline void ExportObsFromEnv(cluster::Deployment& deployment,
+                             const std::vector<obs::Span>& extra = {}) {
+  if (const char* path = TraceOutPath()) {
+    if (deployment.tracer() != nullptr &&
+        obs::WriteChromeTrace(path, deployment.tracer()->Spans(), {}, extra)) {
+      std::printf("Wrote Chrome trace to %s (%zu spans, %llu dropped)\n", path,
+                  deployment.tracer()->span_count(),
+                  static_cast<unsigned long long>(
+                      deployment.tracer()->dropped()));
+    }
+  }
+  if (const char* path = MetricsOutPath()) {
+    if (deployment.sampler() != nullptr &&
+        obs::WriteMetricsJson(path, *deployment.sampler())) {
+      std::printf("Wrote metrics series to %s (%zu metrics x %zu samples)\n",
+                  path, deployment.sampler()->registry().size(),
+                  deployment.sampler()->times().size());
+    }
+  }
+}
 
 /// One YCSB measurement at a fixed configuration. Builds a fresh
 /// deterministic deployment, preloads the keyspace, runs warmup + measure.

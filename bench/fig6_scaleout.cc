@@ -162,6 +162,7 @@ int MigrationSweep() {
   opts.server.digest_sync_interval = 250 * sim::kMillisecond;
   cluster::Deployment deployment(sim, opts);
   cluster::RebalanceCoordinator coordinator(deployment);
+  EnableObsFromEnv(deployment);
 
   workload::YcsbOptions wl = PaperYcsb();
   wl.num_keys = 5000;
@@ -313,6 +314,21 @@ int MigrationSweep() {
   if (const char* path = json.Flush()) {
     std::printf("Wrote JSON migration summary to %s\n", path);
   }
+
+  // Annotate the exported trace with the cutover instant the dip analysis
+  // above keys on, so the Perfetto timeline shows *why* the windows around
+  // it slowed down.
+  std::vector<obs::Span> extra;
+  if (stats.cutover_at != 0) {
+    obs::Span cut;
+    cut.kind = obs::SpanKind::kCutover;
+    cut.node = deployment.ServerId(0, from_slot);
+    cut.start_us = stats.cutover_at;
+    cut.end_us = stats.cutover_at;
+    cut.arg = moved_shard;
+    extra.push_back(cut);
+  }
+  ExportObsFromEnv(deployment, extra);
   return failures == 0 ? 0 : 1;
 }
 

@@ -1,0 +1,280 @@
+// Benchmarks and gates the observability layer (hat::obs).
+//
+// Three parts, all reported to stdout and (via HAT_BENCH_JSON) the CI
+// artifact:
+//   1. Tracing-off overhead gate: the ShardExecutor Submit/Book hot loop is
+//      timed with no tracer attached (the default every figure bench runs
+//      at) and with a tracer attached but disabled (the branch-only cost a
+//      deployment pays once EnableObservability has ever run). Thread CPU
+//      time, min over many interleaved chunks per configuration; the
+//      disabled configuration must stay within 2% of baseline or the
+//      process exits nonzero.
+//   2. A traced smoke run: a small two-cluster MAV deployment with tracing
+//      and sampling on, verifying the span tree and the exporters end to
+//      end (spans recorded, Chrome trace + metrics JSON written and
+//      non-trivial).
+//   3. Recording throughput: spans recorded per second into the ring buffer
+//      (the cost ceiling for sample_every = 1 tracing).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "hat/obs/export.h"
+#include "hat/obs/trace.h"
+#include "hat/server/shard_executor.h"
+
+namespace hat::bench {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double SecondsSince(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+// -------------------------------------------------------------------------
+// Part 1: tracing-off overhead on the ShardExecutor hot path
+// -------------------------------------------------------------------------
+
+/// Thread CPU time — immune to the wall-clock jitter a shared CI runner
+/// injects (scheduler preemption, noisy neighbours).
+double CpuNow() {
+  timespec ts;
+  clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+  return static_cast<double>(ts.tv_sec) +
+         static_cast<double>(ts.tv_nsec) * 1e-9;
+}
+
+/// One timed chunk: `n` submits spread across the lanes of a fresh
+/// executor, then a drain. Returns CPU seconds. `tracer` is attached first
+/// when non-null (disabled — the branch cost under measurement).
+double SubmitChunk(size_t n, obs::Tracer* tracer) {
+  sim::Simulation sim(7);
+  server::ShardExecutor::Options opts;
+  opts.shards = 8;
+  opts.cores = 4;
+  server::ShardExecutor exec(sim, opts);
+  if (tracer != nullptr) exec.set_tracer(tracer, /*node=*/0);
+  double t0 = CpuNow();
+  for (size_t i = 0; i < n; i++) {
+    exec.Submit(i % exec.lane_count(), 1.0, nullptr);
+  }
+  sim.Run();
+  return CpuNow() - t0;
+}
+
+int OverheadGate(JsonSummary& json) {
+  const size_t kChunkSubmits = 100000;
+  const int kChunks = QuickBench() ? 30 : 60;
+  const double kMaxOverhead = 0.02;
+
+  // Noise-robust statistic: many small chunks, strictly interleaved
+  // (alternating which configuration runs first) so load drift hits both
+  // equally, measured in thread CPU time, keeping the *minimum* chunk time
+  // per configuration. The minimum converges on the undisturbed cost —
+  // interference only ever adds time — so the ratio of minima isolates the
+  // real per-submit branch cost from scheduler jitter. Shared runners can
+  // still spike an entire measurement (frequency scaling hits CPU time
+  // too), so the gate allows up to kAttempts independent measurements and
+  // passes on the first clean one: a genuine regression fails every
+  // attempt, a transient spike cannot survive three.
+  const int kAttempts = 3;
+  obs::Tracer disabled_tracer;  // never enabled: pure branch cost
+  double base_mops = 0, disabled_mops = 0, overhead = 1e100;
+  harness::Banner("obs: tracing-off overhead on ShardExecutor Submit");
+  for (int attempt = 0; attempt < kAttempts && overhead > kMaxOverhead;
+       attempt++) {
+    double best_base = 1e100, best_disabled = 1e100;
+    for (int c = 0; c < kChunks; c++) {
+      if (c % 2 == 0) {
+        best_base = std::min(best_base, SubmitChunk(kChunkSubmits, nullptr));
+        best_disabled = std::min(best_disabled,
+                                 SubmitChunk(kChunkSubmits, &disabled_tracer));
+      } else {
+        best_disabled = std::min(best_disabled,
+                                 SubmitChunk(kChunkSubmits, &disabled_tracer));
+        best_base = std::min(best_base, SubmitChunk(kChunkSubmits, nullptr));
+      }
+    }
+    base_mops = static_cast<double>(kChunkSubmits) / best_base / 1e6;
+    disabled_mops = static_cast<double>(kChunkSubmits) / best_disabled / 1e6;
+    overhead = best_disabled / best_base - 1.0;
+    std::printf("  attempt %d: base %.2f Msubmits/s, disabled %.2f Msubmits/s"
+                " -> %+.2f%% (min of %d CPU-time chunks)\n",
+                attempt + 1, base_mops, disabled_mops, 100.0 * overhead,
+                kChunks);
+  }
+  std::printf("  overhead:             %+.2f%% (gate: <= %.0f%%)\n",
+              100.0 * overhead, 100.0 * kMaxOverhead);
+
+  harness::FigureSeries fig;
+  fig.title = "ShardExecutor submit throughput (Msubmits/s)";
+  fig.x = {0, 1};
+  fig.x_label = "0 = no tracer, 1 = attached but disabled";
+  fig.series.emplace_back("msubmits_per_s",
+                          std::vector<double>{base_mops, disabled_mops});
+  json.Add("obs_submit_overhead", fig);
+
+  if (overhead > kMaxOverhead) {
+    std::fprintf(stderr,
+                 "FAIL: disabled-tracing overhead %.2f%% exceeds %.0f%%\n",
+                 100.0 * overhead, 100.0 * kMaxOverhead);
+    return 1;
+  }
+  return 0;
+}
+
+// -------------------------------------------------------------------------
+// Part 2: traced + sampled smoke run through a real deployment
+// -------------------------------------------------------------------------
+
+int TracedSmokeRun(JsonSummary& json) {
+  sim::Simulation sim(42);
+  auto opts = cluster::DeploymentOptions::TwoRegions();
+  opts.servers_per_cluster = 2;
+  opts.server.shards_per_server = 2;
+  cluster::Deployment deployment(sim, opts);
+
+  cluster::ObsConfig obs_config;
+  obs_config.tracing = true;
+  obs_config.trace_sample_every = 1;
+  obs_config.sampling = true;
+  obs_config.sample_period = 10 * sim::kMillisecond;
+  deployment.EnableObservability(obs_config);
+
+  workload::YcsbOptions wl = PaperYcsb();
+  wl.num_keys = 500;
+  wl.value_size = 64;
+  client::ClientOptions copts;
+  copts.isolation = client::IsolationLevel::kMonotonicAtomicView;
+  harness::YcsbDriver driver(deployment, wl, copts, /*num_clients=*/8,
+                             /*seed=*/42 ^ 0x9e37);
+  driver.Preload();
+  harness::WorkloadResult result =
+      driver.Run(100 * sim::kMillisecond, 400 * sim::kMillisecond);
+
+  std::vector<obs::Span> spans = deployment.tracer()->Spans();
+  std::set<obs::SpanKind> kinds;
+  for (const obs::Span& s : spans) kinds.insert(s.kind);
+
+  harness::Banner("obs: traced MAV smoke run (2x2 servers, 8 clients)");
+  std::printf("  committed txns:  %llu\n  spans recorded:  %zu (%llu dropped)\n",
+              static_cast<unsigned long long>(result.committed), spans.size(),
+              static_cast<unsigned long long>(deployment.tracer()->dropped()));
+  std::printf("  span kinds seen: ");
+  for (obs::SpanKind k : kinds) std::printf("%s ", obs::SpanKindName(k));
+  std::printf("\n  metrics sampled: %zu metrics x %zu ticks\n",
+              deployment.sampler()->registry().size(),
+              deployment.sampler()->times().size());
+
+  int failures = 0;
+  auto require = [&](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "FAIL: %s\n", what);
+      failures++;
+    }
+  };
+  require(result.committed > 0, "smoke run committed no transactions");
+  require(!spans.empty(), "traced run recorded no spans");
+  require(kinds.count(obs::SpanKind::kTxn) != 0, "no kTxn root spans");
+  require(kinds.count(obs::SpanKind::kQueueWait) != 0, "no kQueueWait spans");
+  require(kinds.count(obs::SpanKind::kExecute) != 0, "no kExecute spans");
+  require(kinds.count(obs::SpanKind::kRpcFlight) != 0, "no kRpcFlight spans");
+  require(kinds.count(obs::SpanKind::kMavAckWait) != 0,
+          "no kMavAckWait spans (MAV fan-in untraced)");
+  for (const obs::Span& s : spans) {
+    if (s.end_us < s.start_us) {
+      require(false, "span with end_us < start_us");
+      break;
+    }
+  }
+  require(deployment.sampler()->times().size() >= 10,
+          "sampler recorded fewer ticks than the run length implies");
+
+  // Exporters must produce loadable output. Default paths land in the CWD
+  // (the CI perf job uploads them); HAT_TRACE_OUT/HAT_METRICS_OUT override.
+  const char* trace_path = TraceOutPath();
+  const char* metrics_path = MetricsOutPath();
+  std::string trace_out = trace_path ? trace_path : "obs_smoke_trace.json";
+  std::string metrics_out =
+      metrics_path ? metrics_path : "obs_smoke_metrics.json";
+  require(obs::WriteChromeTrace(trace_out, spans),
+          "WriteChromeTrace failed");
+  require(obs::WriteMetricsJson(metrics_out, *deployment.sampler()),
+          "WriteMetricsJson failed");
+  std::printf("  wrote %s and %s\n", trace_out.c_str(), metrics_out.c_str());
+
+  harness::FigureSeries fig;
+  fig.title = "Traced smoke run";
+  fig.x = {0};
+  fig.series.emplace_back(
+      "spans", std::vector<double>{static_cast<double>(spans.size())});
+  fig.series.emplace_back(
+      "span_kinds", std::vector<double>{static_cast<double>(kinds.size())});
+  fig.series.emplace_back(
+      "committed_txns",
+      std::vector<double>{static_cast<double>(result.committed)});
+  json.Add("obs_trace_smoke", fig);
+  return failures;
+}
+
+// -------------------------------------------------------------------------
+// Part 3: raw span-recording throughput
+// -------------------------------------------------------------------------
+
+void RecordThroughput(JsonSummary& json) {
+  const size_t kSpans = QuickBench() ? 500000 : 2000000;
+  obs::Tracer::Options topts;
+  topts.ring_capacity = 1 << 14;
+  obs::Tracer tracer(topts);
+  tracer.set_enabled(true);
+  obs::Span span;
+  span.trace_id = 1;
+  span.kind = obs::SpanKind::kExecute;
+  span.node = 3;
+  span.lane = 1;
+  Clock::time_point t0 = Clock::now();
+  for (size_t i = 0; i < kSpans; i++) {
+    span.span_id = i + 1;
+    span.start_us = i;
+    span.end_us = i + 1;
+    tracer.Record(span);
+  }
+  double secs = SecondsSince(t0);
+  double mspans = static_cast<double>(kSpans) / secs / 1e6;
+  harness::Banner("obs: span recording throughput (ring buffer)");
+  std::printf("  %.2f Mspans/s (%zu spans, ring 16k, %llu evicted)\n", mspans,
+              kSpans, static_cast<unsigned long long>(tracer.dropped()));
+
+  harness::FigureSeries fig;
+  fig.title = "Span recording throughput (Mspans/s)";
+  fig.x = {0};
+  fig.series.emplace_back("mspans_per_s", std::vector<double>{mspans});
+  json.Add("obs_record_throughput", fig);
+}
+
+int Main() {
+  JsonSummary json;
+  int failures = 0;
+  failures += OverheadGate(json);
+  failures += TracedSmokeRun(json);
+  RecordThroughput(json);
+  if (const char* path = json.Flush()) {
+    std::printf("\nWrote JSON summary to %s\n", path);
+  }
+  std::printf("\n%s\n", failures == 0 ? "ALL OBS GATES PASS" : "GATES FAILED");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace hat::bench
+
+int main() { return hat::bench::Main(); }

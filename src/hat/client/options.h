@@ -148,7 +148,33 @@ struct ClientStats {
   /// Envelopes the adaptive batcher closed at instant-end because nothing
   /// was in flight to the target (idle-lane early closes).
   uint64_t adaptive_early_closes = 0;
+
+  /// Field manifest for generic merging and metric registration (see
+  /// obs::MergeStats / obs::Registry::AddStats). Keep in declaration order;
+  /// the static_assert below fails compilation when a field is added
+  /// without updating this list.
+  template <typename V>
+  static void VisitFields(V&& v) {
+    v("txns_committed", &ClientStats::txns_committed);
+    v("txns_aborted_internal", &ClientStats::txns_aborted_internal);
+    v("txns_aborted_external", &ClientStats::txns_aborted_external);
+    v("txns_unavailable", &ClientStats::txns_unavailable);
+    v("reads", &ClientStats::reads);
+    v("writes", &ClientStats::writes);
+    v("scans", &ClientStats::scans);
+    v("read_retries", &ClientStats::read_retries);
+    v("wrong_shard_retries", &ClientStats::wrong_shard_retries);
+    v("cache_hits", &ClientStats::cache_hits);
+    v("metadata_bytes", &ClientStats::metadata_bytes);
+    v("batches_sent", &ClientStats::batches_sent);
+    v("batched_ops", &ClientStats::batched_ops);
+    v("adaptive_early_closes", &ClientStats::adaptive_early_closes);
+  }
 };
+
+static_assert(sizeof(ClientStats) == 14 * sizeof(uint64_t),
+              "ClientStats changed: update ClientStats::VisitFields and this "
+              "assert so generic merge/registration stays complete");
 
 }  // namespace hat::client
 

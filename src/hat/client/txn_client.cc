@@ -126,6 +126,13 @@ void TxnClient::Begin() {
   outstanding_dirty_ = 0;
   dirty_seq_ = 0;
   session_seq_++;
+  txn_trace_ = {};
+  commit_start_us_ = 0;
+  if (tracer_ != nullptr && tracer_->ShouldSampleTxn()) {
+    txn_trace_ =
+        obs::TraceContext{tracer_->NewTraceId(), tracer_->NewSpanId()};
+    txn_start_us_ = sim_.Now();
+  }
   if (observer_) observer_->OnBegin(txn_ts_, id(), session_id_, session_seq_);
 }
 
@@ -143,6 +150,32 @@ void TxnClient::FinishTxn(TxnOutcome outcome) {
       stats_.txns_unavailable++;
       break;
   }
+  if (txn_trace_.active() && tracer_ != nullptr && tracer_->enabled()) {
+    if (commit_start_us_ != 0) {
+      obs::Span c;
+      c.trace_id = txn_trace_.trace_id;
+      c.span_id = tracer_->NewSpanId();
+      c.parent_id = txn_trace_.span_id;
+      c.kind = obs::SpanKind::kCommit;
+      c.node = id();
+      c.start_us = commit_start_us_;
+      c.end_us = sim_.Now();
+      c.arg = static_cast<uint64_t>(outcome);
+      tracer_->Record(c);
+    }
+    // Root span last: it closes only once the outcome is known.
+    obs::Span s;
+    s.trace_id = txn_trace_.trace_id;
+    s.span_id = txn_trace_.span_id;
+    s.kind = obs::SpanKind::kTxn;
+    s.node = id();
+    s.start_us = txn_start_us_;
+    s.end_us = sim_.Now();
+    s.arg = static_cast<uint64_t>(outcome);
+    tracer_->Record(s);
+  }
+  txn_trace_ = {};
+  commit_start_us_ = 0;
 }
 
 void TxnClient::Abort() {
@@ -193,11 +226,16 @@ std::vector<net::NodeId> TxnClient::TargetsFor(const Key& key) const {
 void TxnClient::CallOp(net::NodeId target, net::Message msg,
                        sim::Duration timeout, RpcCallback cb) {
   if (options_.batch_max <= 1) {
-    Call(target, std::move(msg), timeout, std::move(cb));
+    obs::TraceContext env_trace;
+    if (txn_trace_.active() && tracer_ != nullptr) {
+      env_trace = tracer_->ChildOf(txn_trace_);
+    }
+    Call(target, std::move(msg), timeout, std::move(cb), env_trace);
     return;
   }
   TargetBatch& tb = batcher_[target];
-  tb.ops.push_back(PendingOp{std::move(msg), timeout, std::move(cb)});
+  tb.ops.push_back(PendingOp{std::move(msg), timeout, std::move(cb),
+                             sim_.Now(), txn_trace_});
   if (tb.ops.size() >= options_.batch_max) {
     FlushBatch(target);
     return;
@@ -238,6 +276,26 @@ void TxnClient::FlushBatch(net::NodeId target) {
 
   inflight_envelopes_[target]++;
 
+  // The envelope rides as a child of the first traced op's transaction; the
+  // wait each op spent in the batcher becomes its own kBatchWait span.
+  obs::TraceContext env_trace;
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    for (const PendingOp& op : ops) {
+      if (!op.trace.active()) continue;
+      if (!env_trace.active()) env_trace = tracer_->ChildOf(op.trace);
+      obs::Span s;
+      s.trace_id = op.trace.trace_id;
+      s.span_id = tracer_->NewSpanId();
+      s.parent_id = op.trace.span_id;
+      s.kind = obs::SpanKind::kBatchWait;
+      s.node = id();
+      s.start_us = op.enqueued_us;
+      s.end_us = sim_.Now();
+      s.arg = ops.size();
+      tracer_->Record(s);
+    }
+  }
+
   if (ops.size() == 1) {
     // A lone op gains nothing from the envelope; send it plain (and skip
     // the server's batch-header charge).
@@ -246,7 +304,8 @@ void TxnClient::FlushBatch(net::NodeId target) {
              Status s, const net::Message* m) {
            EnvelopeDone(target);
            cb(s, m);
-         });
+         },
+         env_trace);
     return;
   }
 
@@ -266,30 +325,32 @@ void TxnClient::FlushBatch(net::NodeId target) {
   }
   stats_.batches_sent++;
   stats_.batched_ops += ops.size();
-  Call(target, std::move(req), timeout,
-       [this, target, cbs](Status s, const net::Message* m) {
-         EnvelopeDone(target);
-         // Demux: reply i belongs to op i. Each saved callback sees exactly
-         // the (Status, Message*) a plain Call would have produced, so the
-         // per-op retry and session logic upstream is unchanged.
-         const net::ClientBatchResponse* resp =
-             s.ok() && m != nullptr
-                 ? std::get_if<net::ClientBatchResponse>(m)
-                 : nullptr;
-         if (resp == nullptr || resp->replies.size() != cbs->size()) {
-           Status err = s.ok() ? Status::Corruption(
-                                     "malformed client batch response")
-                               : s;
-           for (auto& cb : *cbs) cb(err, nullptr);
-           return;
-         }
-         for (size_t i = 0; i < cbs->size(); i++) {
-           net::Message sub = std::visit(
-               [](const auto& r) { return net::Message(r); },
-               resp->replies[i]);
-           (*cbs)[i](Status::Ok(), &sub);
-         }
-       });
+  Call(
+      target, std::move(req), timeout,
+      [this, target, cbs](Status s, const net::Message* m) {
+        EnvelopeDone(target);
+        // Demux: reply i belongs to op i. Each saved callback sees exactly
+        // the (Status, Message*) a plain Call would have produced, so the
+        // per-op retry and session logic upstream is unchanged.
+        const net::ClientBatchResponse* resp =
+           s.ok() && m != nullptr
+              ? std::get_if<net::ClientBatchResponse>(m)
+              : nullptr;
+        if (resp == nullptr || resp->replies.size() != cbs->size()) {
+          Status err = s.ok() ? Status::Corruption(
+                                "malformed client batch response")
+                          : s;
+          for (auto& cb : *cbs) cb(err, nullptr);
+          return;
+        }
+        for (size_t i = 0; i < cbs->size(); i++) {
+          net::Message sub = std::visit(
+            [](const auto& r) { return net::Message(r); },
+            resp->replies[i]);
+          (*cbs)[i](Status::Ok(), &sub);
+        }
+      },
+      env_trace);
 }
 
 // ---------------------------------------------------------------------------
@@ -771,6 +832,7 @@ void TxnClient::QuorumPut(WriteRecord w, sim::SimTime deadline,
 
 void TxnClient::Commit(CommitCallback cb) {
   assert(in_txn_);
+  if (txn_trace_.active()) commit_start_us_ = sim_.Now();
   if (options_.mode == SystemMode::kLocking) {
     LockingCommit(std::move(cb));
     return;

@@ -30,6 +30,7 @@
 #include "hat/client/options.h"
 #include "hat/client/routing.h"
 #include "hat/net/rpc.h"
+#include "hat/obs/trace.h"
 #include "hat/version/types.h"
 
 namespace hat::client {
@@ -80,6 +81,12 @@ class TxnClient : public net::RpcNode {
   uint32_t session_id() const { return session_id_; }
 
   void set_observer(TxnObserver* observer) { observer_ = observer; }
+
+  /// Attaches the deployment tracer. Transactions are sampled at Begin()
+  /// (Tracer::Options::sample_every); a sampled transaction's envelopes all
+  /// carry child contexts of its root span, so the whole distributed span
+  /// tree shares one trace id.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
  protected:
   void HandleMessage(const net::Envelope& env) override;
@@ -152,6 +159,14 @@ class TxnClient : public net::RpcNode {
   ClientOptions options_;
   const Routing* routing_;
   TxnObserver* observer_ = nullptr;
+  obs::Tracer* tracer_ = nullptr;
+  /// Active while the current transaction is sampled: the root (kTxn) span's
+  /// identity, parent of every span the transaction causes anywhere.
+  obs::TraceContext txn_trace_;
+  sim::SimTime txn_start_us_ = 0;
+  /// Commit() entry time of the sampled transaction (0 = not yet in commit);
+  /// FinishTxn turns it into the kCommit span.
+  sim::SimTime commit_start_us_ = 0;
   ClientStats stats_;
   // Randomized (non-sticky) cluster selection. Seeded from the node id in
   // the constructor so clients don't make lock-stepped routing choices.
@@ -192,6 +207,12 @@ class TxnClient : public net::RpcNode {
     net::Message msg;  // PutRequest or GetRequest
     sim::Duration timeout;
     RpcCallback cb;
+    /// Enqueue time, for the kBatchWait span of sampled transactions.
+    sim::SimTime enqueued_us = 0;
+    /// The enqueuing transaction's root context (inactive when unsampled).
+    /// Captured at enqueue so a flush that fires after the transaction ends
+    /// still attributes the op to the right trace.
+    obs::TraceContext trace;
   };
   struct TargetBatch {
     std::vector<PendingOp> ops;

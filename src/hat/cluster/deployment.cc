@@ -129,60 +129,75 @@ client::TxnClient& Deployment::AddClient(client::ClientOptions options) {
       sim_, *network_, id, options, this));
   client_cluster_.push_back(options.home_cluster);
   client_ids_.push_back(id);
-  return *clients_.back();
+  client::TxnClient& client = *clients_.back();
+  if (tracer_) client.set_tracer(tracer_.get());
+  if (registry_) RegisterClientMetrics(client);
+  return client;
 }
 
 server::ServerStats Deployment::TotalServerStats() const {
+  // Generic field-for-field merge driven by ServerStats::VisitFields — a
+  // new stats field is aggregated here the moment it passes the VisitFields
+  // static_assert, with no per-field line to forget.
   server::ServerStats total;
-  for (const auto& s : servers_) {
-    const auto& st = s->stats();
-    total.gets += st.gets;
-    total.gets_not_yet += st.gets_not_yet;
-    total.gets_from_pending += st.gets_from_pending;
-    total.puts += st.puts;
-    total.scans += st.scans;
-    total.notifies += st.notifies;
-    total.ae_batches_in += st.ae_batches_in;
-    total.ae_records_in += st.ae_records_in;
-    total.ae_records_out += st.ae_records_out;
-    total.ae_batches_out += st.ae_batches_out;
-    total.ae_retransmits += st.ae_retransmits;
-    total.ae_dupes_suppressed += st.ae_dupes_suppressed;
-    total.ae_dedupe_rotations += st.ae_dedupe_rotations;
-    total.ae_shard_lane_batches += st.ae_shard_lane_batches;
-    total.client_batches += st.client_batches;
-    total.client_batch_ops += st.client_batch_ops;
-    total.ae_digest_ticks += st.ae_digest_ticks;
-    total.ae_digest_entries_out += st.ae_digest_entries_out;
-    total.ae_digest_bytes_out += st.ae_digest_bytes_out;
-    total.mav_promotions += st.mav_promotions;
-    total.stale_pending_dropped += st.stale_pending_dropped;
-    total.locks_granted += st.locks_granted;
-    total.locks_queued += st.locks_queued;
-    total.lock_deaths += st.lock_deaths;
-    total.wrong_shard_replies += st.wrong_shard_replies;
-    total.forwarded_records += st.forwarded_records;
-    total.mig_snapshot_records_out += st.mig_snapshot_records_out;
-    total.mig_snapshot_records_in += st.mig_snapshot_records_in;
-    total.mig_catchup_records_in += st.mig_catchup_records_in;
-    total.busy_us += st.busy_us;
-    total.exec_tasks += st.exec_tasks;
-    total.exec_dispatches += st.exec_dispatches;
-    if (total.lane_busy_us.size() < st.lane_busy_us.size()) {
-      total.lane_busy_us.resize(st.lane_busy_us.size(), 0);
-    }
-    for (size_t i = 0; i < st.lane_busy_us.size(); i++) {
-      total.lane_busy_us[i] += st.lane_busy_us[i];
-    }
-    if (total.lane_queue_depth.size() < st.lane_queue_depth.size()) {
-      total.lane_queue_depth.resize(st.lane_queue_depth.size(), 0);
-    }
-    for (size_t i = 0; i < st.lane_queue_depth.size(); i++) {
-      total.lane_queue_depth[i] += st.lane_queue_depth[i];
-    }
-    total.queue_wait_us.Merge(st.queue_wait_us);
-  }
+  for (const auto& s : servers_) obs::MergeStats(total, s->stats());
   return total;
+}
+
+client::ClientStats Deployment::TotalClientStats() const {
+  client::ClientStats total;
+  for (const auto& c : clients_) obs::MergeStats(total, c->stats());
+  return total;
+}
+
+void Deployment::EnableObservability(const ObsConfig& config) {
+  if (config.tracing && !tracer_) {
+    obs::Tracer::Options topts;
+    topts.ring_capacity = config.trace_ring_capacity;
+    topts.sample_every = config.trace_sample_every;
+    tracer_ = std::make_unique<obs::Tracer>(topts);
+    tracer_->set_enabled(true);
+    network_->set_tracer(tracer_.get());
+    for (auto& srv : servers_) srv->set_tracer(tracer_.get());
+    for (auto& cli : clients_) cli->set_tracer(tracer_.get());
+  }
+  if (config.sampling && !registry_) {
+    registry_ = std::make_unique<obs::Registry>();
+    for (auto& srv : servers_) RegisterServerMetrics(*srv);
+    for (auto& cli : clients_) RegisterClientMetrics(*cli);
+    obs::Sampler::Options sopts;
+    sopts.period = config.sample_period;
+    sampler_ = std::make_unique<obs::Sampler>(sim_, *registry_, sopts);
+    sampler_->Start();
+  }
+}
+
+void Deployment::RegisterServerMetrics(const server::ReplicaServer& srv) {
+  const server::ReplicaServer* s = &srv;
+  auto id = static_cast<int32_t>(srv.id());
+  registry_->AddStats<server::ServerStats>(
+      "server.", obs::MetricLabels{id, -1, "server"},
+      [s]() -> const server::ServerStats& { return s->stats(); });
+  // Per-lane fields, with the lane label the generic path cannot infer.
+  // Lane count is fixed at construction (shards_per_server + global lane).
+  size_t lanes = srv.stats().lane_busy_us.size();
+  for (size_t lane = 0; lane < lanes; lane++) {
+    obs::MetricLabels labels{id, static_cast<int32_t>(lane), "exec"};
+    registry_->AddCounter("server.lane_busy_us", labels, [s, lane]() {
+      return s->stats().lane_busy_us[lane];
+    });
+    registry_->AddGauge("server.lane_queue_depth", labels, [s, lane]() {
+      return static_cast<double>(s->stats().lane_queue_depth[lane]);
+    });
+  }
+}
+
+void Deployment::RegisterClientMetrics(const client::TxnClient& cli) {
+  const client::TxnClient* c = &cli;
+  registry_->AddStats<client::ClientStats>(
+      "client.", obs::MetricLabels{static_cast<int32_t>(cli.id()), -1,
+                                   "client"},
+      [c]() -> const client::ClientStats& { return c->stats(); });
 }
 
 void Deployment::PartitionClusters(int a, int b) {

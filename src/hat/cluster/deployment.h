@@ -28,10 +28,30 @@
 #include "hat/client/txn_client.h"
 #include "hat/cluster/placement.h"
 #include "hat/net/network.h"
+#include "hat/obs/registry.h"
+#include "hat/obs/sampler.h"
+#include "hat/obs/trace.h"
 #include "hat/server/replica_server.h"
 #include "hat/sim/simulation.h"
 
 namespace hat::cluster {
+
+/// Opt-in observability for a deployment (EnableObservability). Both halves
+/// default off: a deployment without them schedules no extra simulation
+/// events and its runs stay figure-identical to an uninstrumented build.
+struct ObsConfig {
+  /// Distributed tracing: sample every trace_sample_every-th transaction
+  /// per client into per-node span rings (export with obs::WriteChromeTrace).
+  bool tracing = false;
+  uint64_t trace_sample_every = 1;
+  size_t trace_ring_capacity = 1 << 15;
+  /// Metrics sampling: snapshot every registered metric each sample_period
+  /// of sim time (export with obs::WriteMetricsJson). Scheduling the sampler
+  /// adds simulation events, so this knob — not tracing — is what perturbs
+  /// event interleaving-sensitive comparisons.
+  bool sampling = false;
+  sim::Duration sample_period = 10 * sim::kMillisecond;
+};
 
 struct ClusterSpec {
   net::Region region = net::Region::kVirginia;
@@ -118,6 +138,18 @@ class Deployment : public server::Partitioner, public client::Routing {
 
   /// Aggregate server stats across the deployment.
   server::ServerStats TotalServerStats() const;
+  /// Aggregate client stats across every AddClient'd client.
+  client::ClientStats TotalClientStats() const;
+
+  // --- observability --------------------------------------------------------
+  /// Builds the tracer and/or metrics registry+sampler per `config` and
+  /// wires them through the network, every server, and every client
+  /// (including clients added later). Call once, before Run.
+  void EnableObservability(const ObsConfig& config);
+  /// Null until EnableObservability enables the corresponding half.
+  obs::Tracer* tracer() { return tracer_.get(); }
+  obs::Registry* registry() { return registry_.get(); }
+  obs::Sampler* sampler() { return sampler_.get(); }
 
   // --- partition helpers ----------------------------------------------------
   /// Partitions cluster `a` away from cluster `b` (all links between them).
@@ -127,6 +159,11 @@ class Deployment : public server::Partitioner, public client::Routing {
   void Heal();
 
  private:
+  /// Registers one server's metrics (AddStats over ServerStats plus the
+  /// per-lane vector fields, where the lane label is known).
+  void RegisterServerMetrics(const server::ReplicaServer& srv);
+  void RegisterClientMetrics(const client::TxnClient& cli);
+
   sim::Simulation& sim_;
   DeploymentOptions options_;
   PlacementMap placement_;
@@ -135,6 +172,9 @@ class Deployment : public server::Partitioner, public client::Routing {
   std::vector<std::unique_ptr<client::TxnClient>> clients_;
   std::vector<int> client_cluster_;  // home cluster per client, for partitions
   std::vector<net::NodeId> client_ids_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<obs::Registry> registry_;
+  std::unique_ptr<obs::Sampler> sampler_;
 };
 
 }  // namespace hat::cluster

@@ -63,6 +63,31 @@ void Histogram::Merge(const Histogram& other) {
   sum_sq_ += other.sum_sq_;
 }
 
+Histogram Histogram::DeltaSince(const Histogram& prev) const {
+  Histogram out;
+  if (count_ <= prev.count_) return out;  // empty window
+  out.buckets_.assign(buckets_.size(), 0);
+  int first = -1, last = -1;
+  for (size_t i = 0; i < buckets_.size(); i++) {
+    uint64_t before = i < prev.buckets_.size() ? prev.buckets_[i] : 0;
+    uint64_t d = buckets_[i] >= before ? buckets_[i] - before : 0;
+    out.buckets_[i] = d;
+    if (d > 0) {
+      if (first < 0) first = static_cast<int>(i);
+      last = static_cast<int>(i);
+    }
+  }
+  if (first < 0) return Histogram();
+  out.count_ = count_ - prev.count_;
+  out.sum_ = sum_ - prev.sum_;
+  out.sum_sq_ = sum_sq_ - prev.sum_sq_;
+  // The window's exact extremes are not recoverable from cumulative state;
+  // use the representative values of the outermost non-empty delta buckets.
+  out.min_ = BucketValue(first);
+  out.max_ = BucketValue(last);
+  return out;
+}
+
 void Histogram::Reset() {
   buckets_.assign(1, 0);
   count_ = 0;

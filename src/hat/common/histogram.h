@@ -25,6 +25,13 @@ class Histogram {
   /// Merges another histogram into this one.
   void Merge(const Histogram& other);
 
+  /// The window of observations recorded since `prev` was snapshotted, where
+  /// `prev` must be an earlier copy of this histogram (per-bucket counts
+  /// monotonically <= ours). Computed by bucket subtraction, so the result's
+  /// min/max are bucket representatives (~1% error), not exact extremes.
+  /// Used by obs::Sampler to turn cumulative histograms into windowed p95s.
+  Histogram DeltaSince(const Histogram& prev) const;
+
   void Reset();
 
   uint64_t count() const { return count_; }
@@ -35,8 +42,11 @@ class Histogram {
   /// Standard deviation of bucketed observations.
   double Stddev() const;
 
-  /// Value at quantile q in [0,1]; e.g. Percentile(0.95). Returns 0 when
-  /// empty. Uses the bucket's representative (geometric-mid) value.
+  /// Value at quantile q in [0,1]; e.g. Percentile(0.95). Uses the bucket's
+  /// representative (geometric-mid) value, clamped to [min(), max()].
+  /// Contract: an EMPTY histogram returns 0 for any q (as do min()/max()/
+  /// Mean()) — callers plotting percentile series rely on empty windows
+  /// reading as 0 rather than NaN or a stale value. q outside [0,1] clamps.
   double Percentile(double q) const;
 
   /// (value, cumulative_fraction) pairs suitable for plotting a CDF; one

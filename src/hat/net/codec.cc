@@ -430,7 +430,10 @@ uint8_t MessageTag(const Message& msg) {
 }
 
 void EncodeEnvelope(const Envelope& env, std::string* buf) {
-  const size_t payload = kEnvelopeHeaderBytes + EncodedBodySize(env.msg);
+  const bool traced = env.trace.active();
+  const size_t payload = kEnvelopeHeaderBytes +
+                         (traced ? kTraceBlockBytes : 0) +
+                         EncodedBodySize(env.msg);
   assert(payload <= kMaxFramePayloadBytes);
   buf->reserve(buf->size() + kFrameHeaderBytes + payload);
   PutFixed32(buf, static_cast<uint32_t>(payload));
@@ -438,10 +441,15 @@ void EncodeEnvelope(const Envelope& env, std::string* buf) {
   PutFixed32(buf, 0);  // patched once the payload bytes exist
   const size_t payload_pos = buf->size();
   buf->push_back(static_cast<char>(MessageTag(env.msg)));
-  buf->push_back(static_cast<char>(env.is_response ? 1 : 0));
+  buf->push_back(static_cast<char>((env.is_response ? kFlagResponse : 0) |
+                                   (traced ? kFlagTraced : 0)));
   PutFixed32(buf, env.from);
   PutFixed32(buf, env.to);
   PutFixed64(buf, env.rpc_id);
+  if (traced) {
+    PutFixed64(buf, env.trace.trace_id);
+    PutFixed64(buf, env.trace.span_id);
+  }
   EncodeVisitor ev{buf};
   std::visit([&ev](const auto& m) { VisitMessageFields(ev, m); }, env.msg);
   assert(buf->size() - payload_pos == payload &&
@@ -473,12 +481,22 @@ bool GetPayloadHeader(std::string_view* payload, PayloadHeader* out) {
   const char* p = payload->data();
   out->tag = static_cast<uint8_t>(p[0]);
   const uint8_t flags = static_cast<uint8_t>(p[1]);
-  if (flags > 1) return false;  // reserved flag bits must be zero
-  out->is_response = flags != 0;
+  if ((flags & ~(kFlagResponse | kFlagTraced)) != 0) {
+    return false;  // reserved flag bits must be zero
+  }
+  out->is_response = (flags & kFlagResponse) != 0;
   out->from = DecodeFixed32(p + 2);
   out->to = DecodeFixed32(p + 6);
   out->rpc_id = DecodeFixed64(p + 10);
+  out->trace = {};
   payload->remove_prefix(kEnvelopeHeaderBytes);
+  if ((flags & kFlagTraced) != 0) {
+    if (payload->size() < kTraceBlockBytes) return false;  // truncated block
+    out->trace.trace_id = DecodeFixed64(payload->data());
+    out->trace.span_id = DecodeFixed64(payload->data() + 8);
+    payload->remove_prefix(kTraceBlockBytes);
+    if (!out->trace.active()) return false;  // flagged but trace_id == 0
+  }
   return true;
 }
 
@@ -494,6 +512,7 @@ bool DecodePayload(std::string_view payload, Envelope* out) {
   out->to = hdr.to;
   out->rpc_id = hdr.rpc_id;
   out->is_response = hdr.is_response;
+  out->trace = hdr.trace;
   return true;
 }
 

@@ -8,12 +8,19 @@
 //   0       4     fixed32  payload length N (everything after the CRC)
 //   4       4     fixed32  masked CRC-32C over the payload
 //   8       1     u8       message type tag (one per Message alternative)
-//   9       1     u8       flags (bit 0: is_response; other bits reserved,
-//                          rejected on decode)
+//   9       1     u8       flags (bit 0: is_response; bit 1: trace block
+//                          present; other bits reserved, rejected on decode)
 //   10      4     fixed32  from (NodeId)
 //   14      4     fixed32  to (NodeId)
 //   18      8     fixed64  rpc_id
-//   26      N-18  body     per-alternative field encoding
+//   [26     8     fixed64  trace_id   -- only when flags bit 1 is set
+//    34     8     fixed64  span_id ]
+//   ...     ...   body     per-alternative field encoding
+//
+// The optional 16-byte trace block carries the obs::TraceContext of a
+// sampled transaction. Untraced envelopes (the default) encode byte-for-byte
+// identically to the pre-trace format; the CRC covers the trace block like
+// any other payload bytes.
 //
 // Body encodings use the common/codec primitives: length-prefixed byte
 // strings for keys/values, varints for counts/ids/timestamps, fixed64 for
@@ -58,6 +65,11 @@ inline constexpr size_t kEnvelopeHeaderBytes = 18;
 /// Fixed per-message overhead: frame header + envelope header.
 inline constexpr size_t kFrameOverheadBytes =
     kFrameHeaderBytes + kEnvelopeHeaderBytes;
+/// Optional trace block (trace_id + span_id), present iff flags bit 1.
+inline constexpr size_t kTraceBlockBytes = 16;
+/// Flags byte bits.
+inline constexpr uint8_t kFlagResponse = 0x01;
+inline constexpr uint8_t kFlagTraced = 0x02;
 /// Upper bound on the payload length field; larger values are rejected
 /// before any allocation (a corrupt length must not OOM the receiver).
 inline constexpr size_t kMaxFramePayloadBytes = size_t{1} << 30;
@@ -75,9 +87,11 @@ size_t EncodedBodySize(const Message& msg);
 /// call this per candidate record while packing against a byte cap).
 size_t EncodedWriteRecordSize(const WriteRecord& w);
 
-/// Exact total frame size EncodeEnvelope appends for `env`.
+/// Exact total frame size EncodeEnvelope appends for `env`. Traced
+/// envelopes cost kTraceBlockBytes extra; untraced ones are unchanged.
 inline size_t EncodedFrameSize(const Envelope& env) {
-  return kFrameOverheadBytes + EncodedBodySize(env.msg);
+  return kFrameOverheadBytes + (env.trace.active() ? kTraceBlockBytes : 0) +
+         EncodedBodySize(env.msg);
 }
 
 /// Appends one complete frame to *buf. The buffer is caller-owned and meant
@@ -114,10 +128,12 @@ struct PayloadHeader {
   NodeId from = 0;
   NodeId to = 0;
   uint64_t rpc_id = 0;
+  obs::TraceContext trace;  ///< inactive unless the trace flag bit was set
 };
 
-/// Reads the envelope header off the front of *payload, advancing it to the
-/// body. False on truncation or reserved flag bits.
+/// Reads the envelope header (and the trace block, when flagged) off the
+/// front of *payload, advancing it to the body. False on truncation,
+/// reserved flag bits, or a flagged-but-truncated trace block.
 bool GetPayloadHeader(std::string_view* payload, PayloadHeader* out);
 
 // --------------------------------------------------------------------------

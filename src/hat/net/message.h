@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "hat/net/topology.h"
+#include "hat/obs/trace_context.h"
 #include "hat/version/types.h"
 
 namespace hat::net {
@@ -251,6 +252,10 @@ struct Envelope {
   uint64_t rpc_id = 0;
   bool is_response = false;
   Message msg;
+  /// Trace identity (observability); inactive by default and encoded as
+  /// zero wire bytes when inactive. Deliberately last so the existing
+  /// aggregate-init call sites keep compiling unchanged.
+  obs::TraceContext trace;
 };
 
 /// Approximate serialized size, used for service-cost accounting and the

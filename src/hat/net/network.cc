@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "hat/net/codec.h"
+
 namespace hat::net {
 
 void Network::Register(NodeId id, MessageSink* sink) {
@@ -24,11 +26,29 @@ bool Network::Reachable(NodeId a, NodeId b) const {
 void Network::Send(Envelope env) {
   stats_.sent++;
   stats_.bytes += WireBytes(env.msg);
+  // Traced envelopes carry the 16-byte trace block on the wire; untraced
+  // ones (the default) keep the byte accounting exactly as before.
+  if (env.trace.active()) stats_.bytes += codec::kTraceBlockBytes;
   if (!Reachable(env.from, env.to)) {
     stats_.dropped_partition++;
     return;
   }
   sim::Duration delay = topology_.SampleOneWayUs(env.from, env.to, rng_);
+  if (env.trace.active() && tracer_ != nullptr && tracer_->enabled()) {
+    // The one-way latency is sampled upfront, so the flight span is known
+    // at send time. A leaf span: receiver-side work descends from the
+    // sender's span id carried in env.trace, not from the flight.
+    obs::Span s;
+    s.trace_id = env.trace.trace_id;
+    s.span_id = tracer_->NewSpanId();
+    s.parent_id = env.trace.span_id;
+    s.kind = obs::SpanKind::kRpcFlight;
+    s.node = env.from;
+    s.start_us = sim_.Now();
+    s.end_us = sim_.Now() + delay;
+    s.arg = env.to;
+    tracer_->Record(s);
+  }
   sim_.After(delay, [this, env = std::move(env)]() mutable {
     MessageSink* sink =
         env.to < sinks_.size() ? sinks_[env.to] : nullptr;

@@ -17,6 +17,7 @@
 
 #include "hat/net/message.h"
 #include "hat/net/topology.h"
+#include "hat/obs/trace.h"
 #include "hat/sim/simulation.h"
 
 namespace hat::net {
@@ -74,12 +75,17 @@ class Network {
 
   const NetworkStats& stats() const { return stats_; }
 
+  /// Observability: records a kRpcFlight span for each traced envelope.
+  /// nullptr (the default) disables; tracing never perturbs delivery.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   sim::Simulation& sim_;
   Topology topology_;
   Rng rng_;
   std::vector<MessageSink*> sinks_;
   NetworkStats stats_;
+  obs::Tracer* tracer_ = nullptr;
 
   // group id per node; empty vector = fully connected. Nodes not assigned a
   // group share group id kDefaultGroup.

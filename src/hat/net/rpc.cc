@@ -3,7 +3,7 @@
 namespace hat::net {
 
 void RpcNode::Call(NodeId to, Message request, sim::Duration timeout,
-                   RpcCallback cb) {
+                   RpcCallback cb, obs::TraceContext trace) {
   uint64_t rpc_id = next_rpc_id_++;
   sim::EventId timeout_event = sim_.After(timeout, [this, rpc_id]() {
     auto it = pending_.find(rpc_id);
@@ -14,18 +14,18 @@ void RpcNode::Call(NodeId to, Message request, sim::Duration timeout,
   });
   pending_.emplace(rpc_id, PendingRpc{std::move(cb), timeout_event});
   net_.Send(Envelope{id_, to, rpc_id, /*is_response=*/false,
-                     std::move(request)});
+                     std::move(request), trace});
 }
 
-void RpcNode::SendOneWay(NodeId to, Message msg) {
+void RpcNode::SendOneWay(NodeId to, Message msg, obs::TraceContext trace) {
   net_.Send(Envelope{id_, to, /*rpc_id=*/0, /*is_response=*/false,
-                     std::move(msg)});
+                     std::move(msg), trace});
 }
 
 void RpcNode::Reply(const Envelope& request, Message response) {
   if (request.rpc_id == 0) return;  // caller did not expect a response
   net_.Send(Envelope{id_, request.from, request.rpc_id, /*is_response=*/true,
-                     std::move(response)});
+                     std::move(response), request.trace});
 }
 
 void RpcNode::OnMessage(Envelope env) {

@@ -30,12 +30,15 @@ class RpcNode : public MessageSink {
   NodeId id() const { return id_; }
 
   /// Issues a request; `cb` fires exactly once (response or timeout).
-  void Call(NodeId to, Message request, sim::Duration timeout, RpcCallback cb);
+  /// `trace` stamps the envelope when active (observability sampling).
+  void Call(NodeId to, Message request, sim::Duration timeout, RpcCallback cb,
+            obs::TraceContext trace = {});
 
   /// Fire-and-forget one-way message.
-  void SendOneWay(NodeId to, Message msg);
+  void SendOneWay(NodeId to, Message msg, obs::TraceContext trace = {});
 
-  /// Replies to a request envelope.
+  /// Replies to a request envelope. The reply inherits the request's trace
+  /// context, so a traced request yields a traced response.
   void Reply(const Envelope& request, Message response);
 
   void OnMessage(Envelope env) final;

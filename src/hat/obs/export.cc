@@ -1,0 +1,158 @@
+#include "hat/obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <set>
+#include <utility>
+
+namespace hat::obs {
+
+namespace {
+
+/// Escapes a string for inclusion in a JSON string literal.
+std::string JsonEscape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+bool IsInstant(const Span& s) {
+  return s.kind == SpanKind::kCheckpoint || s.kind == SpanKind::kCutover;
+}
+
+int32_t TrackOf(const Span& s) {
+  if (s.lane >= 0) return s.lane;
+  if (s.kind == SpanKind::kRpcFlight) return kNetTrack;
+  return kClientTrack;
+}
+
+void EmitSpanEvent(FILE* out, const Span& s, int32_t tid, bool* first) {
+  std::fprintf(out, "%s\n", *first ? "" : ",");
+  *first = false;
+  if (IsInstant(s)) {
+    std::fprintf(out,
+                 "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"p\",\"ts\":%" PRIu64
+                 ",\"pid\":%u,\"tid\":%d,\"args\":{\"arg\":%" PRIu64 "}}",
+                 SpanKindName(s.kind), s.start_us, s.node, tid, s.arg);
+    return;
+  }
+  std::fprintf(out,
+               "{\"name\":\"%s\",\"ph\":\"X\",\"ts\":%" PRIu64
+               ",\"dur\":%" PRIu64 ",\"pid\":%u,\"tid\":%d,"
+               "\"args\":{\"trace\":%" PRIu64 ",\"span\":%" PRIu64
+               ",\"parent\":%" PRIu64 ",\"arg\":%" PRIu64 "}}",
+               SpanKindName(s.kind), s.start_us,
+               s.end_us >= s.start_us ? s.end_us - s.start_us : 0, s.node,
+               tid, s.trace_id, s.span_id, s.parent_id, s.arg);
+}
+
+void EmitMeta(FILE* out, const char* what, uint32_t pid, int32_t tid,
+              const std::string& name, bool* first) {
+  std::fprintf(out, "%s\n", *first ? "" : ",");
+  *first = false;
+  if (tid < 0) {
+    std::fprintf(out,
+                 "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%u,"
+                 "\"args\":{\"name\":\"%s\"}}",
+                 what, pid, JsonEscape(name).c_str());
+  } else {
+    std::fprintf(out,
+                 "{\"name\":\"%s\",\"ph\":\"M\",\"pid\":%u,\"tid\":%d,"
+                 "\"args\":{\"name\":\"%s\"}}",
+                 what, pid, tid, JsonEscape(name).c_str());
+  }
+}
+
+std::string TrackName(int32_t tid) {
+  if (tid == kNetTrack) return "net";
+  if (tid >= kCoreTrackBase) {
+    return "core " + std::to_string(tid - kCoreTrackBase);
+  }
+  if (tid == kClientTrack) return "ops";
+  return "lane " + std::to_string(tid);
+}
+
+}  // namespace
+
+bool WriteChromeTrace(const std::string& path, const std::vector<Span>& spans,
+                      const ChromeTraceOptions& options,
+                      const std::vector<Span>& extra) {
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  std::fprintf(out, "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+  bool first = true;
+  std::set<std::pair<uint32_t, int32_t>> tracks;
+  auto emit = [&](const Span& s) {
+    int32_t tid = TrackOf(s);
+    tracks.insert({s.node, tid});
+    EmitSpanEvent(out, s, tid, &first);
+    // Execute spans additionally render on the core's own track, so the
+    // per-core view of the server shows what each core ran.
+    if (s.kind == SpanKind::kExecute && s.core >= 0) {
+      int32_t core_tid = kCoreTrackBase + s.core;
+      tracks.insert({s.node, core_tid});
+      EmitSpanEvent(out, s, core_tid, &first);
+    }
+  };
+  for (const Span& s : spans) emit(s);
+  for (const Span& s : extra) emit(s);
+  // Track naming metadata: one process per node, one named thread per track.
+  std::set<uint32_t> pids;
+  for (const auto& [pid, tid] : tracks) pids.insert(pid);
+  for (uint32_t pid : pids) {
+    auto it = options.process_names.find(pid);
+    std::string name =
+        it != options.process_names.end() ? it->second
+                                          : "node " + std::to_string(pid);
+    EmitMeta(out, "process_name", pid, -1, name, &first);
+  }
+  for (const auto& [pid, tid] : tracks) {
+    EmitMeta(out, "thread_name", pid, tid, TrackName(tid), &first);
+  }
+  std::fprintf(out, "\n]}\n");
+  std::fclose(out);
+  return true;
+}
+
+bool WriteMetricsJson(const std::string& path, const Sampler& sampler) {
+  FILE* out = std::fopen(path.c_str(), "w");
+  if (out == nullptr) return false;
+  std::fprintf(out, "{\n  \"period_us\": %" PRIu64 ",\n  \"t_us\": [",
+               static_cast<uint64_t>(sampler.period()));
+  const auto& times = sampler.times();
+  for (size_t i = 0; i < times.size(); i++) {
+    std::fprintf(out, "%s%" PRIu64, i ? ", " : "", times[i]);
+  }
+  std::fprintf(out, "],\n  \"series\": [");
+  const auto& metrics = sampler.registry().metrics();
+  const auto& series = sampler.series();
+  bool first = true;
+  for (size_t m = 0; m < metrics.size() && m < series.size(); m++) {
+    const Registry::Metric& metric = metrics[m];
+    std::fprintf(out, "%s\n    {\"name\": \"%s\", \"server\": %d, "
+                 "\"lane\": %d, \"family\": \"%s\", \"kind\": \"%s\", "
+                 "\"values\": [",
+                 first ? "" : ",", JsonEscape(metric.name).c_str(),
+                 metric.labels.server, metric.labels.lane,
+                 JsonEscape(metric.labels.family).c_str(),
+                 MetricKindName(metric.kind));
+    first = false;
+    for (size_t i = 0; i < series[m].size(); i++) {
+      std::fprintf(out, "%s%g", i ? ", " : "", series[m][i]);
+    }
+    std::fprintf(out, "]}");
+  }
+  std::fprintf(out, "\n  ]\n}\n");
+  std::fclose(out);
+  return true;
+}
+
+}  // namespace hat::obs

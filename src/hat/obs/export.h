@@ -1,0 +1,50 @@
+// obs exporters: Chrome trace-event JSON (Perfetto-loadable) and a metrics
+// time-series JSON.
+//
+// The Chrome trace maps the simulation onto Perfetto's process/thread
+// model: each node (server or client) is a process, and within a server
+// process each executor lane is a thread track (queue-wait and execute
+// spans land there), each core is a synthetic track at tid 1000+core (the
+// same execute span, viewed by where it ran), RPC flights ride a "net"
+// track at tid 900, and client-side spans (txn root, commit, batch wait)
+// live on tid 0. Checkpoints and migration cutovers are instant events.
+// Timestamps are simulation microseconds verbatim.
+
+#ifndef HAT_OBS_EXPORT_H_
+#define HAT_OBS_EXPORT_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hat/obs/sampler.h"
+#include "hat/obs/trace.h"
+
+namespace hat::obs {
+
+/// Synthetic track ids for spans that are not lane work.
+inline constexpr int32_t kClientTrack = 0;
+inline constexpr int32_t kNetTrack = 900;
+inline constexpr int32_t kCoreTrackBase = 1000;
+
+struct ChromeTraceOptions {
+  /// Process (node) display names; nodes absent here render as "node N".
+  std::map<uint32_t, std::string> process_names;
+};
+
+/// Writes `spans` (+ `extra`, e.g. cutover instants synthesized by a bench)
+/// as one Chrome trace-event JSON document. Returns false on IO failure.
+bool WriteChromeTrace(const std::string& path, const std::vector<Span>& spans,
+                      const ChromeTraceOptions& options = {},
+                      const std::vector<Span>& extra = {});
+
+/// Writes the sampler's time series as JSON:
+/// {"period_us": P, "t_us": [...], "series": [{name, server, lane, family,
+/// kind, values: [...]}]}. Counter series hold per-interval deltas, gauge
+/// series raw values, histogram series the windowed p95. Returns false on
+/// IO failure.
+bool WriteMetricsJson(const std::string& path, const Sampler& sampler);
+
+}  // namespace hat::obs
+
+#endif  // HAT_OBS_EXPORT_H_

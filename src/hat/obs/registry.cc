@@ -1,0 +1,34 @@
+#include "hat/obs/registry.h"
+
+#include <utility>
+
+namespace hat::obs {
+
+const char* MetricKindName(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+void Registry::AddCounter(std::string name, MetricLabels labels,
+                          Source source) {
+  metrics_.push_back(Metric{std::move(name), std::move(labels),
+                            MetricKind::kCounter, std::move(source), nullptr});
+}
+
+void Registry::AddGauge(std::string name, MetricLabels labels, Source source) {
+  metrics_.push_back(Metric{std::move(name), std::move(labels),
+                            MetricKind::kGauge, std::move(source), nullptr});
+}
+
+void Registry::AddHistogram(std::string name, MetricLabels labels,
+                            HistogramSource source) {
+  metrics_.push_back(Metric{std::move(name), std::move(labels),
+                            MetricKind::kHistogram, nullptr,
+                            std::move(source)});
+}
+
+}  // namespace hat::obs

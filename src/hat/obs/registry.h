@@ -1,0 +1,131 @@
+// obs::Registry — typed named metrics with (server, lane, family) labels.
+//
+// The registry does not own any counters: every metric reads its current
+// value through a Source callback at sample time, so the hot paths keep
+// bumping their existing plain-struct stats fields at zero extra cost and
+// the registry is pure read-side plumbing. Stats structs participate by
+// exposing a VisitFields member-pointer list (one line per field); from it
+//  * Registry::AddStats registers every scalar field as a counter and every
+//    Histogram field as a histogram metric ("fields register themselves"),
+//  * MergeStats implements the generic field-for-field aggregation that
+//    Deployment::TotalServerStats previously hand-rolled — a field present
+//    in the struct but missing from VisitFields is the only way to get the
+//    merge wrong, and the struct-size static_asserts next to each
+//    VisitFields turn that omission into a compile error.
+
+#ifndef HAT_OBS_REGISTRY_H_
+#define HAT_OBS_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "hat/common/histogram.h"
+
+namespace hat::obs {
+
+/// Metric labels. -1 = not applicable.
+struct MetricLabels {
+  int32_t server = -1;  ///< NodeId of the server/client the metric describes
+  int32_t lane = -1;    ///< executor lane / logical shard
+  std::string family;   ///< subsystem or message family ("ae", "client", ...)
+};
+
+enum class MetricKind : uint8_t { kCounter = 0, kGauge = 1, kHistogram = 2 };
+
+const char* MetricKindName(MetricKind kind);
+
+class Registry {
+ public:
+  /// Reads a metric's current value (called at each sampler tick).
+  using Source = std::function<double()>;
+  using HistogramSource = std::function<const Histogram&()>;
+
+  struct Metric {
+    std::string name;
+    MetricLabels labels;
+    MetricKind kind = MetricKind::kCounter;
+    Source value;               // counters and gauges
+    HistogramSource histogram;  // histogram metrics
+  };
+
+  /// Monotone cumulative count; the sampler stores per-interval deltas.
+  void AddCounter(std::string name, MetricLabels labels, Source source);
+  /// Point-in-time value; the sampler stores it raw.
+  void AddGauge(std::string name, MetricLabels labels, Source source);
+  /// Cumulative histogram; the sampler stores the windowed p95 (delta of
+  /// bucket counts between consecutive snapshots).
+  void AddHistogram(std::string name, MetricLabels labels,
+                    HistogramSource source);
+
+  /// Registers every field of a VisitFields-bearing stats struct: scalar
+  /// fields become counters named `prefix` + field name, Histogram fields
+  /// become histogram metrics. Vector fields are skipped (register them
+  /// explicitly per lane, where the lane label is known). `get` is invoked
+  /// at every sample so stats assembled on demand (ReplicaServer::stats())
+  /// stay fresh.
+  template <typename Stats>
+  void AddStats(const std::string& prefix, MetricLabels labels,
+                std::function<const Stats&()> get) {
+    Stats::VisitFields([&](const char* name, auto field) {
+      using F = std::decay_t<decltype(std::declval<const Stats&>().*field)>;
+      if constexpr (std::is_arithmetic_v<F>) {
+        AddCounter(prefix + name, labels, [get, field]() {
+          return static_cast<double>(get().*field);
+        });
+      } else if constexpr (std::is_same_v<F, Histogram>) {
+        AddHistogram(prefix + name, labels,
+                     [get, field]() -> const Histogram& {
+                       return get().*field;
+                     });
+      }
+      // vectors: per-lane registration is the caller's job
+    });
+  }
+
+  const std::vector<Metric>& metrics() const { return metrics_; }
+  size_t size() const { return metrics_.size(); }
+
+ private:
+  std::vector<Metric> metrics_;
+};
+
+// --------------------------------------------------------------------------
+// Generic stats merging over VisitFields
+// --------------------------------------------------------------------------
+
+namespace detail {
+inline void MergeField(uint64_t& dst, const uint64_t& src) { dst += src; }
+inline void MergeField(double& dst, const double& src) { dst += src; }
+inline void MergeField(Histogram& dst, const Histogram& src) {
+  dst.Merge(src);
+}
+template <typename T>
+void MergeField(std::vector<T>& dst, const std::vector<T>& src) {
+  if (dst.size() < src.size()) dst.resize(src.size(), T{});
+  for (size_t i = 0; i < src.size(); i++) dst[i] += src[i];
+}
+}  // namespace detail
+
+/// Field-for-field sum of `src` into `dst`, driven by Stats::VisitFields:
+/// scalars add, vectors add element-wise (growing dst), histograms merge.
+template <typename Stats>
+void MergeStats(Stats& dst, const Stats& src) {
+  Stats::VisitFields([&](const char*, auto field) {
+    detail::MergeField(dst.*field, src.*field);
+  });
+}
+
+/// Number of fields Stats::VisitFields enumerates (test hook).
+template <typename Stats>
+size_t CountStatsFields() {
+  size_t n = 0;
+  Stats::VisitFields([&](const char*, auto) { n++; });
+  return n;
+}
+
+}  // namespace hat::obs
+
+#endif  // HAT_OBS_REGISTRY_H_

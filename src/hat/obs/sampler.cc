@@ -1,0 +1,78 @@
+#include "hat/obs/sampler.h"
+
+namespace hat::obs {
+
+Sampler::Sampler(sim::Simulation& sim, const Registry& registry,
+                 Options options)
+    : sim_(sim), registry_(registry), options_(options) {
+  if (options_.period == 0) options_.period = sim::kMillisecond;
+}
+
+void Sampler::Start() {
+  if (started_) return;
+  started_ = true;
+  const size_t n = registry_.size();
+  series_.assign(n, {});
+  prev_value_.assign(n, 0);
+  prev_hist_.assign(n, Histogram());
+  // Baseline the cumulative metrics at start time so the first interval's
+  // deltas cover [start, start + period), not [beginning of time, ...).
+  for (size_t m = 0; m < n; m++) {
+    const Registry::Metric& metric = registry_.metrics()[m];
+    if (metric.kind == MetricKind::kCounter) {
+      prev_value_[m] = metric.value();
+    } else if (metric.kind == MetricKind::kHistogram) {
+      prev_hist_[m] = metric.histogram();
+    }
+  }
+  sim_.After(options_.period, [this]() { Tick(); });
+}
+
+void Sampler::Tick() {
+  if (stopped_ || times_.size() >= options_.max_samples) return;
+  // Metrics registered after Start() (e.g. clients added to a live
+  // deployment): open a series row back-filled with zeros for the ticks
+  // they missed, and baseline their cumulative state at this tick.
+  if (registry_.size() > series_.size()) {
+    size_t old = series_.size();
+    series_.resize(registry_.size(),
+                   std::vector<double>(times_.size(), 0.0));
+    prev_value_.resize(registry_.size(), 0);
+    prev_hist_.resize(registry_.size(), Histogram());
+    for (size_t m = old; m < registry_.size(); m++) {
+      const Registry::Metric& metric = registry_.metrics()[m];
+      if (metric.kind == MetricKind::kCounter) {
+        prev_value_[m] = metric.value();
+      } else if (metric.kind == MetricKind::kHistogram) {
+        prev_hist_[m] = metric.histogram();
+      }
+    }
+  }
+  times_.push_back(sim_.Now());
+  for (size_t m = 0; m < registry_.size(); m++) {
+    const Registry::Metric& metric = registry_.metrics()[m];
+    double v = 0;
+    switch (metric.kind) {
+      case MetricKind::kCounter: {
+        double now_v = metric.value();
+        v = now_v - prev_value_[m];
+        prev_value_[m] = now_v;
+        break;
+      }
+      case MetricKind::kGauge:
+        v = metric.value();
+        break;
+      case MetricKind::kHistogram: {
+        const Histogram& cum = metric.histogram();
+        Histogram window = cum.DeltaSince(prev_hist_[m]);
+        v = window.Percentile(0.95);
+        prev_hist_[m] = cum;
+        break;
+      }
+    }
+    series_[m].push_back(v);
+  }
+  sim_.After(options_.period, [this]() { Tick(); });
+}
+
+}  // namespace hat::obs

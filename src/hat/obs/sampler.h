@@ -1,0 +1,70 @@
+// obs::Sampler — sim-clock-driven registry snapshots into an in-memory
+// time series.
+//
+// Every `period` of simulated time the sampler reads each registered metric:
+// counters become per-interval deltas (rate = delta / period), gauges are
+// stored raw, and histogram metrics become the *windowed* p95 — the p95 of
+// only the observations recorded during the interval, computed by
+// subtracting consecutive cumulative bucket snapshots
+// (Histogram::DeltaSince). The result is the time-resolved view the
+// end-of-run aggregates cannot give: per-lane utilization over time, queue
+// depth over time, queue-wait p95 over time.
+//
+// Start() schedules simulation events, so a sampling run is NOT
+// event-identical to an unsampled one — benches only start the sampler when
+// HAT_METRICS_OUT asks for it, and the figure-identity guarantee applies to
+// the default (unsampled) configuration.
+
+#ifndef HAT_OBS_SAMPLER_H_
+#define HAT_OBS_SAMPLER_H_
+
+#include <vector>
+
+#include "hat/common/histogram.h"
+#include "hat/obs/registry.h"
+#include "hat/sim/simulation.h"
+
+namespace hat::obs {
+
+class Sampler {
+ public:
+  struct Options {
+    /// Snapshot cadence in simulated time.
+    sim::Duration period = 10 * sim::kMillisecond;
+    /// Stop growing the series after this many samples (memory bound).
+    size_t max_samples = 1 << 16;
+  };
+
+  Sampler(sim::Simulation& sim, const Registry& registry, Options options);
+
+  /// Schedules the repeating sample tick. Call at most once. Metrics
+  /// registered after Start() join at the next tick (their series rows are
+  /// zero-backfilled for the ticks they missed, keeping every row parallel
+  /// to times()).
+  void Start();
+  void Stop() { stopped_ = true; }
+
+  sim::Duration period() const { return options_.period; }
+  /// Sample timestamps (one per tick), and per-metric series parallel to
+  /// Registry::metrics() — series()[m][i] is metric m at times()[i].
+  const std::vector<sim::SimTime>& times() const { return times_; }
+  const std::vector<std::vector<double>>& series() const { return series_; }
+  const Registry& registry() const { return registry_; }
+
+ private:
+  void Tick();
+
+  sim::Simulation& sim_;
+  const Registry& registry_;
+  Options options_;
+  bool started_ = false;
+  bool stopped_ = false;
+  std::vector<sim::SimTime> times_;
+  std::vector<std::vector<double>> series_;
+  std::vector<double> prev_value_;      // counters: last cumulative reading
+  std::vector<Histogram> prev_hist_;    // histograms: last cumulative snapshot
+};
+
+}  // namespace hat::obs
+
+#endif  // HAT_OBS_SAMPLER_H_

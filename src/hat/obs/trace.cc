@@ -1,0 +1,65 @@
+#include "hat/obs/trace.h"
+
+namespace hat::obs {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kTxn: return "txn";
+    case SpanKind::kCommit: return "commit";
+    case SpanKind::kBatchWait: return "batch_wait";
+    case SpanKind::kRpcFlight: return "rpc_flight";
+    case SpanKind::kQueueWait: return "queue_wait";
+    case SpanKind::kExecute: return "execute";
+    case SpanKind::kWalCommit: return "wal_commit";
+    case SpanKind::kMavAckWait: return "mav_ack_wait";
+    case SpanKind::kAeApply: return "ae_apply";
+    case SpanKind::kCheckpoint: return "checkpoint";
+    case SpanKind::kCutover: return "cutover";
+  }
+  return "?";
+}
+
+Tracer::Tracer(Options options) : options_(options) {
+  if (options_.ring_capacity == 0) options_.ring_capacity = 1;
+  if (options_.sample_every == 0) options_.sample_every = 1;
+}
+
+void Tracer::Record(const Span& span) {
+  if (!enabled_) return;
+  if (rings_.size() <= span.node) rings_.resize(span.node + 1);
+  Ring& ring = rings_[span.node];
+  if (ring.spans.size() < options_.ring_capacity) {
+    ring.spans.push_back(span);
+    return;
+  }
+  // Ring full: overwrite the oldest slot.
+  ring.spans[ring.head] = span;
+  ring.head = (ring.head + 1) % ring.spans.size();
+  ring.full = true;
+  dropped_++;
+}
+
+std::vector<Span> Tracer::Spans() const {
+  std::vector<Span> out;
+  out.reserve(span_count());
+  for (const Ring& ring : rings_) {
+    if (!ring.full) {
+      out.insert(out.end(), ring.spans.begin(), ring.spans.end());
+      continue;
+    }
+    // Oldest-first: [head, end) then [0, head).
+    out.insert(out.end(), ring.spans.begin() + static_cast<long>(ring.head),
+               ring.spans.end());
+    out.insert(out.end(), ring.spans.begin(),
+               ring.spans.begin() + static_cast<long>(ring.head));
+  }
+  return out;
+}
+
+size_t Tracer::span_count() const {
+  size_t n = 0;
+  for (const Ring& ring : rings_) n += ring.spans.size();
+  return n;
+}
+
+}  // namespace hat::obs

@@ -1,0 +1,138 @@
+// obs::Tracer — sim-clock distributed tracing for the simulated deployment.
+//
+// A sampled transaction carries a TraceContext{trace_id, span_id} on every
+// envelope it causes (stamped into the wire format as an optional 16-byte
+// block behind a codec flag bit — zero wire bytes when tracing is off), so
+// one transaction yields a span tree spanning client envelope batching, RPC
+// flight, shard-lane queue wait, core execution, WAL group commit, MAV ack
+// fan-in, and anti-entropy propagation to each replica — all stamped with
+// *simulation* timestamps, so a trace is a deterministic artifact of the
+// seed, not of wall-clock noise.
+//
+// Spans record into per-node ring buffers (bounded memory; the newest spans
+// win). Every instrumentation site is guarded by the HAT_OBS_SPAN macro:
+// with tracing compiled in but disabled the cost is a null/enabled branch;
+// compiling with -DHAT_OBS_DISABLE_TRACING removes the sites entirely.
+// Recording itself performs no simulation events and consumes no RNG, so
+// enabling tracing cannot perturb the simulated execution.
+
+#ifndef HAT_OBS_TRACE_H_
+#define HAT_OBS_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hat/obs/trace_context.h"
+#include "hat/sim/simulation.h"
+
+namespace hat::obs {
+
+/// Span taxonomy (see README "Observability" for the full table).
+enum class SpanKind : uint8_t {
+  kTxn = 0,         ///< client: whole transaction (root span)
+  kCommit = 1,      ///< client: commit phase (Commit() -> outcome)
+  kBatchWait = 2,   ///< client: op waiting in the envelope batcher
+  kRpcFlight = 3,   ///< network: one envelope's one-way flight
+  kQueueWait = 4,   ///< server: work unit waiting for its lane + a core
+  kExecute = 5,     ///< server: work unit in service (lane x core)
+  kWalCommit = 6,   ///< server: WAL sync / group commit window
+  kMavAckWait = 7,  ///< server: MAV install -> promotion (ack fan-in)
+  kAeApply = 8,     ///< server: anti-entropy batch applied at a replica
+  kCheckpoint = 9,  ///< instant: durable checkpoint taken
+  kCutover = 10,    ///< instant: migration placement cutover
+};
+
+const char* SpanKindName(SpanKind kind);
+
+/// One recorded interval (or instant, when start_us == end_us). trace_id 0
+/// marks an untraced timeline event (checkpoint/cutover instants).
+struct Span {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;
+  uint64_t parent_id = 0;
+  SpanKind kind = SpanKind::kTxn;
+  uint32_t node = 0;   ///< recording node (server or client NodeId)
+  int32_t lane = -1;   ///< executor lane, or -1 when not lane work
+  int32_t core = -1;   ///< executor core, or -1 when not core work
+  sim::SimTime start_us = 0;
+  sim::SimTime end_us = 0;
+  uint64_t arg = 0;    ///< kind-specific (record count, peer id, outcome...)
+};
+
+class Tracer {
+ public:
+  struct Options {
+    /// Span capacity of each node's ring buffer (newest spans retained).
+    size_t ring_capacity = 1 << 15;
+    /// Trace every Nth transaction per client (1 = every transaction).
+    /// Counter-based, not randomized: sampling consumes no RNG.
+    uint64_t sample_every = 1;
+  };
+
+  Tracer() : Tracer(Options()) {}
+  explicit Tracer(Options options);
+
+  bool enabled() const { return enabled_; }
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+
+  /// Deterministic transaction sampling: true for every sample_every-th
+  /// call (the first call always samples).
+  bool ShouldSampleTxn() {
+    return enabled_ && (txn_counter_++ % options_.sample_every) == 0;
+  }
+
+  uint64_t NewTraceId() { return next_trace_id_++; }
+  uint64_t NewSpanId() { return next_span_id_++; }
+  /// A child context within `parent`'s trace (fresh span id).
+  TraceContext ChildOf(const TraceContext& parent) {
+    return TraceContext{parent.trace_id, NewSpanId()};
+  }
+
+  /// Records one span into `span.node`'s ring buffer. Callers should guard
+  /// with HAT_OBS_SPAN (or check enabled()) — Record itself also no-ops
+  /// when disabled so a stale pointer path stays safe.
+  void Record(const Span& span);
+
+  /// All retained spans, oldest-first per node, nodes in id order.
+  std::vector<Span> Spans() const;
+  /// Spans dropped to ring-buffer bounds (oldest-evicted count).
+  uint64_t dropped() const { return dropped_; }
+  size_t span_count() const;
+
+ private:
+  struct Ring {
+    std::vector<Span> spans;  // capacity-bounded
+    size_t head = 0;          // next write position once full
+    bool full = false;
+  };
+
+  Options options_;
+  bool enabled_ = false;
+  uint64_t next_trace_id_ = 1;
+  uint64_t next_span_id_ = 1;
+  uint64_t txn_counter_ = 0;
+  uint64_t dropped_ = 0;
+  std::vector<Ring> rings_;  // indexed by node id, grown lazily
+};
+
+}  // namespace hat::obs
+
+/// Instrumentation-site guard: a null/enabled branch when tracing is off,
+/// nothing at all under -DHAT_OBS_DISABLE_TRACING.
+#ifndef HAT_OBS_DISABLE_TRACING
+#define HAT_OBS_TRACING_COMPILED 1
+#define HAT_OBS_SPAN(tracer, ...)                            \
+  do {                                                       \
+    ::hat::obs::Tracer* hat_obs_t_ = (tracer);               \
+    if (hat_obs_t_ != nullptr && hat_obs_t_->enabled()) {    \
+      hat_obs_t_->Record(__VA_ARGS__);                       \
+    }                                                        \
+  } while (0)
+#else
+#define HAT_OBS_TRACING_COMPILED 0
+#define HAT_OBS_SPAN(tracer, ...) \
+  do {                            \
+  } while (0)
+#endif
+
+#endif  // HAT_OBS_TRACE_H_

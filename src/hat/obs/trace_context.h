@@ -1,0 +1,22 @@
+// TraceContext — the trace identity carried on a net::Envelope. Split out
+// of obs/trace.h so the message/codec layer can carry trace contexts
+// without depending on the tracer (or the simulation clock).
+
+#ifndef HAT_OBS_TRACE_CONTEXT_H_
+#define HAT_OBS_TRACE_CONTEXT_H_
+
+#include <cstdint>
+
+namespace hat::obs {
+
+/// Trace identity carried on a net::Envelope. trace_id 0 = not traced (the
+/// default; adds zero wire bytes).
+struct TraceContext {
+  uint64_t trace_id = 0;
+  uint64_t span_id = 0;  ///< the sender-side span this hop descends from
+  bool active() const { return trace_id != 0; }
+};
+
+}  // namespace hat::obs
+
+#endif  // HAT_OBS_TRACE_CONTEXT_H_

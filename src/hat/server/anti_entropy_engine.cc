@@ -65,7 +65,7 @@ void AntiEntropyEngine::Start() {
 }
 
 void AntiEntropyEngine::Enqueue(const WriteRecord& w, net::PutMode mode,
-                                net::NodeId except) {
+                                net::NodeId except, obs::TraceContext trace) {
   if (!options_.push_enabled) return;
   // Shard-lane batching splits each peer's outbox by the key's logical
   // shard so every flushed batch is shard-homogeneous (and tagged); with it
@@ -75,7 +75,7 @@ void AntiEntropyEngine::Enqueue(const WriteRecord& w, net::PutMode mode,
                                               : net::kNoShardTag;
   for (net::NodeId peer : partitioner_->ReplicasOf(w.key)) {
     if (peer == id_ || peer == except) continue;
-    outbox_[OutboxKey{peer, tag}].push_back(OutboxItem{w, mode});
+    outbox_[OutboxKey{peer, tag}].push_back(OutboxItem{w, mode, trace});
   }
 }
 
@@ -87,8 +87,14 @@ void AntiEntropyEngine::FlushTick() {
       batch.batch_id = NextBatchId();
       batch.mode = queue.front().mode;
       batch.shard = tag;
+      // The batch inherits the first traced item's context: one traced
+      // write is enough to pull the whole batch flight into its span tree.
+      obs::TraceContext trace;
       while (!queue.empty() && queue.front().mode == batch.mode &&
              batch.writes.size() < options_.batch_max) {
+        if (!trace.active() && queue.front().trace.active()) {
+          trace = queue.front().trace;
+        }
         batch.writes.push_back(std::move(queue.front().write));
         queue.pop_front();
       }
@@ -97,7 +103,7 @@ void AntiEntropyEngine::FlushTick() {
       inflight_.emplace(batch.batch_id,
                         InFlightBatch{peer, batch, sim_.Now(),
                                       options_.retry_interval});
-      send_(peer, std::move(batch));
+      send_(peer, std::move(batch), trace);
     }
   }
   // Retransmit stragglers (lost to partitions) with exponential backoff.
@@ -108,16 +114,16 @@ void AntiEntropyEngine::FlushTick() {
       flight.sent_at = sim_.Now();
       flight.backoff = std::min(flight.backoff * 2, kMaxBackoff);
       stats_.retransmits++;
-      send_(flight.peer, flight.batch);
+      send_(flight.peer, flight.batch, {});
     }
   }
   sim_.After(options_.flush_interval, [this]() { FlushTick(); });
 }
 
 void AntiEntropyEngine::HandleBatch(const net::AntiEntropyBatch& batch,
-                                    net::NodeId from) {
+                                    net::NodeId from, obs::TraceContext trace) {
   stats_.batches_in++;
-  send_(from, net::AntiEntropyAck{batch.batch_id});
+  send_(from, net::AntiEntropyAck{batch.batch_id}, {});
   if (applied_batches_.count(batch.batch_id) ||
       applied_batches_prev_.count(batch.batch_id)) {
     stats_.dupes_suppressed++;
@@ -131,7 +137,7 @@ void AntiEntropyEngine::HandleBatch(const net::AntiEntropyBatch& batch,
   }
   for (const auto& w : batch.writes) {
     stats_.records_in++;
-    install_(w, batch.mode, from);
+    install_(w, batch.mode, from, trace);
   }
 }
 
@@ -190,7 +196,7 @@ void AntiEntropyEngine::SendDigestMessage(net::NodeId to, net::Message msg,
                                           size_t entries) {
   stats_.digest_entries_out += entries;
   stats_.digest_bytes_out += net::WireBytes(msg);
-  send_(to, std::move(msg));
+  send_(to, std::move(msg), {});
 }
 
 void AntiEntropyEngine::HandleShardDigest(const net::ShardDigest& digest,
@@ -292,7 +298,7 @@ void AntiEntropyEngine::HandleDigest(const net::DigestRequest& req,
     stats_.records_out += batch.writes.size();
     stats_.batches_out++;
     uint32_t tag = batch.shard;
-    send_(from, std::move(batch));
+    send_(from, std::move(batch), {});
     batch = net::AntiEntropyBatch();
     batch.batch_id = NextBatchId();
     batch.shard = tag;

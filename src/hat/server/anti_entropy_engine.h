@@ -34,6 +34,7 @@
 
 #include "hat/common/rng.h"
 #include "hat/net/message.h"
+#include "hat/obs/trace_context.h"
 #include "hat/server/partitioner.h"
 #include "hat/sim/simulation.h"
 #include "hat/version/sharded_store.h"
@@ -94,13 +95,19 @@ class AntiEntropyEngine {
     /// default: untagged batches keep the legacy wire format byte-identical.
     bool shard_lane_batching = false;
   };
-  /// Delivers a one-way message to a peer.
-  using SendFn = std::function<void(net::NodeId, net::Message)>;
+  /// Delivers a one-way message to a peer. The trace context is active only
+  /// for first-transmission push batches seeded by a traced write (the
+  /// batch inherits the first traced item's context); acks, retransmits,
+  /// and digest traffic go untraced.
+  using SendFn =
+      std::function<void(net::NodeId, net::Message, obs::TraceContext)>;
   /// Installs one received record (dispatches on PutMode at the owner).
   /// `from` is the peer the enclosing batch arrived from, so the owner's
-  /// re-gossip can exclude it (echo suppression).
-  using InstallFn =
-      std::function<void(const WriteRecord&, net::PutMode, net::NodeId from)>;
+  /// re-gossip can exclude it (echo suppression). The trace context is the
+  /// enclosing batch's (active only for traced batches) so installs keep
+  /// propagating the sampled transaction's identity.
+  using InstallFn = std::function<void(const WriteRecord&, net::PutMode,
+                                       net::NodeId from, obs::TraceContext)>;
 
   AntiEntropyEngine(sim::Simulation& sim, net::NodeId id,
                     const Partitioner* partitioner,
@@ -112,12 +119,16 @@ class AntiEntropyEngine {
   void Start();
 
   /// Queues `w` for push to every replica of its key except this node and
-  /// `except` (the node it came from).
-  void Enqueue(const WriteRecord& w, net::PutMode mode, net::NodeId except);
+  /// `except` (the node it came from). An active `trace` rides along so the
+  /// flushed batch joins the sampled transaction's span tree.
+  void Enqueue(const WriteRecord& w, net::PutMode mode, net::NodeId except,
+               obs::TraceContext trace = {});
 
   /// Applies an incoming push batch (acks it, dedupes retransmits, installs
-  /// each record through the InstallFn).
-  void HandleBatch(const net::AntiEntropyBatch& batch, net::NodeId from);
+  /// each record through the InstallFn). `trace` is the arriving envelope's
+  /// context, handed through to each install.
+  void HandleBatch(const net::AntiEntropyBatch& batch, net::NodeId from,
+                   obs::TraceContext trace = {});
 
   /// Retires the inflight batch an ack refers to.
   void HandleAck(const net::AntiEntropyAck& ack) {
@@ -191,6 +202,7 @@ class AntiEntropyEngine {
   struct OutboxItem {
     WriteRecord write;
     net::PutMode mode;
+    obs::TraceContext trace;  // inactive unless the write was traced
   };
   /// Outboxes are keyed (peer, logical shard tag). With shard_lane_batching
   /// off every key maps to (peer, kNoShardTag) — one outbox per peer, the

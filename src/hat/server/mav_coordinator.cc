@@ -49,7 +49,7 @@ const WriteRecord* MavCoordinator::PendingVersion(const Key& key,
 }
 
 void MavCoordinator::Install(const WriteRecord& w, bool gossip,
-                             net::NodeId origin) {
+                             net::NodeId origin, obs::TraceContext trace) {
   // A write for a shard this server no longer hosts (live migration) has
   // nothing to install here; the owner's copy runs the MAV protocol.
   if (!good_.OwnsKey(w.key)) return;
@@ -74,15 +74,17 @@ void MavCoordinator::Install(const WriteRecord& w, bool gossip,
   auto& txn = pending_txns_[w.ts];
   if (txn.sibs.empty()) {
     txn.sibs = w.sibs.empty() ? std::vector<Key>{w.key} : w.sibs;
+    txn.installed_us = sim_.Now();
     auto early = early_acks_.find(w.ts);
     if (early != early_acks_.end()) {
       txn.acks = std::move(early->second);
       early_acks_.erase(early);
     }
   }
+  if (trace.active() && !txn.trace.active()) txn.trace = trace;
   txn.writes.push_back(w);
   if (!stale) persistence_.PersistPending(good_.LogicalShardOfKey(w.key), w);
-  if (gossip) gossip_(w, origin);
+  if (gossip) gossip_(w, origin, trace);
   MaybeAck(w.ts);
   MaybePromote(w.ts);
 }
@@ -129,7 +131,7 @@ void MavCoordinator::MaybeAck(const Timestamp& ts) {
     if (peer == id_) {
       txn.acks.insert(id_);
     } else {
-      send_(peer, net::NotifyRequest{ts, id_});
+      send_(peer, net::NotifyRequest{ts, id_}, txn.trace);
     }
   }
 }
@@ -142,7 +144,7 @@ void MavCoordinator::HandleNotify(const net::NotifyRequest& req) {
       // We already promoted this transaction and dropped its ack state; the
       // sender is catching up after a partition — answer so it can promote.
       if (req.sender != id_) {
-        send_(req.sender, net::NotifyRequest{req.ts, id_});
+        send_(req.sender, net::NotifyRequest{req.ts, id_}, {});
       }
       return;
     }
@@ -179,6 +181,19 @@ void MavCoordinator::MaybePromote(const Timestamp& ts) {
     }
   }
   stats_.promotions++;
+  if (txn.trace.active() && tracer_ != nullptr && tracer_->enabled()) {
+    // Ack fan-in: first install of the txn on this replica -> pending-stable.
+    obs::Span s;
+    s.trace_id = txn.trace.trace_id;
+    s.span_id = tracer_->NewSpanId();
+    s.parent_id = txn.trace.span_id;
+    s.kind = obs::SpanKind::kMavAckWait;
+    s.node = id_;
+    s.start_us = txn.installed_us;
+    s.end_us = sim_.Now();
+    s.arg = txn.acks.size();
+    tracer_->Record(s);
+  }
   pending_txns_.erase(it);
   promoted_.insert(ts);
   promoted_fifo_.push_back(ts);
@@ -195,7 +210,9 @@ void MavCoordinator::RenotifyTick() {
     if (!txn.acked_by_self) continue;
     for (net::NodeId peer : AckSetFor(txn.sibs)) {
       if (peer != id_ && !txn.acks.count(peer)) {
-        send_(peer, net::NotifyRequest{ts, id_});
+        // Renotifies are background retransmits, not part of any one txn's
+        // critical path; they go untraced.
+        send_(peer, net::NotifyRequest{ts, id_}, {});
       }
     }
   }

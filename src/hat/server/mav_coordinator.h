@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "hat/net/message.h"
+#include "hat/obs/trace.h"
 #include "hat/server/partitioner.h"
 #include "hat/server/persistence_manager.h"
 #include "hat/sim/simulation.h"
@@ -50,12 +51,16 @@ class MavCoordinator {
     /// Re-broadcast pending-stable acks for still-pending transactions.
     sim::Duration renotify_interval = 500 * sim::kMillisecond;
   };
-  /// Delivers a one-way message (NotifyRequest) to a peer replica.
-  using SendFn = std::function<void(net::NodeId, net::Message)>;
+  /// Delivers a one-way message (NotifyRequest) to a peer replica. The
+  /// trace context (inactive unless the triggering install was traced)
+  /// stamps the outgoing envelope so ack fan-out stays on the span tree.
+  using SendFn =
+      std::function<void(net::NodeId, net::Message, obs::TraceContext)>;
   /// Hands a freshly accepted pending write to anti-entropy. `origin` is the
   /// peer the write arrived from (net::kNoPeer for local client writes), so
   /// re-gossip can exclude it instead of echoing the write straight back.
-  using GossipFn = std::function<void(const WriteRecord&, net::NodeId origin)>;
+  using GossipFn = std::function<void(const WriteRecord&, net::NodeId origin,
+                                      obs::TraceContext)>;
   /// Applies the owner's version-GC policy after a good-set insert.
   using GcFn = std::function<void(const Key&)>;
 
@@ -73,8 +78,12 @@ class MavCoordinator {
   /// so re-entering writes keep propagating — pass false only from a path
   /// that provably must not re-enter anti-entropy. `origin` is forwarded to
   /// the GossipFn: the peer the write came from (net::kNoPeer otherwise).
+  /// `trace`, when active, attaches the install to a sampled transaction:
+  /// the txn's notify fan-out carries it and promotion records a
+  /// kMavAckWait span covering install -> pending-stable.
   void Install(const WriteRecord& w, bool gossip,
-               net::NodeId origin = net::kNoPeer);
+               net::NodeId origin = net::kNoPeer,
+               obs::TraceContext trace = {});
 
   /// Processes a NOTIFY ack from `req.sender` (Appendix B).
   void HandleNotify(const net::NotifyRequest& req);
@@ -89,6 +98,9 @@ class MavCoordinator {
   void Clear();
 
   const MavStats& stats() const { return stats_; }
+
+  /// Observability: promotion spans record under this tracer. nullptr off.
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
 
  private:
   /// Servers that must acknowledge a transaction before promotion: every
@@ -110,6 +122,7 @@ class MavCoordinator {
   GossipFn gossip_;
   GcFn gc_versions_;
   MavStats stats_;
+  obs::Tracer* tracer_ = nullptr;
 
   // Pending, indexed two ways: by key (for required-bound reads) and by
   // transaction timestamp (for promotion).
@@ -119,6 +132,8 @@ class MavCoordinator {
     std::vector<Key> sibs;            // full txn key set
     std::set<net::NodeId> acks;       // distinct ack senders seen
     bool acked_by_self = false;       // we broadcast our ack already
+    obs::TraceContext trace;          // set iff a traced install seeded it
+    sim::SimTime installed_us = 0;    // first install time (ack-wait span)
   };
   std::map<Timestamp, PendingTxn> pending_txns_;
   // Acks that arrived before the first write of their transaction.

@@ -41,9 +41,12 @@ ReplicaServer::ReplicaServer(sim::Simulation& sim, net::Network& net,
       mav_(sim_, id, partitioner_, good_, persistence_,
            MavCoordinator::Options{options_.gc_stale_pending,
                                    options_.renotify_interval},
-           [this](net::NodeId to, Message m) { SendOneWay(to, std::move(m)); },
-           [this](const WriteRecord& w, net::NodeId origin) {
-             anti_entropy_.Enqueue(w, net::PutMode::kMav, origin);
+           [this](net::NodeId to, Message m, obs::TraceContext t) {
+             SendOneWay(to, std::move(m), t);
+           },
+           [this](const WriteRecord& w, net::NodeId origin,
+                  obs::TraceContext t) {
+             anti_entropy_.Enqueue(w, net::PutMode::kMav, origin, t);
            },
            [this](const Key& k) { MaybeGcVersions(k); }),
       anti_entropy_(
@@ -53,9 +56,12 @@ ReplicaServer::ReplicaServer(sim::Simulation& sim, net::Network& net,
               options_.digest_sync_interval, options_.ae_batch_max,
               options_.ae_batch_max_bytes, options_.ae_bucketed_digest,
               options_.ae_push_enabled, options_.ae_shard_lane_batching},
-          [this](net::NodeId to, Message m) { SendOneWay(to, std::move(m)); },
-          [this](const WriteRecord& w, net::PutMode mode, net::NodeId from) {
-            InstallFromPeer(w, mode, from);
+          [this](net::NodeId to, Message m, obs::TraceContext t) {
+            SendOneWay(to, std::move(m), t);
+          },
+          [this](const WriteRecord& w, net::PutMode mode, net::NodeId from,
+                 obs::TraceContext t) {
+            InstallFromPeer(w, mode, from, t);
           }),
       locks_(
           [this](const Envelope& env, const net::LockResponse& resp) {
@@ -396,7 +402,10 @@ const std::vector<ShardExecutor::Work>& ReplicaServer::PlanFor(
 }
 
 void ReplicaServer::HandleMessage(const Envelope& env) {
-  executor_.SubmitAll(PlanFor(env.msg), [this, env]() { Process(env); });
+  // env.trace (active only for sampled transactions) flows into the
+  // executor so a traced request's queue-wait and execution are spans.
+  executor_.SubmitAll(PlanFor(env.msg), [this, env]() { Process(env); },
+                      env.trace);
 }
 
 void ReplicaServer::Process(const Envelope& env) {
@@ -415,8 +424,21 @@ void ReplicaServer::Process(const Envelope& env) {
   } else if (const auto* batch = std::get_if<net::AntiEntropyBatch>(&env.msg)) {
     // All of a batch's installs share one durable group commit (matching
     // the single wal_sync_us the cost table charges the batch).
+    if (options_.durable) stats_.wal_group_commits++;
     persistence_.GroupCommit(
-        [&]() { anti_entropy_.HandleBatch(*batch, env.from); });
+        [&]() { anti_entropy_.HandleBatch(*batch, env.from, env.trace); });
+    if (env.trace.active() && tracer_ != nullptr && tracer_->enabled()) {
+      obs::Span s;
+      s.trace_id = env.trace.trace_id;
+      s.span_id = tracer_->NewSpanId();
+      s.parent_id = env.trace.span_id;
+      s.kind = obs::SpanKind::kAeApply;
+      s.node = id();
+      s.start_us = sim_.Now();
+      s.end_us = sim_.Now();
+      s.arg = batch->writes.size();
+      tracer_->Record(s);
+    }
   } else if (const auto* ack = std::get_if<net::AntiEntropyAck>(&env.msg)) {
     anti_entropy_.HandleAck(*ack);
   } else if (const auto* digest = std::get_if<net::DigestRequest>(&env.msg)) {
@@ -547,22 +569,38 @@ void ReplicaServer::HandleScan(const Envelope& env) {
 // Writes
 // --------------------------------------------------------------------------
 
-net::PutResponse ReplicaServer::DoPut(const net::PutRequest& req) {
+net::PutResponse ReplicaServer::DoPut(const net::PutRequest& req,
+                                      const obs::TraceContext& trace) {
   stats_.puts++;
   if (!ServesKey(req.write.key)) {
     stats_.wrong_shard_replies++;
     return net::PutResponse{false, /*wrong_shard=*/true};
   }
+  if (trace.active() && options_.durable && tracer_ != nullptr &&
+      tracer_->enabled()) {
+    // The WAL sync this install pays (wal_sync_us in the cost table) has
+    // already elapsed as executor service time; mark the commit point.
+    obs::Span s;
+    s.trace_id = trace.trace_id;
+    s.span_id = tracer_->NewSpanId();
+    s.parent_id = trace.span_id;
+    s.kind = obs::SpanKind::kWalCommit;
+    s.node = id();
+    s.lane = static_cast<int32_t>(LaneOf(req.write.key));
+    s.start_us = sim_.Now();
+    s.end_us = sim_.Now();
+    tracer_->Record(s);
+  }
   if (req.mode == net::PutMode::kEventual) {
-    InstallEventual(req.write, /*gossip=*/true);
+    InstallEventual(req.write, /*gossip=*/true, net::kNoPeer, trace);
   } else {
-    mav_.Install(req.write, /*gossip=*/true);
+    mav_.Install(req.write, /*gossip=*/true, net::kNoPeer, trace);
   }
   return net::PutResponse{true};
 }
 
 void ReplicaServer::HandlePut(const Envelope& env) {
-  Reply(env, DoPut(std::get<net::PutRequest>(env.msg)));
+  Reply(env, DoPut(std::get<net::PutRequest>(env.msg), env.trace));
 }
 
 void ReplicaServer::HandleClientBatch(const Envelope& env) {
@@ -577,13 +615,15 @@ void ReplicaServer::HandleClientBatch(const Envelope& env) {
   resp.replies.reserve(req.ops.size());
   // One durable group commit spans every install in the envelope (matching
   // the single wal_sync_us the cost table charges the batch).
+  bool any_put = false;
   persistence_.GroupCommit([&]() {
     for (const auto& op : req.ops) {
       std::visit(
           [&](const auto& o) {
             using O = std::decay_t<decltype(o)>;
             if constexpr (std::is_same_v<O, net::PutRequest>) {
-              resp.replies.emplace_back(DoPut(o));
+              any_put = true;
+              resp.replies.emplace_back(DoPut(o, env.trace));
             } else {
               resp.replies.emplace_back(DoGet(o));
             }
@@ -591,11 +631,13 @@ void ReplicaServer::HandleClientBatch(const Envelope& env) {
           op);
     }
   });
+  if (options_.durable && any_put) stats_.wal_group_commits++;
   Reply(env, std::move(resp));
 }
 
 bool ReplicaServer::InstallEventual(const WriteRecord& w, bool gossip,
-                                    net::NodeId origin) {
+                                    net::NodeId origin,
+                                    obs::TraceContext trace) {
   bool inserted = good_.Apply(w);
   if (!inserted) return false;  // duplicate delivery (anti-entropy redundancy)
   persistence_.PersistGood(good_.LogicalShardOfKey(w.key), w);
@@ -605,12 +647,12 @@ bool ReplicaServer::InstallEventual(const WriteRecord& w, bool gossip,
     (void)CheckpointStorage();
   }
   MaybeGcVersions(w.key);
-  if (gossip) anti_entropy_.Enqueue(w, net::PutMode::kEventual, origin);
+  if (gossip) anti_entropy_.Enqueue(w, net::PutMode::kEventual, origin, trace);
   return true;
 }
 
 void ReplicaServer::InstallFromPeer(const WriteRecord& w, net::PutMode mode,
-                                    net::NodeId from) {
+                                    net::NodeId from, obs::TraceContext trace) {
   // `from` threads through to Enqueue's `except`: the sender already has the
   // write, so re-gossiping it back would only double anti-entropy traffic.
   auto slot = good_.TrySlotOfKey(w.key);
@@ -620,7 +662,7 @@ void ReplicaServer::InstallFromPeer(const WriteRecord& w, net::PutMode mode,
     // ReplicasOf already routes to the destination) instead of dropping a
     // record the sender considers delivered.
     stats_.forwarded_records++;
-    anti_entropy_.Enqueue(w, mode, from);
+    anti_entropy_.Enqueue(w, mode, from, trace);
     return;
   }
   if (mode == net::PutMode::kEventual) {
@@ -628,10 +670,10 @@ void ReplicaServer::InstallFromPeer(const WriteRecord& w, net::PutMode mode,
     // rest of the cluster already propagates — installing without re-gossip
     // avoids spraying the whole shard back out.
     bool staging = migrator_.IsStagingSlot(*slot);
-    bool inserted = InstallEventual(w, /*gossip=*/!staging, from);
+    bool inserted = InstallEventual(w, /*gossip=*/!staging, from, trace);
     if (staging && inserted) migrator_.NoteStagingInstall();
   } else {
-    mav_.Install(w, /*gossip=*/true, from);
+    mav_.Install(w, /*gossip=*/true, from, trace);
   }
 }
 
@@ -721,6 +763,17 @@ Status ReplicaServer::CheckpointStorage() {
           });
         });
     if (!status.ok()) return status;
+  }
+  if (tracer_ != nullptr && tracer_->enabled()) {
+    // Timeline annotation, not part of any sampled txn (trace_id 0): marks
+    // when this server paused to write checkpoint files.
+    obs::Span s;
+    s.kind = obs::SpanKind::kCheckpoint;
+    s.node = id();
+    s.start_us = sim_.Now();
+    s.end_us = sim_.Now();
+    s.arg = owned.size();
+    tracer_->Record(s);
   }
   return Status::Ok();
 }

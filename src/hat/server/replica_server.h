@@ -184,6 +184,11 @@ struct ServerStats {
   /// Placement-epoch routing corrections and late-gossip handling:
   uint64_t wrong_shard_replies = 0;   ///< client ops answered kWrongShard
   uint64_t forwarded_records = 0;     ///< unowned gossip re-pushed to owner
+  /// Durable WAL group commits: one per applied anti-entropy batch and per
+  /// client envelope batch carrying at least one put (the single wal_sync_us
+  /// the cost table charges those paths). Group-commit amortization =
+  /// installs / wal_group_commits.
+  uint64_t wal_group_commits = 0;
   // Live-migration counters (see MigratorStats):
   uint64_t mig_snapshot_records_out = 0;
   uint64_t mig_snapshot_records_in = 0;
@@ -206,7 +211,61 @@ struct ServerStats {
   std::vector<uint64_t> lane_queue_depth;
   /// Microseconds each task waited for its lane and a core before service.
   Histogram queue_wait_us;
+
+  /// Field list for obs::Registry::AddStats / obs::MergeStats: one line per
+  /// field, visited as (name, member pointer). The static_assert below
+  /// pins sizeof(ServerStats) to exactly the visited fields, so adding a
+  /// field without listing it here fails the build instead of silently
+  /// dropping out of TotalServerStats-style merges.
+  template <typename V>
+  static void VisitFields(V&& v) {
+    v("gets", &ServerStats::gets);
+    v("gets_not_yet", &ServerStats::gets_not_yet);
+    v("gets_from_pending", &ServerStats::gets_from_pending);
+    v("puts", &ServerStats::puts);
+    v("scans", &ServerStats::scans);
+    v("notifies", &ServerStats::notifies);
+    v("ae_batches_in", &ServerStats::ae_batches_in);
+    v("ae_records_in", &ServerStats::ae_records_in);
+    v("ae_records_out", &ServerStats::ae_records_out);
+    v("ae_batches_out", &ServerStats::ae_batches_out);
+    v("ae_retransmits", &ServerStats::ae_retransmits);
+    v("ae_dupes_suppressed", &ServerStats::ae_dupes_suppressed);
+    v("ae_dedupe_rotations", &ServerStats::ae_dedupe_rotations);
+    v("ae_shard_lane_batches", &ServerStats::ae_shard_lane_batches);
+    v("client_batches", &ServerStats::client_batches);
+    v("client_batch_ops", &ServerStats::client_batch_ops);
+    v("ae_digest_ticks", &ServerStats::ae_digest_ticks);
+    v("ae_digest_entries_out", &ServerStats::ae_digest_entries_out);
+    v("ae_digest_bytes_out", &ServerStats::ae_digest_bytes_out);
+    v("mav_promotions", &ServerStats::mav_promotions);
+    v("stale_pending_dropped", &ServerStats::stale_pending_dropped);
+    v("locks_granted", &ServerStats::locks_granted);
+    v("locks_queued", &ServerStats::locks_queued);
+    v("lock_deaths", &ServerStats::lock_deaths);
+    v("wrong_shard_replies", &ServerStats::wrong_shard_replies);
+    v("forwarded_records", &ServerStats::forwarded_records);
+    v("wal_group_commits", &ServerStats::wal_group_commits);
+    v("mig_snapshot_records_out", &ServerStats::mig_snapshot_records_out);
+    v("mig_snapshot_records_in", &ServerStats::mig_snapshot_records_in);
+    v("mig_catchup_records_in", &ServerStats::mig_catchup_records_in);
+    v("busy_us", &ServerStats::busy_us);
+    v("exec_tasks", &ServerStats::exec_tasks);
+    v("exec_dispatches", &ServerStats::exec_dispatches);
+    v("lane_busy_us", &ServerStats::lane_busy_us);
+    v("lane_queue_depth", &ServerStats::lane_queue_depth);
+    v("queue_wait_us", &ServerStats::queue_wait_us);
+  }
 };
+
+/// Completeness guard for VisitFields: 33 8-byte scalars + 2 vectors + 1
+/// Histogram, with no padding between 8-byte-aligned members. A new field
+/// changes the size and trips this until VisitFields lists it.
+static_assert(sizeof(ServerStats) ==
+                  33 * sizeof(uint64_t) + 2 * sizeof(std::vector<double>) +
+                      sizeof(Histogram),
+              "ServerStats changed: update ServerStats::VisitFields (and the "
+              "field count here) so generic merge/registration stay complete");
 
 class ReplicaServer : public net::RpcNode {
  public:
@@ -258,6 +317,17 @@ class ReplicaServer : public net::RpcNode {
   /// no gossip, persistence, or service cost (dataset preloading).
   void InstallForTest(const WriteRecord& w) { good_.Apply(w); }
 
+  /// Observability: attaches `tracer` to this server and its subsystems
+  /// (executor queue-wait/execute spans, MAV ack-fan-in spans, WAL-commit /
+  /// AE-apply / checkpoint events). nullptr detaches. Tracing records no
+  /// simulation events and consumes no RNG, so attaching cannot perturb a
+  /// deterministic run.
+  void set_tracer(obs::Tracer* tracer) {
+    tracer_ = tracer;
+    executor_.set_tracer(tracer, id());
+    mav_.set_tracer(tracer);
+  }
+
   /// Fraction of this server's capacity (cores_per_server x elapsed)
   /// consumed so far. A saturated C-core server reads 1.0, not C.
   double UtilizationOver(sim::SimTime elapsed) const {
@@ -294,9 +364,12 @@ class ReplicaServer : public net::RpcNode {
   void HandleClientBatch(const net::Envelope& env);
 
   /// Single-operation execution, shared by the plain RPC handlers and the
-  /// batched envelope path so both count stats and route identically.
+  /// batched envelope path so both count stats and route identically. An
+  /// active `trace` threads the sampled transaction's context into the
+  /// install pipeline (MAV notify fan-out, anti-entropy propagation).
   net::GetResponse DoGet(const net::GetRequest& req);
-  net::PutResponse DoPut(const net::PutRequest& req);
+  net::PutResponse DoPut(const net::PutRequest& req,
+                         const obs::TraceContext& trace = {});
 
   /// True when this server currently serves client operations on `key`: it
   /// owns the key's logical shard and the shard is not a migration staging
@@ -325,14 +398,16 @@ class ReplicaServer : public net::RpcNode {
   /// straight back to its sender. Returns true if the version was new
   /// (duplicate anti-entropy deliveries return false and do nothing).
   bool InstallEventual(const WriteRecord& w, bool gossip,
-                       net::NodeId origin = net::kNoPeer);
+                       net::NodeId origin = net::kNoPeer,
+                       obs::TraceContext trace = {});
   /// Routes a record received via anti-entropy to the right install path.
   void InstallFromPeer(const WriteRecord& w, net::PutMode mode,
-                       net::NodeId from);
+                       net::NodeId from, obs::TraceContext trace = {});
   void MaybeGcVersions(const Key& key);
 
   ServerOptions options_;
   const Partitioner* partitioner_;
+  obs::Tracer* tracer_ = nullptr;
   mutable ServerStats stats_;  // mutable: stats() assembles subsystem counts
   ShardExecutor executor_;
   // PlanFor scratch space (capacity retained across messages).

@@ -31,7 +31,8 @@ size_t ShardExecutor::QueueDepth(size_t lane) const {
   return q.size();
 }
 
-sim::SimTime ShardExecutor::Book(const Work& work) {
+sim::SimTime ShardExecutor::Book(const Work& work,
+                                 const obs::TraceContext& trace) {
   assert(work.lane < lane_free_.size());
   double cost = work.cost_us;
   // Cross-core dispatch: handing shard work to another core's queue is not
@@ -81,22 +82,52 @@ sim::SimTime ShardExecutor::Book(const Work& work) {
   stats_.busy_us += cost;
   stats_.lane_busy_us[work.lane] += cost;
   stats_.queue_wait_us.Record(static_cast<double>(start - now));
+
+  if (trace.active() && tracer_ != nullptr && tracer_->enabled()) {
+    // Queue-wait is recorded even when zero-length so a traced request's
+    // span tree always shows where it queued; execute carries the lane and
+    // the chosen core.
+    obs::Span wait;
+    wait.trace_id = trace.trace_id;
+    wait.span_id = tracer_->NewSpanId();
+    wait.parent_id = trace.span_id;
+    wait.kind = obs::SpanKind::kQueueWait;
+    wait.node = trace_node_;
+    wait.lane = static_cast<int32_t>(work.lane);
+    wait.start_us = now;
+    wait.end_us = start;
+    tracer_->Record(wait);
+
+    obs::Span exec;
+    exec.trace_id = trace.trace_id;
+    exec.span_id = tracer_->NewSpanId();
+    exec.parent_id = trace.span_id;
+    exec.kind = obs::SpanKind::kExecute;
+    exec.node = trace_node_;
+    exec.lane = static_cast<int32_t>(work.lane);
+    exec.core = static_cast<int32_t>(core);
+    exec.start_us = start;
+    exec.end_us = end;
+    tracer_->Record(exec);
+  }
   return end;
 }
 
 sim::SimTime ShardExecutor::Submit(size_t lane, double cost_us,
-                                   sim::Simulation::Callback done) {
+                                   sim::Simulation::Callback done,
+                                   const obs::TraceContext& trace) {
   stats_.tasks++;
-  sim::SimTime end = Book(Work{lane, cost_us});
+  sim::SimTime end = Book(Work{lane, cost_us}, trace);
   if (done) sim_.At(end, std::move(done));
   return end;
 }
 
 sim::SimTime ShardExecutor::SubmitAll(const std::vector<Work>& plan,
-                                      sim::Simulation::Callback done) {
+                                      sim::Simulation::Callback done,
+                                      const obs::TraceContext& trace) {
   stats_.tasks++;
   sim::SimTime end = sim_.Now();
-  for (const Work& work : plan) end = std::max(end, Book(work));
+  for (const Work& work : plan) end = std::max(end, Book(work, trace));
   if (done) sim_.At(end, std::move(done));
   return end;
 }

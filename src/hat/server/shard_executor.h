@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "hat/common/histogram.h"
+#include "hat/obs/trace.h"
 #include "hat/sim/simulation.h"
 
 namespace hat::server {
@@ -94,15 +95,25 @@ class ShardExecutor {
   size_t QueueDepth(size_t lane) const;
 
   /// Runs `cost_us` of service time on `lane`; `done` (may be null) fires
-  /// when it completes. Returns the completion time.
-  sim::SimTime Submit(size_t lane, double cost_us, sim::Simulation::Callback done);
+  /// when it completes. Returns the completion time. `trace`, when active
+  /// and a tracer is attached, records queue-wait and execute spans.
+  sim::SimTime Submit(size_t lane, double cost_us,
+                      sim::Simulation::Callback done,
+                      const obs::TraceContext& trace = {});
 
   /// Runs every unit concurrently (each serialized on its own lane, all
   /// sharing the core pool); `done` (may be null) fires when the last one
   /// completes. An empty plan completes immediately (at now). Returns the
   /// completion time.
   sim::SimTime SubmitAll(const std::vector<Work>& plan,
-                         sim::Simulation::Callback done);
+                         sim::Simulation::Callback done,
+                         const obs::TraceContext& trace = {});
+
+  /// Observability: spans record under node id `node`. nullptr disables.
+  void set_tracer(obs::Tracer* tracer, uint32_t node) {
+    tracer_ = tracer;
+    trace_node_ = node;
+  }
 
   /// Crash/recovery hook: every lane and core becomes free at the current
   /// virtual time, so post-crash work is not queued behind pre-crash
@@ -130,11 +141,13 @@ class ShardExecutor {
 
  private:
   /// Books one unit of work and returns its completion time (no callback).
-  sim::SimTime Book(const Work& work);
+  sim::SimTime Book(const Work& work, const obs::TraceContext& trace);
 
   sim::Simulation& sim_;
   Options options_;
   ShardExecutorStats stats_;
+  obs::Tracer* tracer_ = nullptr;
+  uint32_t trace_node_ = 0;
   std::vector<sim::SimTime> lane_free_;  ///< per-lane FIFO frontier
   std::vector<sim::SimTime> core_free_;  ///< per-core availability
   /// Completion times of in-flight bookings per lane, in booking order

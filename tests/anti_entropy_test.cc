@@ -27,10 +27,10 @@ class AntiEntropyTest : public ::testing::Test {
   void MakeEngine(AntiEntropyEngine::Options opts = {}) {
     engine_ = std::make_unique<AntiEntropyEngine>(
         sim_, kSelf, &partitioner_, good_, opts,
-        [this](net::NodeId to, net::Message m) {
+        [this](net::NodeId to, net::Message m, obs::TraceContext) {
           sent_.push_back(Sent{to, std::move(m)});
         },
-        [this](const WriteRecord& w, net::PutMode, net::NodeId) {
+        [this](const WriteRecord& w, net::PutMode, net::NodeId, obs::TraceContext) {
           installed_.push_back(w);
         });
   }
@@ -344,10 +344,10 @@ TEST_F(AntiEntropyTest, BucketedSyncTransmitsDiffNotDataset) {
   std::vector<Sent> peer_sent;
   AntiEntropyEngine peer_engine(
       sim_, kPeer, &partitioner_, peer, AntiEntropyEngine::Options{},
-      [&peer_sent](net::NodeId to, net::Message m) {
+      [&peer_sent](net::NodeId to, net::Message m, obs::TraceContext) {
         peer_sent.push_back(Sent{to, std::move(m)});
       },
-      [&peer](const WriteRecord& w, net::PutMode, net::NodeId) {
+      [&peer](const WriteRecord& w, net::PutMode, net::NodeId, obs::TraceContext) {
         peer.Apply(w);
       });
   // The scoped request carries OUR entries; the peer answers with what we
@@ -419,16 +419,16 @@ TEST(ShardedAntiEntropyTest, HotShardRepairShipsThatShardsHashesOnly) {
   std::vector<Sent> ours_sent, peer_sent;
   AntiEntropyEngine ours_engine(
       sim, 1, &partitioner, ours, AntiEntropyEngine::Options{},
-      [&ours_sent](net::NodeId to, net::Message m) {
+      [&ours_sent](net::NodeId to, net::Message m, obs::TraceContext) {
         ours_sent.push_back(Sent{to, std::move(m)});
       },
-      [](const WriteRecord&, net::PutMode, net::NodeId) {});
+      [](const WriteRecord&, net::PutMode, net::NodeId, obs::TraceContext) {});
   AntiEntropyEngine peer_engine(
       sim, 2, &partitioner, peer, AntiEntropyEngine::Options{},
-      [&peer_sent](net::NodeId to, net::Message m) {
+      [&peer_sent](net::NodeId to, net::Message m, obs::TraceContext) {
         peer_sent.push_back(Sent{to, std::move(m)});
       },
-      [&peer](const WriteRecord& w, net::PutMode, net::NodeId) {
+      [&peer](const WriteRecord& w, net::PutMode, net::NodeId, obs::TraceContext) {
         peer.Apply(w);
       });
 
@@ -569,10 +569,10 @@ TEST(ShardLaneBatchingTest, BatchesAreShardHomogeneousAndTagged) {
   opts.shard_lane_batching = true;
   AntiEntropyEngine engine(
       sim, 1, &partitioner, good, opts,
-      [&sent](net::NodeId to, net::Message m) {
+      [&sent](net::NodeId to, net::Message m, obs::TraceContext) {
         sent.push_back(Sent{to, std::move(m)});
       },
-      [](const WriteRecord&, net::PutMode, net::NodeId) {});
+      [](const WriteRecord&, net::PutMode, net::NodeId, obs::TraceContext) {});
   engine.Start();
   for (int i = 0; i < 32; i++) {
     WriteRecord w;
@@ -615,15 +615,15 @@ TEST(ShardLaneBatchingTest, DroppedTaggedBatchRetransmitsSameShardAndDedupes) {
   std::vector<Sent> sent;
   AntiEntropyEngine sender(
       sim, 1, &partitioner, sender_store, opts,
-      [&sent](net::NodeId to, net::Message m) {
+      [&sent](net::NodeId to, net::Message m, obs::TraceContext) {
         sent.push_back(Sent{to, std::move(m)});
       },
-      [](const WriteRecord&, net::PutMode, net::NodeId) {});
+      [](const WriteRecord&, net::PutMode, net::NodeId, obs::TraceContext) {});
   std::vector<WriteRecord> installed;
   AntiEntropyEngine receiver(
       sim, 2, &partitioner, receiver_store, opts,
-      [](net::NodeId, net::Message) {},  // acks dropped: one-way partition
-      [&installed](const WriteRecord& w, net::PutMode, net::NodeId) {
+      [](net::NodeId, net::Message, obs::TraceContext) {},  // acks dropped
+      [&installed](const WriteRecord& w, net::PutMode, net::NodeId, obs::TraceContext) {
         installed.push_back(w);
       });
   sender.Start();

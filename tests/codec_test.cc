@@ -570,5 +570,73 @@ TEST(WireCodecTest, ViewRejectsTrailingRecordGarbage) {
   EXPECT_FALSE(view.ForEachWrite([](const codec::WriteRecordView&) {}));
 }
 
+// --------------------------- traced envelopes ------------------------------
+
+TEST(WireCodecTest, TracedEnvelopeRoundTripsContext) {
+  Rng rng(0x7ace);
+  for (size_t alt = 0; alt < std::variant_size_v<Message>; alt++) {
+    Envelope env = RandomEnvelope(alt, rng);
+    env.trace = obs::TraceContext{rng.NextUint64() | 1, rng.NextUint64()};
+    std::string frame = EncodeToString(env);
+    ASSERT_EQ(frame.size(), codec::EncodedFrameSize(env)) << "alt " << alt;
+
+    Envelope back;
+    ASSERT_TRUE(codec::DecodeEnvelope(frame, &back)) << "alt " << alt;
+    EXPECT_EQ(back.trace.trace_id, env.trace.trace_id);
+    EXPECT_EQ(back.trace.span_id, env.trace.span_id);
+    EXPECT_EQ(back.rpc_id, env.rpc_id);
+    EXPECT_EQ(EncodeToString(back), frame) << "alt " << alt;
+  }
+}
+
+TEST(WireCodecTest, TraceBlockCostsExactlySixteenBytesAndOnlyWhenActive) {
+  Rng rng(0x7acf);
+  Envelope env = RandomEnvelope(2, rng);
+  env.trace = {};
+  std::string untraced = EncodeToString(env);
+
+  Envelope traced_env = env;
+  traced_env.trace = obs::TraceContext{42, 7};
+  std::string traced = EncodeToString(traced_env);
+  EXPECT_EQ(traced.size(), untraced.size() + codec::kTraceBlockBytes);
+
+  // An inactive context leaves the frame byte-identical to the pre-trace
+  // wire format — the figure-identity guarantee at the wire level.
+  Envelope inactive = env;
+  inactive.trace = obs::TraceContext{0, 99};  // trace_id 0 => inactive
+  EXPECT_EQ(EncodeToString(inactive), untraced);
+
+  Envelope back;
+  ASSERT_TRUE(codec::DecodeEnvelope(untraced, &back));
+  EXPECT_FALSE(back.trace.active());
+}
+
+TEST(WireCodecTest, TruncatedTraceBlockRejected) {
+  Rng rng(0x7ad0);
+  Envelope env = RandomEnvelope(0, rng);
+  env.trace = obs::TraceContext{11, 22};
+  std::string payload = PayloadOf(EncodeToString(env));
+  // Keep the traced flag but cut the payload off inside the 16-byte trace
+  // block: the header parser must reject it, never read past the end.
+  for (size_t keep = 0; keep < codec::kTraceBlockBytes; keep += 5) {
+    std::string cut = payload.substr(0, codec::kEnvelopeHeaderBytes + keep);
+    Envelope out;
+    EXPECT_FALSE(codec::DecodeEnvelope(ReframePayload(cut), &out))
+        << "trace block cut to " << keep << " bytes";
+  }
+}
+
+TEST(WireCodecTest, TracedFlagWithZeroTraceIdRejected) {
+  Rng rng(0x7ad1);
+  Envelope env = RandomEnvelope(0, rng);
+  env.trace = obs::TraceContext{11, 22};
+  std::string payload = PayloadOf(EncodeToString(env));
+  // Zero the trace_id inside the trace block: flagged-but-inactive is a
+  // malformed frame (an encoder never produces it).
+  for (size_t i = 0; i < 8; i++) payload[codec::kEnvelopeHeaderBytes + i] = 0;
+  Envelope out;
+  EXPECT_FALSE(codec::DecodeEnvelope(ReframePayload(payload), &out));
+}
+
 }  // namespace
 }  // namespace hat::net

@@ -282,6 +282,50 @@ TEST(HistogramTest, StddevOfConstantIsZero) {
   EXPECT_NEAR(h.Stddev(), 0, 1e-6);
 }
 
+TEST(HistogramTest, EmptyPercentileIsZeroForAnyQuantile) {
+  // Contract: empty histograms read 0 everywhere (never NaN or stale) —
+  // the sampler plots windowed p95s and relies on quiet windows being 0.
+  Histogram h;
+  for (double q : {-1.0, 0.0, 0.25, 0.5, 0.95, 1.0, 2.0}) {
+    EXPECT_EQ(h.Percentile(q), 0) << "q=" << q;
+  }
+  EXPECT_EQ(h.min(), 0);
+  EXPECT_EQ(h.max(), 0);
+  EXPECT_EQ(h.Stddev(), 0);
+}
+
+TEST(HistogramTest, DeltaSinceIsolatesTheWindow) {
+  Histogram cum;
+  for (int i = 0; i < 100; i++) cum.Record(10);
+  Histogram snap = cum;  // sampler keeps the previous cumulative snapshot
+  for (int i = 0; i < 50; i++) cum.Record(1000);
+
+  Histogram window = cum.DeltaSince(snap);
+  EXPECT_EQ(window.count(), 50u);
+  // Only the new observations (1000s) are in the window; the old 10s must
+  // not leak in. Bucket representatives carry ~1% error.
+  EXPECT_NEAR(window.Percentile(0.5), 1000, 1000 * 0.02);
+  EXPECT_GT(window.min(), 500);
+  EXPECT_NEAR(window.Mean(), 1000, 1000 * 0.02);
+}
+
+TEST(HistogramTest, DeltaSinceEmptyWindowIsEmpty) {
+  Histogram cum;
+  for (int i = 0; i < 7; i++) cum.Record(3.5);
+  Histogram window = cum.DeltaSince(cum);
+  EXPECT_EQ(window.count(), 0u);
+  EXPECT_EQ(window.Percentile(0.95), 0);
+}
+
+TEST(HistogramTest, DeltaSinceOfFreshHistogramIsIdentity) {
+  Histogram cum;
+  for (int i = 1; i <= 1000; i++) cum.Record(i);
+  Histogram window = cum.DeltaSince(Histogram());
+  EXPECT_EQ(window.count(), cum.count());
+  EXPECT_NEAR(window.Percentile(0.95), cum.Percentile(0.95),
+              cum.Percentile(0.95) * 0.02);
+}
+
 // -------------------------------- Codec -----------------------------------
 
 TEST(CodecTest, FixedRoundTrip) {

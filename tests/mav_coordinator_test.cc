@@ -23,10 +23,12 @@ class MavCoordinatorTest : public ::testing::Test {
     partitioner_ = std::make_unique<FixedPartitioner>(std::move(replicas));
     mav_ = std::make_unique<MavCoordinator>(
         sim_, kSelf, partitioner_.get(), good_, persistence_, opts,
-        [this](net::NodeId to, net::Message m) {
+        [this](net::NodeId to, net::Message m, obs::TraceContext) {
           notifies_.emplace_back(to, std::get<net::NotifyRequest>(m));
         },
-        [this](const WriteRecord& w, net::NodeId) { gossiped_.push_back(w); },
+        [this](const WriteRecord& w, net::NodeId, obs::TraceContext) {
+          gossiped_.push_back(w);
+        },
         [](const Key&) {});
   }
 
